@@ -1,0 +1,16 @@
+"""Ablation: pair-coding schemes including the Section 6 future-work codecs.
+
+Covers the paper's ZZ/ZV/UZ/UV plus Elias gamma/delta, Simple-9 and PForDelta
+length/position codings.
+
+Run with ``pytest benchmarks/bench_ablation_codecs.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_codecs(benchmark, results_path):
+    """Regenerate ablation codecs and record its wall-clock cost."""
+    table = run_and_report(benchmark, "ablation-codecs", results_path)
+    assert len(table.rows) > 0

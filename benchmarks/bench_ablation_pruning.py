@@ -1,0 +1,17 @@
+"""Ablation: dictionary pruning / iterative resampling (Section 6 future work).
+
+Compares the paper's single-pass uniform sampling against the multi-pass
+prune-and-resample loop sketched in the conclusion (unused dictionary runs
+are dropped and refilled with fresh samples).
+
+Run with ``pytest benchmarks/bench_ablation_pruning.py --benchmark-only``;
+scale with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_pruning(benchmark, results_path):
+    """Regenerate the pruning ablation and record its wall-clock cost."""
+    table = run_and_report(benchmark, "ablation-pruning", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Ablation: uniform-interval sampling vs whole-document random sampling.
+
+The paper's evenly spaced sampling covers the collection better than
+concatenating randomly chosen documents of the same total size.
+
+Run with ``pytest benchmarks/bench_ablation_sampling.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_sampling(benchmark, results_path):
+    """Regenerate ablation sampling and record its wall-clock cost."""
+    table = run_and_report(benchmark, "ablation-sampling", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Figure 3: frequency histogram of encoded length values per sample period.
+
+Paper shape: the overwhelming majority of length values is small (< 100)
+irrespective of the sample period used to build the dictionary.
+
+Run with ``pytest benchmarks/bench_figure3_length_histogram.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_figure3(benchmark, results_path):
+    """Regenerate figure3 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "figure3", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 10: compression with dictionaries built from collection prefixes.
+
+Paper shape: compression degrades by roughly one percentage point as the
+dictionary-building prefix shrinks from 100% to 10%, and only slightly more at 1%.
+
+Run with ``pytest benchmarks/bench_table10_dynamic_updates.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table10(benchmark, results_path):
+    """Regenerate table10 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table10", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 2: average factor length and unused dictionary bytes on the GOV2-like corpus.
+
+Paper trends: larger dictionaries give longer average factors; larger sample
+sizes leave fewer unused dictionary bytes.
+
+Run with ``pytest benchmarks/bench_table2_dictionary_gov.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table2(benchmark, results_path):
+    """Regenerate table2 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table2", results_path)
+    assert len(table.rows) > 0

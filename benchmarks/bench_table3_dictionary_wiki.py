@@ -1,0 +1,16 @@
+"""Table 3: average factor length and unused dictionary bytes on the Wikipedia-like corpus.
+
+Same grid as Table 2 on the Wikipedia-like collection; factors are somewhat
+shorter and dictionary waste lower than on the .gov crawl.
+
+Run with ``pytest benchmarks/bench_table3_dictionary_wiki.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table3(benchmark, results_path):
+    """Regenerate table3 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table3", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 4: rlz compression and retrieval on the GOV2-like corpus (crawl order).
+
+Paper shapes: larger dictionaries compress better; UV decodes fastest and ZZ
+is smallest; sequential retrieval is orders of magnitude faster than query-log.
+
+Run with ``pytest benchmarks/bench_table4_rlz_gov.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table4(benchmark, results_path):
+    """Regenerate table4 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table4", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 5: rlz compression and retrieval on the URL-sorted GOV2-like corpus.
+
+Paper shapes: compression is essentially unchanged by URL sorting (sampling is
+order-insensitive); sequential decoding speeds up thanks to locality.
+
+Run with ``pytest benchmarks/bench_table5_rlz_gov_urlsorted.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table5(benchmark, results_path):
+    """Regenerate table5 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table5", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 6: ascii / blocked zlib / blocked lzma baselines on the GOV2-like corpus.
+
+Paper shapes: bigger blocks compress better but retrieve slower; lzma beats
+zlib on space and loses on speed; ascii pays full transfer volume.
+
+Run with ``pytest benchmarks/bench_table6_baselines_gov.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table6(benchmark, results_path):
+    """Regenerate table6 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table6", results_path)
+    assert len(table.rows) > 0

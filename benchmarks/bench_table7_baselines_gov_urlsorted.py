@@ -1,0 +1,16 @@
+"""Table 7: baselines on the URL-sorted GOV2-like corpus.
+
+Paper shapes: URL sorting significantly improves blocked compression because
+same-host template-sharing pages land in the same block.
+
+Run with ``pytest benchmarks/bench_table7_baselines_gov_urlsorted.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table7(benchmark, results_path):
+    """Regenerate table7 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table7", results_path)
+    assert len(table.rows) > 0

@@ -1,0 +1,16 @@
+"""Table 8: rlz compression and retrieval on the Wikipedia-like corpus.
+
+Paper shapes: as Table 4; Z-coded schemes benefit relatively more because the
+larger documents give zlib more per-document context.
+
+Run with ``pytest benchmarks/bench_table8_rlz_wiki.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table8(benchmark, results_path):
+    """Regenerate table8 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table8", results_path)
+    assert len(table.rows) > 0

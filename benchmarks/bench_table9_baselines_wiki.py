@@ -1,0 +1,15 @@
+"""Table 9: baselines on the Wikipedia-like corpus.
+
+Paper shapes: as Table 6 on the Wikipedia-like collection.
+
+Run with ``pytest benchmarks/bench_table9_baselines_wiki.py --benchmark-only``; scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from conftest import run_and_report
+
+
+def test_table9(benchmark, results_path):
+    """Regenerate table9 and record its wall-clock cost."""
+    table = run_and_report(benchmark, "table9", results_path)
+    assert len(table.rows) > 0

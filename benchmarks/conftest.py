@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark file regenerates one table or figure from the paper via the
+experiment functions in :mod:`repro.bench.experiments`.  Experiments are run
+once per session (``rounds=1``) because each one is itself a full
+compression / retrieval campaign; pytest-benchmark still records the
+wall-clock time, and the rendered result table is written to
+``benchmarks/results/`` and echoed to the terminal.
+
+Scale is controlled with ``REPRO_BENCH_SCALE`` (tiny | small | medium |
+large); the default is ``small``.  See DESIGN.md section 4 for the
+experiment index and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_path() -> Path:
+    """File collecting every rendered result table for this run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / "bench_tables.txt"
+
+
+def run_and_report(benchmark, experiment_id: str, results_path: Path):
+    """Run one experiment under pytest-benchmark and persist its table."""
+    table = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    table.print()
+    table.save(results_path)
+    return table

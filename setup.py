@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments without the ``wheel`` package (offline build environments),
+via the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — Relative Lempel-Ziv factorization for web-collection storage.
+
+A from-scratch Python reproduction of
+
+    Hoobin, Puglisi & Zobel,
+    "Relative Lempel-Ziv Factorization for Efficient Storage and Retrieval
+    of Web Collections", PVLDB 5(3), 2011.
+
+The package is organised by subsystem:
+
+* :mod:`repro.core` — the RLZ compressor itself (dictionary sampling,
+  suffix-array driven factorization, pair encodings, random-access decode);
+* :mod:`repro.suffix` — suffix array construction and search;
+* :mod:`repro.coding` — integer codecs (vbyte, u32, zlib, Elias, Simple-9,
+  PForDelta);
+* :mod:`repro.corpus` — synthetic GOV2-like and Wikipedia-like collections;
+* :mod:`repro.storage` — on-disk stores with random access, blocked
+  baselines, and a disk latency model;
+* :mod:`repro.baselines` — block-compressed and semi-static baselines;
+* :mod:`repro.search` — the inverted-index search engine used to generate
+  query-log access patterns;
+* :mod:`repro.bench` — the experiment harness that regenerates the paper's
+  tables and figures.
+
+Quickstart::
+
+    from repro import RlzCompressor, DictionaryConfig, generate_gov_collection
+
+    collection = generate_gov_collection(num_documents=200)
+    compressor = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=256 * 1024, sample_size=1024),
+        scheme="ZV",
+    )
+    compressed = compressor.compress(collection)
+    print(compressed.compression_ratio())        # ~10-15 (% of original)
+    text = compressed.decode_document(doc_id=0)  # random access
+"""
+
+from .core import (
+    CompressedCollection,
+    CompressionReport,
+    DictionaryConfig,
+    Factor,
+    Factorization,
+    PairEncoder,
+    RlzCompressor,
+    RlzDictionary,
+    RlzFactorizer,
+    build_dictionary,
+)
+from .corpus import (
+    Document,
+    DocumentCollection,
+    generate_gov_collection,
+    generate_wikipedia_collection,
+    url_sorted,
+)
+from .errors import (
+    CorpusError,
+    DecodingError,
+    DictionaryError,
+    EncodingError,
+    FactorizationError,
+    ReproError,
+    SearchError,
+    StorageError,
+)
+from .suffix import SuffixArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedCollection",
+    "CompressionReport",
+    "CorpusError",
+    "DecodingError",
+    "DictionaryConfig",
+    "DictionaryError",
+    "Document",
+    "DocumentCollection",
+    "EncodingError",
+    "Factor",
+    "Factorization",
+    "FactorizationError",
+    "PairEncoder",
+    "ReproError",
+    "RlzCompressor",
+    "RlzDictionary",
+    "RlzFactorizer",
+    "SearchError",
+    "StorageError",
+    "SuffixArray",
+    "build_dictionary",
+    "generate_gov_collection",
+    "generate_wikipedia_collection",
+    "url_sorted",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline compressors the paper compares against or discusses.
+
+* blocked zlib / lzma stores and the raw ASCII store (Section 4's baselines)
+  — thin builders over :mod:`repro.storage`;
+* word-based semi-static Huffman coding (Section 2.1's semi-static family);
+* Bentley–McIlroy long-repeat preprocessing (the Bigtable two-pass scheme
+  mentioned in Section 2.2).
+"""
+
+from .bentley_mcilroy import BentleyMcIlroy
+from .blocked_builders import (
+    PAPER_BLOCK_SIZES_MB,
+    build_ascii_baseline,
+    build_blocked_baseline,
+    build_paper_baselines,
+)
+from .huffman import WordHuffmanCoder, WordHuffmanModel, tokenize
+
+__all__ = [
+    "BentleyMcIlroy",
+    "PAPER_BLOCK_SIZES_MB",
+    "WordHuffmanCoder",
+    "WordHuffmanModel",
+    "build_ascii_baseline",
+    "build_blocked_baseline",
+    "build_paper_baselines",
+    "tokenize",
+]

@@ -1,0 +1,70 @@
+"""Convenience builders for the paper's baseline stores.
+
+The evaluation compares rlz against three baselines: an uncompressed ASCII
+store and blocked zlib / lzma stores at block sizes 0.0 (one document per
+block), 0.1, 0.2, 0.5 and 1.0 MB.  These helpers build those exact
+configurations so the benchmark scripts and examples stay short.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence
+
+from ..corpus.document import DocumentCollection
+from ..storage import BlockedStore, BlockedStoreConfig, RawStore
+
+__all__ = [
+    "PAPER_BLOCK_SIZES_MB",
+    "build_ascii_baseline",
+    "build_blocked_baseline",
+    "build_paper_baselines",
+]
+
+#: Block sizes used throughout the paper's baseline tables, in megabytes.
+#: 0.0 means one document per block.
+PAPER_BLOCK_SIZES_MB: Sequence[float] = (0.0, 0.1, 0.2, 0.5, 1.0)
+
+
+def build_ascii_baseline(collection: DocumentCollection, path: str | Path) -> Path:
+    """Build the uncompressed "ascii" baseline store."""
+    return RawStore.build(collection, path)
+
+
+def build_blocked_baseline(
+    collection: DocumentCollection,
+    path: str | Path,
+    compressor: str,
+    block_size_mb: float,
+    level: int = 6,
+) -> Path:
+    """Build one blocked zlib/lzma baseline at the given block size (MB)."""
+    config = BlockedStoreConfig(
+        compressor=compressor,
+        block_size=int(block_size_mb * 1024 * 1024),
+        level=level,
+    )
+    return BlockedStore.build(collection, path, config)
+
+
+def build_paper_baselines(
+    collection: DocumentCollection,
+    directory: str | Path,
+    compressors: Sequence[str] = ("zlib", "lzma"),
+    block_sizes_mb: Sequence[float] = PAPER_BLOCK_SIZES_MB,
+) -> Dict[str, Path]:
+    """Build the full baseline grid used by Tables 6, 7 and 9.
+
+    Returns a mapping from a short run label (e.g. ``"zlib-0.2MB"`` or
+    ``"ascii"``) to the container path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stores: Dict[str, Path] = {}
+    stores["ascii"] = build_ascii_baseline(collection, directory / "ascii.repro")
+    for compressor in compressors:
+        for block_size in block_sizes_mb:
+            label = f"{compressor}-{block_size:.1f}MB"
+            path = directory / f"{compressor}-{str(block_size).replace('.', '_')}.repro"
+            stores[label] = build_blocked_baseline(collection, path, compressor, block_size)
+    return stores

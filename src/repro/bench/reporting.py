@@ -1,0 +1,92 @@
+"""Result tables: collection, formatting and persistence.
+
+Each experiment returns a :class:`ResultTable` whose rows mirror the rows of
+the corresponding table (or the series of the corresponding figure) in the
+paper.  Tables render as aligned plain text — the same shape a reader would
+compare against the paper — and can be appended to a results file so a full
+benchmark run leaves a single reviewable artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of results with fixed column headers."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        if isinstance(value, int):
+            return f"{value:,}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        formatted_rows = [[self._format_cell(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in formatted_rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table to stdout."""
+        print()
+        print(self.render())
+
+    def save(self, path: str | Path, append: bool = True) -> None:
+        """Write the rendered table to ``path`` (appending by default)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if append else "w"
+        with path.open(mode, encoding="utf-8") as handle:
+            handle.write(self.render())
+            handle.write("\n\n")
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name (used by tests on trends)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    @staticmethod
+    def merge(title: str, tables: Iterable["ResultTable"]) -> str:
+        """Render several tables under a common banner."""
+        parts = [title, "#" * len(title), ""]
+        parts.extend(table.render() + "\n" for table in tables)
+        return "\n".join(parts)

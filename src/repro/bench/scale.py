@@ -1,0 +1,116 @@
+"""Benchmark scaling configuration.
+
+The paper's collections are hundreds of gigabytes; the reproduction runs on
+synthetic collections of a few megabytes.  All experiment code reads its
+sizes from a :class:`BenchScale` so the whole suite can be scaled up or down
+with one environment variable:
+
+``REPRO_BENCH_SCALE`` = ``tiny`` | ``small`` (default) | ``medium`` | ``large``
+
+The paper's dictionary-size labels (0.5 GB / 1.0 GB / 2.0 GB on a 426 GB
+collection) are mapped to dictionary sizes proportional to the scaled
+collection.  Because the synthetic collection is ~5 orders of magnitude
+smaller, the dictionary must be a larger *fraction* of it to hold a
+comparable diversity of boilerplate templates; what is preserved is the
+ordering (larger dictionary => better compression) and the fact that the
+dictionary remains a small fraction of the collection and fits comfortably
+in memory.  EXPERIMENTS.md discusses this scaling in detail.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+__all__ = ["BenchScale", "current_scale", "PAPER_DICTIONARY_LABELS", "PAPER_SAMPLE_SIZES"]
+
+#: Dictionary-size labels used in the paper's Tables 2-5 and 8 (gigabytes).
+PAPER_DICTIONARY_LABELS: Sequence[str] = ("2.0", "1.0", "0.5")
+
+#: Sample sizes used in the paper's Tables 2-3 (kilobytes).
+PAPER_SAMPLE_SIZES: Sequence[float] = (0.5, 1.0, 2.0, 5.0)
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Sizes used by the benchmark suite at one scale setting."""
+
+    name: str
+    gov_documents: int
+    gov_document_size: int
+    wiki_documents: int
+    wiki_document_size: int
+    #: Mapping from the paper's dictionary label (GB) to bytes at this scale.
+    dictionary_sizes: Dict[str, int] = field(default_factory=dict)
+    #: Number of requests per access pattern (the paper uses 100,000).
+    num_requests: int = 1000
+    #: Number of synthetic queries behind the query-log pattern.
+    num_queries: int = 400
+    #: Block sizes (MB) for the blocked baselines.
+    block_sizes_mb: Sequence[float] = (0.0, 0.1, 0.2, 0.5, 1.0)
+    #: Sample size (bytes) used for dictionaries unless a table varies it.
+    default_sample_size: int = 1024
+
+    @property
+    def gov_total_size(self) -> int:
+        """Approximate GOV2-like collection size in bytes."""
+        return self.gov_documents * self.gov_document_size
+
+    @property
+    def wiki_total_size(self) -> int:
+        """Approximate Wikipedia-like collection size in bytes."""
+        return self.wiki_documents * self.wiki_document_size
+
+
+_SCALES: Dict[str, BenchScale] = {
+    "tiny": BenchScale(
+        name="tiny",
+        gov_documents=80,
+        gov_document_size=18 * 1024,
+        wiki_documents=32,
+        wiki_document_size=45 * 1024,
+        dictionary_sizes={"2.0": 192 * 1024, "1.0": 96 * 1024, "0.5": 48 * 1024},
+        num_requests=400,
+        num_queries=150,
+    ),
+    "small": BenchScale(
+        name="small",
+        gov_documents=140,
+        gov_document_size=18 * 1024,
+        wiki_documents=60,
+        wiki_document_size=45 * 1024,
+        dictionary_sizes={"2.0": 256 * 1024, "1.0": 128 * 1024, "0.5": 64 * 1024},
+        num_requests=1000,
+        num_queries=300,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        gov_documents=500,
+        gov_document_size=18 * 1024,
+        wiki_documents=200,
+        wiki_document_size=45 * 1024,
+        dictionary_sizes={"2.0": 768 * 1024, "1.0": 384 * 1024, "0.5": 192 * 1024},
+        num_requests=5000,
+        num_queries=1000,
+    ),
+    "large": BenchScale(
+        name="large",
+        gov_documents=1800,
+        gov_document_size=18 * 1024,
+        wiki_documents=700,
+        wiki_document_size=45 * 1024,
+        dictionary_sizes={"2.0": 2 * 1024 * 1024, "1.0": 1024 * 1024, "0.5": 512 * 1024},
+        num_requests=20000,
+        num_queries=4000,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").strip().lower()
+    if name not in _SCALES:
+        valid = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown REPRO_BENCH_SCALE {name!r}; valid values: {valid}")
+    return _SCALES[name]

@@ -1,0 +1,152 @@
+"""Command-line entry points.
+
+Three console scripts are installed with the package:
+
+* ``repro-corpus``  — generate a synthetic collection and write it to a
+  REPRO-WARC file;
+* ``repro-compress`` — compress a REPRO-WARC collection with rlz (or a
+  baseline) into a container file, and optionally verify it by decoding;
+* ``repro-bench``   — run the paper's experiments and print/save the result
+  tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .bench.harness import EXPERIMENTS, run_all
+from .core import DictionaryConfig, RlzCompressor
+from .corpus import (
+    generate_gov_collection,
+    generate_wikipedia_collection,
+    read_warc,
+    url_sorted,
+    write_warc,
+)
+from .storage import BlockedStore, BlockedStoreConfig, RawStore, RlzStore
+
+__all__ = ["corpus_main", "compress_main", "bench_main"]
+
+
+def corpus_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Generate a synthetic collection and store it as a REPRO-WARC file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-corpus",
+        description="Generate a synthetic GOV2-like or Wikipedia-like collection.",
+    )
+    parser.add_argument("output", help="path of the REPRO-WARC file to write")
+    parser.add_argument(
+        "--kind", choices=("gov", "wikipedia"), default="gov", help="collection flavour"
+    )
+    parser.add_argument("--documents", type=int, default=500, help="number of documents")
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--url-sort", action="store_true", help="write the collection in URL-sorted order"
+    )
+    args = parser.parse_args(argv)
+
+    if args.kind == "gov":
+        collection = generate_gov_collection(num_documents=args.documents, seed=args.seed)
+    else:
+        collection = generate_wikipedia_collection(
+            num_documents=args.documents, seed=args.seed
+        )
+    if args.url_sort:
+        collection = url_sorted(collection)
+    written = write_warc(collection, args.output)
+    print(
+        f"wrote {len(collection)} documents ({collection.total_size:,} bytes of content, "
+        f"{written:,} bytes on disk) to {args.output}"
+    )
+    return 0
+
+
+def compress_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Compress a REPRO-WARC collection into a container file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compress",
+        description="Compress a REPRO-WARC collection with rlz or a baseline.",
+    )
+    parser.add_argument("input", help="REPRO-WARC file produced by repro-corpus")
+    parser.add_argument("output", help="container file to write")
+    parser.add_argument(
+        "--method",
+        choices=("rlz", "zlib", "lzma", "ascii"),
+        default="rlz",
+        help="compression method",
+    )
+    parser.add_argument("--scheme", default="ZZ", help="rlz pair-coding scheme (e.g. ZV)")
+    parser.add_argument(
+        "--dictionary-size", type=int, default=1024 * 1024, help="rlz dictionary bytes"
+    )
+    parser.add_argument("--sample-size", type=int, default=1024, help="rlz sample bytes")
+    parser.add_argument(
+        "--block-size", type=float, default=0.5, help="baseline block size in MB"
+    )
+    parser.add_argument(
+        "--verify", action="store_true", help="decode every document and compare"
+    )
+    args = parser.parse_args(argv)
+
+    collection = read_warc(args.input)
+    if args.method == "rlz":
+        compressor = RlzCompressor(
+            dictionary_config=DictionaryConfig(
+                size=args.dictionary_size, sample_size=args.sample_size
+            ),
+            scheme=args.scheme,
+        )
+        compressed = compressor.compress(collection)
+        RlzStore.write(compressed, args.output)
+        store = RlzStore.open(args.output)
+        percent = store.compression_percent(include_dictionary=True)
+    elif args.method == "ascii":
+        RawStore.build(collection, args.output)
+        store = RawStore.open(args.output)
+        percent = 100.0
+    else:
+        config = BlockedStoreConfig(
+            compressor=args.method, block_size=int(args.block_size * 1024 * 1024)
+        )
+        BlockedStore.build(collection, args.output, config)
+        store = BlockedStore.open(args.output)
+        percent = store.compression_percent()
+
+    status = 0
+    if args.verify:
+        failures = sum(
+            1 for document in collection if store.get(document.doc_id) != document.content
+        )
+        if failures:
+            print(f"VERIFY FAILED: {failures} documents did not round-trip", file=sys.stderr)
+            status = 1
+        else:
+            print("verify: all documents round-tripped")
+    store.close()
+    print(
+        f"compressed {collection.total_size:,} bytes -> {Path(args.output).stat().st_size:,} "
+        f"bytes on disk ({percent:.2f}% encoding)"
+    )
+    return status
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the paper's experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids to run (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--output", default="bench_results.txt", help="file to append rendered tables to"
+    )
+    args = parser.parse_args(argv)
+    run_all(output_path=args.output, experiments=args.experiments or None)
+    print(f"\nresults appended to {args.output}")
+    return 0

@@ -1,0 +1,141 @@
+"""Elias gamma and delta codes.
+
+These bit-oriented universal codes are not used by the paper's main results
+but are classic alternatives for the length stream and are included as
+extension codecs for the coding-scheme ablation benchmark (the paper's
+Section 6 calls out the space/time trade-off of alternative integer codes as
+future work).
+
+Both codes operate on *positive* integers; this module follows the common
+convention of encoding ``value + 1`` so that zero-valued lengths (literal
+factors) are representable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import DecodingError
+from .base import IntegerCodec, check_non_negative
+
+__all__ = ["EliasGammaCodec", "EliasDeltaCodec", "BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulate individual bits (most-significant first) into bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._filled += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant bit first."""
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, count: int) -> None:
+        """Write ``count`` zero bits followed by a one bit."""
+        for _ in range(count):
+            self.write_bit(0)
+        self.write_bit(1)
+
+    def getvalue(self) -> bytes:
+        """Return the accumulated bits, padding the final byte with zeros."""
+        if self._filled == 0:
+            return bytes(self._buffer)
+        padding = 8 - self._filled
+        return bytes(self._buffer + bytes([self._current << padding]))
+
+
+class BitReader:
+    """Read bits (most-significant first) from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._position, 8)
+        if byte_index >= len(self._data):
+            raise DecodingError("bit stream exhausted")
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+
+class EliasGammaCodec(IntegerCodec):
+    """Elias gamma: unary length prefix followed by the value's low bits."""
+
+    name = "gamma"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        check_non_negative(values, "elias gamma")
+        writer = BitWriter()
+        for value in values:
+            shifted = value + 1
+            width = shifted.bit_length() - 1
+            writer.write_unary(width)
+            if width:
+                writer.write_bits(shifted & ((1 << width) - 1), width)
+        return writer.getvalue()
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        reader = BitReader(data)
+        values: List[int] = []
+        for _ in range(count):
+            width = reader.read_unary()
+            low = reader.read_bits(width) if width else 0
+            values.append(((1 << width) | low) - 1)
+        return values
+
+
+class EliasDeltaCodec(IntegerCodec):
+    """Elias delta: the bit-width is itself gamma-coded."""
+
+    name = "delta"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        check_non_negative(values, "elias delta")
+        writer = BitWriter()
+        for value in values:
+            shifted = value + 1
+            width = shifted.bit_length()
+            # gamma-code the width
+            width_bits = width.bit_length() - 1
+            writer.write_unary(width_bits)
+            if width_bits:
+                writer.write_bits(width & ((1 << width_bits) - 1), width_bits)
+            if width - 1:
+                writer.write_bits(shifted & ((1 << (width - 1)) - 1), width - 1)
+        return writer.getvalue()
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        reader = BitReader(data)
+        values: List[int] = []
+        for _ in range(count):
+            width_bits = reader.read_unary()
+            width_low = reader.read_bits(width_bits) if width_bits else 0
+            width = (1 << width_bits) | width_low
+            low = reader.read_bits(width - 1) if width - 1 else 0
+            values.append(((1 << (width - 1)) | low) - 1)
+        return values

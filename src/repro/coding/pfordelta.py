@@ -1,0 +1,148 @@
+"""PForDelta integer coding (Zukowski et al., ICDE 2006).
+
+PForDelta ("Patched Frame of Reference") encodes a block of integers with a
+fixed bit width ``b`` chosen so that most values fit; the minority that do
+not ("exceptions") are patched in from a separate exception list.  The paper
+lists PForDelta alongside Simple-9 as a future-work alternative to vbyte for
+the factor streams; it is included here for the coding ablation benchmark.
+
+Layout per block (this implementation, little-endian):
+
+* ``u8``   bit width ``b`` (0..32)
+* ``u16``  number of values in the block (at most ``BLOCK_SIZE``)
+* ``u16``  number of exceptions
+* packed ``b``-bit low parts of every value (ceil(n*b/8) bytes)
+* exception indexes, vbyte coded
+* exception high parts (``value >> b``), vbyte coded
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from ..errors import DecodingError
+from .base import IntegerCodec, check_non_negative
+from .vbyte import decode_vbyte, encode_vbyte
+
+__all__ = ["PForDeltaCodec"]
+
+BLOCK_SIZE = 128
+_EXCEPTION_TARGET = 0.1  # aim for at most ~10% exceptions per block
+
+
+def _choose_width(values: Sequence[int]) -> int:
+    """Pick the smallest bit width leaving at most ~10% of values as exceptions."""
+    if not values:
+        return 0
+    widths = sorted(value.bit_length() for value in values)
+    # The width covering the 90th percentile of values.
+    cutoff_index = min(len(widths) - 1, int(len(widths) * (1.0 - _EXCEPTION_TARGET)))
+    width = widths[cutoff_index]
+    return max(width, 1)
+
+
+def _pack_low_bits(values: Sequence[int], width: int) -> bytes:
+    """Pack the ``width`` low bits of each value contiguously."""
+    out = bytearray()
+    accumulator = 0
+    filled = 0
+    mask = (1 << width) - 1
+    for value in values:
+        accumulator |= (value & mask) << filled
+        filled += width
+        while filled >= 8:
+            out.append(accumulator & 0xFF)
+            accumulator >>= 8
+            filled -= 8
+    if filled:
+        out.append(accumulator & 0xFF)
+    return bytes(out)
+
+
+def _unpack_low_bits(data: bytes, width: int, count: int) -> List[int]:
+    values: List[int] = []
+    accumulator = 0
+    filled = 0
+    position = 0
+    mask = (1 << width) - 1
+    for _ in range(count):
+        while filled < width:
+            if position >= len(data):
+                raise DecodingError("truncated PForDelta low-bit stream")
+            accumulator |= data[position] << filled
+            position += 1
+            filled += 8
+        values.append(accumulator & mask)
+        accumulator >>= width
+        filled -= width
+    return values
+
+
+class PForDeltaCodec(IntegerCodec):
+    """Patched frame-of-reference coding over fixed-size blocks."""
+
+    name = "pfd"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        check_non_negative(values, "pfordelta")
+        out = bytearray()
+        for start in range(0, len(values), BLOCK_SIZE):
+            block = list(values[start : start + BLOCK_SIZE])
+            out += self._encode_block(block)
+        return bytes(out)
+
+    def _encode_block(self, block: List[int]) -> bytes:
+        width = _choose_width(block)
+        mask = (1 << width) - 1
+        exceptions = [
+            (index, value >> width)
+            for index, value in enumerate(block)
+            if value > mask
+        ]
+        header = struct.pack("<BHH", width, len(block), len(exceptions))
+        low = _pack_low_bits(block, width)
+        exception_indexes = encode_vbyte(index for index, _ in exceptions)
+        exception_high = encode_vbyte(high for _, high in exceptions)
+        body = (
+            struct.pack("<HH", len(exception_indexes), len(exception_high))
+            + low
+            + exception_indexes
+            + exception_high
+        )
+        return header + body
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        values = self.decode_all(data)
+        if len(values) < count:
+            raise DecodingError(
+                f"PForDelta stream contained {len(values)} values, expected {count}"
+            )
+        return values[:count]
+
+    def decode_all(self, data: bytes) -> List[int]:
+        values: List[int] = []
+        offset = 0
+        total = len(data)
+        while offset < total:
+            if offset + 9 > total:
+                raise DecodingError("truncated PForDelta block header")
+            width, block_count, exception_count = struct.unpack_from("<BHH", data, offset)
+            idx_len, high_len = struct.unpack_from("<HH", data, offset + 5)
+            offset += 9
+            low_bytes = (block_count * width + 7) // 8
+            end_low = offset + low_bytes
+            end_idx = end_low + idx_len
+            end_high = end_idx + high_len
+            if end_high > total:
+                raise DecodingError("truncated PForDelta block body")
+            block = _unpack_low_bits(data[offset:end_low], width, block_count) if width else [0] * block_count
+            indexes = decode_vbyte(data[end_low:end_idx], exception_count)
+            highs = decode_vbyte(data[end_idx:end_high], exception_count)
+            for index, high in zip(indexes, highs):
+                if index >= block_count:
+                    raise DecodingError("PForDelta exception index out of range")
+                block[index] |= high << width
+            values.extend(block)
+            offset = end_high
+        return values

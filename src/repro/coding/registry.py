@@ -1,0 +1,63 @@
+"""Codec registry.
+
+Factor-encoding schemes are named by two letters (position codec then length
+codec), e.g. ``"ZV"`` = zlib positions, vbyte lengths, matching the paper's
+Tables 4, 5 and 8.  The registry maps single-letter codec names to factory
+functions so the scheme parser in :mod:`repro.core.encoder` stays trivial
+and extension codecs (gamma, delta, Simple-9, PForDelta) can be plugged into
+the same machinery for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import IntegerCodec
+from .elias import EliasDeltaCodec, EliasGammaCodec
+from .fixed import U32Codec, U64Codec
+from .pfordelta import PForDeltaCodec
+from .simple9 import Simple9Codec
+from .vbyte import VByteCodec
+from .zlib_codec import ZlibCodec
+
+__all__ = ["available_codecs", "make_codec", "register_codec"]
+
+_FACTORIES: Dict[str, Callable[[], IntegerCodec]] = {
+    "U": U32Codec,
+    "U64": U64Codec,
+    "V": VByteCodec,
+    "Z": ZlibCodec,
+    "G": EliasGammaCodec,
+    "D": EliasDeltaCodec,
+    "S": Simple9Codec,
+    "P": PForDeltaCodec,
+}
+
+
+def register_codec(name: str, factory: Callable[[], IntegerCodec]) -> None:
+    """Register a new codec under ``name`` (case-insensitive, stored upper)."""
+    key = name.upper()
+    if key in _FACTORIES:
+        raise ValueError(f"codec {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_FACTORIES)
+
+
+def make_codec(name: str) -> IntegerCodec:
+    """Instantiate the codec registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If no codec with that name exists.
+    """
+    key = name.upper()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        )
+    return _FACTORIES[key]()

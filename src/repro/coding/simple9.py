@@ -1,0 +1,99 @@
+"""Simple-9 word-aligned integer coding (Anh & Moffat, 2005).
+
+Simple-9 packs as many small integers as possible into each 32-bit word: a
+4-bit selector chooses one of nine layouts (28 x 1-bit values, 14 x 2-bit,
+9 x 3-bit, 7 x 4-bit, 5 x 5-bit, 4 x 7-bit, 3 x 9-bit, 2 x 14-bit or
+1 x 28-bit).  The paper's future-work section identifies Simple-9 as a
+candidate replacement for vbyte in the length stream; this implementation is
+used by the coding ablation benchmark.
+
+Values must fit in 28 bits.  Values that do not (rare for factor lengths,
+possible for positions in very large dictionaries) should be encoded with a
+different codec; the encoder raises :class:`ValueError` for them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import struct
+
+from ..errors import DecodingError
+from .base import IntegerCodec, check_non_negative
+
+__all__ = ["Simple9Codec"]
+
+# (number of values per word, bits per value) for each selector, in order of
+# decreasing packing density.
+_LAYOUTS = [
+    (28, 1),
+    (14, 2),
+    (9, 3),
+    (7, 4),
+    (5, 5),
+    (4, 7),
+    (3, 9),
+    (2, 14),
+    (1, 28),
+]
+
+_MAX_VALUE = (1 << 28) - 1
+
+
+class Simple9Codec(IntegerCodec):
+    """Word-aligned Simple-9 coding of unsigned integers below 2^28."""
+
+    name = "s9"
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        check_non_negative(values, "simple9")
+        for value in values:
+            if value > _MAX_VALUE:
+                raise ValueError(f"simple9 cannot encode {value} (>= 2^28)")
+        words: List[int] = []
+        index = 0
+        total = len(values)
+        while index < total:
+            # Pick the densest layout whose slot count is fully available and
+            # whose bit width fits every value in the run; the 1 x 28-bit
+            # layout always qualifies, so a layout is always found.
+            for selector, (count, bits) in enumerate(_LAYOUTS):
+                chunk = values[index : index + count]
+                if len(chunk) == count and all(v < (1 << bits) for v in chunk):
+                    word = selector << 28
+                    for offset, value in enumerate(chunk):
+                        word |= value << (offset * bits)
+                    words.append(word)
+                    index += count
+                    break
+        header = struct.pack("<I", total)
+        return header + struct.pack(f"<{len(words)}I", *words)
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        values = self.decode_all(data)
+        if len(values) < count:
+            raise DecodingError(
+                f"simple9 stream contained {len(values)} values, expected {count}"
+            )
+        return values[:count]
+
+    def decode_all(self, data: bytes) -> List[int]:
+        if len(data) < 4 or (len(data) - 4) % 4:
+            raise DecodingError("simple9 stream length must be a multiple of 4")
+        (total,) = struct.unpack_from("<I", data, 0)
+        word_count = (len(data) - 4) // 4
+        words = struct.unpack_from(f"<{word_count}I", data, 4)
+        values: List[int] = []
+        for word in words:
+            selector = word >> 28
+            if selector >= len(_LAYOUTS):
+                raise DecodingError(f"invalid simple9 selector {selector}")
+            count, bits = _LAYOUTS[selector]
+            mask = (1 << bits) - 1
+            for offset in range(count):
+                if len(values) == total:
+                    break
+                values.append((word >> (offset * bits)) & mask)
+        if len(values) != total:
+            raise DecodingError("truncated simple9 stream")
+        return values

@@ -1,0 +1,72 @@
+"""RLZ decoding (Figure 2 of the paper).
+
+Decoding is intentionally trivial — that is the point of the scheme: with
+the dictionary resident in memory, each ``(position, length)`` pair is
+either a literal byte (length 0) or a slice copy out of the dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import DecodingError
+from .dictionary import RlzDictionary
+from .factor import Factor, Factorization
+
+__all__ = ["decode_factors", "decode_pairs"]
+
+
+def decode_factors(factors: Iterable[Factor], dictionary: RlzDictionary) -> bytes:
+    """Reconstruct a document from its factors and the dictionary."""
+    data = dictionary.data
+    limit = len(data)
+    out = bytearray()
+    for factor in factors:
+        if factor.is_literal:
+            out.append(factor.position)
+        else:
+            end = factor.position + factor.length
+            if factor.position < 0 or end > limit:
+                raise DecodingError(
+                    f"factor ({factor.position}, {factor.length}) is outside the "
+                    f"dictionary (size {limit})"
+                )
+            out += data[factor.position : end]
+    return bytes(out)
+
+
+def decode_pairs(
+    positions: Sequence[int], lengths: Sequence[int], dictionary: RlzDictionary
+) -> bytes:
+    """Reconstruct a document from parallel position/length streams.
+
+    This is the hot path used by :class:`repro.storage.RlzStore`: the factor
+    objects are never materialised, the streams decoded by the pair codecs
+    are consumed directly.
+    """
+    if len(positions) != len(lengths):
+        raise DecodingError(
+            f"position/length stream mismatch: {len(positions)} vs {len(lengths)}"
+        )
+    data = dictionary.data
+    limit = len(data)
+    out = bytearray()
+    for position, length in zip(positions, lengths):
+        if length == 0:
+            if not 0 <= position <= 255:
+                raise DecodingError(f"literal byte out of range: {position}")
+            out.append(position)
+        else:
+            end = position + length
+            if position < 0 or end > limit:
+                raise DecodingError(
+                    f"factor ({position}, {length}) is outside the dictionary "
+                    f"(size {limit})"
+                )
+            out += data[position:end]
+    return bytes(out)
+
+
+def decode_factorization(factorization: Factorization, dictionary: RlzDictionary) -> bytes:
+    """Convenience wrapper over :func:`decode_factors` for a full parse."""
+    return decode_factors(factorization, dictionary)

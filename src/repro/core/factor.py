@@ -1,0 +1,123 @@
+"""Factor model for the relative Lempel-Ziv factorization.
+
+Section 3 of the paper defines the RLZ factorization of a string ``x``
+relative to a dictionary ``d`` as a sequence of factors, each either
+
+* the longest substring of ``d`` matching the text at the current position,
+  represented as a ``(position, length)`` pair with ``length > 0``; or
+* a single literal character that does not occur in ``d``, represented as a
+  pair whose length is 0 and whose position field carries the character.
+
+:class:`Factor` captures exactly that representation, and
+:class:`Factorization` is the per-document sequence of factors plus the
+bookkeeping the encoders and statistics modules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from ..errors import FactorizationError
+
+__all__ = ["Factor", "Factorization"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One factor of an RLZ parse.
+
+    Attributes
+    ----------
+    position:
+        For a copy factor, the starting offset of the match in the
+        dictionary.  For a literal factor, the byte value (0-255) of the
+        literal character.
+    length:
+        Number of dictionary bytes copied; 0 marks a literal factor.
+    """
+
+    position: int
+    length: int
+
+    @property
+    def is_literal(self) -> bool:
+        """True when this factor encodes a single literal character."""
+        return self.length == 0
+
+    @property
+    def output_length(self) -> int:
+        """Number of text bytes this factor reproduces when decoded."""
+        return 1 if self.is_literal else self.length
+
+    @classmethod
+    def literal(cls, byte: int) -> "Factor":
+        """Create a literal factor for a single byte value."""
+        if not 0 <= byte <= 255:
+            raise FactorizationError(f"literal byte out of range: {byte}")
+        return cls(position=byte, length=0)
+
+    @classmethod
+    def copy(cls, position: int, length: int) -> "Factor":
+        """Create a copy factor referencing ``length`` bytes at ``position``."""
+        if length <= 0:
+            raise FactorizationError("copy factors must have positive length")
+        if position < 0:
+            raise FactorizationError("copy factors must have non-negative position")
+        return cls(position=position, length=length)
+
+
+class Factorization:
+    """The RLZ parse of one document: an ordered sequence of factors."""
+
+    def __init__(self, factors: Sequence[Factor]) -> None:
+        self._factors: List[Factor] = list(factors)
+
+    def __len__(self) -> int:
+        return len(self._factors)
+
+    def __iter__(self) -> Iterator[Factor]:
+        return iter(self._factors)
+
+    def __getitem__(self, index: int) -> Factor:
+        return self._factors[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Factorization):
+            return NotImplemented
+        return self._factors == other._factors
+
+    @property
+    def factors(self) -> Sequence[Factor]:
+        """The factors in document order."""
+        return self._factors
+
+    @property
+    def num_factors(self) -> int:
+        """Number of factors in the parse."""
+        return len(self._factors)
+
+    @property
+    def num_literals(self) -> int:
+        """Number of literal factors in the parse."""
+        return sum(1 for factor in self._factors if factor.is_literal)
+
+    @property
+    def decoded_length(self) -> int:
+        """Length in bytes of the document this parse reproduces."""
+        return sum(factor.output_length for factor in self._factors)
+
+    @property
+    def average_factor_length(self) -> float:
+        """Mean decoded length per factor (the paper's "average factor length")."""
+        if not self._factors:
+            return 0.0
+        return self.decoded_length / len(self._factors)
+
+    def positions(self) -> List[int]:
+        """The position stream (literal bytes appear as their byte values)."""
+        return [factor.position for factor in self._factors]
+
+    def lengths(self) -> List[int]:
+        """The length stream (0 for literal factors)."""
+        return [factor.length for factor in self._factors]

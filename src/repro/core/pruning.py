@@ -1,0 +1,217 @@
+"""Dictionary pruning and resampling (the paper's Section 6 future work).
+
+The conclusion of the paper observes that even a well-sampled dictionary
+contains redundancy — regions never referenced by any factor — and sketches
+a remedy: make multiple passes, eliminating unused parts of the dictionary
+and refilling the freed space with new samples (the idea developed further
+in Hoobin, Puglisi & Zobel, "Sample selection for dictionary-based corpus
+compression", SIGIR 2011).
+
+:func:`prune_dictionary` and :func:`iterative_resample` implement that loop:
+
+1. factorize a training sample of the collection against the current
+   dictionary and record which dictionary bytes are used;
+2. drop maximal unused runs longer than a threshold (short unused gaps are
+   kept — removing them would split factors that span them);
+3. refill the freed budget with fresh samples drawn from parts of the
+   collection midway between the original sample points, so new content
+   enters the dictionary;
+4. repeat for a configurable number of passes or until the unused fraction
+   stops improving.
+
+Pruning changes dictionary offsets, so (unlike the append-only updates of
+Section 3.6) it must happen *before* the collection is encoded; the
+functions here are dictionary-construction utilities, not online-update
+utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus.document import DocumentCollection
+from ..errors import DictionaryError
+from .dictionary import DictionaryConfig, RlzDictionary, build_dictionary
+from .factorizer import RlzFactorizer
+from .stats import DictionaryUsage
+
+__all__ = ["PruningReport", "prune_dictionary", "iterative_resample"]
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Outcome of one pruning / resampling pass."""
+
+    pass_index: int
+    dictionary_size: int
+    unused_percent_before: float
+    bytes_removed: int
+    bytes_added: int
+
+    @property
+    def churn(self) -> int:
+        """Total bytes touched by the pass."""
+        return self.bytes_removed + self.bytes_added
+
+
+def _training_sample(collection: DocumentCollection, fraction: float, minimum: int = 8) -> List:
+    """Evenly spaced subset of documents used to measure dictionary usage."""
+    count = max(minimum, int(len(collection) * fraction))
+    count = min(count, len(collection))
+    if count == 0:
+        raise DictionaryError("cannot prune against an empty collection")
+    step = max(1, len(collection) // count)
+    return [collection[index] for index in range(0, len(collection), step)][:count]
+
+
+def _unused_runs(covered: np.ndarray, min_run: int) -> List[Tuple[int, int]]:
+    """Maximal runs of uncovered positions of length >= ``min_run`` as (start, end)."""
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for index, used in enumerate(covered):
+        if not used and start is None:
+            start = index
+        elif used and start is not None:
+            if index - start >= min_run:
+                runs.append((start, index))
+            start = None
+    if start is not None and len(covered) - start >= min_run:
+        runs.append((start, len(covered)))
+    return runs
+
+
+def prune_dictionary(
+    dictionary: RlzDictionary,
+    collection: DocumentCollection,
+    training_fraction: float = 0.25,
+    min_unused_run: int = 64,
+    refill: bool = True,
+    refill_offset_fraction: float = 0.5,
+    pass_index: int = 0,
+) -> Tuple[RlzDictionary, PruningReport]:
+    """One pruning pass: drop unused runs, optionally refill the freed space.
+
+    Parameters
+    ----------
+    dictionary:
+        The dictionary to prune (its sampling config, when present, supplies
+        the sample size used for refilling).
+    collection:
+        The collection the dictionary serves; a training subset of it is
+        factorized to measure usage.
+    training_fraction:
+        Fraction of documents used to measure usage (evenly spaced).
+    min_unused_run:
+        Only unused runs at least this long are removed.
+    refill:
+        When true, freed bytes are replaced by new samples taken from
+        collection positions offset from the original sample grid, keeping
+        the dictionary size constant; when false the dictionary shrinks.
+    refill_offset_fraction:
+        Where, between two original sample points, the replacement samples
+        are taken (0.5 = midway).
+    """
+    factorizer = RlzFactorizer(dictionary)
+    usage = DictionaryUsage(dictionary)
+    for document in _training_sample(collection, training_fraction):
+        usage.add(factorizer.factorize(document.content))
+
+    covered = usage._covered  # intentional internal access within the package
+    runs = _unused_runs(covered, min_unused_run)
+    unused_before = usage.unused_percentage
+    if not runs:
+        report = PruningReport(
+            pass_index=pass_index,
+            dictionary_size=len(dictionary),
+            unused_percent_before=unused_before,
+            bytes_removed=0,
+            bytes_added=0,
+        )
+        return dictionary, report
+
+    data = dictionary.data
+    kept_parts: List[bytes] = []
+    cursor = 0
+    removed = 0
+    for start, end in runs:
+        kept_parts.append(data[cursor:start])
+        removed += end - start
+        cursor = end
+    kept_parts.append(data[cursor:])
+    pruned = b"".join(kept_parts)
+
+    added = 0
+    if refill and removed > 0:
+        sample_size = (
+            dictionary.config.sample_size if dictionary.config is not None else 1024
+        )
+        text = collection.concatenate()
+        # Round up so the refill can cover the whole freed budget; the final
+        # slice below trims any overshoot.
+        num_samples = max(1, -(-removed // sample_size))
+        stride = len(text) / num_samples
+        offset = stride * refill_offset_fraction
+        pieces = []
+        for index in range(num_samples):
+            start = int(index * stride + offset) % max(1, len(text))
+            pieces.append(text[start : start + sample_size])
+        refill_bytes = b"".join(pieces)[:removed]
+        pruned += refill_bytes
+        added = len(refill_bytes)
+
+    new_dictionary = RlzDictionary(
+        pruned,
+        config=dictionary.config,
+        sa_algorithm=dictionary._sa_algorithm,
+        accelerated=dictionary._accelerated,
+    )
+    report = PruningReport(
+        pass_index=pass_index,
+        dictionary_size=len(new_dictionary),
+        unused_percent_before=unused_before,
+        bytes_removed=removed,
+        bytes_added=added,
+    )
+    return new_dictionary, report
+
+
+def iterative_resample(
+    collection: DocumentCollection,
+    config: DictionaryConfig,
+    passes: int = 2,
+    training_fraction: float = 0.25,
+    min_unused_run: int = 64,
+    min_improvement: float = 0.5,
+) -> Tuple[RlzDictionary, List[PruningReport]]:
+    """Build a dictionary and refine it with up to ``passes`` pruning passes.
+
+    Iteration stops early when a pass removes nothing or when the unused
+    percentage improves by less than ``min_improvement`` percentage points.
+    Returns the final dictionary and the per-pass reports.
+    """
+    if passes < 0:
+        raise DictionaryError("passes must be non-negative")
+    dictionary = build_dictionary(collection, config)
+    reports: List[PruningReport] = []
+    previous_unused: Optional[float] = None
+    for pass_index in range(passes):
+        dictionary, report = prune_dictionary(
+            dictionary,
+            collection,
+            training_fraction=training_fraction,
+            min_unused_run=min_unused_run,
+            pass_index=pass_index,
+        )
+        reports.append(report)
+        if report.bytes_removed == 0:
+            break
+        if (
+            previous_unused is not None
+            and previous_unused - report.unused_percent_before < min_improvement
+        ):
+            break
+        previous_unused = report.unused_percent_before
+    return dictionary, reports

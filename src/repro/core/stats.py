@@ -1,0 +1,145 @@
+"""Factorization and dictionary statistics (Tables 2-3 and Figure 3).
+
+The paper reports three diagnostics of dictionary quality:
+
+* **average factor length** — longer factors mean the dictionary captures
+  more of the collection's structure (Tables 2 and 3);
+* **unused dictionary bytes** — the percentage of dictionary positions never
+  covered by any emitted factor; high waste suggests redundant samples
+  (Tables 2 and 3, and the Section 6 future-work discussion);
+* **the distribution of encoded length values** — heavily skewed towards
+  small values, which motivates vbyte for the length stream (Figure 3).
+
+All three are computed here from a stream of factorizations, without
+retaining the factorizations themselves, so collections much larger than
+memory could be streamed through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .dictionary import RlzDictionary
+from .factor import Factorization
+
+__all__ = ["DictionaryUsage", "FactorStatistics", "length_histogram"]
+
+
+@dataclass
+class FactorStatistics:
+    """Aggregate statistics over a set of factorizations."""
+
+    num_documents: int = 0
+    num_factors: int = 0
+    num_literals: int = 0
+    decoded_bytes: int = 0
+    length_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def average_factor_length(self) -> float:
+        """Mean decoded bytes per factor (the paper's Avg.Fact. column)."""
+        if self.num_factors == 0:
+            return 0.0
+        return self.decoded_bytes / self.num_factors
+
+    @property
+    def literal_fraction(self) -> float:
+        """Fraction of factors that are literals."""
+        if self.num_factors == 0:
+            return 0.0
+        return self.num_literals / self.num_factors
+
+    def add(self, factorization: Factorization) -> None:
+        """Accumulate one document's factorization."""
+        self.num_documents += 1
+        self.num_factors += factorization.num_factors
+        self.num_literals += factorization.num_literals
+        self.decoded_bytes += factorization.decoded_length
+        for factor in factorization:
+            key = factor.length
+            self.length_counts[key] = self.length_counts.get(key, 0) + 1
+
+    @classmethod
+    def from_factorizations(cls, factorizations: Iterable[Factorization]) -> "FactorStatistics":
+        stats = cls()
+        for factorization in factorizations:
+            stats.add(factorization)
+        return stats
+
+
+class DictionaryUsage:
+    """Track which dictionary bytes are covered by at least one factor.
+
+    The paper's "Unused (%)" column is the share of dictionary bytes never
+    referenced by any factor of the whole collection's encoding.  Coverage is
+    tracked with a boolean numpy array and interval marking, so cost is
+    proportional to the number of factors, not to factor length.
+    """
+
+    def __init__(self, dictionary: RlzDictionary) -> None:
+        self._size = len(dictionary)
+        self._covered = np.zeros(self._size, dtype=bool)
+
+    def add(self, factorization: Factorization) -> None:
+        """Mark the dictionary intervals used by one document's parse."""
+        covered = self._covered
+        for factor in factorization:
+            if not factor.is_literal:
+                covered[factor.position : factor.position + factor.length] = True
+
+    @property
+    def used_bytes(self) -> int:
+        """Number of dictionary bytes referenced by at least one factor."""
+        return int(self._covered.sum())
+
+    @property
+    def unused_bytes(self) -> int:
+        """Number of dictionary bytes never referenced."""
+        return self._size - self.used_bytes
+
+    @property
+    def unused_percentage(self) -> float:
+        """Unused bytes as a percentage of the dictionary size."""
+        if self._size == 0:
+            return 0.0
+        return 100.0 * self.unused_bytes / self._size
+
+
+def length_histogram(
+    factorizations: Iterable[Factorization],
+    bin_edges: Sequence[int] = (1, 10, 100, 1000, 10000),
+) -> Dict[str, int]:
+    """Histogram of encoded length values (Figure 3).
+
+    Lengths are binned into decade ranges ``[1, 10)``, ``[10, 100)``, ...;
+    literal factors (length 0) are reported separately under ``"literal"``.
+    The returned mapping preserves bin order for direct printing.
+    """
+    edges = list(bin_edges)
+    counts: Dict[str, int] = {"literal": 0}
+    labels: List[str] = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        label = f"[{low}, {high})"
+        labels.append(label)
+        counts[label] = 0
+    overflow_label = f">= {edges[-1]}"
+    counts[overflow_label] = 0
+
+    for factorization in factorizations:
+        for factor in factorization:
+            length = factor.length
+            if length == 0:
+                counts["literal"] += 1
+                continue
+            placed = False
+            for label, low, high in zip(labels, edges[:-1], edges[1:]):
+                if low <= length < high:
+                    counts[label] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[overflow_label] += 1
+    return counts

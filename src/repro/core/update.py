@@ -1,0 +1,164 @@
+"""Dynamic update support (Section 3.6 and Table 10).
+
+The paper argues that uniform sampling makes RLZ robust to collection
+growth: a dictionary built from an earlier (smaller) version of the
+collection keeps compressing new documents well as long as they resemble
+the old ones.  Two mechanisms are provided:
+
+* :func:`simulate_prefix_dictionaries` — the Table 10 experiment: build a
+  dictionary from a prefix of the collection, compress the *whole*
+  collection with it, and report the compression percentage per prefix.
+* :class:`AppendOnlyUpdater` — the "no memory constraint" strategy: when
+  per-document compression degrades below a threshold, sample the new
+  documents and append the samples to the dictionary.  Appending keeps all
+  previously emitted ``(position, length)`` pairs valid, so only the suffix
+  array is rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..corpus.document import Document, DocumentCollection
+from .compressor import RlzCompressor
+from .dictionary import DictionaryConfig, RlzDictionary, build_dictionary, sample_uniform
+from .encoder import PairEncoder
+from .factorizer import RlzFactorizer
+
+__all__ = [
+    "PrefixDictionaryResult",
+    "simulate_prefix_dictionaries",
+    "AppendOnlyUpdater",
+]
+
+
+@dataclass(frozen=True)
+class PrefixDictionaryResult:
+    """Outcome of compressing the full collection with a prefix dictionary."""
+
+    prefix_percent: float
+    compression_percent: float
+    dictionary_size: int
+
+
+def simulate_prefix_dictionaries(
+    collection: DocumentCollection,
+    dictionary_size: int,
+    sample_size: int = 1024,
+    prefixes: Sequence[float] = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.01),
+    scheme: str = "ZZ",
+) -> List[PrefixDictionaryResult]:
+    """Reproduce the Table 10 protocol.
+
+    For each prefix fraction, a dictionary of ``dictionary_size`` bytes is
+    sampled uniformly from that prefix of the collection only, and the whole
+    collection is then compressed against it with the given pair-coding
+    scheme.  Results are returned in the order of ``prefixes``.
+    """
+    results: List[PrefixDictionaryResult] = []
+    for prefix in prefixes:
+        config = DictionaryConfig(
+            size=dictionary_size,
+            sample_size=sample_size,
+            policy="prefix",
+            prefix_fraction=prefix,
+        )
+        dictionary = build_dictionary(collection, config)
+        compressor = RlzCompressor(dictionary=dictionary, scheme=scheme)
+        compressed = compressor.compress(collection)
+        results.append(
+            PrefixDictionaryResult(
+                prefix_percent=100.0 * prefix,
+                compression_percent=compressed.compression_ratio(),
+                dictionary_size=len(dictionary),
+            )
+        )
+    return results
+
+
+class AppendOnlyUpdater:
+    """Maintain an RLZ dictionary as documents arrive over time.
+
+    The updater monitors per-document compression.  When the rolling average
+    of the last ``window`` documents falls below ``threshold_percent`` (that
+    is, documents stop compressing well), it samples the recent poorly
+    compressing documents and appends the samples to the dictionary.  The
+    existing encoding stays valid because offsets into the old dictionary
+    are unchanged (Section 3.6).
+    """
+
+    def __init__(
+        self,
+        dictionary: RlzDictionary,
+        scheme: str = "ZZ",
+        threshold_percent: float = 25.0,
+        window: int = 50,
+        sample_size: int = 1024,
+        append_budget: Optional[int] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._dictionary = dictionary
+        self._scheme = scheme
+        self._threshold = threshold_percent
+        self._window = window
+        self._sample_size = sample_size
+        self._append_budget = append_budget
+        self._factorizer = RlzFactorizer(dictionary)
+        self._encoder = PairEncoder(scheme)
+        self._recent_ratios: List[float] = []
+        self._pending: List[Document] = []
+        self._appended_bytes = 0
+        self._rebuilds = 0
+
+    @property
+    def dictionary(self) -> RlzDictionary:
+        """The current dictionary (grows when updates trigger)."""
+        return self._dictionary
+
+    @property
+    def rebuilds(self) -> int:
+        """How many times the dictionary has been extended."""
+        return self._rebuilds
+
+    @property
+    def appended_bytes(self) -> int:
+        """Total bytes appended to the dictionary so far."""
+        return self._appended_bytes
+
+    def add_document(self, document: Document) -> bytes:
+        """Encode one arriving document, updating the dictionary if needed.
+
+        Returns the encoded blob for the document (valid against the
+        dictionary as it is *after* the call — extensions never invalidate
+        earlier encodings).
+        """
+        factorization = self._factorizer.factorize(document.content)
+        blob = self._encoder.encode(factorization)
+        ratio = 100.0 * len(blob) / max(1, document.size)
+        self._recent_ratios.append(ratio)
+        self._pending.append(document)
+        if len(self._recent_ratios) > self._window:
+            self._recent_ratios.pop(0)
+            self._pending.pop(0)
+        if (
+            len(self._recent_ratios) == self._window
+            and sum(self._recent_ratios) / self._window > self._threshold
+        ):
+            self._extend_dictionary()
+        return blob
+
+    def _extend_dictionary(self) -> None:
+        """Sample the recent documents and append the samples to the dictionary."""
+        new_text = b"".join(document.content for document in self._pending)
+        budget = self._append_budget or max(self._sample_size, len(self._dictionary) // 10)
+        extra = sample_uniform(new_text, budget, self._sample_size)
+        if self._append_budget is not None and self._appended_bytes + len(extra) > self._append_budget:
+            return
+        self._dictionary = self._dictionary.extended(extra)
+        self._factorizer = RlzFactorizer(self._dictionary)
+        self._appended_bytes += len(extra)
+        self._rebuilds += 1
+        self._recent_ratios.clear()
+        self._pending.clear()

@@ -1,0 +1,40 @@
+"""Corpus substrate: documents, synthetic web collections, ordering, persistence.
+
+The paper evaluates on TREC GOV2 (426 GB) and a ClueWeb09 English Wikipedia
+snapshot (256 GB); neither is available offline, so this package provides
+scaled-down synthetic generators that reproduce the structural properties
+that drive the paper's results (per-site boilerplate, Zipf text, template
+reuse, near-duplicates, URL-sortable hosts).  See DESIGN.md for the full
+substitution rationale.
+"""
+
+from .document import Document, DocumentCollection
+from .govlike import GovCrawlConfig, GovCrawlGenerator, generate_gov_collection
+from .ordering import crawl_order, shuffled, url_sort_key, url_sorted
+from .vocabulary import TextGenerator, Vocabulary
+from .warc import iter_warc_records, read_warc, write_warc
+from .wikipedia_like import (
+    WikipediaConfig,
+    WikipediaGenerator,
+    generate_wikipedia_collection,
+)
+
+__all__ = [
+    "Document",
+    "DocumentCollection",
+    "GovCrawlConfig",
+    "GovCrawlGenerator",
+    "TextGenerator",
+    "Vocabulary",
+    "WikipediaConfig",
+    "WikipediaGenerator",
+    "crawl_order",
+    "generate_gov_collection",
+    "generate_wikipedia_collection",
+    "iter_warc_records",
+    "read_warc",
+    "shuffled",
+    "url_sort_key",
+    "url_sorted",
+    "write_warc",
+]

@@ -1,0 +1,169 @@
+"""Document and collection models.
+
+A :class:`Document` is an identified blob of bytes with web-style metadata
+(URL and host).  A :class:`DocumentCollection` is an ordered sequence of
+documents; order matters because the paper evaluates both natural crawl
+order and URL-sorted order, and because the RLZ dictionary is sampled from
+the *concatenation* of the collection in its current order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import CorpusError
+
+__all__ = ["Document", "DocumentCollection"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A single document in a web collection.
+
+    Attributes
+    ----------
+    doc_id:
+        Stable identifier assigned at generation/ingest time.  Document IDs
+        are preserved across re-orderings so access patterns remain valid
+        after URL sorting.
+    url:
+        Source URL (synthetic generators produce realistic-looking URLs so
+        URL sorting exercises the same host-clustering effect as the paper).
+    content:
+        Raw document bytes (HTML / wiki markup plus text).
+    """
+
+    doc_id: int
+    url: str
+    content: bytes
+
+    @property
+    def host(self) -> str:
+        """Host component of the URL (empty if the URL has no ``//``)."""
+        rest = self.url.split("//", 1)[-1]
+        return rest.split("/", 1)[0]
+
+    @property
+    def size(self) -> int:
+        """Document size in bytes."""
+        return len(self.content)
+
+    def text(self, encoding: str = "utf-8", errors: str = "replace") -> str:
+        """Decode the content to text (for the search-engine substrate)."""
+        return self.content.decode(encoding, errors=errors)
+
+
+class DocumentCollection:
+    """An ordered collection of documents.
+
+    The collection offers the handful of operations the rest of the library
+    needs: iteration in order, lookup by document ID, concatenation into a
+    single byte string (for dictionary sampling), and re-ordering (crawl
+    order vs URL order).
+    """
+
+    def __init__(self, documents: Iterable[Document], name: str = "collection") -> None:
+        self._documents: List[Document] = list(documents)
+        self._name = name
+        self._by_id = {doc.doc_id: index for index, doc in enumerate(self._documents)}
+        if len(self._by_id) != len(self._documents):
+            raise CorpusError("duplicate document IDs in collection")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable collection name (used in benchmark reports)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    def document_by_id(self, doc_id: int) -> Document:
+        """Return the document with the given ID.
+
+        Raises
+        ------
+        repro.errors.CorpusError
+            If no document has that ID.
+        """
+        try:
+            return self._documents[self._by_id[doc_id]]
+        except KeyError as exc:
+            raise CorpusError(f"unknown document id {doc_id}") from exc
+
+    def doc_ids(self) -> List[int]:
+        """Document IDs in the collection's current order."""
+        return [doc.doc_id for doc in self._documents]
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_size(self) -> int:
+        """Total size of the collection in bytes."""
+        return sum(doc.size for doc in self._documents)
+
+    @property
+    def average_document_size(self) -> float:
+        """Mean document size in bytes (0.0 for an empty collection)."""
+        if not self._documents:
+            return 0.0
+        return self.total_size / len(self._documents)
+
+    # ------------------------------------------------------------------
+    # Views used by the compressors
+    # ------------------------------------------------------------------
+    def concatenate(self) -> bytes:
+        """Concatenate all documents (in order) into one byte string."""
+        return b"".join(doc.content for doc in self._documents)
+
+    def boundaries(self) -> List[int]:
+        """Byte offsets of each document start in :meth:`concatenate` output.
+
+        The returned list has ``len(self) + 1`` entries; the final entry is
+        the total size, so ``boundaries()[i + 1] - boundaries()[i]`` is the
+        size of document ``i``.
+        """
+        offsets = [0]
+        for doc in self._documents:
+            offsets.append(offsets[-1] + doc.size)
+        return offsets
+
+    def prefix(self, fraction: float, name: Optional[str] = None) -> "DocumentCollection":
+        """A new collection containing the first ``fraction`` of documents.
+
+        Used by the dynamic-update experiment (Table 10): dictionaries are
+        built from a prefix of the collection and then used to compress the
+        whole collection.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise CorpusError(f"prefix fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(len(self._documents) * fraction)))
+        return DocumentCollection(
+            self._documents[:count],
+            name=name or f"{self._name}[prefix {fraction:.0%}]",
+        )
+
+    def reordered(
+        self, key: Callable[[Document], object], name: Optional[str] = None
+    ) -> "DocumentCollection":
+        """A new collection with documents sorted by ``key`` (stable)."""
+        return DocumentCollection(
+            sorted(self._documents, key=key), name=name or self._name
+        )
+
+    def subset(self, doc_ids: Sequence[int], name: Optional[str] = None) -> "DocumentCollection":
+        """A new collection restricted to ``doc_ids`` (in the given order)."""
+        return DocumentCollection(
+            [self.document_by_id(doc_id) for doc_id in doc_ids],
+            name=name or f"{self._name}[subset]",
+        )

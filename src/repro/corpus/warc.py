@@ -1,0 +1,92 @@
+"""Minimal WARC-like persistence for document collections.
+
+Real web crawls are distributed as WARC files; this module implements a
+simplified record format with the same flavour (a textual header per record
+followed by the raw payload) so collections can be written to disk once and
+re-read by benchmarks without regenerating them.  The format is intentionally
+simple and self-describing:
+
+.. code-block:: text
+
+    REPRO-WARC/1.0
+    Doc-Id: 42
+    Target-URI: http://www.energy03.gov/page000042.html
+    Content-Length: 18231
+    <blank line>
+    <payload bytes>
+    <blank line>
+
+All headers are ASCII; payloads are raw bytes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List
+
+from ..errors import CorpusError
+from .document import Document, DocumentCollection
+
+__all__ = ["write_warc", "read_warc", "iter_warc_records"]
+
+_MAGIC = b"REPRO-WARC/1.0"
+
+
+def write_warc(collection: DocumentCollection, path: str | Path) -> int:
+    """Write ``collection`` to ``path``; returns the number of bytes written."""
+    path = Path(path)
+    written = 0
+    with path.open("wb") as handle:
+        for document in collection:
+            header = (
+                _MAGIC
+                + b"\n"
+                + f"Doc-Id: {document.doc_id}\n".encode("ascii")
+                + f"Target-URI: {document.url}\n".encode("ascii")
+                + f"Content-Length: {len(document.content)}\n".encode("ascii")
+                + b"\n"
+            )
+            handle.write(header)
+            handle.write(document.content)
+            handle.write(b"\n")
+            written += len(header) + len(document.content) + 1
+    return written
+
+
+def iter_warc_records(path: str | Path) -> Iterator[Document]:
+    """Yield documents from a REPRO-WARC file one at a time."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        while True:
+            magic = handle.readline()
+            if not magic:
+                return
+            if magic.strip() != _MAGIC:
+                raise CorpusError(f"bad WARC record magic: {magic!r}")
+            headers = {}
+            while True:
+                line = handle.readline()
+                if not line:
+                    raise CorpusError("truncated WARC header")
+                line = line.strip()
+                if not line:
+                    break
+                key, _, value = line.decode("ascii").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            try:
+                doc_id = int(headers["doc-id"])
+                url = headers["target-uri"]
+                length = int(headers["content-length"])
+            except (KeyError, ValueError) as exc:
+                raise CorpusError(f"invalid WARC headers: {headers}") from exc
+            payload = handle.read(length)
+            if len(payload) != length:
+                raise CorpusError("truncated WARC payload")
+            handle.read(1)  # trailing newline
+            yield Document(doc_id=doc_id, url=url, content=payload)
+
+
+def read_warc(path: str | Path, name: str | None = None) -> DocumentCollection:
+    """Read an entire REPRO-WARC file into a :class:`DocumentCollection`."""
+    documents: List[Document] = list(iter_warc_records(path))
+    return DocumentCollection(documents, name=name or Path(path).stem)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DictionaryError(ReproError):
+    """Raised when an RLZ dictionary cannot be built or is invalid."""
+
+
+class FactorizationError(ReproError):
+    """Raised when relative LZ factorization fails or produces invalid factors."""
+
+
+class EncodingError(ReproError):
+    """Raised when a factor stream cannot be encoded."""
+
+
+class DecodingError(ReproError):
+    """Raised when an encoded document or factor stream cannot be decoded."""
+
+
+class StorageError(ReproError):
+    """Raised on container/document-map corruption or I/O failures."""
+
+
+class CorpusError(ReproError):
+    """Raised when a corpus cannot be generated, read, or written."""
+
+
+class SearchError(ReproError):
+    """Raised by the search-engine substrate (indexing and querying)."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness when an experiment is misconfigured."""

@@ -1,0 +1,27 @@
+"""Search-engine substrate: inverted index, BM25, query-log access patterns.
+
+The paper uses the Zettair search engine and the TREC 2009 Million Query
+Track topics only to produce a realistic "query log" document request
+pattern; this package provides a from-scratch equivalent (tokenizer,
+inverted index, BM25 ranking, synthetic query generation) plus the request
+list builders the retrieval benchmarks consume.
+"""
+
+from .access_patterns import AccessPatterns, query_log_pattern, sequential_pattern
+from .inverted_index import InvertedIndex, Posting, SearchResult
+from .query_log import QueryLogBuilder, generate_queries
+from .tokenizer import STOPWORDS, strip_markup, tokenize_text
+
+__all__ = [
+    "AccessPatterns",
+    "InvertedIndex",
+    "Posting",
+    "QueryLogBuilder",
+    "STOPWORDS",
+    "SearchResult",
+    "generate_queries",
+    "query_log_pattern",
+    "sequential_pattern",
+    "strip_markup",
+    "tokenize_text",
+]

@@ -1,0 +1,106 @@
+"""Document access patterns used by the retrieval experiments.
+
+Section 4 uses two request lists of 100,000 document IDs each:
+
+* **sequential** — consecutive document IDs, modelling large-scale batch
+  processing (and rewarding stores with good locality);
+* **query log** — the concatenated top-20 results of real queries, modelling
+  interactive retrieval (no locality, popularity skew).
+
+:func:`sequential_pattern` and :func:`query_log_pattern` produce the two
+lists for a collection, scaled to its size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..corpus.document import DocumentCollection
+from ..errors import SearchError
+from .inverted_index import InvertedIndex
+from .query_log import QueryLogBuilder, generate_queries
+
+__all__ = ["sequential_pattern", "query_log_pattern", "AccessPatterns"]
+
+
+def sequential_pattern(collection: DocumentCollection, num_requests: int = 100_000) -> List[int]:
+    """A list of ``num_requests`` document IDs in collection order (wrapping)."""
+    doc_ids = collection.doc_ids()
+    if not doc_ids:
+        raise SearchError("cannot build an access pattern for an empty collection")
+    requests: List[int] = []
+    while len(requests) < num_requests:
+        take = min(len(doc_ids), num_requests - len(requests))
+        requests.extend(doc_ids[:take])
+    return requests
+
+
+def query_log_pattern(
+    collection: DocumentCollection,
+    num_requests: int = 100_000,
+    num_queries: int = 2000,
+    results_per_query: int = 20,
+    seed: int = 0,
+    index: Optional[InvertedIndex] = None,
+) -> List[int]:
+    """A query-log-driven request list built with the BM25 search engine."""
+    if index is None:
+        index = InvertedIndex.build(collection)
+    queries = generate_queries(collection, num_queries=num_queries, seed=seed)
+    builder = QueryLogBuilder(
+        index, results_per_query=results_per_query, max_requests=num_requests
+    )
+    requests = builder.build(queries)
+    if not requests:
+        raise SearchError("query log produced no requests (empty index?)")
+    # The paper caps at 100,000 requests; if the synthetic log is shorter,
+    # repeat it (preserving its skew) until the cap is reached.
+    while len(requests) < num_requests:
+        requests.extend(requests[: num_requests - len(requests)])
+    return requests[:num_requests]
+
+
+class AccessPatterns:
+    """Bundle of the two access patterns for one collection."""
+
+    def __init__(
+        self,
+        collection: DocumentCollection,
+        num_requests: int = 100_000,
+        num_queries: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        self._collection = collection
+        self._num_requests = num_requests
+        self._num_queries = num_queries
+        self._seed = seed
+        self._sequential: Optional[List[int]] = None
+        self._query_log: Optional[List[int]] = None
+        self._index: Optional[InvertedIndex] = None
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The search index (built lazily, shared by both patterns)."""
+        if self._index is None:
+            self._index = InvertedIndex.build(self._collection)
+        return self._index
+
+    @property
+    def sequential(self) -> List[int]:
+        """The sequential request list."""
+        if self._sequential is None:
+            self._sequential = sequential_pattern(self._collection, self._num_requests)
+        return self._sequential
+
+    @property
+    def query_log(self) -> List[int]:
+        """The query-log request list."""
+        if self._query_log is None:
+            self._query_log = query_log_pattern(
+                self._collection,
+                num_requests=self._num_requests,
+                num_queries=self._num_queries,
+                seed=self._seed,
+                index=self.index,
+            )
+        return self._query_log

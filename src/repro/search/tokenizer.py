@@ -1,0 +1,48 @@
+"""Tokenisation for the search-engine substrate.
+
+The search engine exists to reproduce the paper's *query-log access pattern*
+(documents requested in the order a ranked retrieval system would fetch
+them), so the tokenizer is a standard lightweight web-text tokenizer: HTML
+tags are stripped, text is lower-cased, and alphanumeric runs become terms.
+A small stopword list keeps the index size and scoring behaviour sensible.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+__all__ = ["tokenize_text", "strip_markup", "STOPWORDS"]
+
+_TAG_PATTERN = re.compile(r"<[^>]+>")
+_TERM_PATTERN = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list (high-frequency terms that add noise to
+#: BM25 scoring and bloat postings lists).
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the to
+    was were will with this these those or not but they you your our their""".split()
+)
+
+
+def strip_markup(text: str) -> str:
+    """Remove HTML/XML tags, leaving the visible text."""
+    return _TAG_PATTERN.sub(" ", text)
+
+
+def tokenize_text(text: str, remove_stopwords: bool = True) -> List[str]:
+    """Tokenise ``text`` into lower-case terms.
+
+    Markup is stripped first so that tag and attribute names do not dominate
+    the vocabulary of web documents.
+    """
+    stripped = strip_markup(text).lower()
+    terms = _TERM_PATTERN.findall(stripped)
+    if remove_stopwords:
+        return [term for term in terms if term not in STOPWORDS]
+    return terms
+
+
+def terms_of(documents: Iterable[str]) -> List[List[str]]:
+    """Tokenise an iterable of documents (convenience for bulk indexing)."""
+    return [tokenize_text(document) for document in documents]

@@ -1,0 +1,34 @@
+"""Storage substrate: on-disk stores, document maps and the disk model.
+
+Three store types implement the systems compared in the paper's evaluation:
+
+* :class:`RlzStore` — the paper's system: per-document RLZ encodings, an
+  in-memory dictionary, and a document map for random access;
+* :class:`BlockedStore` — the zlib / lzma block-compressed baselines (and,
+  with ``compressor="none"``, a blocked uncompressed store);
+* :class:`RawStore` — the uncompressed "ascii" baseline.
+
+All stores charge their reads to a :class:`DiskModel`, which reproduces the
+disk-bound retrieval regime of the paper's experiments at laptop scale.
+"""
+
+from .blocked import BlockedStore, BlockedStoreConfig
+from .container import ContainerHeader, read_container_header, write_container
+from .disk_model import DiskAccounting, DiskModel
+from .document_map import DocumentEntry, DocumentMap
+from .raw_store import RawStore
+from .rlz_store import RlzStore
+
+__all__ = [
+    "BlockedStore",
+    "BlockedStoreConfig",
+    "ContainerHeader",
+    "DiskAccounting",
+    "DiskModel",
+    "DocumentEntry",
+    "DocumentMap",
+    "RawStore",
+    "RlzStore",
+    "read_container_header",
+    "write_container",
+]

@@ -1,0 +1,244 @@
+"""Blocked document store: the paper's zlib/lzma baselines.
+
+"Collections are split into fixed size blocks and compressed with an
+adaptive algorithm" (Section 2.2).  Documents are appended to a block until
+the block's *uncompressed* size reaches the configured threshold; each block
+is then compressed independently with zlib or lzma.  Retrieving one document
+requires reading and decompressing the whole block that contains it, which
+is the block-size/retrieval-speed trade-off the paper's Tables 6, 7 and 9
+quantify.  A block size of 0 means one document per block.
+
+The same class with ``compressor="none"`` implements the uncompressed ASCII
+baseline (one document per block, no compression), so all baselines share
+one retrieval path.
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..corpus.document import DocumentCollection
+from ..errors import StorageError
+from .container import ContainerHeader, read_container_header, write_container
+from .disk_model import DiskModel
+from .document_map import DocumentEntry, DocumentMap
+
+__all__ = ["BlockedStore", "BlockedStoreConfig"]
+
+
+@dataclass(frozen=True)
+class BlockedStoreConfig:
+    """Build parameters for a blocked store.
+
+    Attributes
+    ----------
+    compressor:
+        ``"zlib"``, ``"lzma"`` or ``"none"``.
+    block_size:
+        Target uncompressed block size in bytes.  0 stores one document per
+        block (the paper's "0.0MB" rows).
+    level:
+        Compression level passed to zlib (0-9) or lzma preset (0-9).
+    """
+
+    compressor: str = "zlib"
+    block_size: int = 0
+    level: int = 6
+
+    def __post_init__(self) -> None:
+        if self.compressor not in ("zlib", "lzma", "none"):
+            raise StorageError(f"unknown block compressor {self.compressor!r}")
+        if self.block_size < 0:
+            raise StorageError("block_size must be >= 0")
+
+
+def _compress_fn(config: BlockedStoreConfig) -> Callable[[bytes], bytes]:
+    if config.compressor == "zlib":
+        level = config.level
+        return lambda data: zlib.compress(data, level)
+    if config.compressor == "lzma":
+        preset = config.level
+        return lambda data: lzma.compress(data, preset=preset)
+    return lambda data: data
+
+
+def _decompress_fn(compressor: str) -> Callable[[bytes], bytes]:
+    if compressor == "zlib":
+        return zlib.decompress
+    if compressor == "lzma":
+        return lzma.decompress
+    return lambda data: data
+
+
+class BlockedStore:
+    """Fixed-size-block store compressed with an adaptive algorithm."""
+
+    store_type = "blocked"
+
+    def __init__(self, header: ContainerHeader, disk: Optional[DiskModel] = None) -> None:
+        if header.store_type != self.store_type:
+            raise StorageError(
+                f"container holds a {header.store_type!r} store, expected 'blocked'"
+            )
+        self._header = header
+        self._compressor = header.metadata["compressor"]
+        self._decompress = _decompress_fn(self._compressor)
+        self._block_offsets: List[Tuple[int, int]] = [
+            (int(offset), int(length)) for offset, length in header.metadata["blocks"]
+        ]
+        self._disk = disk if disk is not None else DiskModel()
+        self._handle = header.path.open("rb")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        collection: DocumentCollection,
+        path: str | Path,
+        config: BlockedStoreConfig,
+    ) -> Path:
+        """Compress ``collection`` into a blocked container at ``path``."""
+        path = Path(path)
+        compress = _compress_fn(config)
+        document_map = DocumentMap()
+        payload = bytearray()
+        blocks: List[Tuple[int, int]] = []
+
+        pending_docs: List = []
+        pending_size = 0
+
+        def flush() -> None:
+            nonlocal pending_size
+            if not pending_docs:
+                return
+            block_index = len(blocks)
+            raw = b"".join(document.content for document in pending_docs)
+            compressed = compress(raw)
+            offset = len(payload)
+            payload.extend(compressed)
+            blocks.append((offset, len(compressed)))
+            # Each document's map entry points at its containing block; the
+            # in-block position is recovered from the sizes stored below.
+            position = 0
+            for index, document in enumerate(pending_docs):
+                document_map.add(
+                    DocumentEntry(
+                        doc_id=document.doc_id,
+                        offset=position,
+                        length=document.size,
+                        block_index=block_index,
+                        index_in_block=index,
+                    )
+                )
+                position += document.size
+            pending_docs.clear()
+            pending_size = 0
+
+        for document in collection:
+            pending_docs.append(document)
+            pending_size += document.size
+            if config.block_size == 0 or pending_size >= config.block_size:
+                flush()
+        flush()
+
+        metadata = {
+            "compressor": config.compressor,
+            "block_size": config.block_size,
+            "level": config.level,
+            "collection": collection.name,
+            "original_size": collection.total_size,
+            "blocks": blocks,
+        }
+        write_container(path, cls.store_type, metadata, document_map, b"", bytes(payload))
+        return path
+
+    @classmethod
+    def open(cls, path: str | Path, disk: Optional[DiskModel] = None) -> "BlockedStore":
+        """Open an existing blocked container for reading."""
+        return cls(read_container_header(Path(path)), disk=disk)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def compressor(self) -> str:
+        """Name of the block compressor ("zlib", "lzma" or "none")."""
+        return self._compressor
+
+    @property
+    def block_size(self) -> int:
+        """Configured uncompressed block size in bytes (0 = one doc/block)."""
+        return int(self._header.metadata["block_size"])
+
+    @property
+    def disk(self) -> DiskModel:
+        """The disk model charged for block reads."""
+        return self._disk
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of compressed blocks in the store."""
+        return len(self._block_offsets)
+
+    @property
+    def original_size(self) -> int:
+        """Total uncompressed collection size."""
+        return int(self._header.metadata["original_size"])
+
+    def compression_percent(self) -> float:
+        """Compressed payload as a percentage of the original size."""
+        payload = sum(length for _, length in self._block_offsets)
+        if self.original_size == 0:
+            return 0.0
+        return 100.0 * payload / self.original_size
+
+    def doc_ids(self) -> List[int]:
+        """All stored document IDs in store order."""
+        return self._header.document_map.doc_ids()
+
+    def __len__(self) -> int:
+        return len(self._header.document_map)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _read_block(self, block_index: int) -> bytes:
+        offset, length = self._block_offsets[block_index]
+        self._disk.charge_read(self._header.payload_offset + offset, length)
+        self._handle.seek(self._header.payload_offset + offset)
+        data = self._handle.read(length)
+        if len(data) != length:
+            raise StorageError("payload truncated while reading block")
+        return self._decompress(data)
+
+    def get(self, doc_id: int) -> bytes:
+        """Random access: read + decompress the containing block, slice out the doc."""
+        entry = self._header.document_map.lookup(doc_id)
+        block = self._read_block(entry.block_index)
+        return block[entry.offset : entry.offset + entry.length]
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Sequential access: decompress each block once, in order."""
+        current_block_index = -1
+        current_block = b""
+        for entry in self._header.document_map:
+            if entry.block_index != current_block_index:
+                current_block = self._read_block(entry.block_index)
+                current_block_index = entry.block_index
+            yield entry.doc_id, current_block[entry.offset : entry.offset + entry.length]
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "BlockedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

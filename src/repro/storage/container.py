@@ -1,0 +1,107 @@
+"""On-disk container format shared by all stores.
+
+A container file holds four sections behind a short header::
+
+    magic          b"RPRC1\\n"
+    store type     vbyte length + ASCII name ("rlz", "blocked", "raw")
+    metadata       u64 length + UTF-8 JSON (store-specific parameters)
+    document map   u64 length + DocumentMap.to_bytes()
+    dictionary     u64 length + raw bytes (empty for non-RLZ stores)
+    payload        the remainder of the file
+
+Offsets recorded in the document map are relative to the start of the
+payload section, so the header can change size (e.g. when metadata grows)
+without invalidating them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Dict
+
+from ..errors import StorageError
+from .document_map import DocumentMap
+
+__all__ = ["ContainerHeader", "write_container", "read_container_header", "open_payload"]
+
+_MAGIC = b"RPRC1\n"
+
+
+@dataclass
+class ContainerHeader:
+    """Parsed header of a container file."""
+
+    store_type: str
+    metadata: Dict[str, Any]
+    document_map: DocumentMap
+    dictionary: bytes
+    payload_offset: int
+    path: Path
+
+
+def write_container(
+    path: str | Path,
+    store_type: str,
+    metadata: Dict[str, Any],
+    document_map: DocumentMap,
+    dictionary: bytes,
+    payload: bytes,
+) -> int:
+    """Write a complete container file; returns total bytes written."""
+    path = Path(path)
+    encoded_type = store_type.encode("ascii")
+    metadata_bytes = json.dumps(metadata, sort_keys=True).encode("utf-8")
+    map_bytes = document_map.to_bytes()
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<H", len(encoded_type)))
+        handle.write(encoded_type)
+        handle.write(struct.pack("<Q", len(metadata_bytes)))
+        handle.write(metadata_bytes)
+        handle.write(struct.pack("<Q", len(map_bytes)))
+        handle.write(map_bytes)
+        handle.write(struct.pack("<Q", len(dictionary)))
+        handle.write(dictionary)
+        handle.write(payload)
+        return handle.tell()
+
+
+def read_container_header(path: str | Path) -> ContainerHeader:
+    """Read and parse the header sections of a container file."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise StorageError(f"{path} is not a repro container (bad magic {magic!r})")
+        (type_length,) = struct.unpack("<H", _read_exact(handle, 2))
+        store_type = _read_exact(handle, type_length).decode("ascii")
+        (metadata_length,) = struct.unpack("<Q", _read_exact(handle, 8))
+        metadata = json.loads(_read_exact(handle, metadata_length).decode("utf-8"))
+        (map_length,) = struct.unpack("<Q", _read_exact(handle, 8))
+        document_map = DocumentMap.from_bytes(_read_exact(handle, map_length))
+        (dictionary_length,) = struct.unpack("<Q", _read_exact(handle, 8))
+        dictionary = _read_exact(handle, dictionary_length)
+        payload_offset = handle.tell()
+    return ContainerHeader(
+        store_type=store_type,
+        metadata=metadata,
+        document_map=document_map,
+        dictionary=dictionary,
+        payload_offset=payload_offset,
+        path=path,
+    )
+
+
+def open_payload(header: ContainerHeader) -> BinaryIO:
+    """Open the container for payload reads (caller seeks relative to payload)."""
+    return header.path.open("rb")
+
+
+def _read_exact(handle: BinaryIO, length: int) -> bytes:
+    data = handle.read(length)
+    if len(data) != length:
+        raise StorageError("container file truncated")
+    return data

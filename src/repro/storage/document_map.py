@@ -1,0 +1,110 @@
+"""Document map: locate each encoded document inside a container file.
+
+"Store a document map which provides the position on disk of each encoded
+file.  This component is common to all large scale file compression
+systems." (Section 3.1.)  The same structure is used by the blocked
+baselines, where it additionally records which block a document lives in and
+its index within the block.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from ..errors import StorageError
+
+__all__ = ["DocumentEntry", "DocumentMap"]
+
+_ENTRY_FORMAT = "<qqqqq"  # doc_id, offset, length, block_index, index_in_block
+_ENTRY_SIZE = struct.calcsize(_ENTRY_FORMAT)
+
+
+@dataclass(frozen=True)
+class DocumentEntry:
+    """Location of one document inside a store.
+
+    ``offset``/``length`` address the byte range holding the document's
+    encoded form (for RLZ and raw stores) or the block containing it (for
+    blocked stores).  ``block_index`` and ``index_in_block`` are -1 for
+    stores that do not use blocks.
+    """
+
+    doc_id: int
+    offset: int
+    length: int
+    block_index: int = -1
+    index_in_block: int = -1
+
+
+class DocumentMap:
+    """Ordered collection of :class:`DocumentEntry` with binary serialisation."""
+
+    def __init__(self, entries: Sequence[DocumentEntry] = ()) -> None:
+        self._entries: List[DocumentEntry] = list(entries)
+        self._by_id: Dict[int, DocumentEntry] = {e.doc_id: e for e in self._entries}
+        if len(self._by_id) != len(self._entries):
+            raise StorageError("duplicate document ids in document map")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DocumentEntry]:
+        return iter(self._entries)
+
+    def add(self, entry: DocumentEntry) -> None:
+        """Append an entry (document IDs must remain unique)."""
+        if entry.doc_id in self._by_id:
+            raise StorageError(f"document id {entry.doc_id} already mapped")
+        self._entries.append(entry)
+        self._by_id[entry.doc_id] = entry
+
+    def lookup(self, doc_id: int) -> DocumentEntry:
+        """Find the entry for ``doc_id``.
+
+        Raises
+        ------
+        repro.errors.StorageError
+            If the document is not in the map.
+        """
+        try:
+            return self._by_id[doc_id]
+        except KeyError as exc:
+            raise StorageError(f"document id {doc_id} not in document map") from exc
+
+    def doc_ids(self) -> List[int]:
+        """All document IDs in map order."""
+        return [entry.doc_id for entry in self._entries]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise the map to a compact fixed-width binary form."""
+        out = bytearray(struct.pack("<q", len(self._entries)))
+        for entry in self._entries:
+            out += struct.pack(
+                _ENTRY_FORMAT,
+                entry.doc_id,
+                entry.offset,
+                entry.length,
+                entry.block_index,
+                entry.index_in_block,
+            )
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DocumentMap":
+        """Reconstruct a map from :meth:`to_bytes` output."""
+        if len(data) < 8:
+            raise StorageError("document map data too short")
+        (count,) = struct.unpack_from("<q", data, 0)
+        expected = 8 + count * _ENTRY_SIZE
+        if len(data) < expected:
+            raise StorageError("document map data truncated")
+        entries = []
+        for index in range(count):
+            fields = struct.unpack_from(_ENTRY_FORMAT, data, 8 + index * _ENTRY_SIZE)
+            entries.append(DocumentEntry(*fields))
+        return cls(entries)

@@ -1,0 +1,110 @@
+"""Uncompressed document store (the paper's "ascii" baseline).
+
+"The first baseline is simply a raw concatenation of uncompressed documents
+with a map specifying offsets to each document location." (Section 4.)
+Random access needs one positioned read of exactly the document's extent;
+there is no decompression cost, but every byte of the document must cross
+the (simulated) disk interface, which is why this baseline loses to the
+compressed stores on sequential throughput despite doing no CPU work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from ..corpus.document import DocumentCollection
+from ..errors import StorageError
+from .container import ContainerHeader, read_container_header, write_container
+from .disk_model import DiskModel
+from .document_map import DocumentEntry, DocumentMap
+
+__all__ = ["RawStore"]
+
+
+class RawStore:
+    """Raw concatenation of documents plus a document map."""
+
+    store_type = "raw"
+
+    def __init__(self, header: ContainerHeader, disk: Optional[DiskModel] = None) -> None:
+        if header.store_type != self.store_type:
+            raise StorageError(
+                f"container holds a {header.store_type!r} store, expected 'raw'"
+            )
+        self._header = header
+        self._disk = disk if disk is not None else DiskModel()
+        self._handle = header.path.open("rb")
+
+    @classmethod
+    def build(cls, collection: DocumentCollection, path: str | Path) -> Path:
+        """Write ``collection`` uncompressed to a container at ``path``."""
+        path = Path(path)
+        document_map = DocumentMap()
+        payload = bytearray()
+        for document in collection:
+            document_map.add(
+                DocumentEntry(
+                    doc_id=document.doc_id,
+                    offset=len(payload),
+                    length=document.size,
+                )
+            )
+            payload += document.content
+        metadata = {
+            "collection": collection.name,
+            "original_size": collection.total_size,
+        }
+        write_container(path, cls.store_type, metadata, document_map, b"", bytes(payload))
+        return path
+
+    @classmethod
+    def open(cls, path: str | Path, disk: Optional[DiskModel] = None) -> "RawStore":
+        """Open an existing raw container for reading."""
+        return cls(read_container_header(Path(path)), disk=disk)
+
+    @property
+    def disk(self) -> DiskModel:
+        """The disk model charged for document reads."""
+        return self._disk
+
+    @property
+    def original_size(self) -> int:
+        """Total uncompressed collection size."""
+        return int(self._header.metadata["original_size"])
+
+    def compression_percent(self) -> float:
+        """Always 100.0: the store holds the documents verbatim."""
+        return 100.0
+
+    def doc_ids(self) -> List[int]:
+        """All stored document IDs in store order."""
+        return self._header.document_map.doc_ids()
+
+    def __len__(self) -> int:
+        return len(self._header.document_map)
+
+    def get(self, doc_id: int) -> bytes:
+        """Random access: one positioned read of the document's extent."""
+        entry = self._header.document_map.lookup(doc_id)
+        self._disk.charge_read(self._header.payload_offset + entry.offset, entry.length)
+        self._handle.seek(self._header.payload_offset + entry.offset)
+        data = self._handle.read(entry.length)
+        if len(data) != entry.length:
+            raise StorageError("payload truncated while reading document")
+        return data
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Sequential access over all documents in store order."""
+        for doc_id in self.doc_ids():
+            yield doc_id, self.get(doc_id)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "RawStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,173 @@
+"""RLZ document store with random access (the paper's retrieval path).
+
+:class:`RlzStore` persists a :class:`repro.core.CompressedCollection` to a
+container file and serves documents from it the way the paper's system
+does: the dictionary is loaded once and kept resident in memory, the
+document map gives the on-disk extent of each encoded document, and a
+request reads exactly that extent, decodes the pair streams and copies the
+factors out of the in-memory dictionary.
+
+All reads are charged to a :class:`repro.storage.DiskModel`, so the
+benchmark harness can report retrieval rates in the disk-bound regime of
+the paper as well as pure CPU decode rates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.compressor import CompressedCollection
+from ..core.decoder import decode_pairs
+from ..core.dictionary import RlzDictionary
+from ..core.encoder import PairEncoder
+from ..errors import StorageError
+from .container import ContainerHeader, read_container_header, write_container
+from .disk_model import DiskModel
+from .document_map import DocumentEntry, DocumentMap
+
+__all__ = ["RlzStore"]
+
+
+class RlzStore:
+    """On-disk RLZ store: one container file, random access per document."""
+
+    store_type = "rlz"
+
+    def __init__(
+        self,
+        header: ContainerHeader,
+        disk: Optional[DiskModel] = None,
+    ) -> None:
+        if header.store_type != self.store_type:
+            raise StorageError(
+                f"container holds a {header.store_type!r} store, expected 'rlz'"
+            )
+        self._header = header
+        self._dictionary = RlzDictionary(header.dictionary)
+        self._scheme_name = header.metadata["scheme"]
+        self._encoder = PairEncoder(self._scheme_name)
+        self._disk = disk if disk is not None else DiskModel()
+        self._handle = header.path.open("rb")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(cls, compressed: CompressedCollection, path: str | Path) -> Path:
+        """Persist a compressed collection to ``path`` and return the path."""
+        path = Path(path)
+        document_map = DocumentMap()
+        payload = bytearray()
+        for document in compressed.documents:
+            document_map.add(
+                DocumentEntry(
+                    doc_id=document.doc_id,
+                    offset=len(payload),
+                    length=len(document.data),
+                )
+            )
+            payload += document.data
+        metadata = {
+            "scheme": compressed.scheme_name,
+            "collection": compressed.collection_name,
+            "original_size": compressed.original_size,
+        }
+        write_container(
+            path,
+            cls.store_type,
+            metadata,
+            document_map,
+            compressed.dictionary.data,
+            bytes(payload),
+        )
+        return path
+
+    @classmethod
+    def open(cls, path: str | Path, disk: Optional[DiskModel] = None) -> "RlzStore":
+        """Open an existing RLZ container for reading."""
+        return cls(read_container_header(Path(path)), disk=disk)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def dictionary(self) -> RlzDictionary:
+        """The in-memory dictionary used for decoding."""
+        return self._dictionary
+
+    @property
+    def scheme_name(self) -> str:
+        """Pair-coding scheme of the stored encoding."""
+        return self._scheme_name
+
+    @property
+    def disk(self) -> DiskModel:
+        """The disk model charged for payload reads."""
+        return self._disk
+
+    @property
+    def document_map(self) -> DocumentMap:
+        """The document map."""
+        return self._header.document_map
+
+    @property
+    def stored_size(self) -> int:
+        """Size of the container file on disk."""
+        return self._header.path.stat().st_size
+
+    @property
+    def original_size(self) -> int:
+        """Total uncompressed size recorded at write time."""
+        return int(self._header.metadata["original_size"])
+
+    def compression_percent(self, include_dictionary: bool = False) -> float:
+        """Stored payload (optionally plus dictionary) as % of original size."""
+        payload = sum(entry.length for entry in self._header.document_map)
+        if include_dictionary:
+            payload += len(self._dictionary)
+        if self.original_size == 0:
+            return 0.0
+        return 100.0 * payload / self.original_size
+
+    def doc_ids(self) -> List[int]:
+        """All stored document IDs in store order."""
+        return self._header.document_map.doc_ids()
+
+    def __len__(self) -> int:
+        return len(self._header.document_map)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _read_blob(self, entry: DocumentEntry) -> bytes:
+        self._disk.charge_read(self._header.payload_offset + entry.offset, entry.length)
+        self._handle.seek(self._header.payload_offset + entry.offset)
+        blob = self._handle.read(entry.length)
+        if len(blob) != entry.length:
+            raise StorageError("payload truncated while reading document")
+        return blob
+
+    def get(self, doc_id: int) -> bytes:
+        """Random access: decode one document."""
+        entry = self._header.document_map.lookup(doc_id)
+        blob = self._read_blob(entry)
+        positions, lengths = self._encoder.decode_streams(blob)
+        return decode_pairs(positions, lengths, self._dictionary)
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Sequential access: decode every document in store order."""
+        for entry in self._header.document_map:
+            blob = self._read_blob(entry)
+            positions, lengths = self._encoder.decode_streams(blob)
+            yield entry.doc_id, decode_pairs(positions, lengths, self._dictionary)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "RlzStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""Suffix array substrate: construction algorithms and search facade.
+
+The RLZ factorization (Section 3.2 of the paper) is driven entirely by
+pattern matching over the suffix array of the dictionary.  This package
+provides:
+
+* :func:`repro.suffix.sais.sais` — linear-time SA-IS construction
+  (pure-Python reference implementation);
+* :func:`repro.suffix.doubling.suffix_array_doubling` — numpy-vectorised
+  prefix-doubling construction (the default for large dictionaries);
+* :class:`repro.suffix.suffix_array.SuffixArray` — the facade used by the
+  factorizer, exposing interval refinement and longest-match search;
+* verification helpers in :mod:`repro.suffix.verify`.
+"""
+
+from .doubling import suffix_array_doubling
+from .sais import sais
+from .suffix_array import SuffixArray, SuffixInterval
+from .verify import is_valid_suffix_array, naive_suffix_array
+
+__all__ = [
+    "SuffixArray",
+    "SuffixInterval",
+    "is_valid_suffix_array",
+    "naive_suffix_array",
+    "sais",
+    "suffix_array_doubling",
+]

@@ -1,0 +1,94 @@
+"""Suffix array construction by prefix doubling, vectorised with numpy.
+
+The Manber-Myers prefix-doubling algorithm sorts suffixes by their first
+``2^k`` characters in round ``k``; each round is a radix-style re-ranking
+that numpy can perform with ``argsort`` / ``lexsort`` over whole arrays.  The
+total cost is O(n log n) with very small Python-level overhead, which makes
+it the default construction for the multi-megabyte RLZ dictionaries used in
+this reproduction (the pure-Python SA-IS implementation in
+:mod:`repro.suffix.sais` is linear-time but dominated by interpreter
+overhead).
+
+The output is identical to :func:`repro.suffix.sais.sais`; the two are
+cross-verified by the test suite on random and adversarial inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["suffix_array_doubling"]
+
+
+def suffix_array_doubling(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Return the suffix array of ``data`` as an ``int64`` numpy array.
+
+    Parameters
+    ----------
+    data:
+        Text to index.  ``bytes``/``bytearray`` are interpreted as unsigned
+        byte sequences; a numpy integer array is used as-is (values must be
+        non-negative).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of suffix start positions in lexicographic order of the
+        corresponding suffixes (no sentinel entry).
+    """
+    if isinstance(data, (bytes, bytearray)):
+        text = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    else:
+        text = np.asarray(data, dtype=np.int64)
+        if text.size and text.min() < 0:
+            raise ValueError("suffix_array_doubling requires non-negative symbols")
+
+    n = text.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+
+    # Initial ranks are the symbols themselves; ties are broken in later
+    # rounds.  ``rank`` always holds, for each position, the rank of the
+    # prefix of length ``k`` starting there; -1 is used as the rank of the
+    # empty suffix beyond the end of the text.
+    rank = np.unique(text, return_inverse=True)[1].astype(np.int64)
+    suffix_array = np.argsort(rank, kind="stable").astype(np.int64)
+
+    k = 1
+    positions = np.arange(n, dtype=np.int64)
+    while True:
+        # Rank of the second half of each 2k-prefix (-1 when it runs off the
+        # end of the text, which sorts before every real rank).
+        second = np.full(n, -1, dtype=np.int64)
+        tail = positions + k
+        in_range = tail < n
+        second[in_range] = rank[tail[in_range]]
+
+        # Sort positions by (rank, second-half rank).  ``lexsort`` sorts by
+        # the last key first, so the primary key goes last.
+        suffix_array = np.lexsort((second, rank)).astype(np.int64)
+
+        # Re-rank: a suffix gets a new rank strictly greater than its
+        # predecessor in sorted order iff its (rank, second) pair differs.
+        sorted_rank = rank[suffix_array]
+        sorted_second = second[suffix_array]
+        new_rank_sorted = np.empty(n, dtype=np.int64)
+        new_rank_sorted[0] = 0
+        changed = (sorted_rank[1:] != sorted_rank[:-1]) | (
+            sorted_second[1:] != sorted_second[:-1]
+        )
+        new_rank_sorted[1:] = np.cumsum(changed)
+
+        rank = np.empty(n, dtype=np.int64)
+        rank[suffix_array] = new_rank_sorted
+
+        if new_rank_sorted[-1] == n - 1:
+            # All ranks distinct: the order is final.
+            break
+        k *= 2
+        if k >= n:
+            break
+
+    return suffix_array

@@ -1,0 +1,43 @@
+"""Verification helpers for suffix arrays.
+
+These are used by the test suite and by the ablation benchmarks to certify
+that the two construction algorithms (SA-IS and prefix doubling) agree, and
+that any array claimed to be a suffix array actually is one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["is_valid_suffix_array", "naive_suffix_array"]
+
+
+def naive_suffix_array(text: bytes) -> list[int]:
+    """Suffix array by direct sorting of suffixes (quadratic; tests only)."""
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+def is_valid_suffix_array(text: bytes, suffix_array: Sequence[int]) -> bool:
+    """Return True when ``suffix_array`` is the suffix array of ``text``.
+
+    The check verifies three properties:
+
+    1. the array is a permutation of ``0 .. len(text) - 1``;
+    2. consecutive suffixes are in non-decreasing lexicographic order;
+    3. (implied by 1 and 2 plus distinctness of suffixes) the order is
+       strictly increasing.
+    """
+    n = len(text)
+    arr = np.asarray(suffix_array, dtype=np.int64)
+    if arr.shape != (n,):
+        return False
+    if n == 0:
+        return True
+    if not np.array_equal(np.sort(arr), np.arange(n, dtype=np.int64)):
+        return False
+    for previous, current in zip(arr[:-1], arr[1:]):
+        if not text[int(previous):] < text[int(current):]:
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""Tests for the Bentley-McIlroy long-repeat preprocessor."""
+
+import pytest
+
+from repro.baselines import BentleyMcIlroy
+from repro.errors import DecodingError
+
+
+def test_roundtrip_no_repeats():
+    codec = BentleyMcIlroy(block_size=8)
+    data = bytes(range(200))
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_roundtrip_with_long_repeat():
+    codec = BentleyMcIlroy(block_size=16)
+    chunk = b"A long boilerplate header that appears many times. " * 4
+    data = chunk + b"unique middle part" + chunk + b"tail" + chunk
+    encoded = codec.encode(data)
+    assert codec.decode(encoded) == data
+    assert len(encoded) < len(data)
+
+
+def test_short_input_passthrough():
+    codec = BentleyMcIlroy(block_size=64)
+    data = b"too short to fingerprint"
+    assert codec.decode(codec.encode(data)) == data
+
+
+def test_empty_input():
+    codec = BentleyMcIlroy()
+    assert codec.decode(codec.encode(b"")) == b""
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        BentleyMcIlroy(block_size=2)
+
+
+def test_compression_percent_on_templated_documents(gov_small):
+    """Same-host pages share kilobytes of chrome, which the scheme removes."""
+    codec = BentleyMcIlroy(block_size=32)
+    data = b"".join(document.content for document in list(gov_small)[:8])
+    assert codec.compression_percent(data) < 80.0
+
+
+def test_corrupt_stream_raises():
+    codec = BentleyMcIlroy()
+    with pytest.raises(DecodingError):
+        codec.decode(b"\x07broken")
+    with pytest.raises(DecodingError):
+        codec.decode(b"\x01\x00\x00\x00\x00")
+
+
+def test_roundtrip_binary_data():
+    codec = BentleyMcIlroy(block_size=8)
+    data = (bytes(range(256)) + b"\x00" * 64) * 3
+    assert codec.decode(codec.encode(data)) == data

@@ -1,0 +1,36 @@
+"""Tests for the baseline-store builders used by Tables 6, 7 and 9."""
+
+from repro.baselines import (
+    PAPER_BLOCK_SIZES_MB,
+    build_ascii_baseline,
+    build_blocked_baseline,
+    build_paper_baselines,
+)
+from repro.storage import BlockedStore, RawStore
+
+
+def test_paper_block_sizes_constant():
+    assert tuple(PAPER_BLOCK_SIZES_MB) == (0.0, 0.1, 0.2, 0.5, 1.0)
+
+
+def test_build_ascii_baseline(tmp_path, gov_small):
+    path = build_ascii_baseline(gov_small, tmp_path / "ascii.repro")
+    with RawStore.open(path) as store:
+        assert len(store) == len(gov_small)
+
+
+def test_build_blocked_baseline(tmp_path, gov_small):
+    path = build_blocked_baseline(gov_small, tmp_path / "z.repro", "zlib", 0.1)
+    with BlockedStore.open(path) as store:
+        assert store.compressor == "zlib"
+        assert store.block_size == int(0.1 * 1024 * 1024)
+        assert store.get(gov_small.doc_ids()[0]) == gov_small[0].content
+
+
+def test_build_paper_baselines_grid(tmp_path, gov_small):
+    stores = build_paper_baselines(
+        gov_small, tmp_path, compressors=("zlib",), block_sizes_mb=(0.0, 0.1)
+    )
+    assert set(stores) == {"ascii", "zlib-0.0MB", "zlib-0.1MB"}
+    for path in stores.values():
+        assert path.exists()

@@ -1,0 +1,71 @@
+"""Tests for the semi-static word-based Huffman baseline."""
+
+import pytest
+
+from repro.baselines import WordHuffmanCoder, WordHuffmanModel, tokenize
+from repro.errors import DecodingError, EncodingError
+
+
+def test_tokenize_is_lossless():
+    text = b"Hello, world!  This is <b>markup</b> 123."
+    assert b"".join(tokenize(text)) == text
+
+
+def test_model_from_frequencies_assigns_shorter_codes_to_frequent_tokens():
+    frequencies = {b"the": 1000, b" ": 900, b"zyzzyva": 1}
+    model = WordHuffmanModel.from_frequencies(frequencies)
+    lengths = dict(zip(model.tokens, model.code_lengths))
+    assert lengths[b"the"] <= lengths[b"zyzzyva"]
+
+
+def test_single_token_model():
+    model = WordHuffmanModel.from_frequencies({b"only": 3})
+    assert model.vocabulary_size == 1
+    assert model.code_lengths == [1]
+
+
+def test_empty_vocabulary_rejected():
+    with pytest.raises(EncodingError):
+        WordHuffmanModel.from_frequencies({})
+
+
+def test_unknown_token_rejected():
+    model = WordHuffmanModel.from_frequencies({b"a": 1, b"b": 1})
+    with pytest.raises(EncodingError):
+        model.code_for(b"missing")
+
+
+def test_coder_roundtrip_simple_text():
+    documents = [b"the cat sat on the mat", b"the mat sat on the cat", b"cat and mat"]
+    coder = WordHuffmanCoder.train(documents)
+    for document in documents:
+        assert coder.decode(coder.encode(document)) == document
+
+
+def test_coder_roundtrip_web_documents(gov_small):
+    documents = [document.content for document in list(gov_small)[:5]]
+    coder = WordHuffmanCoder.train(documents)
+    for document in documents:
+        assert coder.decode(coder.encode(document)) == document
+
+
+def test_truncated_document_raises():
+    coder = WordHuffmanCoder.train([b"alpha beta gamma"])
+    with pytest.raises(DecodingError):
+        coder.decode(b"\x01")
+
+
+def test_compression_percent_reasonable(gov_small):
+    """Word-based Huffman compresses text but nowhere near RLZ (paper 2.1)."""
+    documents = [document.content for document in list(gov_small)[:6]]
+    coder = WordHuffmanCoder.train(documents)
+    percent = coder.compression_percent(documents)
+    assert 20.0 < percent < 95.0
+
+
+def test_model_cost_counted():
+    documents = [b"tiny"]
+    coder = WordHuffmanCoder.train(documents)
+    with_model = coder.compression_percent(documents, include_model=True)
+    without_model = coder.compression_percent(documents, include_model=False)
+    assert with_model > without_model

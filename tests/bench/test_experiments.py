@@ -1,0 +1,130 @@
+"""Smoke and shape tests for the experiment implementations.
+
+These run the experiment functions on deliberately tiny collections (not the
+benchmark-scale ones) so the whole file stays fast; the full-scale runs live
+in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    acceleration_ablation_table,
+    baseline_retrieval_table,
+    codec_ablation_table,
+    dictionary_statistics_table,
+    dynamic_update_table,
+    length_histogram_figure,
+    rlz_retrieval_table,
+    sampling_policy_ablation_table,
+)
+from repro.bench.harness import EXPERIMENTS
+from repro.search import AccessPatterns
+
+
+TINY = BenchScale(
+    name="unit-test",
+    gov_documents=16,
+    gov_document_size=4096,
+    wiki_documents=6,
+    wiki_document_size=8192,
+    dictionary_sizes={"2.0": 24 * 1024, "1.0": 12 * 1024, "0.5": 6 * 1024},
+    num_requests=60,
+    num_queries=20,
+    block_sizes_mb=(0.0, 0.1),
+)
+
+
+@pytest.fixture(scope="module")
+def patterns(gov_small):
+    return AccessPatterns(gov_small, num_requests=60, num_queries=20)
+
+
+def test_experiment_registry_covers_every_table_and_figure():
+    expected = {f"table{i}" for i in range(2, 11)} | {"figure3"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_dictionary_statistics_trends(gov_small):
+    table = dictionary_statistics_table(
+        gov_small, "unit", scale=TINY, sample_sizes_kb=(0.5, 2.0)
+    )
+    assert len(table.rows) == 6  # 3 dictionary sizes x 2 sample sizes
+    factors = table.column("Avg.Fact.")
+    # Larger dictionaries (listed first) should give factors at least as long
+    # as the smallest dictionary, matching the paper's Table 2 trend.
+    assert max(factors[:2]) >= min(factors[-2:])
+    unused = table.column("Unused (%)")
+    assert all(0.0 <= value <= 100.0 for value in unused)
+
+
+def test_length_histogram_shape(gov_small):
+    table = length_histogram_figure(gov_small, scale=TINY, sample_sizes=(512, 2048))
+    assert len(table.rows) == 2
+    for row in table.rows:
+        small = row[2] + row[3]  # [1,10) + [10,100)
+        huge = row[5] + row[6]
+        assert small > huge
+
+
+def test_rlz_retrieval_table_shape(gov_small, patterns):
+    table = rlz_retrieval_table(
+        gov_small,
+        "unit rlz",
+        scale=TINY,
+        schemes=("ZZ", "UV"),
+        dictionary_labels=("1.0",),
+        patterns=patterns,
+    )
+    assert len(table.rows) == 2
+    enc = dict(zip(table.column("Pos-Len"), table.column("Enc. (%)")))
+    assert enc["ZZ"] < enc["UV"]  # ZZ compresses better
+    for rate in table.column("Sequential") + table.column("Query Log"):
+        assert rate > 0
+    sequential = table.column("Sequential")
+    query = table.column("Query Log")
+    assert all(s > q for s, q in zip(sequential, query))
+
+
+def test_baseline_retrieval_table_shape(gov_small, patterns):
+    table = baseline_retrieval_table(
+        gov_small, "unit baselines", scale=TINY, compressors=("zlib",), patterns=patterns
+    )
+    # ascii + 2 block sizes
+    assert len(table.rows) == 3
+    enc = table.column("Enc. (%)")
+    assert enc[0] == 100.0
+    assert enc[2] <= enc[1]  # larger blocks compress at least as well
+
+
+def test_dynamic_update_table_shape(gov_small):
+    table = dynamic_update_table(gov_small, scale=TINY, prefixes=(1.0, 0.5, 0.1))
+    assert [round(p) for p in table.column("Prefix %")] == [100, 50, 10]
+    values = table.column("Encoding %")
+    assert max(values) - min(values) < 20.0
+
+
+def test_acceleration_ablation_reports_identical_parses(gov_small):
+    table = acceleration_ablation_table(gov_small, scale=TINY, sample_documents=4)
+    assert any("parses identical across modes: True" in note for note in table.notes)
+
+
+def test_codec_ablation_orders_paper_schemes(gov_small):
+    table = codec_ablation_table(gov_small, scale=TINY, schemes=("ZZ", "UV"))
+    enc = dict(zip(table.column("Scheme"), table.column("Enc. (%)")))
+    assert enc["ZZ"] < enc["UV"]
+
+
+def test_sampling_policy_ablation(gov_small):
+    table = sampling_policy_ablation_table(gov_small, scale=TINY)
+    assert set(table.column("Policy")) == {"uniform", "random_documents"}
+
+
+def test_pruning_ablation(gov_small):
+    from repro.bench import pruning_ablation_table
+
+    table = pruning_ablation_table(gov_small, scale=TINY, passes=1)
+    assert len(table.rows) == 2
+    labels = table.column("Dictionary")
+    assert labels[0].startswith("single-pass")
+    assert labels[1].startswith("resampled")

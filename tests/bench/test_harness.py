@@ -1,0 +1,50 @@
+"""Tests for the top-level benchmark harness."""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.bench.harness import EXPERIMENTS, run_all, run_experiment
+
+
+def test_registry_ids_are_well_formed():
+    for name, factory in EXPERIMENTS.items():
+        assert name == name.lower()
+        assert callable(factory)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_run_all_with_stub_experiments(monkeypatch, tmp_path, capsys):
+    """run_all should execute each requested experiment, echo and persist it."""
+    calls = []
+
+    def make_stub(name):
+        def stub():
+            calls.append(name)
+            table = ResultTable(f"Stub {name}", ["Value"])
+            table.add_row(1)
+            return table
+
+        return stub
+
+    monkeypatch.setitem(EXPERIMENTS, "stub-a", make_stub("a"))
+    monkeypatch.setitem(EXPERIMENTS, "stub-b", make_stub("b"))
+    output = tmp_path / "results.txt"
+    tables = run_all(output_path=output, experiments=["stub-a", "stub-b"])
+    assert calls == ["a", "b"]
+    assert len(tables) == 2
+    assert all(any("benchmark scale" in note for note in table.notes) for table in tables)
+    text = output.read_text()
+    assert "Stub a" in text and "Stub b" in text
+    assert "Stub a" in capsys.readouterr().out
+
+
+def test_run_all_without_echo_or_output(monkeypatch):
+    monkeypatch.setitem(
+        EXPERIMENTS, "stub-quiet", lambda: ResultTable("Quiet", ["X"])
+    )
+    tables = run_all(experiments=["stub-quiet"], echo=False)
+    assert len(tables) == 1

@@ -1,0 +1,49 @@
+"""Tests for result tables."""
+
+import pytest
+
+from repro.bench import ResultTable
+
+
+def test_add_row_and_column_access():
+    table = ResultTable("Demo", ["A", "B"])
+    table.add_row("x", 1.5)
+    table.add_row("y", 2.0)
+    assert table.column("A") == ["x", "y"]
+    assert table.column("B") == [1.5, 2.0]
+
+
+def test_row_width_checked():
+    table = ResultTable("Demo", ["A", "B"])
+    with pytest.raises(ValueError):
+        table.add_row("only one")
+
+
+def test_render_contains_headers_values_and_notes():
+    table = ResultTable("Table X: demo", ["Name", "Value"])
+    table.add_row("alpha", 1234)
+    table.add_note("a note")
+    rendered = table.render()
+    assert "Table X: demo" in rendered
+    assert "Name" in rendered and "Value" in rendered
+    assert "1,234" in rendered
+    assert "note: a note" in rendered
+
+
+def test_save_appends(tmp_path):
+    table = ResultTable("T", ["C"])
+    table.add_row(1)
+    target = tmp_path / "out" / "results.txt"
+    table.save(target)
+    table.save(target)
+    content = target.read_text()
+    assert content.count("T\n=") == 2
+
+
+def test_merge_renders_all():
+    a = ResultTable("First", ["X"])
+    a.add_row(1)
+    b = ResultTable("Second", ["Y"])
+    b.add_row(2)
+    merged = ResultTable.merge("All results", [a, b])
+    assert "First" in merged and "Second" in merged and "All results" in merged

@@ -1,0 +1,56 @@
+"""Tests for Elias gamma/delta codes and the bit I/O helpers."""
+
+import pytest
+
+from repro.coding import BitReader, BitWriter, EliasDeltaCodec, EliasGammaCodec
+from repro.errors import DecodingError
+
+
+def test_bitwriter_reader_roundtrip():
+    writer = BitWriter()
+    writer.write_bits(0b1011, 4)
+    writer.write_unary(3)
+    writer.write_bit(1)
+    data = writer.getvalue()
+    reader = BitReader(data)
+    assert reader.read_bits(4) == 0b1011
+    assert reader.read_unary() == 3
+    assert reader.read_bit() == 1
+
+
+def test_bitreader_exhaustion_raises():
+    reader = BitReader(b"")
+    with pytest.raises(DecodingError):
+        reader.read_bit()
+
+
+def test_gamma_roundtrip():
+    codec = EliasGammaCodec()
+    values = [0, 1, 2, 3, 7, 8, 100, 1000, 2**20]
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+def test_delta_roundtrip():
+    codec = EliasDeltaCodec()
+    values = [0, 1, 2, 3, 7, 8, 100, 1000, 2**20, 2**30]
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+def test_gamma_small_values_are_compact():
+    codec = EliasGammaCodec()
+    # value 0 encodes as a single '1' bit, so 8 zeros fit in one byte.
+    assert len(codec.encode([0] * 8)) == 1
+
+
+def test_delta_beats_gamma_for_large_values():
+    gamma = EliasGammaCodec()
+    delta = EliasDeltaCodec()
+    values = [2**20] * 64
+    assert len(delta.encode(values)) < len(gamma.encode(values))
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        EliasGammaCodec().encode([-1])
+    with pytest.raises(ValueError):
+        EliasDeltaCodec().encode([-1])

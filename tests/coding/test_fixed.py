@@ -1,0 +1,57 @@
+"""Tests for fixed-width integer coding (the paper's U scheme)."""
+
+import pytest
+
+from repro.coding import FixedWidthCodec, U32Codec, U64Codec
+from repro.errors import DecodingError
+
+
+def test_u32_roundtrip():
+    codec = U32Codec()
+    values = [0, 1, 2**16, 2**32 - 1]
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+def test_u32_uses_four_bytes_per_value():
+    assert len(U32Codec().encode([1, 2, 3])) == 12
+
+
+def test_u32_rejects_overflow():
+    with pytest.raises(ValueError):
+        U32Codec().encode([2**32])
+
+
+def test_u64_accepts_large_values():
+    codec = U64Codec()
+    values = [2**40, 2**63]
+    assert codec.decode(codec.encode(values), 2) == values
+
+
+def test_rejects_negative():
+    with pytest.raises(ValueError):
+        U32Codec().encode([-5])
+
+
+def test_decode_all_checks_alignment():
+    codec = U32Codec()
+    with pytest.raises(DecodingError):
+        codec.decode_all(b"\x01\x02\x03")
+
+
+def test_decode_too_short_raises():
+    codec = U32Codec()
+    with pytest.raises(DecodingError):
+        codec.decode(b"\x01\x02\x03\x04", 2)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        FixedWidthCodec(3)
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_all_widths_roundtrip(width):
+    codec = FixedWidthCodec(width)
+    maximum = (1 << (8 * width)) - 1
+    values = [0, 1, maximum // 2, maximum]
+    assert codec.decode_all(codec.encode(values)) == values

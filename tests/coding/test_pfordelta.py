@@ -1,0 +1,62 @@
+"""Tests for PForDelta coding."""
+
+import pytest
+
+from repro.coding import PForDeltaCodec
+from repro.coding.pfordelta import BLOCK_SIZE
+from repro.errors import DecodingError
+
+
+def test_roundtrip_uniform_values():
+    codec = PForDeltaCodec()
+    values = [7] * 300
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_roundtrip_with_exceptions():
+    """A few huge values among small ones exercise the exception patch path."""
+    codec = PForDeltaCodec()
+    values = [3] * 200
+    values[10] = 2**30
+    values[150] = 2**40
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_roundtrip_multiple_blocks():
+    codec = PForDeltaCodec()
+    values = list(range(BLOCK_SIZE * 3 + 17))
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_small_values_pack_tightly():
+    codec = PForDeltaCodec()
+    values = [1] * BLOCK_SIZE
+    encoded = codec.encode(values)
+    # 128 one-bit values = 16 bytes of payload plus the 9-byte header.
+    assert len(encoded) < BLOCK_SIZE
+
+
+def test_rejects_negative():
+    with pytest.raises(ValueError):
+        PForDeltaCodec().encode([-3])
+
+
+def test_decode_count_interface():
+    codec = PForDeltaCodec()
+    values = [9, 8, 7, 6]
+    encoded = codec.encode(values)
+    assert codec.decode(encoded, 4) == values
+    with pytest.raises(DecodingError):
+        codec.decode(encoded, 5)
+
+
+def test_truncated_stream_raises():
+    codec = PForDeltaCodec()
+    encoded = codec.encode(list(range(50)))
+    with pytest.raises(DecodingError):
+        codec.decode_all(encoded[: len(encoded) // 2])
+
+
+def test_empty_sequence():
+    codec = PForDeltaCodec()
+    assert codec.decode_all(codec.encode([])) == []

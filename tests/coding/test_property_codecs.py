@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for every integer codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    EliasDeltaCodec,
+    EliasGammaCodec,
+    PForDeltaCodec,
+    Simple9Codec,
+    U32Codec,
+    U64Codec,
+    VByteCodec,
+    ZlibCodec,
+)
+
+u32_values = st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=200)
+u28_values = st.lists(st.integers(min_value=0, max_value=2**28 - 1), max_size=200)
+big_values = st.lists(st.integers(min_value=0, max_value=2**60), max_size=150)
+
+
+@given(u32_values)
+@settings(max_examples=50, deadline=None)
+def test_vbyte_roundtrip(values):
+    codec = VByteCodec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(u32_values)
+@settings(max_examples=50, deadline=None)
+def test_u32_roundtrip(values):
+    codec = U32Codec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(big_values)
+@settings(max_examples=40, deadline=None)
+def test_u64_roundtrip(values):
+    codec = U64Codec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(u32_values)
+@settings(max_examples=40, deadline=None)
+def test_zlib_roundtrip(values):
+    codec = ZlibCodec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(big_values)
+@settings(max_examples=30, deadline=None)
+def test_gamma_roundtrip(values):
+    codec = EliasGammaCodec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(big_values)
+@settings(max_examples=30, deadline=None)
+def test_delta_roundtrip(values):
+    codec = EliasDeltaCodec()
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@given(u28_values)
+@settings(max_examples=40, deadline=None)
+def test_simple9_roundtrip(values):
+    codec = Simple9Codec()
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+@given(big_values)
+@settings(max_examples=40, deadline=None)
+def test_pfordelta_roundtrip(values):
+    codec = PForDeltaCodec()
+    assert codec.decode_all(codec.encode(values)) == values

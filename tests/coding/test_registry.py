@@ -1,0 +1,52 @@
+"""Tests for the codec registry."""
+
+import pytest
+
+from repro.coding import IntegerCodec, available_codecs, make_codec, register_codec
+
+
+def test_paper_codecs_are_registered():
+    for name in ("U", "V", "Z"):
+        assert name in available_codecs()
+
+
+def test_extension_codecs_are_registered():
+    for name in ("G", "D", "S", "P"):
+        assert name in available_codecs()
+
+
+def test_make_codec_is_case_insensitive():
+    assert make_codec("v").name == make_codec("V").name
+
+
+def test_make_codec_unknown_raises():
+    with pytest.raises(KeyError):
+        make_codec("does-not-exist")
+
+
+def test_registered_codecs_roundtrip():
+    values = [0, 1, 500, 12345]
+    for name in available_codecs():
+        codec = make_codec(name)
+        assert codec.decode(codec.encode(values), len(values)) == values, name
+
+
+def test_register_codec_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_codec("V", lambda: make_codec("V"))
+
+
+def test_register_custom_codec():
+    class Identity(IntegerCodec):
+        name = "identity-test"
+
+        def encode(self, values):
+            return b",".join(str(v).encode() for v in values)
+
+        def decode(self, data, count):
+            return [int(v) for v in data.split(b",") if v][:count]
+
+    # Use a name unlikely to collide and verify dispatch through the registry.
+    register_codec("XTEST", Identity)
+    codec = make_codec("xtest")
+    assert codec.decode(codec.encode([1, 2, 3]), 3) == [1, 2, 3]

@@ -1,0 +1,54 @@
+"""Tests for Simple-9 word-aligned coding."""
+
+import pytest
+
+from repro.coding import Simple9Codec
+from repro.errors import DecodingError
+
+
+def test_roundtrip_small_values():
+    codec = Simple9Codec()
+    values = [1, 0, 1, 1, 0] * 30
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_roundtrip_mixed_magnitudes():
+    codec = Simple9Codec()
+    values = [1, 5, 200, 3, 2**20, 7, 9, 2**27, 0, 1]
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_dense_packing_of_unit_values():
+    """28 one-bit values fit into a single 32-bit word (plus the count header)."""
+    codec = Simple9Codec()
+    encoded = codec.encode([1] * 28)
+    assert len(encoded) == 4 + 4
+
+
+def test_rejects_values_above_28_bits():
+    with pytest.raises(ValueError):
+        Simple9Codec().encode([2**28])
+
+
+def test_rejects_negative():
+    with pytest.raises(ValueError):
+        Simple9Codec().encode([-1])
+
+
+def test_decode_count_interface():
+    codec = Simple9Codec()
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    encoded = codec.encode(values)
+    assert codec.decode(encoded, len(values)) == values
+    with pytest.raises(DecodingError):
+        codec.decode(encoded, len(values) + 1)
+
+
+def test_malformed_stream_raises():
+    with pytest.raises(DecodingError):
+        Simple9Codec().decode_all(b"\x01\x02\x03")
+
+
+def test_empty_sequence():
+    codec = Simple9Codec()
+    assert codec.decode_all(codec.encode([])) == []

@@ -1,0 +1,42 @@
+"""Tests for the zlib integer codec (the paper's Z scheme)."""
+
+import pytest
+
+from repro.coding import U32Codec, VByteCodec, ZlibCodec
+from repro.errors import DecodingError
+
+
+def test_roundtrip_default_inner():
+    codec = ZlibCodec()
+    values = [7, 7, 7, 123456, 0, 7]
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+def test_roundtrip_vbyte_inner():
+    codec = ZlibCodec(inner=VByteCodec())
+    values = list(range(200)) * 3
+    assert codec.decode_all(codec.encode(values)) == values
+
+
+def test_repetitive_streams_compress_well():
+    """The paper's observation: per-document position streams are skewed."""
+    codec = ZlibCodec(inner=U32Codec())
+    repetitive = [42, 99, 42, 99] * 500
+    flat = list(range(2000))
+    assert len(codec.encode(repetitive)) < len(codec.encode(flat)) / 4
+
+
+def test_corrupt_stream_raises():
+    codec = ZlibCodec()
+    with pytest.raises(DecodingError):
+        codec.decode(b"not zlib data", 1)
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        ZlibCodec(level=42)
+
+
+def test_empty_sequence():
+    codec = ZlibCodec()
+    assert codec.decode(codec.encode([]), 0) == []

@@ -1,0 +1,81 @@
+"""Tests for the high-level RlzCompressor / CompressedCollection API."""
+
+import pytest
+
+from repro.core import DictionaryConfig, PAPER_SCHEMES, RlzCompressor
+from repro.errors import DecodingError
+
+
+def test_roundtrip_all_documents(gov_small, gov_compressed):
+    for document in gov_small:
+        assert gov_compressed.decode_document(document.doc_id) == document.content
+
+
+def test_sequential_iteration_matches_collection_order(gov_small, gov_compressed):
+    decoded = list(gov_compressed.iter_documents())
+    assert [doc_id for doc_id, _ in decoded] == gov_small.doc_ids()
+    for (doc_id, text), document in zip(decoded, gov_small):
+        assert doc_id == document.doc_id
+        assert text == document.content
+
+
+def test_compression_is_effective(gov_small, gov_compressed):
+    """RLZ should compress templated web text to a small fraction of its size."""
+    assert gov_compressed.compression_ratio(include_dictionary=False) < 40.0
+    assert gov_compressed.encoded_size < gov_small.total_size
+
+
+def test_compression_ratio_includes_dictionary_when_asked(gov_compressed):
+    with_dict = gov_compressed.compression_ratio(include_dictionary=True)
+    without = gov_compressed.compression_ratio(include_dictionary=False)
+    assert with_dict > without
+
+
+def test_unknown_document_raises(gov_compressed):
+    with pytest.raises(DecodingError):
+        gov_compressed.decode_document(10_000)
+
+
+def test_get_blob_returns_raw_bytes(gov_compressed):
+    blob = gov_compressed.get_blob(gov_compressed.doc_ids()[0])
+    assert isinstance(blob, bytes) and blob
+
+
+def test_compressor_builds_default_dictionary(gov_small):
+    compressor = RlzCompressor(scheme="UV")
+    compressed = compressor.compress(gov_small)
+    assert compressor.dictionary is not None
+    assert compressed.decode_document(gov_small.doc_ids()[0]) == gov_small[0].content
+
+
+def test_statistics_report(gov_small):
+    compressor = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=16 * 1024, sample_size=512), scheme="ZZ"
+    )
+    compressed, report = compressor.compress(gov_small, collect_statistics=True)
+    assert report.original_bytes == gov_small.total_size
+    assert report.encoded_bytes == compressed.encoded_size
+    assert report.average_factor_length > 1.0
+    assert 0.0 <= report.unused_dictionary_percent <= 100.0
+    assert report.factor_stats.num_documents == len(gov_small)
+
+
+@pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+def test_all_paper_schemes_roundtrip_on_collection(scheme, gov_small, gov_dictionary):
+    compressor = RlzCompressor(dictionary=gov_dictionary, scheme=scheme)
+    compressed = compressor.compress(gov_small)
+    doc = gov_small[3]
+    assert compressed.decode_document(doc.doc_id) == doc.content
+    assert compressed.scheme_name == scheme
+
+
+def test_larger_dictionary_compresses_better(gov_small):
+    small = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=4 * 1024, sample_size=512), scheme="ZV"
+    ).compress(gov_small)
+    large = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=64 * 1024, sample_size=512), scheme="ZV"
+    ).compress(gov_small)
+    assert large.compression_ratio(include_dictionary=False) < small.compression_ratio(
+        include_dictionary=False
+    )

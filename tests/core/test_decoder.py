@@ -1,0 +1,43 @@
+"""Tests for RLZ decoding (Figure 2)."""
+
+import pytest
+
+from repro.core import Factor, Factorization, RlzDictionary, decode_factors, decode_pairs
+from repro.errors import DecodingError
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return RlzDictionary(b"cabbaabba")
+
+
+def test_decode_paper_example(dictionary):
+    factors = [Factor.copy(2, 4), Factor.literal(ord("n")), Factor.copy(0, 4)]
+    assert decode_factors(factors, dictionary) == b"bbaancabb"
+
+
+def test_decode_pairs_matches_decode_factors(dictionary):
+    factors = Factorization([Factor.copy(0, 3), Factor.literal(ord("!")), Factor.copy(4, 5)])
+    from_factors = decode_factors(factors, dictionary)
+    from_pairs = decode_pairs(factors.positions(), factors.lengths(), dictionary)
+    assert from_factors == from_pairs
+
+
+def test_decode_out_of_range_factor_raises(dictionary):
+    with pytest.raises(DecodingError):
+        decode_factors([Factor.copy(5, 100)], dictionary)
+
+
+def test_decode_pairs_mismatched_streams_raise(dictionary):
+    with pytest.raises(DecodingError):
+        decode_pairs([1, 2], [3], dictionary)
+
+
+def test_decode_pairs_invalid_literal_byte_raises(dictionary):
+    with pytest.raises(DecodingError):
+        decode_pairs([700], [0], dictionary)
+
+
+def test_decode_empty(dictionary):
+    assert decode_factors([], dictionary) == b""
+    assert decode_pairs([], [], dictionary) == b""

@@ -1,0 +1,93 @@
+"""Tests for dictionary sampling and the RlzDictionary wrapper."""
+
+import pytest
+
+from repro.core import (
+    DictionaryConfig,
+    RlzDictionary,
+    build_dictionary,
+    sample_prefix,
+    sample_random_documents,
+    sample_uniform,
+)
+from repro.errors import DictionaryError
+from repro.suffix import SuffixArray
+
+
+def test_config_validation():
+    with pytest.raises(DictionaryError):
+        DictionaryConfig(size=0)
+    with pytest.raises(DictionaryError):
+        DictionaryConfig(size=10, sample_size=0)
+    with pytest.raises(DictionaryError):
+        DictionaryConfig(size=10, policy="bogus")
+    with pytest.raises(DictionaryError):
+        DictionaryConfig(size=10, policy="prefix", prefix_fraction=0.0)
+
+
+def test_uniform_sampling_size_and_spread():
+    text = bytes(range(256)) * 64  # 16 KiB with position-dependent content
+    dictionary = sample_uniform(text, dictionary_size=2048, sample_size=256)
+    assert len(dictionary) == 2048
+    # Samples are evenly spread: both early and late collection content appear.
+    assert text[:64] in dictionary
+    assert any(byte in dictionary for byte in text[-256:])
+
+
+def test_uniform_sampling_returns_whole_text_when_large_enough():
+    text = b"short collection"
+    assert sample_uniform(text, dictionary_size=1000, sample_size=8) == text
+
+
+def test_uniform_sampling_rejects_empty_collection():
+    with pytest.raises(DictionaryError):
+        sample_uniform(b"", 16, 4)
+
+
+def test_prefix_sampling_only_sees_prefix():
+    text = b"A" * 1000 + b"B" * 1000
+    dictionary = sample_prefix(text, dictionary_size=128, sample_size=16, prefix_fraction=0.5)
+    assert b"B" not in dictionary
+    with pytest.raises(DictionaryError):
+        sample_prefix(text, 128, 16, prefix_fraction=0.0)
+
+
+def test_random_document_sampling(gov_small):
+    data = sample_random_documents(gov_small, dictionary_size=8 * 1024, seed=1)
+    assert len(data) == 8 * 1024
+    assert sample_random_documents(gov_small, 8 * 1024, seed=1) == data
+
+
+def test_build_dictionary_policies(gov_small):
+    for policy in ("uniform", "prefix", "random_documents"):
+        config = DictionaryConfig(size=8 * 1024, sample_size=512, policy=policy, prefix_fraction=0.5)
+        dictionary = build_dictionary(gov_small, config)
+        assert len(dictionary) == 8 * 1024
+        assert dictionary.config is config
+
+
+def test_dictionary_rejects_empty_data():
+    with pytest.raises(DictionaryError):
+        RlzDictionary(b"")
+
+
+def test_dictionary_lazy_suffix_array():
+    dictionary = RlzDictionary(b"cabbaabba")
+    suffix_array = dictionary.suffix_array
+    assert isinstance(suffix_array, SuffixArray)
+    assert dictionary.suffix_array is suffix_array  # cached
+
+
+def test_dictionary_extension_preserves_prefix():
+    dictionary = RlzDictionary(b"hello world")
+    extended = dictionary.extended(b" and more")
+    assert extended.data.startswith(dictionary.data)
+    assert len(extended) == len(dictionary) + 9
+    assert dictionary.extended(b"") is dictionary
+
+
+def test_uniform_sampling_dictates_paper_proportions(gov_small):
+    """The paper's headline: a dictionary a tiny fraction of the collection."""
+    text = gov_small.concatenate()
+    dictionary = sample_uniform(text, dictionary_size=len(text) // 100, sample_size=512)
+    assert len(dictionary) <= len(text) // 100

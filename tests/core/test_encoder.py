@@ -1,0 +1,96 @@
+"""Tests for the pair-coding schemes (ZZ, ZV, UZ, UV and extensions)."""
+
+import pytest
+
+from repro.core import Factor, Factorization, PAPER_SCHEMES, PairCodingScheme, PairEncoder
+from repro.errors import DecodingError, EncodingError
+
+
+@pytest.fixture()
+def sample_factorization():
+    return Factorization(
+        [
+            Factor.copy(10, 40),
+            Factor.copy(500, 3),
+            Factor.literal(ord("x")),
+            Factor.copy(10, 40),
+            Factor.copy(0, 1),
+        ]
+    )
+
+
+def test_paper_schemes_constant():
+    assert PAPER_SCHEMES == ("ZZ", "ZV", "UZ", "UV")
+
+
+@pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+def test_paper_schemes_roundtrip(scheme, sample_factorization):
+    encoder = PairEncoder(scheme)
+    blob = encoder.encode(sample_factorization)
+    decoded = encoder.decode(blob)
+    assert decoded == sample_factorization
+
+
+@pytest.mark.parametrize("scheme", ["UG", "UD", "US", "UP", "VV", "GV"])
+def test_extension_schemes_roundtrip(scheme, sample_factorization):
+    encoder = PairEncoder(scheme)
+    assert encoder.decode(encoder.encode(sample_factorization)) == sample_factorization
+
+
+def test_decode_streams_returns_parallel_lists(sample_factorization):
+    encoder = PairEncoder("ZV")
+    positions, lengths = encoder.decode_streams(encoder.encode(sample_factorization))
+    assert positions == sample_factorization.positions()
+    assert lengths == sample_factorization.lengths()
+
+
+def test_scheme_name_normalised():
+    assert PairEncoder("zv").scheme_name == "ZV"
+    assert PairCodingScheme.from_name("uz").name == "UZ"
+
+
+def test_invalid_scheme_length_rejected():
+    with pytest.raises(EncodingError):
+        PairEncoder("ZZZ")
+
+
+def test_unknown_codec_letter_rejected():
+    with pytest.raises(KeyError):
+        PairEncoder("Q?")
+
+
+def test_empty_factorization_roundtrip():
+    encoder = PairEncoder("ZZ")
+    blob = encoder.encode(Factorization([]))
+    assert encoder.decode(blob).num_factors == 0
+
+
+def test_truncated_blob_raises(sample_factorization):
+    encoder = PairEncoder("UV")
+    blob = encoder.encode(sample_factorization)
+    with pytest.raises(DecodingError):
+        encoder.decode(blob[:3])
+
+
+def test_garbage_header_raises():
+    encoder = PairEncoder("UV")
+    with pytest.raises(DecodingError):
+        encoder.decode(b"\x00\x01")
+
+
+def test_zz_is_smallest_on_repetitive_streams():
+    """The paper's ordering: ZZ <= ZV <= UZ <= UV on skewed per-document streams."""
+    factors = [Factor.copy(1000, 30), Factor.copy(2000, 12), Factor.copy(1000, 30)] * 60
+    factorization = Factorization(factors)
+    sizes = {scheme: len(PairEncoder(scheme).encode(factorization)) for scheme in PAPER_SCHEMES}
+    assert sizes["ZZ"] <= sizes["ZV"]
+    assert sizes["ZV"] <= sizes["UV"]
+    assert sizes["UZ"] <= sizes["UV"]
+
+
+def test_uv_positions_cost_four_bytes_each():
+    factors = [Factor.copy(i, 2) for i in range(100)]
+    encoder = PairEncoder("UV")
+    blob = encoder.encode(Factorization(factors))
+    # header (~3 bytes) + 100 * 4 position bytes + 100 * 1 vbyte length bytes
+    assert 500 <= len(blob) <= 510

@@ -1,0 +1,63 @@
+"""Tests for the Factor and Factorization models."""
+
+import pytest
+
+from repro.core import Factor, Factorization
+from repro.errors import FactorizationError
+
+
+def test_literal_factor():
+    factor = Factor.literal(ord("n"))
+    assert factor.is_literal
+    assert factor.length == 0
+    assert factor.position == ord("n")
+    assert factor.output_length == 1
+
+
+def test_copy_factor():
+    factor = Factor.copy(position=3, length=4)
+    assert not factor.is_literal
+    assert factor.output_length == 4
+
+
+def test_literal_byte_range_checked():
+    with pytest.raises(FactorizationError):
+        Factor.literal(300)
+    with pytest.raises(FactorizationError):
+        Factor.literal(-1)
+
+
+def test_copy_factor_validation():
+    with pytest.raises(FactorizationError):
+        Factor.copy(position=0, length=0)
+    with pytest.raises(FactorizationError):
+        Factor.copy(position=-1, length=3)
+
+
+def test_paper_example_factorization_statistics():
+    """x = bbaancabb relative to d = cabbaabba factorizes into three pairs."""
+    factors = [Factor.copy(2, 4), Factor.literal(ord("n")), Factor.copy(0, 4)]
+    factorization = Factorization(factors)
+    assert factorization.num_factors == 3
+    assert factorization.num_literals == 1
+    assert factorization.decoded_length == 9
+    assert factorization.average_factor_length == pytest.approx(3.0)
+    assert factorization.positions() == [2, ord("n"), 0]
+    assert factorization.lengths() == [4, 0, 4]
+
+
+def test_factorization_container_protocol():
+    factors = [Factor.copy(0, 2), Factor.literal(65)]
+    factorization = Factorization(factors)
+    assert len(factorization) == 2
+    assert list(factorization) == factors
+    assert factorization[1].is_literal
+    assert factorization == Factorization(factors)
+    assert factorization != Factorization(factors[:1])
+
+
+def test_empty_factorization():
+    factorization = Factorization([])
+    assert factorization.num_factors == 0
+    assert factorization.decoded_length == 0
+    assert factorization.average_factor_length == 0.0

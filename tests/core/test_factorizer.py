@@ -1,0 +1,94 @@
+"""Tests for the RLZ factorizer (the paper's Encode/Factor algorithms)."""
+
+import pytest
+
+from repro.core import Factor, RlzDictionary, RlzFactorizer, decode_factors
+from repro.errors import FactorizationError
+
+
+@pytest.fixture(scope="module")
+def paper_factorizer():
+    return RlzFactorizer(RlzDictionary(b"cabbaabba"))
+
+
+def test_paper_example(paper_factorizer):
+    """The worked example of Section 3: bbaancabb -> (bbaa)(n)(cabb)."""
+    factorization = paper_factorizer.factorize(b"bbaancabb")
+    assert factorization.num_factors == 3
+    first, second, third = list(factorization)
+    dictionary = b"cabbaabba"
+    assert dictionary[first.position : first.position + first.length] == b"bbaa"
+    assert second == Factor.literal(ord("n"))
+    assert dictionary[third.position : third.position + third.length] == b"cabb"
+
+
+def test_paper_example_roundtrip(paper_factorizer):
+    factorization = paper_factorizer.factorize(b"bbaancabb")
+    assert decode_factors(factorization, paper_factorizer.dictionary) == b"bbaancabb"
+
+
+def test_empty_document(paper_factorizer):
+    assert paper_factorizer.factorize(b"").num_factors == 0
+
+
+def test_document_entirely_absent_from_dictionary(paper_factorizer):
+    factorization = paper_factorizer.factorize(b"zzz")
+    assert factorization.num_factors == 3
+    assert all(factor.is_literal for factor in factorization)
+
+
+def test_document_equal_to_dictionary(paper_factorizer):
+    factorization = paper_factorizer.factorize(b"cabbaabba")
+    assert factorization.num_factors == 1
+    assert list(factorization)[0] == Factor.copy(0, 9)
+
+
+def test_greedy_parse_is_leftmost_longest(paper_factorizer):
+    """Each factor must be the longest dictionary match at its position."""
+    text = b"abbacabba"
+    dictionary = paper_factorizer.dictionary.data
+    position = 0
+    for factor in paper_factorizer.factorize(text):
+        if not factor.is_literal:
+            matched = dictionary[factor.position : factor.position + factor.length]
+            assert matched == text[position : position + factor.length]
+            # Maximality: one more character would not occur in the dictionary.
+            longer = text[position : position + factor.length + 1]
+            if position + factor.length < len(text):
+                assert dictionary.find(longer) == -1
+        position += factor.output_length
+    assert position == len(text)
+
+
+def test_rejects_non_bytes(paper_factorizer):
+    with pytest.raises(FactorizationError):
+        paper_factorizer.factorize("a string")  # type: ignore[arg-type]
+
+
+def test_factorize_many(paper_factorizer):
+    documents = [b"bba", b"cab", b"zzz"]
+    factorizations = paper_factorizer.factorize_many(documents)
+    assert len(factorizations) == 3
+    for document, factorization in zip(documents, factorizations):
+        assert decode_factors(factorization, paper_factorizer.dictionary) == document
+
+
+def test_iter_factors_streams(paper_factorizer):
+    iterator = paper_factorizer.iter_factors(b"bbaancabb")
+    first = next(iterator)
+    assert first.length == 4
+    assert len(list(iterator)) == 2
+
+
+def test_realistic_collection_roundtrip(gov_small, gov_dictionary):
+    factorizer = RlzFactorizer(gov_dictionary)
+    for document in gov_small:
+        factorization = factorizer.factorize(document.content)
+        assert decode_factors(factorization, gov_dictionary) == document.content
+
+
+def test_factors_are_long_on_templated_text(gov_small, gov_dictionary):
+    """Web boilerplate should produce long factors (the paper reports 30-46)."""
+    factorizer = RlzFactorizer(gov_dictionary)
+    factorization = factorizer.factorize(gov_small[0].content)
+    assert factorization.average_factor_length > 4.0

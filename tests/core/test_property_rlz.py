@@ -1,0 +1,63 @@
+"""Property-based tests of the end-to-end RLZ invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Factor, Factorization, PairEncoder, RlzDictionary, RlzFactorizer, decode_factors
+
+
+dictionaries = st.binary(min_size=1, max_size=200)
+documents = st.binary(min_size=0, max_size=400)
+texty = st.text(alphabet="abcdef <>/=\"", min_size=1, max_size=200).map(lambda s: s.encode())
+
+
+@given(dictionaries, documents)
+@settings(max_examples=60, deadline=None)
+def test_factorize_decode_roundtrip(dictionary_bytes, document):
+    """decode(factorize(x)) == x for arbitrary binary dictionaries and documents."""
+    dictionary = RlzDictionary(dictionary_bytes)
+    factorization = RlzFactorizer(dictionary).factorize(document)
+    assert decode_factors(factorization, dictionary) == document
+
+
+@given(texty, texty)
+@settings(max_examples=40, deadline=None)
+def test_factor_count_never_exceeds_document_length(dictionary_bytes, document):
+    dictionary = RlzDictionary(dictionary_bytes)
+    factorization = RlzFactorizer(dictionary).factorize(document)
+    assert factorization.num_factors <= len(document)
+    assert factorization.decoded_length == len(document)
+
+
+@given(dictionaries, documents)
+@settings(max_examples=40, deadline=None)
+def test_every_copy_factor_is_a_real_dictionary_substring(dictionary_bytes, document):
+    dictionary = RlzDictionary(dictionary_bytes)
+    position = 0
+    for factor in RlzFactorizer(dictionary).factorize(document):
+        if not factor.is_literal:
+            assert (
+                dictionary_bytes[factor.position : factor.position + factor.length]
+                == document[position : position + factor.length]
+            )
+        position += factor.output_length
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.builds(
+                Factor.copy,
+                position=st.integers(min_value=0, max_value=2**24),
+                length=st.integers(min_value=1, max_value=2**16),
+            ),
+            st.builds(Factor.literal, byte=st.integers(min_value=0, max_value=255)),
+        ),
+        max_size=80,
+    ),
+    st.sampled_from(["ZZ", "ZV", "UZ", "UV", "VV", "US"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_pair_encoder_roundtrip_any_factor_stream(factors, scheme):
+    encoder = PairEncoder(scheme)
+    factorization = Factorization(factors)
+    assert encoder.decode(encoder.encode(factorization)) == factorization

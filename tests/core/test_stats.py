@@ -1,0 +1,93 @@
+"""Tests for factor statistics, dictionary usage and length histograms."""
+
+import pytest
+
+from repro.core import (
+    DictionaryUsage,
+    Factor,
+    Factorization,
+    FactorStatistics,
+    RlzDictionary,
+    length_histogram,
+)
+
+
+def make_factorization():
+    return Factorization(
+        [Factor.copy(0, 5), Factor.copy(10, 50), Factor.literal(ord("q")), Factor.copy(0, 5)]
+    )
+
+
+def test_factor_statistics_accumulation():
+    stats = FactorStatistics()
+    stats.add(make_factorization())
+    stats.add(Factorization([Factor.copy(2, 500)]))
+    assert stats.num_documents == 2
+    assert stats.num_factors == 5
+    assert stats.num_literals == 1
+    assert stats.decoded_bytes == 5 + 50 + 1 + 5 + 500
+    assert stats.average_factor_length == pytest.approx(561 / 5)
+    assert stats.literal_fraction == pytest.approx(1 / 5)
+    assert stats.length_counts[5] == 2
+    assert stats.length_counts[0] == 1
+
+
+def test_factor_statistics_from_iterable():
+    stats = FactorStatistics.from_factorizations([make_factorization()] * 3)
+    assert stats.num_documents == 3
+
+
+def test_empty_statistics():
+    stats = FactorStatistics()
+    assert stats.average_factor_length == 0.0
+    assert stats.literal_fraction == 0.0
+
+
+def test_dictionary_usage_tracks_coverage():
+    dictionary = RlzDictionary(b"0123456789" * 10)  # 100 bytes
+    usage = DictionaryUsage(dictionary)
+    usage.add(Factorization([Factor.copy(0, 10), Factor.copy(50, 25)]))
+    assert usage.used_bytes == 35
+    assert usage.unused_bytes == 65
+    assert usage.unused_percentage == pytest.approx(65.0)
+
+
+def test_dictionary_usage_ignores_literals_and_overlaps():
+    dictionary = RlzDictionary(b"x" * 40)
+    usage = DictionaryUsage(dictionary)
+    usage.add(Factorization([Factor.literal(65), Factor.copy(0, 10), Factor.copy(5, 10)]))
+    assert usage.used_bytes == 15
+
+
+def test_length_histogram_bins():
+    factorizations = [
+        Factorization(
+            [
+                Factor.literal(65),
+                Factor.copy(0, 3),
+                Factor.copy(0, 30),
+                Factor.copy(0, 300),
+                Factor.copy(0, 3000),
+                Factor.copy(0, 30000),
+            ]
+        )
+    ]
+    histogram = length_histogram(factorizations)
+    assert histogram["literal"] == 1
+    assert histogram["[1, 10)"] == 1
+    assert histogram["[10, 100)"] == 1
+    assert histogram["[100, 1000)"] == 1
+    assert histogram["[1000, 10000)"] == 1
+    assert histogram[">= 10000"] == 1
+
+
+def test_length_histogram_is_skewed_on_real_data(gov_small, gov_dictionary):
+    """Figure 3's shape: most length values are small."""
+    from repro.core import RlzFactorizer
+
+    factorizer = RlzFactorizer(gov_dictionary)
+    factorizations = [factorizer.factorize(document.content) for document in gov_small]
+    histogram = length_histogram(factorizations)
+    small = histogram["[1, 10)"] + histogram["[10, 100)"] + histogram["literal"]
+    large = histogram["[1000, 10000)"] + histogram[">= 10000"]
+    assert small > large

@@ -1,0 +1,73 @@
+"""Tests for dynamic updates (Section 3.6 / Table 10)."""
+
+import pytest
+
+from repro.core import (
+    AppendOnlyUpdater,
+    DictionaryConfig,
+    PairEncoder,
+    RlzDictionary,
+    build_dictionary,
+    decode_pairs,
+    simulate_prefix_dictionaries,
+)
+
+
+def test_prefix_dictionary_simulation_shape(gov_small):
+    results = simulate_prefix_dictionaries(
+        gov_small,
+        dictionary_size=16 * 1024,
+        sample_size=512,
+        prefixes=(1.0, 0.5, 0.1),
+        scheme="ZV",
+    )
+    assert [round(r.prefix_percent) for r in results] == [100, 50, 10]
+    # Compression with a full-collection dictionary should not be (much)
+    # worse than with a 10% prefix dictionary; allow a small tolerance for
+    # sampling noise on the tiny test collection.
+    assert results[0].compression_percent <= results[-1].compression_percent + 3.0
+    for result in results:
+        assert 0.0 < result.compression_percent < 100.0
+        assert result.dictionary_size == 16 * 1024
+
+
+def test_append_only_updater_extends_dictionary(gov_small, wiki_small):
+    """Feeding documents unlike the dictionary should trigger an extension."""
+    dictionary = build_dictionary(
+        gov_small, DictionaryConfig(size=8 * 1024, sample_size=512)
+    )
+    updater = AppendOnlyUpdater(
+        dictionary, scheme="ZV", threshold_percent=5.0, window=3
+    )
+    blobs = []
+    # Wikipedia-like documents share little with a .gov dictionary, so the
+    # rolling compression ratio exceeds the (deliberately low) threshold.
+    for document in wiki_small:
+        blobs.append((document, updater.add_document(document)))
+    assert updater.rebuilds >= 1
+    assert updater.appended_bytes > 0
+    assert len(updater.dictionary) > 8 * 1024
+    # Blobs encoded before the extension are still decodable against the
+    # extended dictionary (offsets remain valid).
+    encoder = PairEncoder("ZV")
+    for document, blob in blobs:
+        positions, lengths = encoder.decode_streams(blob)
+        assert decode_pairs(positions, lengths, updater.dictionary) == document.content
+
+
+def test_append_only_updater_stays_quiet_on_similar_documents(gov_small):
+    dictionary = build_dictionary(
+        gov_small, DictionaryConfig(size=32 * 1024, sample_size=512)
+    )
+    updater = AppendOnlyUpdater(
+        dictionary, scheme="ZV", threshold_percent=95.0, window=5
+    )
+    for document in gov_small:
+        updater.add_document(document)
+    assert updater.rebuilds == 0
+    assert len(updater.dictionary) == len(dictionary)
+
+
+def test_updater_validates_window():
+    with pytest.raises(ValueError):
+        AppendOnlyUpdater(RlzDictionary(b"abc"), window=0)

@@ -1,0 +1,94 @@
+"""Tests for Document and DocumentCollection."""
+
+import pytest
+
+from repro.corpus import Document, DocumentCollection
+from repro.errors import CorpusError
+
+
+def make_docs():
+    return [
+        Document(0, "http://a.example.gov/x/page0.html", b"alpha content"),
+        Document(1, "http://b.example.gov/y/page1.html", b"beta"),
+        Document(2, "http://a.example.gov/z/page2.html", b"gamma gamma"),
+    ]
+
+
+def test_document_properties():
+    document = make_docs()[0]
+    assert document.host == "a.example.gov"
+    assert document.size == len(b"alpha content")
+    assert document.text() == "alpha content"
+
+
+def test_collection_len_iteration_and_lookup():
+    collection = DocumentCollection(make_docs(), name="test")
+    assert len(collection) == 3
+    assert [d.doc_id for d in collection] == [0, 1, 2]
+    assert collection.document_by_id(1).content == b"beta"
+    assert collection[2].doc_id == 2
+    assert collection.name == "test"
+
+
+def test_unknown_document_id_raises():
+    collection = DocumentCollection(make_docs())
+    with pytest.raises(CorpusError):
+        collection.document_by_id(99)
+
+
+def test_duplicate_ids_rejected():
+    docs = make_docs()
+    docs.append(Document(0, "http://dup.gov/", b"dup"))
+    with pytest.raises(CorpusError):
+        DocumentCollection(docs)
+
+
+def test_total_and_average_size():
+    collection = DocumentCollection(make_docs())
+    assert collection.total_size == 13 + 4 + 11
+    assert collection.average_document_size == pytest.approx((13 + 4 + 11) / 3)
+
+
+def test_concatenate_and_boundaries():
+    collection = DocumentCollection(make_docs())
+    concatenated = collection.concatenate()
+    boundaries = collection.boundaries()
+    assert concatenated == b"alpha contentbetagamma gamma"
+    assert boundaries == [0, 13, 17, 28]
+    for index, document in enumerate(collection):
+        assert concatenated[boundaries[index] : boundaries[index + 1]] == document.content
+
+
+def test_prefix_selects_leading_documents():
+    collection = DocumentCollection(make_docs())
+    prefix = collection.prefix(0.67)
+    assert prefix.doc_ids() == [0, 1]
+    assert collection.prefix(1.0).doc_ids() == [0, 1, 2]
+
+
+def test_prefix_requires_valid_fraction():
+    collection = DocumentCollection(make_docs())
+    with pytest.raises(CorpusError):
+        collection.prefix(0.0)
+    with pytest.raises(CorpusError):
+        collection.prefix(1.5)
+
+
+def test_reordered_preserves_documents():
+    collection = DocumentCollection(make_docs())
+    reordered = collection.reordered(lambda d: -d.doc_id)
+    assert reordered.doc_ids() == [2, 1, 0]
+    assert len(reordered) == len(collection)
+
+
+def test_subset_by_ids():
+    collection = DocumentCollection(make_docs())
+    subset = collection.subset([2, 0])
+    assert subset.doc_ids() == [2, 0]
+
+
+def test_empty_collection_statistics():
+    collection = DocumentCollection([])
+    assert collection.total_size == 0
+    assert collection.average_document_size == 0.0
+    assert collection.concatenate() == b""

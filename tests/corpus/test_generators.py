@@ -1,0 +1,116 @@
+"""Tests for the synthetic GOV2-like and Wikipedia-like generators."""
+
+import pytest
+
+from repro.corpus import (
+    GovCrawlConfig,
+    GovCrawlGenerator,
+    WikipediaConfig,
+    WikipediaGenerator,
+    generate_gov_collection,
+    generate_wikipedia_collection,
+)
+
+
+@pytest.fixture(scope="module")
+def gov():
+    return generate_gov_collection(num_documents=30, target_document_size=6 * 1024, seed=3)
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return generate_wikipedia_collection(num_documents=8, target_document_size=12 * 1024, seed=3)
+
+
+def test_gov_document_count_and_ids(gov):
+    assert len(gov) == 30
+    assert gov.doc_ids() == list(range(30))
+
+
+def test_gov_documents_look_like_html(gov):
+    for document in gov:
+        text = document.text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text
+        assert document.url.startswith("http://www.")
+        assert document.url.endswith(".html")
+        assert ".gov" in document.host
+
+
+def test_gov_average_size_near_target(gov):
+    assert 0.4 * 6 * 1024 < gov.average_document_size < 2.5 * 6 * 1024
+
+
+def test_gov_deterministic_for_seed():
+    a = generate_gov_collection(num_documents=5, target_document_size=4096, seed=9)
+    b = generate_gov_collection(num_documents=5, target_document_size=4096, seed=9)
+    assert [d.content for d in a] == [d.content for d in b]
+
+
+def test_gov_different_seeds_differ():
+    a = generate_gov_collection(num_documents=5, target_document_size=4096, seed=1)
+    b = generate_gov_collection(num_documents=5, target_document_size=4096, seed=2)
+    assert [d.content for d in a] != [d.content for d in b]
+
+
+def test_gov_shares_boilerplate_across_documents(gov):
+    """Documents from the same host share their template chrome (global redundancy)."""
+    by_host = {}
+    for document in gov:
+        by_host.setdefault(document.host, []).append(document)
+    multi = [docs for docs in by_host.values() if len(docs) >= 2]
+    assert multi, "expected at least one host with two or more pages"
+    docs = multi[0]
+    head_a = docs[0].content[:200]
+    assert head_a in docs[1].content[: len(head_a) + 50]
+
+
+def test_gov_config_validation():
+    with pytest.raises(ValueError):
+        GovCrawlConfig(num_documents=0)
+    with pytest.raises(ValueError):
+        GovCrawlConfig(duplicate_fraction=1.5)
+    with pytest.raises(ValueError):
+        GovCrawlConfig(num_hosts=0)
+
+
+def test_gov_generator_exposes_config():
+    config = GovCrawlConfig(num_documents=3, target_document_size=2048)
+    assert GovCrawlGenerator(config).config is config
+
+
+def test_wiki_document_count_and_markup(wiki):
+    assert len(wiki) == 8
+    for document in wiki:
+        text = document.text()
+        assert "mediawiki" in text.lower()
+        assert "infobox" in text
+        assert "/wiki/" in document.url
+
+
+def test_wiki_average_size_near_target(wiki):
+    assert 0.4 * 12 * 1024 < wiki.average_document_size < 2.5 * 12 * 1024
+
+
+def test_wiki_shares_skin_across_articles(wiki):
+    """Every article carries the same site skin (stronger global redundancy)."""
+    marker = b'id="p-navigation"'
+    assert all(marker in document.content for document in wiki)
+
+
+def test_wiki_config_validation():
+    with pytest.raises(ValueError):
+        WikipediaConfig(num_documents=0)
+    with pytest.raises(ValueError):
+        WikipediaConfig(target_document_size=0)
+
+
+def test_wiki_deterministic_for_seed():
+    a = generate_wikipedia_collection(num_documents=3, target_document_size=8192, seed=4)
+    b = generate_wikipedia_collection(num_documents=3, target_document_size=8192, seed=4)
+    assert [d.content for d in a] == [d.content for d in b]
+
+
+def test_wiki_generator_exposes_config():
+    config = WikipediaConfig(num_documents=2)
+    assert WikipediaGenerator(config).config is config

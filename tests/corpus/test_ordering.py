@@ -1,0 +1,77 @@
+"""Tests for collection orderings (URL sort, crawl order, shuffle)."""
+
+from repro.corpus import (
+    Document,
+    DocumentCollection,
+    crawl_order,
+    shuffled,
+    url_sort_key,
+    url_sorted,
+)
+
+
+def make_collection():
+    return DocumentCollection(
+        [
+            Document(0, "http://www.zeta.gov/a/page0.html", b"zeta a"),
+            Document(1, "http://www.alpha.gov/b/page1.html", b"alpha b"),
+            Document(2, "http://www.zeta.gov/a/page2.html", b"zeta a2"),
+            Document(3, "http://portal.alpha.gov/c/page3.html", b"alpha portal"),
+        ],
+        name="ordering-test",
+    )
+
+
+def test_url_sort_clusters_hosts():
+    ordered = url_sorted(make_collection())
+    hosts = [document.host for document in ordered]
+    # All alpha.gov hosts come before zeta.gov, and pages of the same host
+    # are adjacent.
+    assert hosts == sorted(hosts, key=lambda h: ".".join(reversed(h.split("."))))
+    assert hosts.index("www.zeta.gov") > hosts.index("www.alpha.gov")
+
+
+def test_url_sort_key_reverses_host_components():
+    document = Document(9, "http://www.example.gov/path/x.html", b"x")
+    key = url_sort_key(document)
+    assert key[0] == "gov.example.www"
+    assert key[1].startswith("path/")
+
+
+def test_url_sorted_preserves_documents_and_ids():
+    collection = make_collection()
+    ordered = url_sorted(collection)
+    assert sorted(ordered.doc_ids()) == sorted(collection.doc_ids())
+    for doc_id in collection.doc_ids():
+        assert ordered.document_by_id(doc_id).content == collection.document_by_id(doc_id).content
+
+
+def test_crawl_order_sorts_by_doc_id():
+    ordered = crawl_order(url_sorted(make_collection()))
+    assert ordered.doc_ids() == [0, 1, 2, 3]
+
+
+def test_shuffled_is_a_permutation_and_deterministic():
+    collection = make_collection()
+    a = shuffled(collection, seed=5)
+    b = shuffled(collection, seed=5)
+    assert a.doc_ids() == b.doc_ids()
+    assert sorted(a.doc_ids()) == [0, 1, 2, 3]
+
+
+def test_ordering_names():
+    collection = make_collection()
+    assert "urlsorted" in url_sorted(collection).name
+    assert "crawl" in crawl_order(collection).name
+    assert "shuffled" in shuffled(collection).name
+
+
+def test_url_sorting_improves_block_locality(gov_small):
+    """Same-host documents end up adjacent after URL sorting."""
+    ordered = url_sorted(gov_small)
+    hosts = [document.host for document in ordered]
+    # Count host changes along the order: URL sorting minimises them.
+    changes_sorted = sum(1 for a, b in zip(hosts[:-1], hosts[1:]) if a != b)
+    crawl_hosts = [document.host for document in gov_small]
+    changes_crawl = sum(1 for a, b in zip(crawl_hosts[:-1], crawl_hosts[1:]) if a != b)
+    assert changes_sorted <= changes_crawl

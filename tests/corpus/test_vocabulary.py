@@ -1,0 +1,56 @@
+"""Tests for the synthetic vocabulary and text generator."""
+
+import random
+
+from repro.corpus import TextGenerator, Vocabulary
+
+
+def test_vocabulary_size_and_uniqueness():
+    vocabulary = Vocabulary(size=500, seed=1)
+    assert len(vocabulary) >= 500
+    assert len(set(vocabulary.words)) == len(vocabulary.words)
+
+
+def test_vocabulary_contains_common_english_head():
+    vocabulary = Vocabulary(size=300, seed=1)
+    assert "the" in vocabulary.words[:50]
+
+
+def test_sampling_is_head_heavy():
+    """Zipf-ish sampling should draw head words far more often than tail words."""
+    vocabulary = Vocabulary(size=2000, seed=2)
+    rng = random.Random(0)
+    draws = [vocabulary.sample_word(rng) for _ in range(5000)]
+    head = set(vocabulary.words[:100])
+    head_fraction = sum(1 for word in draws if word in head) / len(draws)
+    assert head_fraction > 0.5
+
+
+def test_text_generator_sentences_and_paragraphs():
+    vocabulary = Vocabulary(size=500, seed=3)
+    generator = TextGenerator(vocabulary, seed=3)
+    rng = random.Random(1)
+    sentence = generator.sentence(rng)
+    assert sentence.endswith(".")
+    assert sentence[0].isupper()
+    paragraph = generator.paragraph(rng, sentences=4)
+    assert paragraph.count(".") >= 4
+
+
+def test_text_generator_reuses_phrases():
+    """Phrase reuse is what creates long RLZ factors across documents."""
+    vocabulary = Vocabulary(size=500, seed=4)
+    generator = TextGenerator(vocabulary, seed=4, phrase_pool_size=20, phrase_probability=0.9)
+    rng = random.Random(2)
+    text = " ".join(generator.sentence(rng) for _ in range(200))
+    reused = sum(1 for phrase in generator.phrases if text.count(phrase) >= 2)
+    assert reused >= 5
+
+
+def test_tokens_helper():
+    vocabulary = Vocabulary(size=300, seed=5)
+    generator = TextGenerator(vocabulary, seed=5)
+    rng = random.Random(3)
+    tokens = generator.tokens(rng, 17)
+    assert len(tokens) == 17
+    assert all(isinstance(token, str) and token for token in tokens)

@@ -1,0 +1,60 @@
+"""Tests for the REPRO-WARC persistence format."""
+
+import pytest
+
+from repro.corpus import Document, DocumentCollection, iter_warc_records, read_warc, write_warc
+from repro.errors import CorpusError
+
+
+def test_roundtrip(tmp_path, gov_small):
+    path = tmp_path / "collection.warc"
+    written = write_warc(gov_small, path)
+    assert written > 0
+    loaded = read_warc(path, name="reloaded")
+    assert loaded.name == "reloaded"
+    assert loaded.doc_ids() == gov_small.doc_ids()
+    for doc_id in gov_small.doc_ids():
+        assert loaded.document_by_id(doc_id).content == gov_small.document_by_id(doc_id).content
+        assert loaded.document_by_id(doc_id).url == gov_small.document_by_id(doc_id).url
+
+
+def test_iter_warc_is_lazy(tmp_path):
+    collection = DocumentCollection(
+        [Document(i, f"http://h.gov/{i}", bytes([65 + i]) * 10) for i in range(5)]
+    )
+    path = tmp_path / "tiny.warc"
+    write_warc(collection, path)
+    iterator = iter_warc_records(path)
+    first = next(iterator)
+    assert first.doc_id == 0
+    assert len(list(iterator)) == 4
+
+
+def test_binary_payload_roundtrip(tmp_path):
+    payload = bytes(range(256)) * 4
+    collection = DocumentCollection([Document(7, "http://bin.gov/x", payload)])
+    path = tmp_path / "binary.warc"
+    write_warc(collection, path)
+    assert read_warc(path).document_by_id(7).content == payload
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "broken.warc"
+    path.write_bytes(b"NOT-A-WARC\nDoc-Id: 1\n\n")
+    with pytest.raises(CorpusError):
+        read_warc(path)
+
+
+def test_truncated_payload_raises(tmp_path, gov_small):
+    path = tmp_path / "trunc.warc"
+    write_warc(gov_small, path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(CorpusError):
+        read_warc(path)
+
+
+def test_default_collection_name_is_stem(tmp_path, gov_small):
+    path = tmp_path / "mycrawl.warc"
+    write_warc(gov_small, path)
+    assert read_warc(path).name == "mycrawl"

@@ -1,0 +1,45 @@
+"""Tests for the sequential and query-log access patterns."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.corpus import DocumentCollection
+from repro.search import AccessPatterns, query_log_pattern, sequential_pattern
+
+
+def test_sequential_pattern_wraps_to_length(gov_small):
+    requests = sequential_pattern(gov_small, num_requests=55)
+    assert len(requests) == 55
+    assert requests[: len(gov_small)] == gov_small.doc_ids()
+    assert requests[len(gov_small)] == gov_small.doc_ids()[0]
+
+
+def test_sequential_pattern_empty_collection_raises():
+    with pytest.raises(SearchError):
+        sequential_pattern(DocumentCollection([]), 10)
+
+
+def test_query_log_pattern_properties(gov_small):
+    requests = query_log_pattern(gov_small, num_requests=200, num_queries=40, seed=1)
+    assert len(requests) == 200
+    valid = set(gov_small.doc_ids())
+    assert all(doc_id in valid for doc_id in requests)
+    # Query-log requests are not simply sequential.
+    assert requests != sequential_pattern(gov_small, 200)
+
+
+def test_query_log_pattern_is_skewed(gov_small):
+    """Popular documents are requested repeatedly (ranked retrieval skew)."""
+    requests = query_log_pattern(gov_small, num_requests=300, num_queries=60, seed=2)
+    counts = {}
+    for doc_id in requests:
+        counts[doc_id] = counts.get(doc_id, 0) + 1
+    assert max(counts.values()) > 300 / len(gov_small)
+
+
+def test_access_patterns_bundle(gov_small):
+    patterns = AccessPatterns(gov_small, num_requests=120, num_queries=30, seed=3)
+    assert len(patterns.sequential) == 120
+    assert len(patterns.query_log) == 120
+    # The index is built lazily and shared.
+    assert patterns.index is patterns.index

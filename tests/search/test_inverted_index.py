@@ -1,0 +1,85 @@
+"""Tests for the inverted index and BM25 ranking."""
+
+import pytest
+
+from repro.corpus import Document, DocumentCollection
+from repro.errors import SearchError
+from repro.search import InvertedIndex
+
+
+@pytest.fixture()
+def tiny_index():
+    collection = DocumentCollection(
+        [
+            Document(0, "http://a.gov/0", b"compression of web collections with dictionaries"),
+            Document(1, "http://a.gov/1", b"suffix array construction and pattern matching"),
+            Document(2, "http://a.gov/2", b"web crawling frontier politeness"),
+            Document(3, "http://a.gov/3", b"dictionaries dictionaries dictionaries compression"),
+        ]
+    )
+    return InvertedIndex.build(collection)
+
+
+def test_index_statistics(tiny_index):
+    assert tiny_index.num_documents == 4
+    assert tiny_index.num_terms > 5
+    assert tiny_index.average_document_length > 0
+    assert tiny_index.document_frequency("compression") == 2
+    assert tiny_index.document_frequency("nonexistentterm") == 0
+
+
+def test_postings_record_term_frequency(tiny_index):
+    postings = {p.doc_id: p.term_frequency for p in tiny_index.postings("dictionaries")}
+    assert postings[3] == 3
+    assert postings[0] == 1
+
+
+def test_search_ranks_matching_documents_first(tiny_index):
+    results = tiny_index.search("compression dictionaries")
+    assert results
+    assert results[0].doc_id == 3  # repeats both query terms
+    returned_ids = {r.doc_id for r in results}
+    assert 0 in returned_ids
+    assert 1 not in returned_ids  # shares no query term
+
+
+def test_search_respects_top_k(tiny_index):
+    assert len(tiny_index.search("web", top_k=1)) == 1
+
+
+def test_search_unknown_terms_returns_empty(tiny_index):
+    assert tiny_index.search("zzzz qqqq") == []
+
+
+def test_search_empty_query(tiny_index):
+    assert tiny_index.search("the and of") == []  # all stopwords
+
+
+def test_search_invalid_top_k(tiny_index):
+    with pytest.raises(SearchError):
+        tiny_index.search("web", top_k=0)
+
+
+def test_duplicate_document_rejected(tiny_index):
+    with pytest.raises(SearchError):
+        tiny_index.add_document(0, "again")
+
+
+def test_scores_are_descending(tiny_index):
+    results = tiny_index.search("web compression dictionaries")
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_index_realistic_collection(gov_small):
+    index = InvertedIndex.build(gov_small)
+    assert index.num_documents == len(gov_small)
+    results = index.search("information management program", top_k=10)
+    assert len(results) <= 10
+    for result in results:
+        assert result.doc_id in set(gov_small.doc_ids())
+
+
+def test_search_many(tiny_index):
+    batches = tiny_index.search_many(["web", "compression"], top_k=2)
+    assert len(batches) == 2

@@ -1,0 +1,52 @@
+"""Tests for query generation and the query-log builder."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search import InvertedIndex, QueryLogBuilder, generate_queries
+
+
+def test_generate_queries_deterministic(gov_small):
+    a = generate_queries(gov_small, num_queries=20, seed=1)
+    b = generate_queries(gov_small, num_queries=20, seed=1)
+    assert a == b
+    assert len(a) == 20
+    assert all(1 <= len(query.split()) <= 4 for query in a)
+
+
+def test_generate_queries_draw_from_collection_vocabulary(gov_small):
+    queries = generate_queries(gov_small, num_queries=10, seed=2)
+    corpus_text = " ".join(document.text().lower() for document in gov_small)
+    hit = sum(1 for query in queries for term in query.split() if term in corpus_text)
+    total = sum(len(query.split()) for query in queries)
+    assert hit / total > 0.9
+
+
+def test_generate_queries_validation(gov_small):
+    with pytest.raises(SearchError):
+        generate_queries(gov_small, num_queries=0)
+
+
+def test_query_log_builder_caps_requests(gov_small):
+    index = InvertedIndex.build(gov_small)
+    queries = generate_queries(gov_small, num_queries=50, seed=3)
+    builder = QueryLogBuilder(index, results_per_query=5, max_requests=37)
+    requests = builder.build(queries)
+    assert len(requests) == 37
+    valid_ids = set(gov_small.doc_ids())
+    assert all(doc_id in valid_ids for doc_id in requests)
+
+
+def test_query_log_builder_results_per_query(gov_small):
+    index = InvertedIndex.build(gov_small)
+    builder = QueryLogBuilder(index, results_per_query=3, max_requests=1000)
+    requests = builder.build(generate_queries(gov_small, num_queries=4, seed=4))
+    assert len(requests) <= 4 * 3
+
+
+def test_builder_validation(gov_small):
+    index = InvertedIndex.build(gov_small)
+    with pytest.raises(SearchError):
+        QueryLogBuilder(index, results_per_query=0)
+    with pytest.raises(SearchError):
+        QueryLogBuilder(index, max_requests=0)

@@ -1,0 +1,38 @@
+"""Tests for the search tokenizer."""
+
+from repro.search import STOPWORDS, strip_markup, tokenize_text
+
+
+def test_strip_markup_removes_tags():
+    assert strip_markup("<p>Hello <b>world</b></p>").split() == ["Hello", "world"]
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize_text("Compression Ratio 42") == ["compression", "ratio", "42"]
+
+
+def test_tokenize_removes_stopwords_by_default():
+    terms = tokenize_text("the quick brown fox and the lazy dog")
+    assert "the" not in terms
+    assert "and" not in terms
+    assert "quick" in terms
+
+
+def test_tokenize_can_keep_stopwords():
+    terms = tokenize_text("the quick fox", remove_stopwords=False)
+    assert terms[0] == "the"
+
+
+def test_tokenize_ignores_markup_attributes():
+    terms = tokenize_text('<a href="http://example.gov/page.html" class="nav">Budget report</a>')
+    assert "budget" in terms and "report" in terms
+    assert "href" not in terms
+
+
+def test_stopwords_are_lowercase():
+    assert all(word == word.lower() for word in STOPWORDS)
+
+
+def test_empty_input():
+    assert tokenize_text("") == []
+    assert tokenize_text("<br/>") == []

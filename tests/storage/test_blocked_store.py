@@ -1,0 +1,82 @@
+"""Tests for the blocked zlib/lzma baseline store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BlockedStore, BlockedStoreConfig
+
+
+def test_config_validation():
+    with pytest.raises(StorageError):
+        BlockedStoreConfig(compressor="bzip2")
+    with pytest.raises(StorageError):
+        BlockedStoreConfig(block_size=-1)
+
+
+@pytest.mark.parametrize("compressor", ["zlib", "lzma", "none"])
+def test_roundtrip_one_document_per_block(tmp_path, gov_small, compressor):
+    path = tmp_path / f"{compressor}.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig(compressor=compressor, block_size=0))
+    with BlockedStore.open(path) as store:
+        assert store.num_blocks == len(gov_small)
+        for document in gov_small:
+            assert store.get(document.doc_id) == document.content
+
+
+def test_roundtrip_multi_document_blocks(tmp_path, gov_small):
+    path = tmp_path / "blocked.repro"
+    BlockedStore.build(
+        gov_small, path, BlockedStoreConfig(compressor="zlib", block_size=32 * 1024)
+    )
+    with BlockedStore.open(path) as store:
+        assert store.num_blocks < len(gov_small)
+        for document in gov_small:
+            assert store.get(document.doc_id) == document.content
+        decoded = dict(store.iter_documents())
+        assert decoded[gov_small.doc_ids()[-1]] == gov_small[len(gov_small) - 1].content
+
+
+def test_bigger_blocks_compress_better(tmp_path, gov_small):
+    """The paper's core baseline trade-off."""
+    small_path = tmp_path / "small.repro"
+    large_path = tmp_path / "large.repro"
+    BlockedStore.build(gov_small, small_path, BlockedStoreConfig("zlib", block_size=0))
+    BlockedStore.build(gov_small, large_path, BlockedStoreConfig("zlib", block_size=256 * 1024))
+    with BlockedStore.open(small_path) as small, BlockedStore.open(large_path) as large:
+        assert large.compression_percent() < small.compression_percent()
+
+
+def test_lzma_compresses_better_than_zlib(tmp_path, gov_small):
+    zlib_path = tmp_path / "z.repro"
+    lzma_path = tmp_path / "l.repro"
+    BlockedStore.build(gov_small, zlib_path, BlockedStoreConfig("zlib", block_size=128 * 1024))
+    BlockedStore.build(gov_small, lzma_path, BlockedStoreConfig("lzma", block_size=128 * 1024))
+    with BlockedStore.open(zlib_path) as z, BlockedStore.open(lzma_path) as l:
+        assert l.compression_percent() < z.compression_percent()
+
+
+def test_block_reads_charged_to_disk(tmp_path, gov_small):
+    path = tmp_path / "disk.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig("zlib", block_size=64 * 1024))
+    with BlockedStore.open(path) as store:
+        store.disk.reset()
+        store.get(gov_small.doc_ids()[0])
+        assert store.disk.accounting.bytes_read > 0
+
+
+def test_metadata_exposed(tmp_path, gov_small):
+    path = tmp_path / "meta.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig("lzma", block_size=100_000, level=3))
+    with BlockedStore.open(path) as store:
+        assert store.compressor == "lzma"
+        assert store.block_size == 100_000
+        assert store.original_size == gov_small.total_size
+        assert len(store) == len(gov_small)
+
+
+def test_unknown_document_raises(tmp_path, gov_small):
+    path = tmp_path / "u.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig("zlib"))
+    with BlockedStore.open(path) as store:
+        with pytest.raises(StorageError):
+            store.get(99999)

@@ -1,0 +1,53 @@
+"""Tests for the container file format."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DocumentEntry, DocumentMap, read_container_header, write_container
+
+
+def test_write_and_read_header(tmp_path):
+    path = tmp_path / "test.repro"
+    document_map = DocumentMap([DocumentEntry(0, 0, 4), DocumentEntry(1, 4, 6)])
+    payload = b"abcdWORLD!"
+    total = write_container(
+        path,
+        "rlz",
+        {"scheme": "ZV", "answer": 42},
+        document_map,
+        b"dictionary-bytes",
+        payload,
+    )
+    assert total == path.stat().st_size
+    header = read_container_header(path)
+    assert header.store_type == "rlz"
+    assert header.metadata == {"scheme": "ZV", "answer": 42}
+    assert header.dictionary == b"dictionary-bytes"
+    assert header.document_map.doc_ids() == [0, 1]
+    with path.open("rb") as handle:
+        handle.seek(header.payload_offset)
+        assert handle.read() == payload
+
+
+def test_empty_dictionary_and_payload(tmp_path):
+    path = tmp_path / "empty.repro"
+    write_container(path, "raw", {}, DocumentMap(), b"", b"")
+    header = read_container_header(path)
+    assert header.dictionary == b""
+    assert len(header.document_map) == 0
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "bad.repro"
+    path.write_bytes(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(StorageError):
+        read_container_header(path)
+
+
+def test_truncated_file_raises(tmp_path):
+    path = tmp_path / "trunc.repro"
+    write_container(path, "rlz", {"a": 1}, DocumentMap(), b"dict", b"payload")
+    data = path.read_bytes()
+    path.write_bytes(data[:20])
+    with pytest.raises(StorageError):
+        read_container_header(path)

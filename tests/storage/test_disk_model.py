@@ -1,0 +1,75 @@
+"""Tests for the analytical disk model."""
+
+import pytest
+
+from repro.storage import DiskModel
+
+
+def test_first_read_pays_a_seek():
+    disk = DiskModel()
+    cost = disk.charge_read(0, 1024)
+    assert cost >= disk.seek_time + disk.rotational_latency
+    assert disk.accounting.seeks == 1
+    assert disk.accounting.bytes_read == 1024
+
+
+def test_sequential_reads_do_not_seek():
+    disk = DiskModel()
+    disk.charge_read(0, 4096)
+    cost = disk.charge_read(4096, 4096)
+    assert disk.accounting.seeks == 1
+    assert cost == pytest.approx(4096 / disk.transfer_rate)
+
+
+def test_backward_read_seeks_again():
+    disk = DiskModel()
+    disk.charge_read(10_000_000, 100)
+    disk.charge_read(0, 100)
+    assert disk.accounting.seeks == 2
+
+
+def test_readahead_window_counts_as_sequential():
+    disk = DiskModel(readahead=64 * 1024)
+    disk.charge_read(0, 1000)
+    disk.charge_read(1000 + 32 * 1024, 1000)  # gap within readahead
+    assert disk.accounting.seeks == 1
+    disk.charge_read(1000 + 10_000_000, 1000)  # far beyond readahead
+    assert disk.accounting.seeks == 2
+
+
+def test_transfer_time_scales_with_bytes():
+    disk = DiskModel()
+    small = disk.charge_read(0, 1024)
+    large = disk.charge_read(10**9, 1024 * 1024)
+    assert large - disk.seek_time - disk.rotational_latency > small - disk.seek_time - disk.rotational_latency
+
+
+def test_elapsed_accumulates_and_reset_clears():
+    disk = DiskModel()
+    disk.charge_read(0, 100)
+    disk.charge_read(10**8, 100)
+    assert disk.elapsed > 0
+    disk.reset()
+    assert disk.elapsed == 0.0
+    assert disk.accounting.seeks == 0
+    # After a reset the head position is forgotten: next read seeks again.
+    disk.charge_read(200, 100)
+    assert disk.accounting.seeks == 1
+
+
+def test_invalid_transfer_rate_rejected():
+    with pytest.raises(ValueError):
+        DiskModel(transfer_rate=0)
+
+
+def test_random_access_is_much_slower_than_sequential():
+    """The asymmetry behind the paper's sequential vs query-log gap."""
+    sequential = DiskModel()
+    offset = 0
+    for _ in range(100):
+        sequential.charge_read(offset, 8192)
+        offset += 8192
+    random_access = DiskModel()
+    for i in range(100):
+        random_access.charge_read((i * 7919) % (10**9), 8192)
+    assert random_access.elapsed > 10 * sequential.elapsed

@@ -1,0 +1,59 @@
+"""Tests for the document map."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DocumentEntry, DocumentMap
+
+
+def make_map():
+    return DocumentMap(
+        [
+            DocumentEntry(doc_id=0, offset=0, length=100),
+            DocumentEntry(doc_id=1, offset=100, length=250, block_index=0, index_in_block=1),
+            DocumentEntry(doc_id=5, offset=350, length=10),
+        ]
+    )
+
+
+def test_lookup_and_iteration():
+    document_map = make_map()
+    assert len(document_map) == 3
+    assert document_map.lookup(1).length == 250
+    assert document_map.doc_ids() == [0, 1, 5]
+    assert [entry.doc_id for entry in document_map] == [0, 1, 5]
+
+
+def test_lookup_missing_raises():
+    with pytest.raises(StorageError):
+        make_map().lookup(42)
+
+
+def test_add_rejects_duplicates():
+    document_map = make_map()
+    with pytest.raises(StorageError):
+        document_map.add(DocumentEntry(doc_id=0, offset=1, length=1))
+
+
+def test_duplicate_ids_in_constructor_rejected():
+    with pytest.raises(StorageError):
+        DocumentMap([DocumentEntry(0, 0, 1), DocumentEntry(0, 1, 1)])
+
+
+def test_serialisation_roundtrip():
+    document_map = make_map()
+    restored = DocumentMap.from_bytes(document_map.to_bytes())
+    assert restored.doc_ids() == document_map.doc_ids()
+    assert restored.lookup(1) == document_map.lookup(1)
+
+
+def test_empty_map_roundtrip():
+    assert len(DocumentMap.from_bytes(DocumentMap().to_bytes())) == 0
+
+
+def test_truncated_serialisation_raises():
+    data = make_map().to_bytes()
+    with pytest.raises(StorageError):
+        DocumentMap.from_bytes(data[: len(data) - 4])
+    with pytest.raises(StorageError):
+        DocumentMap.from_bytes(b"\x01")

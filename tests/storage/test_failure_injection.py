@@ -1,0 +1,94 @@
+"""Failure-injection tests: corrupted containers and mismatched decoders.
+
+A production document store must fail loudly (with the library's own
+exception types) rather than return silently wrong documents when its files
+are damaged.  These tests corrupt real containers in targeted ways and check
+the failure mode.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.core import DictionaryConfig, RlzCompressor
+from repro.errors import DecodingError, ReproError, StorageError
+from repro.storage import BlockedStore, BlockedStoreConfig, RlzStore, read_container_header
+
+
+@pytest.fixture()
+def rlz_container(tmp_path, gov_small, gov_dictionary):
+    compressor = RlzCompressor(dictionary=gov_dictionary, scheme="ZZ")
+    compressed = compressor.compress(gov_small)
+    path = tmp_path / "victim.repro"
+    RlzStore.write(compressed, path)
+    return path
+
+
+def test_truncated_payload_detected(rlz_container, gov_small):
+    data = rlz_container.read_bytes()
+    rlz_container.write_bytes(data[:-200])
+    with RlzStore.open(rlz_container) as store:
+        last_doc = gov_small.doc_ids()[-1]
+        with pytest.raises(ReproError):
+            store.get(last_doc)
+
+
+def test_corrupted_payload_bytes_detected(rlz_container, gov_small):
+    """Flipping bytes inside a zlib-coded blob must raise, not return garbage."""
+    header = read_container_header(rlz_container)
+    data = bytearray(rlz_container.read_bytes())
+    first_entry = next(iter(header.document_map))
+    start = header.payload_offset + first_entry.offset + 4
+    for offset in range(start, start + 16):
+        data[offset] ^= 0xFF
+    rlz_container.write_bytes(bytes(data))
+    with RlzStore.open(rlz_container) as store:
+        with pytest.raises(ReproError):
+            store.get(first_entry.doc_id)
+
+
+def test_truncated_header_detected(rlz_container):
+    rlz_container.write_bytes(rlz_container.read_bytes()[:10])
+    with pytest.raises(StorageError):
+        RlzStore.open(rlz_container)
+
+
+def test_wrong_scheme_metadata_fails_decoding(rlz_container, gov_small):
+    """Rewriting the scheme in the metadata makes blobs undecodable (no silent wrong data)."""
+    original = rlz_container.read_bytes()
+    marker = b'"scheme": "ZZ"'
+    assert marker in original
+    rlz_container.write_bytes(original.replace(marker, b'"scheme": "UV"'))
+    with RlzStore.open(rlz_container) as store:
+        failures = 0
+        for doc_id in gov_small.doc_ids()[:5]:
+            try:
+                decoded = store.get(doc_id)
+            except ReproError:
+                failures += 1
+            else:
+                if decoded != gov_small.document_by_id(doc_id).content:
+                    failures += 1
+        assert failures == 5
+
+
+def test_corrupted_block_detected(tmp_path, gov_small):
+    path = tmp_path / "blocked.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig("zlib", block_size=64 * 1024))
+    header = read_container_header(path)
+    data = bytearray(path.read_bytes())
+    # Corrupt the middle of the first block.
+    offset, length = (int(v) for v in header.metadata["blocks"][0])
+    for position in range(header.payload_offset + offset + length // 2,
+                          header.payload_offset + offset + length // 2 + 8):
+        data[position] ^= 0xAA
+    path.write_bytes(bytes(data))
+    with BlockedStore.open(path) as store:
+        with pytest.raises(Exception):
+            store.get(gov_small.doc_ids()[0])
+
+
+def test_decoding_error_is_repro_error():
+    assert issubclass(DecodingError, ReproError)
+    assert issubclass(StorageError, ReproError)

@@ -1,0 +1,55 @@
+"""Tests for the raw (ascii baseline) store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BlockedStore, RawStore
+
+
+@pytest.fixture(scope="module")
+def raw_path(tmp_path_factory, gov_small):
+    path = tmp_path_factory.mktemp("rawstore") / "ascii.repro"
+    RawStore.build(gov_small, path)
+    return path
+
+
+def test_random_access_roundtrip(raw_path, gov_small):
+    with RawStore.open(raw_path) as store:
+        for document in gov_small:
+            assert store.get(document.doc_id) == document.content
+
+
+def test_sequential_iteration(raw_path, gov_small):
+    with RawStore.open(raw_path) as store:
+        decoded = dict(store.iter_documents())
+    assert len(decoded) == len(gov_small)
+
+
+def test_no_compression(raw_path, gov_small):
+    with RawStore.open(raw_path) as store:
+        assert store.compression_percent() == 100.0
+        assert store.original_size == gov_small.total_size
+    assert raw_path.stat().st_size >= gov_small.total_size
+
+
+def test_disk_charged_full_document_size(raw_path, gov_small):
+    with RawStore.open(raw_path) as store:
+        store.disk.reset()
+        document = gov_small[0]
+        store.get(document.doc_id)
+        assert store.disk.accounting.bytes_read == document.size
+
+
+def test_unknown_document_raises(raw_path):
+    with RawStore.open(raw_path) as store:
+        with pytest.raises(StorageError):
+            store.get(424242)
+
+
+def test_opening_wrong_store_type_raises(tmp_path, gov_small):
+    from repro.storage import BlockedStoreConfig
+
+    path = tmp_path / "blocked.repro"
+    BlockedStore.build(gov_small, path, BlockedStoreConfig("zlib"))
+    with pytest.raises(StorageError):
+        RawStore.open(path)

@@ -1,0 +1,64 @@
+"""Tests for the on-disk RLZ store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import RawStore, RlzStore
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, gov_compressed):
+    path = tmp_path_factory.mktemp("rlzstore") / "gov.repro"
+    RlzStore.write(gov_compressed, path)
+    return path
+
+
+def test_written_file_is_smaller_than_collection(store_path, gov_small):
+    assert store_path.stat().st_size < gov_small.total_size
+
+
+def test_random_access_roundtrip(store_path, gov_small):
+    with RlzStore.open(store_path) as store:
+        for document in gov_small:
+            assert store.get(document.doc_id) == document.content
+
+
+def test_sequential_iteration(store_path, gov_small):
+    with RlzStore.open(store_path) as store:
+        decoded = dict(store.iter_documents())
+    assert set(decoded) == set(gov_small.doc_ids())
+    for document in gov_small:
+        assert decoded[document.doc_id] == document.content
+
+
+def test_store_metadata(store_path, gov_small, gov_compressed):
+    with RlzStore.open(store_path) as store:
+        assert store.scheme_name == "ZV"
+        assert store.original_size == gov_small.total_size
+        assert len(store) == len(gov_small)
+        assert store.doc_ids() == gov_small.doc_ids()
+        assert store.compression_percent() == pytest.approx(
+            gov_compressed.compression_ratio(include_dictionary=False), abs=0.1
+        )
+        assert store.compression_percent(include_dictionary=True) > store.compression_percent()
+
+
+def test_disk_model_is_charged(store_path, gov_small):
+    with RlzStore.open(store_path) as store:
+        store.disk.reset()
+        store.get(gov_small.doc_ids()[0])
+        assert store.disk.accounting.seeks == 1
+        assert store.disk.accounting.bytes_read > 0
+        assert store.disk.elapsed > 0
+
+
+def test_unknown_document_raises(store_path):
+    with RlzStore.open(store_path) as store:
+        with pytest.raises(StorageError):
+            store.get(123456)
+
+
+def test_opening_wrong_store_type_raises(tmp_path, gov_small):
+    path = RawStore.build(gov_small, tmp_path / "raw.repro")
+    with pytest.raises(StorageError):
+        RlzStore.open(path)

@@ -1,0 +1,83 @@
+"""Tests for the SA-IS suffix array construction."""
+
+import random
+
+import pytest
+
+from repro.suffix.sais import sais
+from repro.suffix.verify import is_valid_suffix_array, naive_suffix_array
+
+
+def test_empty_input():
+    assert sais(b"") == []
+
+
+def test_single_character():
+    assert sais(b"a") == [0]
+
+
+def test_two_distinct_characters():
+    assert sais(b"ba") == [1, 0]
+
+
+def test_two_equal_characters():
+    assert sais(b"aa") == [1, 0]
+
+
+def test_banana():
+    assert sais(b"banana") == naive_suffix_array(b"banana")
+
+
+def test_mississippi():
+    assert sais(b"mississippi") == naive_suffix_array(b"mississippi")
+
+
+def test_paper_dictionary_example():
+    """The dictionary from Table 1: d = cabbaabba.
+
+    The suffixes in lexicographic order are a, aabba, abba, abbaabba, ba,
+    baabba, bba, bbaabba, cabbaabba — exactly the listing in the paper's
+    Table 1.  (The numeric SA row printed in the paper's table is
+    inconsistent with its own suffix listing; the listing is authoritative.)
+    Our arrays are 0-based.
+    """
+    d = b"cabbaabba"
+    expected_one_based = [9, 5, 6, 2, 8, 4, 7, 3, 1]
+    assert sais(d) == [p - 1 for p in expected_one_based]
+    assert sais(d) == naive_suffix_array(d)
+
+
+def test_all_same_character():
+    text = b"a" * 50
+    assert sais(text) == list(range(49, -1, -1))
+
+
+def test_integer_sequence_input():
+    data = [3, 1, 2, 1, 3, 1]
+    assert sais(data) == naive_suffix_array(bytes(data))
+
+
+def test_rejects_negative_symbols():
+    with pytest.raises(ValueError):
+        sais([1, -2, 3])
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_small_alphabets(seed):
+    rng = random.Random(seed)
+    alphabet = b"ab" if seed % 2 == 0 else b"abcd"
+    text = bytes(rng.choice(alphabet) for _ in range(rng.randint(1, 200)))
+    assert sais(text) == naive_suffix_array(text)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_full_byte_alphabet(seed):
+    rng = random.Random(100 + seed)
+    text = bytes(rng.randrange(256) for _ in range(rng.randint(1, 300)))
+    result = sais(text)
+    assert is_valid_suffix_array(text, result)
+
+
+def test_repetitive_text():
+    text = b"abcabcabcabcabcabc"
+    assert sais(text) == naive_suffix_array(text)

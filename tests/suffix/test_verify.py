@@ -1,0 +1,31 @@
+"""Tests for the suffix-array verification helpers."""
+
+from repro.suffix import is_valid_suffix_array, naive_suffix_array, suffix_array_doubling
+
+
+def test_naive_suffix_array_banana():
+    assert naive_suffix_array(b"banana") == [5, 3, 1, 0, 4, 2]
+
+
+def test_valid_array_accepted():
+    text = b"verification"
+    assert is_valid_suffix_array(text, suffix_array_doubling(text))
+
+
+def test_wrong_length_rejected():
+    assert not is_valid_suffix_array(b"abc", [0, 1])
+
+
+def test_not_a_permutation_rejected():
+    assert not is_valid_suffix_array(b"abc", [0, 0, 2])
+
+
+def test_wrong_order_rejected():
+    text = b"banana"
+    correct = naive_suffix_array(text)
+    wrong = list(reversed(correct))
+    assert not is_valid_suffix_array(text, wrong)
+
+
+def test_empty_text():
+    assert is_valid_suffix_array(b"", [])

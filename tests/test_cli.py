@@ -1,0 +1,63 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import bench_main, compress_main, corpus_main
+
+
+def test_corpus_and_compress_roundtrip(tmp_path, capsys):
+    warc = tmp_path / "mini.warc"
+    assert corpus_main([str(warc), "--kind", "gov", "--documents", "8", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 8 documents" in out
+
+    container = tmp_path / "mini.repro"
+    status = compress_main(
+        [
+            str(warc),
+            str(container),
+            "--method",
+            "rlz",
+            "--scheme",
+            "ZV",
+            "--dictionary-size",
+            str(16 * 1024),
+            "--verify",
+        ]
+    )
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "all documents round-tripped" in out
+    assert container.exists()
+
+
+def test_corpus_url_sort_and_wikipedia(tmp_path, capsys):
+    warc = tmp_path / "wiki.warc"
+    assert (
+        corpus_main(
+            [str(warc), "--kind", "wikipedia", "--documents", "3", "--url-sort"]
+        )
+        == 0
+    )
+    assert warc.exists()
+
+
+@pytest.mark.parametrize("method", ["zlib", "lzma", "ascii"])
+def test_compress_baselines(tmp_path, method, capsys):
+    warc = tmp_path / "c.warc"
+    corpus_main([str(warc), "--documents", "6", "--seed", "1"])
+    container = tmp_path / f"c-{method}.repro"
+    assert (
+        compress_main(
+            [str(warc), str(container), "--method", method, "--block-size", "0.1", "--verify"]
+        )
+        == 0
+    )
+
+
+def test_bench_main_runs_selected_experiment(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    output = tmp_path / "results.txt"
+    assert bench_main(["ablation-sampling", "--output", str(output)]) == 0
+    assert output.exists()
+    assert "Ablation" in output.read_text()

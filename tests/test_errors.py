@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "DictionaryError",
+        "FactorizationError",
+        "EncodingError",
+        "DecodingError",
+        "StorageError",
+        "CorpusError",
+        "SearchError",
+        "BenchmarkError",
+    ):
+        error_class = getattr(errors, name)
+        assert issubclass(error_class, errors.ReproError)
+        assert issubclass(error_class, Exception)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.DecodingError("boom")
+
+
+def test_library_raises_its_own_types_not_bare_exceptions():
+    from repro.core import RlzDictionary
+
+    with pytest.raises(errors.DictionaryError):
+        RlzDictionary(b"")

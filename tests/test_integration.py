@@ -1,0 +1,108 @@
+"""End-to-end integration tests across subsystems.
+
+These tests follow the paper's whole pipeline on a miniature collection:
+generate a crawl, build a dictionary, compress with RLZ, persist to disk,
+build the baselines, generate both access patterns with the search engine,
+and verify the relationships the paper's evaluation depends on.
+"""
+
+import pytest
+
+from repro.baselines import build_blocked_baseline
+from repro.core import DictionaryConfig, RlzCompressor
+from repro.corpus import generate_gov_collection, url_sorted
+from repro.search import AccessPatterns
+from repro.storage import BlockedStore, RlzStore
+from repro.bench import measure_retrieval
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run the full pipeline once and share the artefacts across tests."""
+    directory = tmp_path_factory.mktemp("pipeline")
+    collection = generate_gov_collection(
+        num_documents=40, target_document_size=8 * 1024, seed=21
+    )
+    compressor = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=48 * 1024, sample_size=1024), scheme="ZV"
+    )
+    compressed = compressor.compress(collection)
+    rlz_path = RlzStore.write(compressed, directory / "rlz.repro")
+    zlib_path = build_blocked_baseline(collection, directory / "zlib.repro", "zlib", 0.2)
+    zlib_perdoc_path = build_blocked_baseline(
+        collection, directory / "zlib-perdoc.repro", "zlib", 0.0
+    )
+    patterns = AccessPatterns(collection, num_requests=150, num_queries=40)
+    return {
+        "collection": collection,
+        "compressed": compressed,
+        "rlz_path": rlz_path,
+        "zlib_path": zlib_path,
+        "zlib_perdoc_path": zlib_perdoc_path,
+        "patterns": patterns,
+    }
+
+
+def test_end_to_end_roundtrip(pipeline):
+    collection = pipeline["collection"]
+    with RlzStore.open(pipeline["rlz_path"]) as store:
+        for document in collection:
+            assert store.get(document.doc_id) == document.content
+
+
+def test_rlz_beats_per_document_zlib_on_space(pipeline):
+    """The paper's headline comparison at equal random-access granularity.
+
+    Blocked zlib with one document per block (the configuration whose
+    retrieval speed is closest to rlz) cannot exploit cross-document
+    redundancy, so rlz compresses better.  At the paper's scale rlz also
+    beats multi-document blocks; on this miniature collection (where two
+    blocks span the whole corpus) that comparison is not meaningful, so the
+    benchmark suite covers it instead.
+    """
+    with RlzStore.open(pipeline["rlz_path"]) as rlz, BlockedStore.open(
+        pipeline["zlib_perdoc_path"]
+    ) as blocked:
+        assert rlz.compression_percent(include_dictionary=False) < blocked.compression_percent()
+
+
+def test_rlz_random_access_faster_than_blocked(pipeline):
+    """Query-log retrieval: rlz decodes one document, blocked decodes a block."""
+    requests = pipeline["patterns"].query_log
+    with RlzStore.open(pipeline["rlz_path"]) as rlz:
+        rlz_rate = measure_retrieval(rlz, requests).docs_per_second
+    with BlockedStore.open(pipeline["zlib_path"]) as blocked:
+        blocked_rate = measure_retrieval(blocked, requests).docs_per_second
+    assert rlz_rate > blocked_rate
+
+
+def test_sequential_faster_than_query_log_for_rlz(pipeline):
+    patterns = pipeline["patterns"]
+    with RlzStore.open(pipeline["rlz_path"]) as store:
+        sequential = measure_retrieval(store, patterns.sequential).docs_per_second
+        query_log = measure_retrieval(store, patterns.query_log).docs_per_second
+    assert sequential > query_log
+
+
+def test_url_sorting_does_not_hurt_rlz_compression(pipeline):
+    """Section 3.5: uniform sampling makes rlz insensitive to page order."""
+    collection = pipeline["collection"]
+    sorted_collection = url_sorted(collection)
+    config = DictionaryConfig(size=48 * 1024, sample_size=1024)
+    crawl = RlzCompressor(dictionary_config=config, scheme="ZV").compress(collection)
+    ordered = RlzCompressor(dictionary_config=config, scheme="ZV").compress(sorted_collection)
+    difference = abs(
+        crawl.compression_ratio(include_dictionary=False)
+        - ordered.compression_ratio(include_dictionary=False)
+    )
+    assert difference < 2.0
+
+
+def test_compressed_collection_survives_store_roundtrip(pipeline, tmp_path):
+    """Writing and re-opening must not change a single encoded byte."""
+    compressed = pipeline["compressed"]
+    path = tmp_path / "again.repro"
+    RlzStore.write(compressed, path)
+    with RlzStore.open(path) as store:
+        for document in compressed.documents:
+            assert store.get(document.doc_id) == compressed.decode_document(document.doc_id)
