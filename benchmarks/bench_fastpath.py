@@ -1,0 +1,37 @@
+"""Fast-path throughput benchmark: current pipeline vs the frozen seed.
+
+Measures encode throughput (jump-start index + stream factorization +
+parallel pipeline) and decode throughput (batch decode + serving cache)
+against frozen re-implementations of the seed revision's hot loops, verifies
+byte-identical factor streams and exact round-trips in the same run, and
+appends the raw numbers to ``benchmarks/results/fastpath.json`` so the perf
+trajectory accumulates machine-readable points.
+
+Run with ``pytest benchmarks/bench_fastpath.py --benchmark-only``; scale with
+the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from pathlib import Path
+
+from repro.bench.fastpath import fastpath_benchmark
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def test_fastpath(benchmark, results_path):
+    """Record fast-path speedups and verify parse/round-trip identity."""
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        fastpath_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "byte-identical to seed: True" in notes
+    assert "parallel blobs identical to serial: True" in notes
+    assert "round-trip verified against corpus: True" in notes
+    assert "served bytes verified against corpus: True" in notes

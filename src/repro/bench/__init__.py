@@ -19,6 +19,7 @@ from .experiments import (
     rlz_retrieval_table,
     sampling_policy_ablation_table,
 )
+from .fastpath import fastpath_benchmark
 from .harness import EXPERIMENTS, run_all, run_experiment
 from .reporting import ResultTable
 from .retrieval import RetrievalMeasurement, measure_retrieval
@@ -35,6 +36,7 @@ __all__ = [
     "current_scale",
     "dictionary_statistics_table",
     "dynamic_update_table",
+    "fastpath_benchmark",
     "gov_collection",
     "gov_collection_url_sorted",
     "length_histogram_figure",

@@ -24,6 +24,7 @@ from .experiments import (
     rlz_retrieval_table,
     sampling_policy_ablation_table,
 )
+from .fastpath import fastpath_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
 
@@ -104,6 +105,10 @@ def _ablation_pruning() -> ResultTable:
     return pruning_ablation_table(gov_collection())
 
 
+def _fastpath() -> ResultTable:
+    return fastpath_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -120,6 +125,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "ablation-codecs": _ablation_codecs,
     "ablation-sampling": _ablation_sampling,
     "ablation-pruning": _ablation_pruning,
+    "fastpath": _fastpath,
 }
 
 

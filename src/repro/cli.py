@@ -1,7 +1,8 @@
 """Command-line entry points.
 
-Three console scripts are installed with the package:
+Four console scripts are installed with the package:
 
+* ``repro``          — umbrella command: ``repro corpus|compress|bench ...``;
 * ``repro-corpus``  — generate a synthetic collection and write it to a
   REPRO-WARC file;
 * ``repro-compress`` — compress a REPRO-WARC collection with rlz (or a
@@ -28,7 +29,7 @@ from .corpus import (
 )
 from .storage import BlockedStore, BlockedStoreConfig, RawStore, RlzStore
 
-__all__ = ["corpus_main", "compress_main", "bench_main"]
+__all__ = ["corpus_main", "compress_main", "bench_main", "main"]
 
 
 def corpus_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -89,7 +90,15 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--verify", action="store_true", help="decode every document and compare"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="rlz encode worker processes (1 serial, 0 all cores)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
 
     collection = read_warc(args.input)
     if args.method == "rlz":
@@ -98,6 +107,7 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
                 size=args.dictionary_size, sample_size=args.sample_size
             ),
             scheme=args.scheme,
+            workers=args.workers,
         )
         compressed = compressor.compress(collection)
         RlzStore.write(compressed, args.output)
@@ -150,3 +160,30 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     run_all(output_path=args.output, experiments=args.experiments or None)
     print(f"\nresults appended to {args.output}")
     return 0
+
+
+_SUBCOMMANDS = {
+    "corpus": corpus_main,
+    "compress": compress_main,
+    "bench": bench_main,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Umbrella entry point: ``repro <corpus|compress|bench> [args...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = " | ".join(sorted(_SUBCOMMANDS))
+        usage = f"usage: repro {{{names}}} [options...]"
+        if argv:
+            print(usage)
+            return 0
+        print(usage, file=sys.stderr)
+        return 2
+    command = argv[0]
+    handler = _SUBCOMMANDS.get(command)
+    if handler is None:
+        names = ", ".join(sorted(_SUBCOMMANDS))
+        print(f"repro: unknown command {command!r} (expected one of: {names})", file=sys.stderr)
+        return 2
+    return handler(argv[1:])

@@ -22,7 +22,7 @@ from .compressor import (
     CompressionReport,
     RlzCompressor,
 )
-from .decoder import decode_factors, decode_pairs
+from .decoder import decode_factors, decode_many, decode_pairs
 from .dictionary import (
     DictionaryConfig,
     RlzDictionary,
@@ -34,6 +34,7 @@ from .dictionary import (
 from .encoder import PAPER_SCHEMES, PairCodingScheme, PairEncoder
 from .factor import Factor, Factorization
 from .factorizer import RlzFactorizer
+from .parallel import ParallelCompressor
 from .pruning import PruningReport, iterative_resample, prune_dictionary
 from .stats import DictionaryUsage, FactorStatistics, length_histogram
 from .update import AppendOnlyUpdater, PrefixDictionaryResult, simulate_prefix_dictionaries
@@ -51,6 +52,7 @@ __all__ = [
     "PAPER_SCHEMES",
     "PairCodingScheme",
     "PairEncoder",
+    "ParallelCompressor",
     "PrefixDictionaryResult",
     "PruningReport",
     "RlzCompressor",
@@ -58,6 +60,7 @@ __all__ = [
     "RlzFactorizer",
     "build_dictionary",
     "decode_factors",
+    "decode_many",
     "decode_pairs",
     "iterative_resample",
     "length_histogram",

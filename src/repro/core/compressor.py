@@ -158,6 +158,11 @@ class RlzCompressor:
     scheme:
         Pair-coding scheme name (``"ZZ"``, ``"ZV"``, ``"UZ"``, ``"UV"`` or
         any other two-letter combination of registered codecs).
+    workers:
+        Encode-pipeline parallelism: ``None`` or 1 encodes serially, 0 uses
+        every core, any other positive value sets the pool size.  The
+        encoded blobs are identical regardless of the worker count; see
+        :class:`repro.core.parallel.ParallelCompressor`.
     """
 
     def __init__(
@@ -167,12 +172,14 @@ class RlzCompressor:
         scheme: str = "ZZ",
         sa_algorithm: str = "doubling",
         accelerated: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         self._dictionary = dictionary
         self._dictionary_config = dictionary_config
         self._scheme_name = scheme.upper()
         self._sa_algorithm = sa_algorithm
         self._accelerated = accelerated
+        self._workers = workers
 
     @property
     def scheme_name(self) -> str:
@@ -206,26 +213,50 @@ class RlzCompressor:
         collect_statistics: bool = False,
     ) -> CompressedCollection | tuple[CompressedCollection, CompressionReport]:
         """Compress ``collection``; optionally also return a statistics report."""
-        dictionary = self._ensure_dictionary(collection)
-        factorizer = RlzFactorizer(dictionary)
-        encoder = PairEncoder(self._scheme_name)
+        from .parallel import ParallelCompressor, resolve_workers
 
-        factor_stats = FactorStatistics()
-        usage = DictionaryUsage(dictionary)
+        dictionary = self._ensure_dictionary(collection)
+
         compressed_documents: List[CompressedDocument] = []
-        for document in collection:
-            factorization = factorizer.factorize(document.content)
-            blob = encoder.encode(factorization)
-            compressed_documents.append(
+        if collect_statistics:
+            # Statistics need the materialised factorizations, so this path
+            # stays serial and object-based.
+            factor_stats = FactorStatistics()
+            usage = DictionaryUsage(dictionary)
+            factorizer = RlzFactorizer(dictionary)
+            encoder = PairEncoder(self._scheme_name)
+            for document in collection:
+                factorization = factorizer.factorize(document.content)
+                blob = encoder.encode(factorization)
+                compressed_documents.append(
+                    CompressedDocument(
+                        doc_id=document.doc_id,
+                        data=blob,
+                        original_size=document.size,
+                    )
+                )
+                factor_stats.add(factorization)
+                usage.add(factorization)
+        else:
+            # Throughput path: stream-based factorization, optionally fanned
+            # out over a worker pool.  Blobs are identical either way.
+            pipeline = ParallelCompressor(
+                dictionary,
+                scheme=self._scheme_name,
+                workers=resolve_workers(self._workers),
+            )
+            documents = list(collection)
+            blobs = pipeline.encode_documents(
+                [document.content for document in documents]
+            )
+            compressed_documents = [
                 CompressedDocument(
                     doc_id=document.doc_id,
                     data=blob,
                     original_size=document.size,
                 )
-            )
-            if collect_statistics:
-                factor_stats.add(factorization)
-                usage.add(factorization)
+                for document, blob in zip(documents, blobs)
+            ]
 
         compressed = CompressedCollection(
             dictionary=dictionary,

@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..corpus.document import DocumentCollection
 from ..errors import DictionaryError
 from ..suffix import SuffixArray
@@ -83,6 +85,7 @@ class RlzDictionary:
         config: Optional[DictionaryConfig] = None,
         sa_algorithm: str = "doubling",
         accelerated: bool = True,
+        jump_start: bool = True,
     ) -> None:
         if not data:
             raise DictionaryError("dictionary must not be empty")
@@ -90,7 +93,9 @@ class RlzDictionary:
         self._config = config
         self._sa_algorithm = sa_algorithm
         self._accelerated = accelerated
+        self._jump_start = jump_start
         self._suffix_array: Optional[SuffixArray] = None
+        self._decode_table = None
 
     @property
     def data(self) -> bytes:
@@ -110,9 +115,27 @@ class RlzDictionary:
         """Suffix array over the dictionary (built on first access)."""
         if self._suffix_array is None:
             self._suffix_array = SuffixArray(
-                self._data, algorithm=self._sa_algorithm, accelerated=self._accelerated
+                self._data,
+                algorithm=self._sa_algorithm,
+                accelerated=self._accelerated,
+                jump_start=self._jump_start,
             )
         return self._suffix_array
+
+    @property
+    def decode_table(self):
+        """uint8 array of the dictionary bytes followed by the 256 byte values.
+
+        The vectorized decoder reconstructs documents with a single gather
+        out of this table: copy factors index into the dictionary region and
+        a literal of byte value ``b`` indexes position ``len(dictionary) + b``
+        in the appended identity region.  Built once, on first use.
+        """
+        if self._decode_table is None:
+            self._decode_table = np.frombuffer(
+                self._data + bytes(range(256)), dtype=np.uint8
+            )
+        return self._decode_table
 
     def extended(self, extra: bytes) -> "RlzDictionary":
         """A new dictionary with ``extra`` bytes appended (Section 3.6).
@@ -128,6 +151,7 @@ class RlzDictionary:
             config=self._config,
             sa_algorithm=self._sa_algorithm,
             accelerated=self._accelerated,
+            jump_start=self._jump_start,
         )
 
 

@@ -108,8 +108,20 @@ class PairEncoder:
     # ------------------------------------------------------------------
     def encode(self, factorization: Factorization) -> bytes:
         """Serialise one document's factorization into a self-contained blob."""
-        positions = factorization.positions()
-        lengths = factorization.lengths()
+        return self.encode_streams(factorization.positions(), factorization.lengths())
+
+    def encode_streams(self, positions: List[int], lengths: List[int]) -> bytes:
+        """Serialise raw (positions, lengths) streams into a blob.
+
+        This is the zero-object fast path used by the throughput pipeline:
+        the streams produced by ``RlzFactorizer.factorize_streams`` are
+        encoded directly, yielding a blob byte-identical to
+        ``encode(factorize(text))``.
+        """
+        if len(positions) != len(lengths):
+            raise EncodingError(
+                f"position/length stream mismatch: {len(positions)} vs {len(lengths)}"
+            )
         try:
             position_bytes = self._scheme.position_codec.encode(positions)
             length_bytes = self._scheme.length_codec.encode(lengths)

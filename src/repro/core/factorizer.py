@@ -20,7 +20,7 @@ speed difference.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import FactorizationError
 from .dictionary import RlzDictionary
@@ -74,6 +74,39 @@ class RlzFactorizer:
                 yield Factor.copy(match_position, match_length)
                 position += match_length
 
-    def factorize_many(self, documents: Iterable[bytes]) -> List[Factorization]:
-        """Factorize an iterable of documents, in order."""
+    def factorize_streams(self, text: bytes) -> Tuple[List[int], List[int]]:
+        """The parse of ``text`` as parallel (positions, lengths) streams.
+
+        This is the hot-path form of :meth:`factorize`: it produces exactly
+        the streams the pair encoders consume without materialising a
+        :class:`Factor` object per factor.  ``factorize(text)`` and
+        ``factorize_streams(text)`` always describe the identical parse.
+        """
+        if not isinstance(text, (bytes, bytearray)):
+            raise FactorizationError("factorize expects a bytes-like document")
+        return self._suffix_array.factorize_stream(bytes(text))
+
+    def factorize_many(
+        self, documents: Iterable[bytes], workers: Optional[int] = None
+    ) -> List[Factorization]:
+        """Factorize an iterable of documents, in order.
+
+        With ``workers`` greater than 1 the documents are parsed by a
+        :class:`repro.core.parallel.ParallelCompressor` pool sharing this
+        factorizer's dictionary; the result is identical to the serial path.
+        """
+        documents = list(documents)
+        if workers is not None and workers != 1 and len(documents) > 1:
+            from .parallel import ParallelCompressor
+
+            pipeline = ParallelCompressor(self._dictionary, workers=workers)
+            return [
+                Factorization(
+                    [
+                        Factor(position=position, length=length)
+                        for position, length in zip(positions, lengths)
+                    ]
+                )
+                for positions, lengths in pipeline.factorize_documents(documents)
+            ]
         return [self.factorize(document) for document in documents]

@@ -14,11 +14,12 @@ the paper as well as pure CPU decode rates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.compressor import CompressedCollection
-from ..core.decoder import decode_pairs
+from ..core.decoder import decode_many, decode_pairs
 from ..core.dictionary import RlzDictionary
 from ..core.encoder import PairEncoder
 from ..errors import StorageError
@@ -38,6 +39,7 @@ class RlzStore:
         self,
         header: ContainerHeader,
         disk: Optional[DiskModel] = None,
+        decode_cache_size: int = 0,
     ) -> None:
         if header.store_type != self.store_type:
             raise StorageError(
@@ -49,6 +51,14 @@ class RlzStore:
         self._encoder = PairEncoder(self._scheme_name)
         self._disk = disk if disk is not None else DiskModel()
         self._handle = header.path.open("rb")
+        # Decoded-document LRU cache for repeated-access serving workloads.
+        # 0 disables it (every get decodes from disk, as the paper measures).
+        if decode_cache_size < 0:
+            raise StorageError("decode_cache_size must be >= 0")
+        self._cache_capacity = decode_cache_size
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -84,9 +94,23 @@ class RlzStore:
         return path
 
     @classmethod
-    def open(cls, path: str | Path, disk: Optional[DiskModel] = None) -> "RlzStore":
-        """Open an existing RLZ container for reading."""
-        return cls(read_container_header(Path(path)), disk=disk)
+    def open(
+        cls,
+        path: str | Path,
+        disk: Optional[DiskModel] = None,
+        decode_cache_size: int = 0,
+    ) -> "RlzStore":
+        """Open an existing RLZ container for reading.
+
+        ``decode_cache_size`` turns on an LRU cache of that many decoded
+        documents, which repeated-access serving workloads hit instead of
+        re-reading and re-decoding.
+        """
+        return cls(
+            read_container_header(Path(path)),
+            disk=disk,
+            decode_cache_size=decode_cache_size,
+        )
 
     # ------------------------------------------------------------------
     # Properties
@@ -148,12 +172,77 @@ class RlzStore:
             raise StorageError("payload truncated while reading document")
         return blob
 
+    def _cache_lookup(self, doc_id: int) -> Optional[bytes]:
+        if not self._cache_capacity:
+            return None
+        document = self._cache.get(doc_id)
+        if document is None:
+            self._cache_misses += 1
+            return None
+        self._cache.move_to_end(doc_id)
+        self._cache_hits += 1
+        return document
+
+    def _cache_store(self, doc_id: int, document: bytes) -> None:
+        if not self._cache_capacity:
+            return
+        self._cache[doc_id] = document
+        self._cache.move_to_end(doc_id)
+        while len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+
+    @property
+    def cache_info(self) -> Dict[str, int]:
+        """Decoded-document cache counters (hits, misses, size, capacity)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "capacity": self._cache_capacity,
+        }
+
     def get(self, doc_id: int) -> bytes:
         """Random access: decode one document."""
+        cached = self._cache_lookup(doc_id)
+        if cached is not None:
+            return cached
         entry = self._header.document_map.lookup(doc_id)
         blob = self._read_blob(entry)
         positions, lengths = self._encoder.decode_streams(blob)
-        return decode_pairs(positions, lengths, self._dictionary)
+        document = decode_pairs(positions, lengths, self._dictionary)
+        self._cache_store(doc_id, document)
+        return document
+
+    def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+        """Batch random access: decode several documents in one pass.
+
+        Cache hits are served directly; the remaining documents are read and
+        batch-decoded with :func:`repro.core.decode_many` (one vectorized
+        gather for the whole batch).  The result order matches ``doc_ids``,
+        and repeated IDs within one batch are decoded only once.
+        """
+        results: Dict[int, bytes] = {}
+        missing: List[int] = []
+        missing_set: set = set()
+        for doc_id in doc_ids:
+            if doc_id in results or doc_id in missing_set:
+                continue
+            cached = self._cache_lookup(doc_id)
+            if cached is not None:
+                results[doc_id] = cached
+            else:
+                missing.append(doc_id)
+                missing_set.add(doc_id)
+        if missing:
+            streams = []
+            for doc_id in missing:
+                entry = self._header.document_map.lookup(doc_id)
+                blob = self._read_blob(entry)
+                streams.append(self._encoder.decode_streams(blob))
+            for doc_id, document in zip(missing, decode_many(streams, self._dictionary)):
+                results[doc_id] = document
+                self._cache_store(doc_id, document)
+        return [results[doc_id] for doc_id in doc_ids]
 
     def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
         """Sequential access: decode every document in store order."""

@@ -22,6 +22,15 @@ Two execution modes are provided:
   falling back to per-character refinement for the final partial step.  The
   ablation benchmark verifies that both modes emit byte-identical factor
   streams and measures the speed difference.
+
+The accelerated mode additionally maintains a *jump-start index* (enabled by
+default, see the ``jump_start`` parameter): a hash table mapping the 8-byte
+key of every suffix to its precomputed suffix-array interval.  The first
+step of every ``longest_match`` then starts inside the exact interval that a
+``searchsorted`` over the full key array would reach, in O(1) instead of
+O(log n).  A companion 256-entry first-byte interval table plays the same
+role for the per-character fallback.  Both indexes are derived from the
+level-0 keys in one vectorized numpy pass and change no parse.
 """
 
 from __future__ import annotations
@@ -76,18 +85,27 @@ class SuffixArray:
         Enable the 8-byte-key acceleration of :meth:`longest_match`.  The
         parse produced is identical either way; disabling it gives the
         paper's literal per-character algorithm.
+    jump_start:
+        Enable the k-gram jump-start index (a hash table from the first
+        8-byte key of every suffix to its suffix-array interval) that lets
+        each ``longest_match`` skip the initial binary search over the full
+        array.  Only meaningful when ``accelerated`` is true; the parse is
+        identical with or without it.
     """
 
     #: Interval sizes at or below this threshold are scanned candidate by
     #: candidate instead of refined further; with a handful of candidates the
-    #: direct scan is both simpler and faster.
-    _SCAN_THRESHOLD = 16
+    #: direct scan is both simpler and faster.  (Measured optimum with the
+    #: first-byte prefilter in ``_scan_interval``; the chosen switch-over
+    #: point never changes the parse, only which code path computes it.)
+    _SCAN_THRESHOLD = 4
 
     def __init__(
         self,
         text: bytes,
         algorithm: str = "doubling",
         accelerated: bool = True,
+        jump_start: bool = True,
     ) -> None:
         if not isinstance(text, (bytes, bytearray)):
             raise TypeError("SuffixArray requires a bytes-like text")
@@ -101,10 +119,17 @@ class SuffixArray:
             raise ValueError(f"unknown suffix array algorithm: {algorithm!r}")
         self._algorithm = algorithm
         self._accelerated = bool(accelerated)
+        self._jump_start = bool(jump_start)
         # Acceleration state, built lazily on first longest_match call.
         self._padded: Optional[np.ndarray] = None
+        self._position_keys: Optional[np.ndarray] = None
         self._prefix_keys: Optional[np.ndarray] = None
         self._level_keys: dict[int, np.ndarray] = {}
+        self._jump_index: Optional[dict] = None
+        self._jump4_index: Optional[dict] = None
+        self._byte_intervals: Optional[list] = None
+        self._sa_list: Optional[list] = None
+        self._level_key_lists: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -123,6 +148,11 @@ class SuffixArray:
     def accelerated(self) -> bool:
         """Whether the 8-byte-key acceleration is enabled."""
         return self._accelerated
+
+    @property
+    def jump_start(self) -> bool:
+        """Whether the k-gram jump-start index is enabled."""
+        return self._jump_start
 
     @property
     def array(self) -> np.ndarray:
@@ -160,14 +190,32 @@ class SuffixArray:
         """
         if interval.is_empty:
             return _EMPTY_INTERVAL
-        lb = self._lower_bound(interval.lb, interval.rb, offset, byte)
-        if lb > interval.rb:
+        bounds = self._refine_bounds(interval.lb, interval.rb, offset, byte)
+        if bounds is None:
             return _EMPTY_INTERVAL
-        pos = int(self._sa[lb]) + offset
+        return SuffixInterval(bounds[0], bounds[1])
+
+    def _refine_bounds(
+        self, lb: int, rb: int, offset: int, byte: int
+    ) -> Optional[Tuple[int, int]]:
+        """:meth:`refine` on plain bounds; ``None`` marks an empty result."""
+        new_lb = self._lower_bound(lb, rb, offset, byte)
+        if new_lb > rb:
+            return None
+        pos = int(self._sa[new_lb]) + offset
         if pos >= self._n or self._text[pos] != byte:
-            return _EMPTY_INTERVAL
-        rb = self._upper_bound(lb, interval.rb, offset, byte)
-        return SuffixInterval(lb, rb)
+            return None
+        return new_lb, self._upper_bound(new_lb, rb, offset, byte)
+
+    def _suffix_positions(self):
+        """Suffix positions as a plain list when built, else the numpy array.
+
+        The accelerated path materialises the suffix array as a Python list
+        (:attr:`_sa_list`) because scalar indexing of a list is several times
+        faster than scalar indexing of a numpy array, and the binary-search
+        and candidate-scan loops are all scalar.
+        """
+        return self._sa_list if self._sa_list is not None else self._sa
 
     def _byte_at(self, rank: int, offset: int) -> int:
         """Byte at ``offset`` within the suffix of the given rank, or -1 past the end."""
@@ -211,18 +259,109 @@ class SuffixArray:
     #: refinement (which shrinks them quickly at logarithmic cost).
     _GATHER_MAX = 4096
 
+    #: Texts at most this long get the hash-table jump indexes and the
+    #: Python-list key levels (fastest scalar search, ~100-150 bytes of
+    #: index per text byte).  Longer texts keep the numpy-only machinery,
+    #: whose memory overhead stays a small constant per byte.
+    _JUMP_START_MAX_TEXT = 1 << 20
+
     def _ensure_keys(self) -> np.ndarray:
-        """Precompute the level-0 keys (first 8 bytes of every suffix)."""
+        """Precompute every key level, the jump-start index and the byte table.
+
+        One vectorized pass computes the big-endian 8-byte key of *every*
+        text position (zero-padded past the end); all ``_MAX_LEVELS`` key
+        levels are then plain gathers out of that array, and the jump-start
+        hash table falls out of the run boundaries of the (sorted) level-0
+        keys.  Everything is built exactly once, on the first accelerated
+        ``longest_match``.
+        """
         if self._prefix_keys is not None:
             return self._prefix_keys
+        n = self._n
         text_array = np.frombuffer(self._text, dtype=np.uint8)
         self._padded = np.concatenate(
             [text_array, np.zeros((self._MAX_LEVELS + 1) * _KEY_WIDTH, dtype=np.uint8)]
         )
-        self._level_keys = {}
-        self._prefix_keys = self._keys_at(self._sa, 0)
-        self._level_keys[0] = self._prefix_keys
+        # Key of every position 0 .. n + (_MAX_LEVELS - 1) * 8 in one pass of
+        # eight shift-or operations over the padded text.
+        span = n + self._MAX_LEVELS * _KEY_WIDTH
+        position_keys = np.zeros(span, dtype=np.uint64)
+        for j in range(_KEY_WIDTH):
+            position_keys = (position_keys << np.uint64(8)) | self._padded[
+                j : j + span
+            ].astype(np.uint64)
+        self._position_keys = position_keys
+        indexed = n <= self._JUMP_START_MAX_TEXT
+        if indexed:
+            # All levels eagerly: level k is a gather at offset 8k.
+            self._level_keys = {
+                level: position_keys[self._sa + level * _KEY_WIDTH]
+                for level in range(self._MAX_LEVELS)
+            }
+            # Python-list view of the suffix array for the scalar hot loops.
+            self._sa_list = self._sa.tolist()
+        else:
+            # Large text: keep only the numpy machinery, whose overhead is a
+            # small constant per byte (level 0 here, further levels built
+            # lazily by _get_level_keys on demand).
+            self._level_keys = {0: position_keys[self._sa]}
+        self._prefix_keys = self._level_keys[0]
+        # First-byte interval table: refine(full, 0, b) for every byte value.
+        if n:
+            first_bytes = self._padded[self._sa]
+            values = np.arange(256)
+            lows = np.searchsorted(first_bytes, values, side="left")
+            highs = np.searchsorted(first_bytes, values, side="right")
+            self._byte_intervals = [
+                (int(low), int(high) - 1) if high > low else None
+                for low, high in zip(lows, highs)
+            ]
+        else:
+            self._byte_intervals = [None] * 256
+        # Python-list views of the key levels: the bounded C-level ``bisect``
+        # searches of the factorization loop index them without numpy slice
+        # or scalar-conversion overhead.
+        if n and indexed:
+            self._level_key_lists = [
+                self._level_keys[level].tolist() for level in range(self._MAX_LEVELS)
+            ]
+        # Jump-start indexes: the first 8-byte key of every suffix -> its
+        # suffix-array interval, plus a 4-byte variant that jump-starts the
+        # short factors the 8-byte index cannot serve.
+        if self._jump_start and n and indexed:
+            level0 = self._prefix_keys
+            boundaries = np.flatnonzero(level0[1:] != level0[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [n]))
+            self._jump_index = {
+                key: (lb, rb)
+                for key, lb, rb in zip(
+                    level0[starts].tolist(), starts.tolist(), (ends - 1).tolist()
+                )
+            }
+            quads = level0 >> np.uint64(32)
+            quad_boundaries = np.flatnonzero(quads[1:] != quads[:-1]) + 1
+            quad_starts = np.concatenate(([0], quad_boundaries))
+            quad_ends = np.concatenate((quad_boundaries, [n]))
+            self._jump4_index = {
+                key: (lb, rb)
+                for key, lb, rb in zip(
+                    quads[quad_starts].tolist(),
+                    quad_starts.tolist(),
+                    (quad_ends - 1).tolist(),
+                )
+            }
         return self._prefix_keys
+
+    def prepare(self) -> None:
+        """Build all acceleration state now (e.g. before forking workers).
+
+        The parallel encode pipeline calls this in the parent process so the
+        key levels, the jump-start index and the suffix-array list are built
+        once and shared copy-on-write with every forked worker.
+        """
+        if self._accelerated:
+            self._ensure_keys()
 
     def _get_level_keys(self, level: int) -> np.ndarray:
         """Keys of bytes ``8 * level .. 8 * level + 7`` of every suffix."""
@@ -239,7 +378,16 @@ class SuffixArray:
         Suffixes shorter than 8 bytes are zero-padded; because the padding
         byte (0) is smaller than any real byte that can follow, the keys of
         the suffixes in a shared-prefix interval remain sorted.
+
+        Every position handed in by the accelerated search satisfies
+        ``position + offset <= n`` (the suffixes share their first ``offset``
+        bytes with the query), so the precomputed per-position keys cover the
+        gather directly.
         """
+        if self._position_keys is not None:
+            base = positions + offset
+            if base.size == 0 or int(base.max()) < len(self._position_keys):
+                return self._position_keys[base]
         padded = self._padded
         base = positions + offset
         keys = np.zeros(len(positions), dtype=np.uint64)
@@ -247,27 +395,42 @@ class SuffixArray:
             keys = (keys << np.uint64(8)) | padded[base + j].astype(np.uint64)
         return keys
 
-    @staticmethod
-    def _query_key(query: bytes, start: int) -> np.uint64:
-        """The uint64 key of ``query[start:start + 8]`` (must be 8 bytes).
-
-        The value is returned as ``numpy.uint64`` rather than a Python int:
-        ``numpy.searchsorted`` compares a plain Python int against a uint64
-        array through an inexact common type, which silently loses the low
-        bits of the key.
-        """
-        return np.uint64(int.from_bytes(query[start : start + _KEY_WIDTH], "big"))
-
     def _extend_match(self, text_pos: int, query: bytes, query_pos: int, limit: int) -> int:
         """Length of the common prefix of ``text[text_pos:]`` and ``query[query_pos:]``.
 
-        Capped at ``limit``.  Uses geometrically growing slice comparisons so
-        long matches are compared at C speed instead of byte-by-byte.
+        Capped at ``limit``.  When the per-position keys are built, the
+        comparison runs 8 bytes per step: the XOR of the two 64-bit keys
+        locates the first differing byte directly (``limit`` already caps
+        the result at the end of the text, so the zero padding folded into
+        keys near the end can never overstate the match).  Otherwise falls
+        back to geometrically growing slice comparisons with bisection.
         """
         text = self._text
         limit = min(limit, self._n - text_pos)
         matched = 0
-        chunk = 32
+        position_keys = self._position_keys
+        if position_keys is not None:
+            from_bytes = int.from_bytes
+            while limit - matched >= _KEY_WIDTH:
+                query_chunk = query[query_pos + matched : query_pos + matched + _KEY_WIDTH]
+                if len(query_chunk) < _KEY_WIDTH:
+                    break
+                xor = from_bytes(query_chunk, "big") ^ int(
+                    position_keys[text_pos + matched]
+                )
+                if xor == 0:
+                    matched += _KEY_WIDTH
+                    continue
+                common = (64 - xor.bit_length()) >> 3
+                remaining = limit - matched
+                return matched + (common if common < remaining else remaining)
+            while (
+                matched < limit
+                and text[text_pos + matched] == query[query_pos + matched]
+            ):
+                matched += 1
+            return matched
+        chunk = 16
         while matched < limit:
             step = min(chunk, limit - matched)
             if (
@@ -277,17 +440,24 @@ class SuffixArray:
                 matched += step
                 chunk *= 2
                 continue
-            while (
-                matched < limit
-                and text[text_pos + matched] == query[query_pos + matched]
-            ):
-                matched += 1
+            # The mismatch lies inside this chunk: bisect it.
+            while step > 1:
+                half = step >> 1
+                if (
+                    text[text_pos + matched : text_pos + matched + half]
+                    == query[query_pos + matched : query_pos + matched + half]
+                ):
+                    matched += half
+                    step -= half
+                else:
+                    step = half
             break
         return matched
 
     def _scan_interval(
         self,
-        interval: SuffixInterval,
+        lb: int,
+        rb: int,
         query: bytes,
         start: int,
         matched: int,
@@ -295,18 +465,30 @@ class SuffixArray:
     ) -> Tuple[int, int]:
         """Pick the longest match among the candidates of a small interval.
 
-        All suffixes in ``interval`` share their first ``matched`` bytes with
+        All suffixes in ``[lb, rb]`` share their first ``matched`` bytes with
         ``query[start:]``; the scan extends each candidate and returns the
         best ``(position, length)``.
         """
-        sa = self._sa
-        best_position = int(sa[interval.lb])
+        sa = self._suffix_positions()
+        best_position = int(sa[lb])
         best_length = matched
-        for rank in range(interval.lb, interval.rb + 1):
+        if matched >= max_len:
+            return best_position, best_length
+        text = self._text
+        n = self._n
+        extend = self._extend_match
+        next_byte = query[start + matched]
+        query_offset = start + matched
+        budget = max_len - matched
+        for rank in range(lb, rb + 1):
             position = int(sa[rank])
-            length = matched + self._extend_match(
-                position + matched, query, start + matched, max_len - matched
-            )
+            # Candidates that already diverge on the next byte can never beat
+            # ``best_length`` (they extend by zero); skipping them avoids the
+            # comparisons of ``_extend_match`` for most of the interval.
+            probe = position + matched
+            if probe >= n or text[probe] != next_byte:
+                continue
+            length = matched + extend(probe, query, query_offset, budget)
             if length > best_length:
                 best_length = length
                 best_position = position
@@ -349,31 +531,89 @@ class SuffixArray:
             return (0, 0)
         if self._accelerated:
             return self._longest_match_accelerated(query, start, max_len)
-        return self._longest_match_refine(query, start, max_len, self.full_interval(), 0)
+        return self._longest_match_refine(query, start, max_len, 0, self._n - 1, 0)
 
     def _longest_match_refine(
         self,
         query: bytes,
         start: int,
         max_len: int,
-        interval: SuffixInterval,
+        lb: int,
+        rb: int,
         matched: int,
     ) -> Tuple[int, int]:
-        """Per-character interval refinement — the paper's Factor loop."""
-        sa = self._sa
+        """Per-character interval refinement — the paper's Factor loop.
+
+        The bounds are carried as plain integers and the binary searches run
+        over the list view of the suffix array (when built), so the loop
+        allocates nothing per character.
+        """
+        sa = self._suffix_positions()
+        text = self._text
+        n = self._n
+        scan_threshold = self._SCAN_THRESHOLD
+        byte_intervals = self._byte_intervals
         while matched < max_len:
-            if interval.size <= self._SCAN_THRESHOLD:
+            if rb - lb + 1 <= scan_threshold:
                 # Few candidates left: scanning them directly generalises the
                 # ``lb = rb`` shortcut in the paper's Factor function.
-                return self._scan_interval(interval, query, start, matched, max_len)
-            refined = self.refine(interval, matched, query[start + matched])
-            if refined.is_empty:
+                return self._scan_interval(lb, rb, query, start, matched, max_len)
+            byte = query[start + matched]
+            if matched == 0 and lb == 0 and rb == n - 1 and byte_intervals is not None:
+                jump4 = self._jump4_index
+                if (
+                    jump4 is not None
+                    and max_len >= 4
+                    and b"\x00" not in query[start : start + 4]
+                ):
+                    # Short-factor jump start: hash the first 4 bytes to the
+                    # interval four refinements would reach.  A zero-free
+                    # window cannot collide with the zero padding, but keep
+                    # the same defensive verification as the 8-byte index.
+                    hit4 = jump4.get(int.from_bytes(query[start : start + 4], "big"))
+                    if hit4 is not None:
+                        candidate = sa[hit4[0]]
+                        if text[candidate : candidate + 4] == query[start : start + 4]:
+                            lb, rb = hit4
+                            matched = 4
+                            continue
+                # Full interval at offset 0: the precomputed first-byte table
+                # is exactly refine(full, 0, byte).
+                hit = byte_intervals[byte]
+                if hit is None:
+                    break
+                lb, rb = hit
+                matched = 1
+                continue
+            # Inline lower bound over [lb, rb] at offset ``matched``.
+            low, high = lb, rb
+            while low <= high:
+                mid = (low + high) >> 1
+                pos = sa[mid] + matched
+                if (text[pos] if pos < n else -1) < byte:
+                    low = mid + 1
+                else:
+                    high = mid - 1
+            if low > rb:
                 break
-            interval = refined
+            pos = sa[low] + matched
+            if pos >= n or text[pos] != byte:
+                break
+            new_lb = low
+            # Inline upper bound over [new_lb, rb].
+            low, high = new_lb, rb
+            while low <= high:
+                mid = (low + high) >> 1
+                pos = sa[mid] + matched
+                if (text[pos] if pos < n else -1) <= byte:
+                    low = mid + 1
+                else:
+                    high = mid - 1
+            lb, rb = new_lb, high
             matched += 1
         if matched == 0:
             return (0, 0)
-        return (int(sa[interval.lb]), matched)
+        return (int(sa[lb]), matched)
 
     def _longest_match_accelerated(
         self, query: bytes, start: int, max_len: int
@@ -381,69 +621,356 @@ class SuffixArray:
         """8-byte-stride variant producing the same greedy longest match."""
         self._ensure_keys()
         sa = self._sa
+        sa_list = self._suffix_positions()
+        text = self._text
+        jump_index = self._jump_index
 
         matched = 0
         lb, rb = 0, self._n - 1
         while max_len - matched >= _KEY_WIDTH:
-            if b"\x00" in query[start + matched : start + matched + _KEY_WIDTH]:
+            window = query[start + matched : start + matched + _KEY_WIDTH]
+            if b"\x00" in window:
                 # Zero bytes in the query could collide with the zero padding
                 # used for suffixes shorter than the key span; the
                 # per-character path has no such ambiguity, so use it for
                 # this (rare) case.
-                return self._longest_match_refine(
-                    query, start, max_len, SuffixInterval(lb, rb), matched
-                )
-            level, within = divmod(matched, _KEY_WIDTH)
-            interval_size = rb - lb + 1
-            if within == 0 and level < self._MAX_LEVELS:
-                # Precomputed level: binary search a slice view, no copying.
-                keys = self._get_level_keys(level)[lb : rb + 1]
-            elif interval_size <= self._GATHER_MAX:
-                # Ad-hoc offset: gather the 8-byte keys of the candidates.
-                keys = self._keys_at(sa[lb : rb + 1], matched)
+                return self._longest_match_refine(query, start, max_len, lb, rb, matched)
+            if matched == 0 and jump_index is not None:
+                # Jump start: hash the first 8 bytes straight to the interval
+                # that a searchsorted over the full key array would reach.
+                hit = jump_index.get(int.from_bytes(window, "big"))
+                if hit is None:
+                    return self._longest_match_refine(query, start, max_len, lb, rb, 0)
+                jump_lb, jump_rb = hit
+                candidate = sa_list[jump_lb]
+                # Same zero-padding guard as the searchsorted path below.
+                if text[candidate : candidate + _KEY_WIDTH] != window:
+                    return self._longest_match_refine(query, start, max_len, lb, rb, 0)
+                lb, rb = jump_lb, jump_rb
+                matched = _KEY_WIDTH
             else:
-                # Large interval at an unaligned offset: one character of
-                # ordinary refinement shrinks it at logarithmic cost.
-                refined = self.refine(
-                    SuffixInterval(lb, rb), matched, query[start + matched]
-                )
-                if refined.is_empty:
-                    return (int(sa[lb]), matched) if matched else (0, 0)
-                lb, rb = refined.lb, refined.rb
-                matched += 1
-                continue
+                level, within = divmod(matched, _KEY_WIDTH)
+                interval_size = rb - lb + 1
+                if within == 0 and level < self._MAX_LEVELS:
+                    # Precomputed level: binary search a slice view, no copying.
+                    keys = self._get_level_keys(level)[lb : rb + 1]
+                elif interval_size <= self._GATHER_MAX:
+                    # Ad-hoc offset: gather the 8-byte keys of the candidates.
+                    keys = self._keys_at(sa[lb : rb + 1], matched)
+                else:
+                    # Large interval at an unaligned offset: one character of
+                    # ordinary refinement shrinks it at logarithmic cost.
+                    bounds = self._refine_bounds(lb, rb, matched, query[start + matched])
+                    if bounds is None:
+                        return (int(sa_list[lb]), matched) if matched else (0, 0)
+                    lb, rb = bounds
+                    matched += 1
+                    continue
 
-            query_key = self._query_key(query, start + matched)
-            left = int(keys.searchsorted(query_key, side="left"))
-            right = int(keys.searchsorted(query_key, side="right")) - 1
-            if left > right:
-                # The next 8 bytes do not match in full; finish with
-                # per-character refinement inside the current interval.
-                return self._longest_match_refine(
-                    query, start, max_len, SuffixInterval(lb, rb), matched
-                )
-            candidate = int(sa[lb + left])
-            # Guard against zero-padding artefacts near the end of the text:
-            # verify the 8 bytes really are present.
-            if (
-                self._text[candidate + matched : candidate + matched + _KEY_WIDTH]
-                != query[start + matched : start + matched + _KEY_WIDTH]
-            ):
-                return self._longest_match_refine(
-                    query, start, max_len, SuffixInterval(lb, rb), matched
-                )
-            lb, rb = lb + left, lb + right
-            matched += _KEY_WIDTH
+                query_key = np.uint64(int.from_bytes(window, "big"))
+                left = int(keys.searchsorted(query_key, side="left"))
+                right = int(keys.searchsorted(query_key, side="right")) - 1
+                if left > right:
+                    # The next 8 bytes do not match in full; finish with
+                    # per-character refinement inside the current interval.
+                    return self._longest_match_refine(
+                        query, start, max_len, lb, rb, matched
+                    )
+                candidate = int(sa_list[lb + left])
+                # Guard against zero-padding artefacts near the end of the
+                # text: verify the 8 bytes really are present.
+                if text[candidate + matched : candidate + matched + _KEY_WIDTH] != window:
+                    return self._longest_match_refine(
+                        query, start, max_len, lb, rb, matched
+                    )
+                lb, rb = lb + left, lb + right
+                matched += _KEY_WIDTH
             if rb - lb + 1 <= self._SCAN_THRESHOLD:
-                return self._scan_interval(
-                    SuffixInterval(lb, rb), query, start, matched, max_len
-                )
+                return self._scan_interval(lb, rb, query, start, matched, max_len)
 
         # Fewer than 8 bytes remain (or remained from the start): finish with
         # per-character refinement, which also handles matched == 0 correctly.
-        return self._longest_match_refine(
-            query, start, max_len, SuffixInterval(lb, rb), matched
-        )
+        return self._longest_match_refine(query, start, max_len, lb, rb, matched)
+
+    # ------------------------------------------------------------------
+    # Whole-document factorization (the encode hot loop)
+    # ------------------------------------------------------------------
+    def factorize_stream(self, query: bytes) -> Tuple[list, list]:
+        """Greedy RLZ parse of ``query`` as (positions, lengths) streams.
+
+        This is the encode fast path: the equivalent of calling
+        :meth:`longest_match` at every cursor position, but with the whole
+        per-factor state machine inlined so attribute lookups and call
+        overhead are paid once per document instead of once per factor, and
+        with the final sub-8-byte tail of each factor resolved by a binary
+        descent over key *ranges* (all suffixes sharing ``t`` more bytes
+        form a contiguous key range) instead of per-character refinement.
+
+        The parse is byte-identical to the one :meth:`longest_match`
+        produces — literal factors are emitted as ``(byte_value, 0)`` pairs,
+        copy factors as ``(position, length)``.
+        """
+        if not isinstance(query, (bytes, bytearray)):
+            raise TypeError("factorize_stream requires a bytes-like query")
+        query = bytes(query)
+        positions: list = []
+        lengths: list = []
+        query_length = len(query)
+        if query_length == 0:
+            return positions, lengths
+        if not self._accelerated or self._n == 0:
+            cursor = 0
+            while cursor < query_length:
+                position, length = self.longest_match(query, cursor)
+                if length == 0:
+                    positions.append(query[cursor])
+                    lengths.append(0)
+                    cursor += 1
+                else:
+                    positions.append(position)
+                    lengths.append(length)
+                    cursor += length
+            return positions, lengths
+
+        self._ensure_keys()
+        from bisect import bisect_left, bisect_right
+
+        text = self._text
+        n = self._n
+        sa = self._sa
+        # Beyond the index-size gate sa_list is None; the numpy array works
+        # in its place (resolved positions are int()-normalised below).
+        sa_list = self._suffix_positions()
+        jump_index = self._jump_index
+        get_level_keys = self._get_level_keys
+        key_lists = self._level_key_lists
+        position_keys = self._position_keys
+        scan_threshold = self._SCAN_THRESHOLD
+        gather_max = self._GATHER_MAX
+        max_levels = self._MAX_LEVELS
+        uint64 = np.uint64
+        from_bytes = int.from_bytes
+        append_position = positions.append
+        append_length = lengths.append
+
+        cursor = 0
+        while cursor < query_length:
+            max_len = query_length - cursor
+            lb, rb = 0, n - 1
+            matched = 0
+            factor_position = -1
+            factor_length = -1
+
+            # ---- match one factor ---------------------------------------
+            # Each iteration either advances ``matched`` by 8 (a full key
+            # match), advances by 1 (large unaligned interval), or resolves
+            # the factor outright via the insertion-point / XOR trick: the
+            # longest key prefix shared with a sorted key set is achieved at
+            # a neighbour of the query key's insertion point, and the shared
+            # byte count falls out of ``(64 - xor.bit_length()) >> 3``.
+            while True:
+                interval_size = rb - lb + 1
+                if interval_size <= scan_threshold:
+                    factor_position, factor_length = self._scan_interval(
+                        lb, rb, query, cursor, matched, max_len
+                    )
+                    break
+                remaining = max_len - matched
+                if remaining == 0:
+                    factor_position, factor_length = int(sa_list[lb]), matched
+                    break
+                window_start = cursor + matched
+                full_step = remaining >= _KEY_WIDTH
+                if full_step:
+                    window = query[window_start : window_start + _KEY_WIDTH]
+                    span = _KEY_WIDTH
+                    query_key = from_bytes(window, "big")
+                    # SWAR zero-byte test: a zero byte anywhere in the window
+                    # is ambiguous against the zero padding, so such windows
+                    # take the per-character path instead.
+                    if (
+                        (query_key - 0x0101010101010101)
+                        & ~query_key
+                        & 0x8080808080808080
+                    ):
+                        factor_position, factor_length = self._longest_match_refine(
+                            query, cursor, max_len, lb, rb, matched
+                        )
+                        break
+                else:
+                    window = query[window_start : window_start + remaining]
+                    span = remaining
+                    if b"\x00" in window:
+                        factor_position, factor_length = self._longest_match_refine(
+                            query, cursor, max_len, lb, rb, matched
+                        )
+                        break
+                    query_key = from_bytes(window, "big") << (8 * (_KEY_WIDTH - span))
+
+                if matched == 0 and full_step and jump_index is not None:
+                    hit = jump_index.get(query_key)
+                    if hit is not None:
+                        candidate = sa_list[hit[0]]
+                        if text[candidate : candidate + _KEY_WIDTH] == window:
+                            lb, rb = hit
+                            matched = _KEY_WIDTH
+                            continue
+                    # The full 8 bytes occur nowhere: fall through to the
+                    # insertion search below to find the shorter best match.
+
+                level = matched >> 3
+                aligned_level = not matched & 7 and level < max_levels
+                if aligned_level and key_lists is not None:
+                    # Bounded C-level bisect over the Python-int key list:
+                    # no numpy slices, scalar conversions or dtype coercions
+                    # anywhere on this path.  Indices are absolute ranks.
+                    keys_list = key_lists[level]
+                    bound = rb + 1
+                    insert = bisect_left(keys_list, query_key, lb, bound)
+                    shared = 0
+                    if insert < bound:
+                        xor = query_key ^ keys_list[insert]
+                        shared = (
+                            _KEY_WIDTH if xor == 0 else (64 - xor.bit_length()) >> 3
+                        )
+                    if insert > lb:
+                        xor = query_key ^ keys_list[insert - 1]
+                        left_shared = (
+                            _KEY_WIDTH if xor == 0 else (64 - xor.bit_length()) >> 3
+                        )
+                        if left_shared > shared:
+                            shared = left_shared
+                    if full_step and shared == _KEY_WIDTH:
+                        candidate = sa_list[insert]
+                        if (
+                            text[candidate + matched : candidate + matched + _KEY_WIDTH]
+                            == window
+                        ):
+                            rb = bisect_right(keys_list, query_key, insert, bound) - 1
+                            lb = insert
+                            matched += _KEY_WIDTH
+                            continue
+                        factor_position, factor_length = self._longest_match_refine(
+                            query, cursor, max_len, lb, rb, matched
+                        )
+                        break
+                    tail = span - 1 if full_step else span
+                    if shared > tail:
+                        shared = tail
+                    if shared == 0:
+                        factor_position, factor_length = (
+                            (sa_list[lb], matched) if matched else (0, 0)
+                        )
+                        break
+                    shift = 8 * (_KEY_WIDTH - shared)
+                    key_low = (query_key >> shift) << shift
+                    upper = insert + 1 if insert <= rb else bound
+                    left = bisect_left(keys_list, key_low, lb, upper)
+                    candidate = sa_list[left]
+                    if (
+                        text[candidate + matched : candidate + matched + shared]
+                        == window[:shared]
+                    ):
+                        factor_position = candidate
+                        factor_length = matched + shared
+                    else:
+                        factor_position, factor_length = self._longest_match_refine(
+                            query, cursor, max_len, lb, rb, matched
+                        )
+                    break
+
+                if aligned_level:
+                    keys = get_level_keys(level)[lb : rb + 1]
+                elif interval_size <= gather_max:
+                    keys = position_keys[sa[lb : rb + 1] + matched]
+                else:
+                    # Large interval at an unaligned offset: one character of
+                    # ordinary refinement shrinks it at logarithmic cost.
+                    bounds = self._refine_bounds(lb, rb, matched, window[0])
+                    if bounds is None:
+                        factor_position, factor_length = (
+                            (int(sa_list[lb]), matched) if matched else (0, 0)
+                        )
+                        break
+                    lb, rb = bounds
+                    matched += 1
+                    continue
+
+                insert = int(keys.searchsorted(uint64(query_key), side="left"))
+                shared = 0
+                if insert < interval_size:
+                    xor = query_key ^ int(keys[insert])
+                    shared = _KEY_WIDTH if xor == 0 else (64 - xor.bit_length()) >> 3
+                if insert > 0:
+                    xor = query_key ^ int(keys[insert - 1])
+                    left_shared = (
+                        _KEY_WIDTH if xor == 0 else (64 - xor.bit_length()) >> 3
+                    )
+                    if left_shared > shared:
+                        shared = left_shared
+
+                if full_step and shared == _KEY_WIDTH:
+                    # The whole window matches: narrow to its equality run
+                    # (it starts at ``insert`` because the search was
+                    # left-sided) and take the next stride.
+                    candidate = int(sa_list[lb + insert])
+                    if (
+                        text[candidate + matched : candidate + matched + _KEY_WIDTH]
+                        == window
+                    ):
+                        right_excl = int(
+                            keys.searchsorted(uint64(query_key), side="right")
+                        )
+                        lb, rb = lb + insert, lb + right_excl - 1
+                        matched += _KEY_WIDTH
+                        continue
+                    # Padding artefact (defensive): use the exact path.
+                    factor_position, factor_length = self._longest_match_refine(
+                        query, cursor, max_len, lb, rb, matched
+                    )
+                    break
+
+                # The factor ends inside this window: ``shared`` more bytes
+                # match (capped at span - 1 for a full window, since a whole-
+                # window match was handled above; at span for a short tail,
+                # where key padding may inflate the XOR agreement).
+                tail = span - 1 if full_step else span
+                if shared > tail:
+                    shared = tail
+                if shared == 0:
+                    factor_position, factor_length = (
+                        (int(sa_list[lb]), matched) if matched else (0, 0)
+                    )
+                    break
+                # Leftmost suffix sharing those bytes: the lower edge of the
+                # key range [window_shared 00.., window_shared ff..].
+                shift = 8 * (_KEY_WIDTH - shared)
+                key_low = (query_key >> shift) << shift
+                left = int(keys.searchsorted(uint64(key_low), side="left"))
+                candidate = int(sa_list[lb + left])
+                if (
+                    text[candidate + matched : candidate + matched + shared]
+                    == window[:shared]
+                ):
+                    factor_position = candidate
+                    factor_length = matched + shared
+                else:
+                    # Padding artefact (defensive): use the exact path.
+                    factor_position, factor_length = self._longest_match_refine(
+                        query, cursor, max_len, lb, rb, matched
+                    )
+                break
+
+            # ---- emit one factor ----------------------------------------
+            if factor_length == 0:
+                append_position(query[cursor])
+                append_length(0)
+                cursor += 1
+            else:
+                append_position(factor_position)
+                append_length(factor_length)
+                cursor += factor_length
+        return positions, lengths
 
     # ------------------------------------------------------------------
     # Pattern queries (used by tests and the dictionary statistics)

@@ -1,0 +1,63 @@
+"""Smoke tests for the fast-path throughput benchmark."""
+
+import json
+
+import pytest
+
+from repro.bench.fastpath import fastpath_benchmark
+from repro.bench.harness import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def bench_table(tmp_path_factory, gov_small):
+    json_path = tmp_path_factory.mktemp("fastpath") / "fastpath.json"
+    table = fastpath_benchmark(
+        collection=gov_small,
+        serving_repeats=2,
+        rounds=1,
+        output_json=json_path,
+    )
+    return table, json_path
+
+
+def test_benchmark_verifies_parse_and_roundtrip(bench_table):
+    table, _ = bench_table
+    notes = "\n".join(table.notes)
+    assert "byte-identical to seed: True" in notes
+    assert "parallel blobs identical to serial: True" in notes
+    assert "round-trip verified against corpus: True" in notes
+    assert "served bytes verified against corpus: True" in notes
+
+
+def test_benchmark_rows_cover_both_directions(bench_table):
+    table, _ = bench_table
+    pipelines = [row[0] for row in table.rows]
+    assert "encode/seed" in pipelines
+    assert "encode/fast" in pipelines
+    assert "decode/seed-serving" in pipelines
+    assert "decode/fast-serving" in pipelines
+
+
+def test_benchmark_json_record(bench_table):
+    _, json_path = bench_table
+    history = json.loads(json_path.read_text())
+    assert isinstance(history, list) and len(history) == 1
+    record = history[0]
+    assert record["benchmark"] == "fastpath"
+    assert record["verified"]["streams_identical"] is True
+    assert record["verified"]["roundtrip_ok"] is True
+    assert record["encode"]["speedup"] > 0
+    assert record["decode"]["speedup"] > 0
+
+
+def test_benchmark_json_appends(tmp_path, gov_small):
+    json_path = tmp_path / "fastpath.json"
+    for _ in range(2):
+        fastpath_benchmark(
+            collection=gov_small, serving_repeats=2, rounds=1, output_json=json_path
+        )
+    assert len(json.loads(json_path.read_text())) == 2
+
+
+def test_fastpath_registered_as_experiment():
+    assert "fastpath" in EXPERIMENTS

@@ -1,0 +1,101 @@
+"""Tests for the batch/vectorized decode fast path."""
+
+import pytest
+
+from repro.core import (
+    Factor,
+    RlzDictionary,
+    decode_factors,
+    decode_many,
+    decode_pairs,
+)
+from repro.core.decoder import _decode_scalar, _decode_vector
+from repro.errors import DecodingError
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return RlzDictionary(bytes(range(256)) + b"hello world " * 20)
+
+
+def test_scalar_and_vector_paths_agree(dictionary):
+    positions = [0, 65, 256, 10, 300, 255]
+    lengths = [5, 0, 12, 0, 1, 0]
+    expected = _decode_scalar(positions, lengths, dictionary.data)
+    assert _decode_vector(positions, lengths, dictionary) == expected
+    assert decode_pairs(positions, lengths, dictionary) == expected
+
+
+def test_short_factor_streams_take_identical_output(dictionary):
+    # Many literal/1-byte factors: the heuristic picks the vectorized path.
+    positions = list(range(64)) * 4
+    lengths = [0, 1] * 128
+    assert decode_pairs(positions, lengths, dictionary) == _decode_scalar(
+        positions, lengths, dictionary.data
+    )
+
+
+def test_decode_many_matches_per_document_decode(dictionary):
+    docs = [
+        ([0, 65], [4, 0]),
+        ([], []),
+        ([256, 10, 267], [12, 0, 6]),
+        ([5], [200]),
+    ]
+    expected = [decode_pairs(p, l, dictionary) for p, l in docs]
+    assert decode_many(docs, dictionary) == expected
+
+
+def test_decode_many_empty(dictionary):
+    assert decode_many([], dictionary) == []
+    assert decode_many([([], []), ([], [])], dictionary) == [b"", b""]
+
+
+def test_decode_many_mismatched_stream_raises(dictionary):
+    with pytest.raises(DecodingError):
+        decode_many([([1, 2], [3])], dictionary)
+
+
+def test_validation_happens_before_any_copy(dictionary):
+    # A bad factor *after* valid ones must raise on both paths.
+    limit = len(dictionary.data)
+    with pytest.raises(DecodingError):
+        decode_pairs([0, limit], [4, 10], dictionary)
+    many = [([0], [4]), ([limit - 1], [2])]
+    with pytest.raises(DecodingError):
+        decode_many(many, dictionary)
+
+
+def test_negative_length_rejected(dictionary):
+    with pytest.raises(DecodingError):
+        decode_pairs([3], [-2], dictionary)
+    with pytest.raises(DecodingError):
+        decode_factors([Factor(position=3, length=-2)], dictionary)
+
+
+def test_boundary_factor_is_accepted(dictionary):
+    limit = len(dictionary.data)
+    # A copy ending exactly at the dictionary boundary is legal...
+    assert (
+        decode_pairs([limit - 8], [8], dictionary) == dictionary.data[limit - 8 :]
+    )
+    # ...one byte past it is not.
+    with pytest.raises(DecodingError):
+        decode_pairs([limit - 8], [9], dictionary)
+
+
+def test_literal_validation_shared_between_entry_points(dictionary):
+    for bad_literal in (-1, 256, 1000):
+        with pytest.raises(DecodingError):
+            decode_pairs([bad_literal], [0], dictionary)
+        with pytest.raises(DecodingError):
+            decode_pairs([0] * 40 + [bad_literal], [0] * 41, dictionary)
+        with pytest.raises(DecodingError):
+            decode_factors([Factor(position=bad_literal, length=0)], dictionary)
+
+
+def test_decode_factors_accepts_generator(dictionary):
+    factors = (Factor(position=index, length=1) for index in range(5))
+    assert decode_factors(factors, dictionary) == dictionary.data[:1] * 0 + bytes(
+        dictionary.data[index] for index in range(5)
+    )

@@ -1,0 +1,96 @@
+"""Tests for the parallel encode pipeline."""
+
+import pytest
+
+from repro.core import (
+    DictionaryConfig,
+    PairEncoder,
+    ParallelCompressor,
+    RlzCompressor,
+    RlzDictionary,
+    RlzFactorizer,
+)
+from repro.core.parallel import resolve_workers
+from repro.corpus import generate_gov_collection
+from repro.errors import FactorizationError
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return RlzDictionary(b"the quick brown fox jumps over the lazy dog " * 40)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return [
+        b"the quick brown fox",
+        b"jumps over the lazy dog and the quick cat",
+        b"completely unrelated \x00 bytes XYZ",
+        b"",
+        b"the the the the quick quick",
+    ] * 3
+
+
+def serial_blobs(dictionary, documents, scheme="ZZ"):
+    factorizer = RlzFactorizer(dictionary)
+    encoder = PairEncoder(scheme)
+    return [encoder.encode(factorizer.factorize(document)) for document in documents]
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers(0) >= 1
+    with pytest.raises(FactorizationError):
+        resolve_workers(-2)
+
+
+def test_serial_pipeline_matches_object_path(dictionary, documents):
+    pipeline = ParallelCompressor(dictionary, scheme="ZZ", workers=1)
+    assert pipeline.encode_documents(documents) == serial_blobs(dictionary, documents)
+
+
+def test_pool_pipeline_matches_serial(dictionary, documents):
+    pipeline = ParallelCompressor(dictionary, scheme="ZV", workers=2, chunk_size=2)
+    blobs = pipeline.encode_documents(documents)
+    assert blobs == serial_blobs(dictionary, documents, scheme="ZV")
+
+
+def test_factorize_documents_streams(dictionary, documents):
+    pipeline = ParallelCompressor(dictionary, workers=2, chunk_size=3)
+    streams = pipeline.factorize_documents(documents)
+    factorizer = RlzFactorizer(dictionary)
+    for document, (positions, lengths) in zip(documents, streams):
+        expected = factorizer.factorize(document)
+        assert positions == expected.positions()
+        assert lengths == expected.lengths()
+
+
+def test_factorize_many_workers(dictionary, documents):
+    factorizer = RlzFactorizer(dictionary)
+    assert factorizer.factorize_many(documents, workers=2) == factorizer.factorize_many(
+        documents
+    )
+
+
+def test_compressor_workers_produce_identical_collection():
+    collection = generate_gov_collection(num_documents=8, seed=5)
+    config = DictionaryConfig(size=16 * 1024, sample_size=512)
+    serial = RlzCompressor(dictionary_config=config, scheme="ZZ").compress(collection)
+    parallel = RlzCompressor(
+        dictionary_config=config, scheme="ZZ", workers=2
+    ).compress(collection)
+    assert [d.data for d in serial.documents] == [d.data for d in parallel.documents]
+    for document in collection:
+        assert parallel.decode_document(document.doc_id) == document.content
+
+
+def test_empty_document_list(dictionary):
+    pipeline = ParallelCompressor(dictionary, workers=2)
+    assert pipeline.encode_documents([]) == []
+
+
+def test_invalid_chunk_size(dictionary):
+    with pytest.raises(FactorizationError):
+        ParallelCompressor(dictionary, chunk_size=0)

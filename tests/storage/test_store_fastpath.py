@@ -1,0 +1,78 @@
+"""Tests for the store-level retrieval fast path: get_many and the cache."""
+
+import pytest
+
+from repro.storage import RlzStore
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, gov_compressed):
+    path = tmp_path_factory.mktemp("rlzfast") / "gov.repro"
+    RlzStore.write(gov_compressed, path)
+    return path
+
+
+def test_get_many_matches_get(store_path, gov_small):
+    doc_ids = gov_small.doc_ids()
+    with RlzStore.open(store_path) as store:
+        batch = store.get_many(doc_ids)
+        assert batch == [store.get(doc_id) for doc_id in doc_ids]
+
+
+def test_get_many_handles_repeats_and_order(store_path, gov_small):
+    doc_ids = gov_small.doc_ids()
+    request = [doc_ids[2], doc_ids[0], doc_ids[2], doc_ids[1], doc_ids[0]]
+    with RlzStore.open(store_path) as store:
+        batch = store.get_many(request)
+    assert len(batch) == len(request)
+    assert batch[0] == batch[2]
+    assert batch[1] == batch[4]
+    for doc_id, content in zip(request, batch):
+        document = next(d for d in gov_small if d.doc_id == doc_id)
+        assert content == document.content
+
+
+def test_cache_serves_repeated_access_without_disk_reads(store_path, gov_small):
+    doc_id = gov_small.doc_ids()[0]
+    with RlzStore.open(store_path, decode_cache_size=4) as store:
+        first = store.get(doc_id)
+        store.disk.reset()
+        second = store.get(doc_id)
+        assert second == first
+        assert store.disk.accounting.seeks == 0
+        assert store.cache_info["hits"] == 1
+        assert store.cache_info["misses"] >= 1
+
+
+def test_cache_evicts_least_recently_used(store_path, gov_small):
+    doc_ids = gov_small.doc_ids()[:3]
+    with RlzStore.open(store_path, decode_cache_size=2) as store:
+        store.get(doc_ids[0])
+        store.get(doc_ids[1])
+        store.get(doc_ids[0])  # refresh doc 0
+        store.get(doc_ids[2])  # evicts doc 1
+        store.disk.reset()
+        store.get(doc_ids[0])
+        assert store.disk.accounting.seeks == 0
+        store.get(doc_ids[1])
+        assert store.disk.accounting.seeks == 1
+
+
+def test_cache_disabled_by_default(store_path, gov_small):
+    doc_id = gov_small.doc_ids()[0]
+    with RlzStore.open(store_path) as store:
+        store.get(doc_id)
+        store.disk.reset()
+        store.get(doc_id)
+        assert store.disk.accounting.seeks == 1
+        assert store.cache_info["capacity"] == 0
+
+
+def test_get_many_uses_cache(store_path, gov_small):
+    doc_ids = gov_small.doc_ids()[:4]
+    with RlzStore.open(store_path, decode_cache_size=8) as store:
+        store.get_many(doc_ids)
+        store.disk.reset()
+        again = store.get_many(doc_ids)
+        assert store.disk.accounting.seeks == 0
+        assert again == [store.get(doc_id) for doc_id in doc_ids]

@@ -1,0 +1,143 @@
+"""Adversarial equivalence tests for the accelerated fast path.
+
+The jump-start index, the eager key levels and the inlined
+``factorize_stream`` loop must all produce exactly the parse of the paper's
+per-character algorithm.  These tests hammer the cases where the fast path
+could plausibly diverge: zero bytes in queries (which collide with the key
+padding), dictionaries shorter than the 8-byte key width, matches that end
+exactly at the dictionary boundary, and the jump-start hit/miss paths.
+"""
+
+import random
+
+import pytest
+
+from repro.suffix import SuffixArray
+
+
+def reference_streams(suffix_array, query):
+    """The parse as repeated ``longest_match`` calls (the documented contract)."""
+    positions, lengths = [], []
+    cursor = 0
+    while cursor < len(query):
+        position, length = suffix_array.longest_match(query, cursor)
+        if length == 0:
+            positions.append(query[cursor])
+            lengths.append(0)
+            cursor += 1
+        else:
+            positions.append(position)
+            lengths.append(length)
+            cursor += length
+    return positions, lengths
+
+
+def assert_all_modes_agree(text, query):
+    """Fast stream, accelerated longest_match and faithful mode all agree."""
+    fast = SuffixArray(text)
+    no_jump = SuffixArray(text, jump_start=False)
+    faithful = SuffixArray(text, accelerated=False)
+    expected = reference_streams(faithful, query)
+    assert fast.factorize_stream(query) == expected
+    assert no_jump.factorize_stream(query) == expected
+    assert reference_streams(fast, query) == expected
+    # Round-trip: the parse reproduces the query exactly.
+    out = bytearray()
+    for position, length in zip(*expected):
+        if length == 0:
+            out.append(position)
+        else:
+            out += text[position : position + length]
+    assert bytes(out) == query
+
+
+def test_zero_bytes_in_query_and_dictionary():
+    text = b"ab\x00cd\x00\x00ef\x00abab"
+    query = b"ab\x00cd\x00\x00efXY\x00\x00\x00abab\x00"
+    assert_all_modes_agree(text, query)
+
+
+def test_query_of_only_zero_bytes():
+    assert_all_modes_agree(b"abcdef", b"\x00\x00\x00\x00")
+    assert_all_modes_agree(b"a\x00b", b"\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 7])
+def test_dictionary_shorter_than_key_width(size):
+    text = bytes(b"abcdefg"[:size])
+    for query in (text, text * 5, b"x" + text, text + b"x", b"zzzzzzzzzz"):
+        assert_all_modes_agree(text, query)
+
+
+def test_match_ending_exactly_at_dictionary_boundary():
+    text = b"0123456789abcdef"
+    # The whole dictionary, its tail, and a tail extended past the boundary.
+    assert_all_modes_agree(text, text)
+    assert_all_modes_agree(text, text[8:])
+    assert_all_modes_agree(text, text + b"XYZ")
+    assert_all_modes_agree(text, text[10:] + b"0123")
+
+
+def test_jump_start_hit_and_miss_paths():
+    text = b"the quick brown fox jumps over the lazy dog"
+    # hit: first 8 bytes occur verbatim; miss: 8-gram absent but shorter
+    # prefixes present; miss entirely: no byte occurs.
+    assert_all_modes_agree(text, b"the quick fox")
+    assert_all_modes_agree(text, b"the quiX brown")
+    assert_all_modes_agree(text, b"\x01\x02\x03")
+
+
+def test_jump_start_index_matches_searchsorted_intervals():
+    text = b"abracadabra banana abracadabra"
+    suffix_array = SuffixArray(text)
+    suffix_array._ensure_keys()
+    assert suffix_array._jump_index is not None
+    level0 = suffix_array._get_level_keys(0)
+    for key, (lb, rb) in suffix_array._jump_index.items():
+        import numpy as np
+
+        qk = np.uint64(key)
+        assert int(level0.searchsorted(qk, side="left")) == lb
+        assert int(level0.searchsorted(qk, side="right")) - 1 == rb
+
+
+def test_eager_levels_are_prebuilt():
+    suffix_array = SuffixArray(b"mississippi river runs " * 4)
+    suffix_array._ensure_keys()
+    for level in range(SuffixArray._MAX_LEVELS):
+        assert level in suffix_array._level_keys
+
+
+def test_randomized_adversarial_equivalence():
+    rng = random.Random(1234)
+    alphabets = [b"ab", b"ab\x00", bytes(range(256)), b"\xff\xfe\x00a"]
+    for _ in range(60):
+        alphabet = rng.choice(alphabets)
+        text = bytes(rng.choices(alphabet, k=rng.randint(1, 120)))
+        query = bytes(rng.choices(alphabet + b"QZ", k=rng.randint(0, 60)))
+        assert_all_modes_agree(text, query)
+
+
+def test_large_text_gate_falls_back_to_numpy_machinery():
+    """Texts beyond _JUMP_START_MAX_TEXT skip the hash/list indexes but parse identically."""
+    rng = random.Random(77)
+    text = bytes(rng.choices(b"abcdef <html>", k=400))
+    gated = SuffixArray(text)
+    gated._JUMP_START_MAX_TEXT = 0  # force the large-text configuration
+    gated._ensure_keys()
+    assert gated._jump_index is None
+    assert gated._level_key_lists is None
+    assert gated._sa_list is None
+    reference = SuffixArray(text, accelerated=False)
+    for _ in range(20):
+        query = bytes(rng.choices(b"abcdef <html>XY\x00", k=rng.randint(0, 80)))
+        streams = gated.factorize_stream(query)
+        assert streams == reference_streams(reference, query)
+        assert all(isinstance(value, int) for value in streams[0])
+
+
+def test_factorize_stream_empty_and_type_checks():
+    suffix_array = SuffixArray(b"abc")
+    assert suffix_array.factorize_stream(b"") == ([], [])
+    with pytest.raises(TypeError):
+        suffix_array.factorize_stream("not bytes")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import bench_main, compress_main, corpus_main
+from repro.cli import bench_main, compress_main, corpus_main, main
 
 
 def test_corpus_and_compress_roundtrip(tmp_path, capsys):
@@ -53,6 +53,34 @@ def test_compress_baselines(tmp_path, method, capsys):
         )
         == 0
     )
+
+
+def test_compress_with_workers(tmp_path, capsys):
+    warc = tmp_path / "w.warc"
+    corpus_main([str(warc), "--documents", "6", "--seed", "2"])
+    container = tmp_path / "w.repro"
+    status = compress_main(
+        [
+            str(warc),
+            str(container),
+            "--dictionary-size",
+            str(16 * 1024),
+            "--workers",
+            "2",
+            "--verify",
+        ]
+    )
+    assert status == 0
+    assert "all documents round-tripped" in capsys.readouterr().out
+
+
+def test_main_dispatches_subcommands(tmp_path, capsys):
+    warc = tmp_path / "m.warc"
+    assert main(["corpus", str(warc), "--documents", "3"]) == 0
+    assert warc.exists()
+    assert main(["no-such-command"]) == 2
+    assert main(["--help"]) == 0
+    assert "usage: repro" in capsys.readouterr().out
 
 
 def test_bench_main_runs_selected_experiment(tmp_path, capsys, monkeypatch):
