@@ -35,3 +35,24 @@ def test_fastpath(benchmark, results_path):
     assert "parallel blobs identical to serial: True" in notes
     assert "round-trip verified against corpus: True" in notes
     assert "served bytes verified against corpus: True" in notes
+
+
+def test_fastpath_large_dictionary(benchmark, results_path):
+    """Verify the compact jump index is active (no silent fallback) for a
+    dictionary above the old 1 MiB gate, with seed-identical streams."""
+    from repro.bench.fastpath import large_dictionary_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        large_dictionary_benchmark,
+        kwargs={"output_json": json_path, "rounds": 1},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "jump-start active (compact, no fallback): True" in notes
+    assert "byte-identical to seed: True" in notes
+    assert "round-trip verified against corpus: True" in notes

@@ -24,7 +24,7 @@ from .experiments import (
     rlz_retrieval_table,
     sampling_policy_ablation_table,
 )
-from .fastpath import fastpath_benchmark
+from .fastpath import fastpath_benchmark, large_dictionary_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
 
@@ -109,6 +109,10 @@ def _fastpath() -> ResultTable:
     return fastpath_benchmark()
 
 
+def _fastpath_large_dict() -> ResultTable:
+    return large_dictionary_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -126,6 +130,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "ablation-sampling": _ablation_sampling,
     "ablation-pruning": _ablation_pruning,
     "fastpath": _fastpath,
+    "fastpath-large-dict": _fastpath_large_dict,
 }
 
 

@@ -96,9 +96,34 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         help="rlz encode worker processes (1 serial, 0 all cores)",
     )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --workers pools "
+        "(default: fork where available, else spawn)",
+    )
+    parser.add_argument(
+        "--share-memory",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="share the dictionary + suffix array with spawn/forkserver "
+        "workers via multiprocessing.shared_memory instead of rebuilding "
+        "per worker (default: auto)",
+    )
+    parser.add_argument(
+        "--jump-index",
+        choices=("auto", "dict", "compact", "off"),
+        default="auto",
+        help="jump-start index representation (auto: hash dict for small "
+        "dictionaries, compact numpy index for multi-MB ones)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
-        parser.error(f"--workers must be >= 0, got {args.workers}")
+        parser.error(
+            "--workers must be None/1 (serial), 0 (all cores) or a positive "
+            f"pool size, got {args.workers}"
+        )
 
     collection = read_warc(args.input)
     if args.method == "rlz":
@@ -108,6 +133,9 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
             ),
             scheme=args.scheme,
             workers=args.workers,
+            start_method=args.start_method,
+            share_memory=args.share_memory,
+            jump_start=args.jump_index,
         )
         compressed = compressor.compress(collection)
         RlzStore.write(compressed, args.output)

@@ -163,6 +163,15 @@ class RlzCompressor:
         every core, any other positive value sets the pool size.  The
         encoded blobs are identical regardless of the worker count; see
         :class:`repro.core.parallel.ParallelCompressor`.
+    start_method / share_memory:
+        Pool configuration forwarded to :class:`ParallelCompressor`:
+        the ``multiprocessing`` start method, and whether non-``fork``
+        workers attach the dictionary through shared memory (``None`` auto)
+        instead of rebuilding the suffix array from pickled bytes.
+    jump_start:
+        Jump-index configuration for a dictionary built by this compressor:
+        ``True``/``"auto"`` (size-based default), ``"dict"``, ``"compact"``
+        or ``False``/``"off"``.  Ignored when ``dictionary`` is supplied.
     """
 
     def __init__(
@@ -173,6 +182,9 @@ class RlzCompressor:
         sa_algorithm: str = "doubling",
         accelerated: bool = True,
         workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        share_memory: Optional[bool] = None,
+        jump_start: bool | str = True,
     ) -> None:
         self._dictionary = dictionary
         self._dictionary_config = dictionary_config
@@ -180,6 +192,9 @@ class RlzCompressor:
         self._sa_algorithm = sa_algorithm
         self._accelerated = accelerated
         self._workers = workers
+        self._start_method = start_method
+        self._share_memory = share_memory
+        self._jump_start = jump_start
 
     @property
     def scheme_name(self) -> str:
@@ -204,6 +219,7 @@ class RlzCompressor:
             self._dictionary_config,
             sa_algorithm=self._sa_algorithm,
             accelerated=self._accelerated,
+            jump_start=self._jump_start,
         )
         return self._dictionary
 
@@ -244,6 +260,8 @@ class RlzCompressor:
                 dictionary,
                 scheme=self._scheme_name,
                 workers=resolve_workers(self._workers),
+                start_method=self._start_method,
+                share_memory=self._share_memory,
             )
             documents = list(collection)
             blobs = pipeline.encode_documents(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class RlzDictionary:
         config: Optional[DictionaryConfig] = None,
         sa_algorithm: str = "doubling",
         accelerated: bool = True,
-        jump_start: bool = True,
+        jump_start: Union[bool, str] = True,
     ) -> None:
         if not data:
             raise DictionaryError("dictionary must not be empty")
@@ -97,6 +97,33 @@ class RlzDictionary:
         self._suffix_array: Optional[SuffixArray] = None
         self._decode_table = None
 
+    @classmethod
+    def from_prebuilt(
+        cls,
+        data: bytes,
+        suffix_array: SuffixArray,
+        config: Optional[DictionaryConfig] = None,
+        sa_algorithm: str = "doubling",
+        accelerated: bool = True,
+        jump_start: Union[bool, str] = True,
+    ) -> "RlzDictionary":
+        """A dictionary wrapping an already-built :class:`SuffixArray`.
+
+        Used by the shared-memory worker path: the suffix array was built
+        once in the parent and reconstructed from shared arrays with
+        :meth:`SuffixArray.from_precomputed`; the lazy build here would
+        otherwise re-run the whole construction per worker.
+        """
+        dictionary = cls(
+            data,
+            config=config,
+            sa_algorithm=sa_algorithm,
+            accelerated=accelerated,
+            jump_start=jump_start,
+        )
+        dictionary._suffix_array = suffix_array
+        return dictionary
+
     @property
     def data(self) -> bytes:
         """The raw dictionary bytes."""
@@ -106,6 +133,21 @@ class RlzDictionary:
     def config(self) -> Optional[DictionaryConfig]:
         """The sampling configuration used to build this dictionary (if any)."""
         return self._config
+
+    @property
+    def sa_algorithm(self) -> str:
+        """Suffix-array construction algorithm used for the lazy build."""
+        return self._sa_algorithm
+
+    @property
+    def accelerated(self) -> bool:
+        """Whether the suffix array is built with 8-byte-key acceleration."""
+        return self._accelerated
+
+    @property
+    def jump_mode(self) -> str:
+        """Normalised jump-start mode (``auto``/``dict``/``compact``/``off``)."""
+        return SuffixArray._normalize_jump_mode(self._jump_start)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -230,6 +272,7 @@ def build_dictionary(
     config: DictionaryConfig,
     sa_algorithm: str = "doubling",
     accelerated: bool = True,
+    jump_start: Union[bool, str] = True,
 ) -> RlzDictionary:
     """Build an :class:`RlzDictionary` from ``collection`` per ``config``."""
     text = collection.concatenate()
@@ -239,4 +282,10 @@ def build_dictionary(
         data = sample_prefix(text, config.size, config.sample_size, config.prefix_fraction)
     else:  # random_documents
         data = sample_random_documents(collection, config.size, seed=config.seed)
-    return RlzDictionary(data, config=config, sa_algorithm=sa_algorithm, accelerated=accelerated)
+    return RlzDictionary(
+        data,
+        config=config,
+        sa_algorithm=sa_algorithm,
+        accelerated=accelerated,
+        jump_start=jump_start,
+    )

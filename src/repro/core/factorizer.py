@@ -87,19 +87,31 @@ class RlzFactorizer:
         return self._suffix_array.factorize_stream(bytes(text))
 
     def factorize_many(
-        self, documents: Iterable[bytes], workers: Optional[int] = None
+        self,
+        documents: Iterable[bytes],
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        share_memory: Optional[bool] = None,
     ) -> List[Factorization]:
         """Factorize an iterable of documents, in order.
 
         With ``workers`` greater than 1 the documents are parsed by a
         :class:`repro.core.parallel.ParallelCompressor` pool sharing this
         factorizer's dictionary; the result is identical to the serial path.
+        ``start_method`` and ``share_memory`` configure the pool exactly as
+        on :class:`ParallelCompressor` (shared-memory dictionary attachment
+        for ``spawn`` workers).
         """
         documents = list(documents)
         if workers is not None and workers != 1 and len(documents) > 1:
             from .parallel import ParallelCompressor
 
-            pipeline = ParallelCompressor(self._dictionary, workers=workers)
+            pipeline = ParallelCompressor(
+                self._dictionary,
+                workers=workers,
+                start_method=start_method,
+                share_memory=share_memory,
+            )
             return [
                 Factorization(
                     [

@@ -9,9 +9,17 @@ index, suffix-array list) is shared with the workers read-only:
 * with the ``fork`` start method (the default where available) the parent
   builds everything once and the children inherit the pages copy-on-write —
   nothing is pickled or rebuilt;
-* with ``spawn`` the raw dictionary bytes are shipped to each worker once at
-  pool start-up and the suffix array is rebuilt there (documented cost; only
-  taken on platforms without ``fork``).
+* with ``spawn`` (and ``forkserver``) the parent publishes the raw
+  dictionary bytes plus the prebuilt suffix array and key arrays through
+  ``multiprocessing.shared_memory`` segments; each worker *attaches* to the
+  segments and wraps the arrays with
+  :meth:`repro.suffix.SuffixArray.from_precomputed` instead of re-running
+  the O(n log n) suffix-array construction per worker.  The segments are
+  closed and unlinked when the pool shuts down — including when pool
+  construction itself fails;
+* if shared memory is unavailable (or disabled with ``share_memory=False``)
+  the ``spawn`` path falls back to shipping the dictionary bytes once per
+  worker and rebuilding the suffix array there (the pre-PR-2 behaviour).
 
 Workers return encoded blobs (or raw factor streams), so the parent never
 holds more than the compressed form of each document.  The output order and
@@ -23,9 +31,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import FactorizationError
+from ..suffix import SuffixArray
 from .dictionary import RlzDictionary
 from .encoder import PairEncoder
 from .factorizer import RlzFactorizer
@@ -35,6 +46,10 @@ __all__ = ["ParallelCompressor", "resolve_workers"]
 #: Worker-process state: (factorizer, encoder), set by the pool initializer.
 _WORKER_STATE: Optional[Tuple[RlzFactorizer, PairEncoder]] = None
 
+#: Shared-memory segments a worker has attached (kept referenced so the
+#: mapped buffers stay alive for the lifetime of the worker process).
+_WORKER_SEGMENTS: List = []
+
 #: Parent-process handoff for fork workers: (dictionary, scheme name).  Set
 #: immediately before the pool forks and cleared right after, so children
 #: inherit the already-built dictionary object copy-on-write.
@@ -42,28 +57,204 @@ _PARENT_STATE: Optional[Tuple[RlzDictionary, str]] = None
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a ``workers`` argument: ``None``/1 serial, 0 all cores."""
+    """Normalise a ``workers`` argument: ``None``/1 serial, 0 all cores.
+
+    Negative values are rejected — the contract has no meaning for them.
+    When ``workers`` is 0 and the core count cannot be determined
+    (``os.cpu_count()`` returns ``None``), the pipeline falls back to one
+    worker, i.e. serial execution.
+    """
     if workers is None:
         return 1
     if workers < 0:
-        raise FactorizationError(f"workers must be >= 0, got {workers}")
+        raise FactorizationError(
+            "workers must be None or 1 (serial), 0 (use every core) or a "
+            f"positive pool size; got {workers}"
+        )
     if workers == 0:
         return os.cpu_count() or 1
     return workers
 
 
+# ----------------------------------------------------------------------
+# Shared-memory publication (parent side) and attachment (worker side)
+# ----------------------------------------------------------------------
+class _SharedDictionary:
+    """Parent-side handle for the shared-memory copy of a dictionary.
+
+    ``publish`` copies the dictionary bytes and the prebuilt suffix-array
+    acceleration arrays into ``multiprocessing.shared_memory`` segments and
+    produces a picklable *descriptor* (segment names + dtypes + lengths +
+    index configuration) small enough to ship to every spawn worker.  The
+    parent must call :meth:`cleanup` once the pool is done — segments are
+    kernel objects, not garbage-collected memory.
+    """
+
+    def __init__(self, segments: List, descriptor: Dict) -> None:
+        self._segments = segments
+        self.descriptor = descriptor
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of every published segment (test/introspection hook)."""
+        return tuple(shm.name for shm in self._segments)
+
+    @staticmethod
+    def _copy_into_segment(segment, array: np.ndarray) -> None:
+        """Fill ``segment`` with ``array``'s bytes.
+
+        The numpy view over the segment buffer must not outlive this scope:
+        a still-exported buffer makes ``segment.close()`` raise
+        ``BufferError`` on the error-cleanup path.
+        """
+        view = np.frombuffer(segment.buf, dtype=array.dtype, count=len(array))
+        view[:] = array
+
+    @classmethod
+    def publish(cls, dictionary: RlzDictionary) -> "_SharedDictionary":
+        """Copy ``dictionary`` and its acceleration arrays into shared memory."""
+        from multiprocessing import shared_memory
+
+        suffix_array = dictionary.suffix_array
+        state = suffix_array.shared_state()
+        segments: List = []
+        arrays: Dict[str, Tuple[str, str, int]] = {}
+        try:
+            data = dictionary.data
+            text_segment = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+            segments.append(text_segment)
+            text_segment.buf[: len(data)] = data
+            for name, array in state.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                segments.append(segment)
+                cls._copy_into_segment(segment, array)
+                arrays[name] = (segment.name, array.dtype.str, len(array))
+        except Exception:
+            # Release whatever was created so a mid-loop failure (e.g. a
+            # full /dev/shm) leaks no kernel objects and surfaces the real
+            # error, not a cleanup error.
+            cls(segments, {}).cleanup()
+            raise
+        descriptor = {
+            "text": (text_segment.name, len(data)),
+            "arrays": arrays,
+            "sa_algorithm": dictionary.sa_algorithm,
+            "accelerated": dictionary.accelerated,
+            "jump_start": dictionary.jump_mode,
+        }
+        return cls(segments, descriptor)
+
+    def cleanup(self) -> None:
+        """Close and unlink every segment (idempotent).
+
+        Close and unlink are attempted independently per segment: a close
+        refused because a buffer is still exported (``BufferError``) must
+        not stop the segment — or any later one — from being unlinked.
+        """
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+
+def _attach_segment(name: str):
+    """Attach a shared-memory segment without resource-tracker ownership.
+
+    Workers only borrow the segments — the parent owns their lifecycle — so
+    the worker's ``resource_tracker`` must not adopt them (the tracker is
+    shared with the parent; a worker registering and later unregistering
+    the same name races the parent's own unlink bookkeeping and logs
+    spurious tracker errors).  Python 3.13+ exposes ``track=False`` for
+    exactly this; on older versions registration is suppressed for the
+    duration of the attach, which keeps the tracker out of the loop
+    entirely.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _skip_shared_memory(resource_name, rtype):
+            if rtype != "shared_memory":
+                original_register(resource_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    _WORKER_SEGMENTS.append(segment)
+    return segment
+
+
+def _attach_shared_dictionary(descriptor: Dict) -> RlzDictionary:
+    """Worker side: wrap the published segments in an :class:`RlzDictionary`.
+
+    The numpy acceleration arrays are zero-copy views over the shared
+    buffers (marked read-only); only the dictionary bytes are copied, since
+    the factorizer needs a real ``bytes`` object for slicing.  The suffix
+    array is *not* reconstructed — ``SuffixArray.from_precomputed`` wraps
+    the shared array directly, which is the entire point of this path.
+    """
+    text_name, text_length = descriptor["text"]
+    text_segment = _attach_segment(text_name)
+    data = bytes(text_segment.buf[:text_length])
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (segment_name, dtype, count) in descriptor["arrays"].items():
+        segment = _attach_segment(segment_name)
+        view = np.frombuffer(segment.buf, dtype=np.dtype(dtype), count=count)
+        view.flags.writeable = False
+        arrays[name] = view
+    suffix_array = SuffixArray.from_precomputed(
+        data,
+        arrays["sa"],
+        algorithm=f"shared:{descriptor['sa_algorithm']}",
+        accelerated=descriptor["accelerated"],
+        jump_start=descriptor["jump_start"],
+        position_keys=arrays.get("position_keys"),
+        level0_keys=arrays.get("level0_keys"),
+    )
+    return RlzDictionary.from_prebuilt(
+        data,
+        suffix_array,
+        sa_algorithm=descriptor["sa_algorithm"],
+        accelerated=descriptor["accelerated"],
+        jump_start=descriptor["jump_start"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker entry points
+# ----------------------------------------------------------------------
 def _initialize_worker(payload) -> None:
     global _WORKER_STATE
     if payload is None:
         dictionary, scheme = _PARENT_STATE
     else:
-        data, sa_algorithm, accelerated, jump_start, scheme = payload
-        dictionary = RlzDictionary(
-            data,
-            sa_algorithm=sa_algorithm,
-            accelerated=accelerated,
-            jump_start=jump_start,
-        )
+        kind, body, scheme = payload
+        if kind == "shm":
+            dictionary = _attach_shared_dictionary(body)
+        else:  # "pickle": raw bytes shipped, suffix array rebuilt here
+            data, sa_algorithm, accelerated, jump_start = body
+            dictionary = RlzDictionary(
+                data,
+                sa_algorithm=sa_algorithm,
+                accelerated=accelerated,
+                jump_start=jump_start,
+            )
     _WORKER_STATE = (RlzFactorizer(dictionary), PairEncoder(scheme))
 
 
@@ -86,6 +277,23 @@ def _factorize_chunk(
     return [factorizer.factorize_streams(document) for document in documents]
 
 
+def _describe_chunk(
+    documents: List[bytes],
+    state: Optional[Tuple[RlzFactorizer, PairEncoder]] = None,
+) -> List[Tuple[str, int, int]]:
+    """Report how each worker's dictionary was built (test/diagnostic hook).
+
+    Returns one ``(suffix_array_algorithm, attached_segments, pid)`` tuple
+    per chunk: an ``"shared:..."`` algorithm name proves the worker wrapped
+    the parent's suffix array instead of reconstructing it.
+    """
+    factorizer, _ = state if state is not None else _WORKER_STATE
+    suffix_array = factorizer.dictionary.suffix_array
+    return [(suffix_array.algorithm, len(_WORKER_SEGMENTS), os.getpid())] * len(
+        documents
+    )
+
+
 class ParallelCompressor:
     """Encode documents against one dictionary with a worker pool.
 
@@ -105,6 +313,14 @@ class ParallelCompressor:
     start_method:
         ``multiprocessing`` start method.  Defaults to ``fork`` when the
         platform offers it (zero-copy dictionary sharing), else ``spawn``.
+    share_memory:
+        Dictionary sharing for non-``fork`` start methods.  ``None`` (auto)
+        publishes the dictionary and its suffix-array acceleration arrays
+        through ``multiprocessing.shared_memory`` when possible, falling
+        back to pickled bytes on failure; ``True`` forces shared memory
+        (errors surface); ``False`` disables it (each worker rebuilds the
+        suffix array from pickled bytes).  Ignored under ``fork``, where
+        copy-on-write already shares everything.
     """
 
     def __init__(
@@ -114,6 +330,7 @@ class ParallelCompressor:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        share_memory: Optional[bool] = None,
     ) -> None:
         self._dictionary = dictionary
         self._scheme_name = scheme.upper()
@@ -125,6 +342,8 @@ class ParallelCompressor:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._start_method = start_method
+        self._share_memory = share_memory
+        self._last_segment_names: Tuple[str, ...] = ()
 
     @property
     def workers(self) -> int:
@@ -135,6 +354,21 @@ class ParallelCompressor:
     def scheme_name(self) -> str:
         """Pair-coding scheme used by :meth:`encode_documents`."""
         return self._scheme_name
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method pools are created with."""
+        return self._start_method
+
+    @property
+    def last_segment_names(self) -> Tuple[str, ...]:
+        """Shared-memory segment names of the most recent pool run.
+
+        Empty when the last run used fork/pickle sharing.  By the time a
+        run returns the segments are already unlinked — the names exist so
+        tests can verify exactly that.
+        """
+        return self._last_segment_names
 
     # ------------------------------------------------------------------
     # Public API
@@ -166,6 +400,30 @@ class ParallelCompressor:
         state = (RlzFactorizer(self._dictionary), PairEncoder(self._scheme_name))
         return chunk_function(documents, state)
 
+    def _build_payload(self):
+        """Initializer payload for non-fork workers (and any shared handle)."""
+        shared = None
+        if self._share_memory is not False:
+            try:
+                shared = _SharedDictionary.publish(self._dictionary)
+            except Exception:
+                if self._share_memory is True:
+                    raise
+                shared = None  # auto mode: fall back to pickled bytes
+        if shared is not None:
+            return ("shm", shared.descriptor, self._scheme_name), shared
+        payload = (
+            "pickle",
+            (
+                self._dictionary.data,
+                self._dictionary.sa_algorithm,
+                self._dictionary.accelerated,
+                self._dictionary.jump_mode,
+            ),
+            self._scheme_name,
+        )
+        return payload, None
+
     def _run_pool(self, chunk_function, documents: List[bytes]) -> List:
         global _PARENT_STATE
         workers = min(self._workers, len(documents))
@@ -175,21 +433,23 @@ class ParallelCompressor:
             for index in range(0, len(documents), chunk_size)
         ]
         context = multiprocessing.get_context(self._start_method)
-        if self._start_method == "fork":
-            # Build all acceleration state now so forked children share it
-            # copy-on-write instead of rebuilding it per worker.
-            self._dictionary.suffix_array.prepare()
-            payload = None
-            _PARENT_STATE = (self._dictionary, self._scheme_name)
-        else:
-            payload = (
-                self._dictionary.data,
-                self._dictionary._sa_algorithm,
-                self._dictionary._accelerated,
-                self._dictionary._jump_start,
-                self._scheme_name,
-            )
+        shared: Optional[_SharedDictionary] = None
+        self._last_segment_names = ()
+        # Everything from the parent-state handoff onward sits inside one
+        # try/finally: if pool construction (or anything else) raises, the
+        # module-global dictionary reference and the shared-memory segments
+        # are still released — no leak outlives the call.
         try:
+            if self._start_method == "fork":
+                # Build all acceleration state now so forked children share
+                # it copy-on-write instead of rebuilding it per worker.
+                self._dictionary.suffix_array.prepare()
+                payload = None
+                _PARENT_STATE = (self._dictionary, self._scheme_name)
+            else:
+                payload, shared = self._build_payload()
+                if shared is not None:
+                    self._last_segment_names = shared.segment_names
             with context.Pool(
                 processes=workers,
                 initializer=_initialize_worker,
@@ -198,4 +458,6 @@ class ParallelCompressor:
                 chunk_results = pool.map(chunk_function, chunks)
         finally:
             _PARENT_STATE = None
+            if shared is not None:
+                shared.cleanup()
         return [result for chunk in chunk_results for result in chunk]

@@ -216,33 +216,55 @@ class RlzStore:
     def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
         """Batch random access: decode several documents in one pass.
 
-        Cache hits are served directly; the remaining documents are read and
-        batch-decoded with :func:`repro.core.decode_many` (one vectorized
-        gather for the whole batch).  The result order matches ``doc_ids``,
-        and repeated IDs within one batch are decoded only once.
+        The decode work is batched — IDs that are not already cached are
+        read once and batch-decoded with :func:`repro.core.decode_many`
+        (one vectorized gather for the whole batch, repeated IDs decoded
+        only once) — but the cache *accounting* replays the accesses in
+        request order through exactly the :meth:`get` code path: the same
+        sequence of IDs produces the same hit/miss counters, the same cache
+        contents and the same LRU recency whether it is issued through
+        ``get`` or ``get_many``.  Only the disk reads are deduplicated.
+        The result order matches ``doc_ids``.
         """
-        results: Dict[int, bytes] = {}
-        missing: List[int] = []
-        missing_set: set = set()
+        # Pass 1 — peek (no counter or recency side effects) to find the IDs
+        # that will need a decode, then batch-decode them in one call.
+        to_decode: List[int] = []
+        seen: set = set()
         for doc_id in doc_ids:
-            if doc_id in results or doc_id in missing_set:
+            if doc_id in seen:
                 continue
-            cached = self._cache_lookup(doc_id)
-            if cached is not None:
-                results[doc_id] = cached
-            else:
-                missing.append(doc_id)
-                missing_set.add(doc_id)
-        if missing:
+            seen.add(doc_id)
+            if not self._cache_capacity or doc_id not in self._cache:
+                to_decode.append(doc_id)
+        decoded: Dict[int, bytes] = {}
+        if to_decode:
             streams = []
-            for doc_id in missing:
+            for doc_id in to_decode:
                 entry = self._header.document_map.lookup(doc_id)
                 blob = self._read_blob(entry)
                 streams.append(self._encoder.decode_streams(blob))
-            for doc_id, document in zip(missing, decode_many(streams, self._dictionary)):
-                results[doc_id] = document
-                self._cache_store(doc_id, document)
-        return [results[doc_id] for doc_id in doc_ids]
+            for doc_id, document in zip(to_decode, decode_many(streams, self._dictionary)):
+                decoded[doc_id] = document
+        # Pass 2 — replay the accesses in order with get's exact accounting.
+        results: List[bytes] = []
+        for doc_id in doc_ids:
+            cached = self._cache_lookup(doc_id)
+            if cached is not None:
+                results.append(cached)
+                continue
+            document = decoded.get(doc_id)
+            if document is None:
+                # The ID was cached at peek time but evicted during this
+                # replay (possible only when the batch overflows a small
+                # cache): decode it individually, exactly as ``get`` would.
+                entry = self._header.document_map.lookup(doc_id)
+                blob = self._read_blob(entry)
+                positions, lengths = self._encoder.decode_streams(blob)
+                document = decode_pairs(positions, lengths, self._dictionary)
+                decoded[doc_id] = document
+            results.append(document)
+            self._cache_store(doc_id, document)
+        return results
 
     def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
         """Sequential access: decode every document in store order."""

@@ -10,15 +10,19 @@ provides:
   prefix-doubling construction (the default for large dictionaries);
 * :class:`repro.suffix.suffix_array.SuffixArray` — the facade used by the
   factorizer, exposing interval refinement and longest-match search;
+* :class:`repro.suffix.jump_index.CompactJumpIndex` — the array-backed
+  jump-start index that serves multi-MB dictionaries at ~10 B per key;
 * verification helpers in :mod:`repro.suffix.verify`.
 """
 
 from .doubling import suffix_array_doubling
+from .jump_index import CompactJumpIndex
 from .sais import sais
 from .suffix_array import SuffixArray, SuffixInterval
 from .verify import is_valid_suffix_array, naive_suffix_array
 
 __all__ = [
+    "CompactJumpIndex",
     "SuffixArray",
     "SuffixInterval",
     "is_valid_suffix_array",

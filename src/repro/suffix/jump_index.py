@@ -1,0 +1,202 @@
+"""Compact jump-start index: a numpy open-addressing hash table.
+
+The jump-start index maps the leading k-gram key of every dictionary suffix
+to its precomputed suffix-array interval, so the first step of a factor
+search lands inside the exact interval a full binary search would reach in
+O(1).  PR 1 implemented it as a Python ``dict`` — fast to probe but costing
+on the order of a hundred bytes per distinct key (boxed ``int`` keys, tuple
+values, dict slots), which is why it was hard-gated to dictionaries of at
+most 1 MiB.  The paper's RLZ design lives on *multi-megabyte* dictionaries,
+exactly the ones the gate excluded.
+
+:class:`CompactJumpIndex` stores the same mapping in three flat numpy
+arrays:
+
+* ``starts`` — ``int32`` run-start positions of the deduplicated keys in
+  the (sorted) per-suffix key array, with a final sentinel entry equal to
+  the number of suffixes, so run ``i`` covers the suffix-array interval
+  ``[starts[i], starts[i + 1] - 1]``;
+* ``table`` — an open-addressing ``int32`` hash table (linear probing,
+  Fibonacci hashing, load factor <= 2/3) whose slots hold run indexes, with
+  ``-1`` marking an empty slot;
+* a *borrowed* reference to the caller's sorted ``uint64`` key array, used
+  to verify the key of a probed run — no second copy of the keys is stored.
+
+That puts the overhead at roughly 10 bytes per distinct key (4 B per run
+start plus ~1.5 x 4 B of hash slots), against ~100+ B/key for the dict —
+small enough that the index is built for every dictionary size.
+
+Construction is fully vectorized: run boundaries come from one
+``np.flatnonzero`` over the key deltas, and the hash table is filled by
+rounds of vectorized linear probing (each round scatters every still-pending
+run into its current slot, keeps the winners, and advances the rest by one
+slot).  The number of rounds equals the longest probe chain, a small
+constant at this load factor.
+
+Lookups are scalar and allocation-free: the hot loops probe through
+``memoryview``s of the arrays, so each probe is two or three C-level integer
+reads with no numpy scalar boxing.  ``get`` has the same signature and
+return convention as ``dict.get`` — the factorization loops accept either
+implementation unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CompactJumpIndex"]
+
+#: Fibonacci-hashing multiplier (odd, ~2^64 / golden ratio): multiplying by
+#: it and keeping the high bits spreads both full 64-bit keys and the small
+#: shifted (4-byte) keys evenly over the table.
+_FIB_MULTIPLIER = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+class CompactJumpIndex:
+    """Map sorted uint64 suffix keys to their suffix-array intervals.
+
+    Parameters
+    ----------
+    sorted_keys:
+        The per-suffix key array in suffix-array order (which sorts it by
+        key value).  The array is borrowed, not copied; it must stay alive
+        and unmodified for the lifetime of the index.
+    shift:
+        Right-shift applied to every key before indexing.  ``0`` indexes the
+        full 8-byte keys; ``32`` indexes their leading 4 bytes (the 4-gram
+        companion index).  Shifting preserves the sort order.
+    """
+
+    __slots__ = (
+        "_keys",
+        "_starts",
+        "_table",
+        "_shift",
+        "_hash_shift",
+        "_slot_mask",
+        "_entries",
+        "_keys_view",
+        "_starts_view",
+        "_table_view",
+    )
+
+    def __init__(self, sorted_keys: np.ndarray, shift: int = 0) -> None:
+        keys = np.ascontiguousarray(sorted_keys, dtype=np.uint64)
+        n = len(keys)
+        if n >= (1 << 31):
+            raise ValueError("CompactJumpIndex requires fewer than 2**31 suffixes")
+        effective = keys >> np.uint64(shift) if shift else keys
+        if n:
+            boundaries = np.flatnonzero(effective[1:] != effective[:-1]) + 1
+            starts = np.empty(len(boundaries) + 2, dtype=np.int32)
+            starts[0] = 0
+            starts[1:-1] = boundaries
+            starts[-1] = n
+        else:
+            starts = np.zeros(1, dtype=np.int32)
+        entries = len(starts) - 1
+
+        # Power-of-two table size with load factor <= 2/3.
+        size = 8
+        while size * 2 < entries * 3:
+            size *= 2
+        log_size = size.bit_length() - 1
+        table = np.full(size, -1, dtype=np.int32)
+
+        if entries:
+            run_keys = effective[starts[:-1].astype(np.int64)]
+            slots = (
+                (run_keys * np.uint64(_FIB_MULTIPLIER)) >> np.uint64(64 - log_size)
+            ).astype(np.int64)
+            pending = np.arange(entries, dtype=np.int32)
+            # Vectorized linear probing: every round, each pending run tries
+            # its current slot; runs that land in an empty slot (and win the
+            # scatter among same-slot contenders) are done, the rest advance
+            # one slot.  Rounds = longest probe chain.
+            while pending.size:
+                empty = table[slots] < 0
+                if empty.any():
+                    table[slots[empty]] = pending[empty]
+                placed = table[slots] == pending
+                remaining = ~placed
+                pending = pending[remaining]
+                slots = (slots[remaining] + 1) & (size - 1)
+
+        self._keys = keys
+        self._starts = starts
+        self._table = table
+        self._shift = int(shift)
+        self._hash_shift = 64 - log_size
+        self._slot_mask = size - 1
+        self._entries = entries
+        # Memoryviews give C-level scalar reads (plain Python ints) without
+        # numpy scalar boxing — the probe loop runs a few hundred ns.
+        self._keys_view = memoryview(keys)
+        self._starts_view = memoryview(starts)
+        self._table_view = memoryview(table)
+
+    # ------------------------------------------------------------------
+    # Lookup (the hot path)
+    # ------------------------------------------------------------------
+    def get(self, key: int, default=None) -> Optional[Tuple[int, int]]:
+        """The suffix-array interval ``(lb, rb)`` of ``key``, or ``default``.
+
+        Same contract as the dict-based index: ``key`` is the (shifted)
+        big-endian integer value of the query's leading window.
+        """
+        table = self._table_view
+        starts = self._starts_view
+        keys = self._keys_view
+        shift = self._shift
+        mask = self._slot_mask
+        slot = ((key * _FIB_MULTIPLIER) & _MASK_64) >> self._hash_shift
+        while True:
+            run = table[slot]
+            if run < 0:
+                return default
+            lb = starts[run]
+            if (keys[lb] >> shift) == key:
+                return lb, starts[run + 1] - 1
+            slot = (slot + 1) & mask
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return self._entries
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shift(self) -> int:
+        """Right-shift applied to keys before indexing (0 or 32 in practice)."""
+        return self._shift
+
+    @property
+    def table_size(self) -> int:
+        """Number of hash slots (a power of two)."""
+        return self._slot_mask + 1
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of hash slots in use."""
+        return self._entries / self.table_size if self.table_size else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Owned memory in bytes (the borrowed key array is not counted)."""
+        return int(self._starts.nbytes + self._table.nbytes)
+
+    def items(self):
+        """Yield every ``(key, (lb, rb))`` pair (test/debug helper)."""
+        starts = self._starts
+        keys = self._keys
+        shift = self._shift
+        for run in range(self._entries):
+            lb = int(starts[run])
+            yield int(keys[lb]) >> shift, (lb, int(starts[run + 1]) - 1)

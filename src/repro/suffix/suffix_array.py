@@ -24,23 +24,36 @@ Two execution modes are provided:
   streams and measures the speed difference.
 
 The accelerated mode additionally maintains a *jump-start index* (enabled by
-default, see the ``jump_start`` parameter): a hash table mapping the 8-byte
-key of every suffix to its precomputed suffix-array interval.  The first
-step of every ``longest_match`` then starts inside the exact interval that a
+default, see the ``jump_start`` parameter) mapping the 8-byte key of every
+suffix to its precomputed suffix-array interval.  The first step of every
+``longest_match`` then starts inside the exact interval that a
 ``searchsorted`` over the full key array would reach, in O(1) instead of
-O(log n).  A companion 256-entry first-byte interval table plays the same
-role for the per-character fallback.  Both indexes are derived from the
-level-0 keys in one vectorized numpy pass and change no parse.
+O(log n).  A companion 4-byte index jump-starts short factors, and a
+256-entry first-byte interval table plays the same role for the
+per-character fallback.  All are derived from the level-0 keys in one
+vectorized numpy pass and change no parse.
+
+Two jump-index representations exist.  Small texts (at most
+``_SMALL_TEXT_MAX`` bytes) default to Python hash dicts — the fastest probe,
+but on the order of a hundred bytes per distinct key.  Larger texts default
+to the :class:`repro.suffix.jump_index.CompactJumpIndex` — flat numpy arrays
+probed through memoryviews at ~10 bytes per distinct key — so *multi-MB
+dictionaries*, the regime the paper's RLZ design actually targets, get
+jump-start acceleration instead of silently falling back to a binary search
+over the full key array (the pre-PR-2 behaviour).  ``jump_start`` accepts
+``"auto"`` (the size-based default just described), ``"dict"``,
+``"compact"`` or ``"off"``; the parse is identical under every mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from .doubling import suffix_array_doubling
+from .jump_index import CompactJumpIndex
 from .sais import sais
 
 __all__ = ["SuffixArray", "SuffixInterval"]
@@ -86,11 +99,17 @@ class SuffixArray:
         parse produced is identical either way; disabling it gives the
         paper's literal per-character algorithm.
     jump_start:
-        Enable the k-gram jump-start index (a hash table from the first
-        8-byte key of every suffix to its suffix-array interval) that lets
-        each ``longest_match`` skip the initial binary search over the full
-        array.  Only meaningful when ``accelerated`` is true; the parse is
-        identical with or without it.
+        Configure the k-gram jump-start index (first 8-byte key of every
+        suffix -> its suffix-array interval) that lets each
+        ``longest_match`` skip the initial binary search over the full
+        array.  ``True`` (default) selects ``"auto"``: a hash dict for
+        texts up to ``_SMALL_TEXT_MAX`` bytes, the compact numpy index for
+        anything larger.  ``"dict"`` and ``"compact"`` force one
+        representation regardless of size (the dict probes faster but
+        costs ~100 B per distinct key, so it is an opt-in for texts where
+        that is affordable); ``False``/``"off"`` disables the index.  Only
+        meaningful when ``accelerated`` is true; the parse is identical
+        under every setting.
     """
 
     #: Interval sizes at or below this threshold are scanned candidate by
@@ -100,12 +119,15 @@ class SuffixArray:
     #: point never changes the parse, only which code path computes it.)
     _SCAN_THRESHOLD = 4
 
+    #: Valid ``jump_start`` mode strings (``True`` -> "auto", ``False`` -> "off").
+    _JUMP_MODES = ("auto", "dict", "compact", "off")
+
     def __init__(
         self,
         text: bytes,
         algorithm: str = "doubling",
         accelerated: bool = True,
-        jump_start: bool = True,
+        jump_start: Union[bool, str] = True,
     ) -> None:
         if not isinstance(text, (bytes, bytearray)):
             raise TypeError("SuffixArray requires a bytes-like text")
@@ -119,17 +141,119 @@ class SuffixArray:
             raise ValueError(f"unknown suffix array algorithm: {algorithm!r}")
         self._algorithm = algorithm
         self._accelerated = bool(accelerated)
-        self._jump_start = bool(jump_start)
-        # Acceleration state, built lazily on first longest_match call.
+        self._jump_mode = self._normalize_jump_mode(jump_start)
+        self._jump_start = self._jump_mode != "off"
+        self._reset_acceleration_state()
+
+    @classmethod
+    def _normalize_jump_mode(cls, jump_start: Union[bool, str, None]) -> str:
+        """Map the ``jump_start`` argument to one of ``_JUMP_MODES``."""
+        if jump_start is True:
+            return "auto"
+        if jump_start is False or jump_start is None:
+            return "off"
+        mode = str(jump_start).lower()
+        if mode not in cls._JUMP_MODES:
+            valid = ", ".join(cls._JUMP_MODES)
+            raise ValueError(f"unknown jump_start mode {jump_start!r}; valid: {valid}")
+        return mode
+
+    def _reset_acceleration_state(self) -> None:
+        """Initialise the lazy acceleration state (built on first search)."""
         self._padded: Optional[np.ndarray] = None
         self._position_keys: Optional[np.ndarray] = None
         self._prefix_keys: Optional[np.ndarray] = None
-        self._level_keys: dict[int, np.ndarray] = {}
-        self._jump_index: Optional[dict] = None
-        self._jump4_index: Optional[dict] = None
+        self._level_keys: Dict[int, np.ndarray] = {}
+        self._jump_index = None
+        self._jump4_index = None
+        self._jump_index_kind: Optional[str] = None
         self._byte_intervals: Optional[list] = None
         self._sa_list: Optional[list] = None
         self._level_key_lists: Optional[list] = None
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        text: bytes,
+        suffix_array: np.ndarray,
+        *,
+        algorithm: str = "precomputed",
+        accelerated: bool = True,
+        jump_start: Union[bool, str] = True,
+        position_keys: Optional[np.ndarray] = None,
+        level0_keys: Optional[np.ndarray] = None,
+    ) -> "SuffixArray":
+        """Wrap an already-built suffix array without running construction.
+
+        This is the attach path for shared-memory workers: the parent builds
+        the suffix array (and optionally the per-position key array and the
+        level-0 keys) once, publishes the raw arrays, and every worker wraps
+        them here instead of re-running the O(n log n) construction.  The
+        arrays are *borrowed*, not copied — they may be read-only views over
+        a shared-memory buffer and must stay alive as long as this object.
+
+        ``suffix_array`` is trusted to be the suffix array of ``text``;
+        ``position_keys``/``level0_keys`` are trusted to be the arrays
+        :meth:`shared_state` exports (lengths are validated, contents are
+        not).  Remaining acceleration state (byte table, jump index, padded
+        text) is derived lazily as usual — those passes are vectorized and
+        cheap next to construction.
+        """
+        if not isinstance(text, (bytes, bytearray)):
+            raise TypeError("SuffixArray requires a bytes-like text")
+        self = cls.__new__(cls)
+        self._text = bytes(text)
+        self._n = len(self._text)
+        sa = np.asarray(suffix_array, dtype=np.int64)
+        if len(sa) != self._n:
+            raise ValueError(
+                f"suffix array has {len(sa)} entries for a text of {self._n} bytes"
+            )
+        self._sa = sa
+        self._algorithm = algorithm
+        self._accelerated = bool(accelerated)
+        self._jump_mode = cls._normalize_jump_mode(jump_start)
+        self._jump_start = self._jump_mode != "off"
+        self._reset_acceleration_state()
+        if position_keys is not None:
+            position_keys = np.asarray(position_keys, dtype=np.uint64)
+            expected = self._n + self._MAX_LEVELS * _KEY_WIDTH
+            if len(position_keys) != expected:
+                raise ValueError(
+                    f"position_keys has {len(position_keys)} entries, expected {expected}"
+                )
+            self._position_keys = position_keys
+        if level0_keys is not None:
+            level0 = np.asarray(level0_keys, dtype=np.uint64)
+            if len(level0) != self._n:
+                raise ValueError(
+                    f"level0_keys has {len(level0)} entries for {self._n} suffixes"
+                )
+            self._level_keys[0] = level0
+        return self
+
+    def shared_state(self) -> Dict[str, np.ndarray]:
+        """The numpy arrays a worker needs to attach without rebuilding.
+
+        Builds (when acceleration is enabled) *only* the exportable arrays —
+        the per-position key array and the level-0 keys — and returns them
+        with the suffix array, exactly the arrays :meth:`from_precomputed`
+        accepts.  A parent that publishes for ``spawn`` workers but never
+        factorizes itself therefore skips the Python list/dict machinery of
+        the full small-text acceleration build (~100+ B per text byte); the
+        full build, if it happens later, reuses these arrays.  The parallel
+        pipeline copies the result into ``multiprocessing.shared_memory``
+        segments.
+        """
+        if self._accelerated:
+            self._ensure_shared_arrays()
+        state: Dict[str, np.ndarray] = {"sa": self._sa}
+        if self._position_keys is not None:
+            state["position_keys"] = self._position_keys
+        level0 = self._level_keys.get(0)
+        if level0 is not None:
+            state["level0_keys"] = level0
+        return state
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -153,6 +277,22 @@ class SuffixArray:
     def jump_start(self) -> bool:
         """Whether the k-gram jump-start index is enabled."""
         return self._jump_start
+
+    @property
+    def jump_mode(self) -> str:
+        """Configured jump-index mode: ``auto``, ``dict``, ``compact`` or ``off``."""
+        return self._jump_mode
+
+    @property
+    def jump_index_kind(self) -> Optional[str]:
+        """Representation actually built: ``"dict"``, ``"compact"`` or ``None``.
+
+        ``None`` before the first accelerated search (the index is lazy) and
+        when the index is disabled.  Benchmarks assert on this to prove the
+        jump-start path is active — no silent fallback — for large
+        dictionaries.
+        """
+        return self._jump_index_kind
 
     @property
     def array(self) -> np.ndarray:
@@ -259,11 +399,49 @@ class SuffixArray:
     #: refinement (which shrinks them quickly at logarithmic cost).
     _GATHER_MAX = 4096
 
-    #: Texts at most this long get the hash-table jump indexes and the
-    #: Python-list key levels (fastest scalar search, ~100-150 bytes of
-    #: index per text byte).  Longer texts keep the numpy-only machinery,
-    #: whose memory overhead stays a small constant per byte.
-    _JUMP_START_MAX_TEXT = 1 << 20
+    #: Texts at most this long get the Python-list key levels and suffix-array
+    #: list (fastest scalar search, ~100-150 bytes of index per text byte),
+    #: and — in ``auto`` jump mode — the hash-dict jump indexes.  Longer
+    #: texts keep the numpy-only machinery, whose memory overhead stays a
+    #: small constant per byte, with the compact numpy jump index replacing
+    #: the dict.  (Before PR 2 this constant also hard-gated the jump-start
+    #: index entirely, so multi-MB dictionaries lost it.)
+    _SMALL_TEXT_MAX = 1 << 20
+
+    def _ensure_padded(self) -> np.ndarray:
+        """The text zero-padded past its end for out-of-range key gathers."""
+        if self._padded is None:
+            text_array = np.frombuffer(self._text, dtype=np.uint8)
+            self._padded = np.concatenate(
+                [
+                    text_array,
+                    np.zeros((self._MAX_LEVELS + 1) * _KEY_WIDTH, dtype=np.uint8),
+                ]
+            )
+        return self._padded
+
+    def _ensure_shared_arrays(self) -> None:
+        """Build just the per-position keys and level-0 keys.
+
+        This is the exportable subset :meth:`shared_state` publishes — one
+        vectorized shift-or pass plus one gather, no Python lists, dicts or
+        byte tables.  Arrays injected by :meth:`from_precomputed` are kept
+        as-is; :meth:`_ensure_keys` layers the rest of the acceleration
+        state on top of whatever exists here.
+        """
+        if self._position_keys is None:
+            # Key of every position 0 .. n + (_MAX_LEVELS - 1) * 8 in one
+            # pass of eight shift-or operations over the padded text.
+            padded = self._ensure_padded()
+            span = self._n + self._MAX_LEVELS * _KEY_WIDTH
+            position_keys = np.zeros(span, dtype=np.uint64)
+            for j in range(_KEY_WIDTH):
+                position_keys = (position_keys << np.uint64(8)) | padded[
+                    j : j + span
+                ].astype(np.uint64)
+            self._position_keys = position_keys
+        if 0 not in self._level_keys:
+            self._level_keys[0] = self._position_keys[self._sa]
 
     def _ensure_keys(self) -> np.ndarray:
         """Precompute every key level, the jump-start index and the byte table.
@@ -271,44 +449,32 @@ class SuffixArray:
         One vectorized pass computes the big-endian 8-byte key of *every*
         text position (zero-padded past the end); all ``_MAX_LEVELS`` key
         levels are then plain gathers out of that array, and the jump-start
-        hash table falls out of the run boundaries of the (sorted) level-0
-        keys.  Everything is built exactly once, on the first accelerated
-        ``longest_match``.
+        index falls out of the run boundaries of the (sorted) level-0 keys.
+        Everything is built exactly once, on the first accelerated
+        ``longest_match``.  Arrays injected by :meth:`from_precomputed`
+        (shared-memory workers) are reused instead of recomputed.
         """
         if self._prefix_keys is not None:
             return self._prefix_keys
         n = self._n
-        text_array = np.frombuffer(self._text, dtype=np.uint8)
-        self._padded = np.concatenate(
-            [text_array, np.zeros((self._MAX_LEVELS + 1) * _KEY_WIDTH, dtype=np.uint8)]
-        )
-        # Key of every position 0 .. n + (_MAX_LEVELS - 1) * 8 in one pass of
-        # eight shift-or operations over the padded text.
-        span = n + self._MAX_LEVELS * _KEY_WIDTH
-        position_keys = np.zeros(span, dtype=np.uint64)
-        for j in range(_KEY_WIDTH):
-            position_keys = (position_keys << np.uint64(8)) | self._padded[
-                j : j + span
-            ].astype(np.uint64)
-        self._position_keys = position_keys
-        indexed = n <= self._JUMP_START_MAX_TEXT
-        if indexed:
-            # All levels eagerly: level k is a gather at offset 8k.
-            self._level_keys = {
-                level: position_keys[self._sa + level * _KEY_WIDTH]
-                for level in range(self._MAX_LEVELS)
-            }
+        self._ensure_shared_arrays()
+        position_keys = self._position_keys
+        small = n <= self._SMALL_TEXT_MAX
+        level0 = self._level_keys[0]
+        self._level_keys = {0: level0}
+        if small:
+            # All levels eagerly: level k is a gather at offset 8k, plus a
             # Python-list view of the suffix array for the scalar hot loops.
+            for level in range(1, self._MAX_LEVELS):
+                self._level_keys[level] = position_keys[self._sa + level * _KEY_WIDTH]
             self._sa_list = self._sa.tolist()
-        else:
-            # Large text: keep only the numpy machinery, whose overhead is a
-            # small constant per byte (level 0 here, further levels built
-            # lazily by _get_level_keys on demand).
-            self._level_keys = {0: position_keys[self._sa]}
-        self._prefix_keys = self._level_keys[0]
+        # Large text: keep only the numpy machinery, whose overhead is a
+        # small constant per byte (level 0 above, further levels built
+        # lazily by _get_level_keys on demand).
+        self._prefix_keys = level0
         # First-byte interval table: refine(full, 0, b) for every byte value.
         if n:
-            first_bytes = self._padded[self._sa]
+            first_bytes = self._ensure_padded()[self._sa]
             values = np.arange(256)
             lows = np.searchsorted(first_bytes, values, side="left")
             highs = np.searchsorted(first_bytes, values, side="right")
@@ -321,36 +487,49 @@ class SuffixArray:
         # Python-list views of the key levels: the bounded C-level ``bisect``
         # searches of the factorization loop index them without numpy slice
         # or scalar-conversion overhead.
-        if n and indexed:
+        if n and small:
             self._level_key_lists = [
                 self._level_keys[level].tolist() for level in range(self._MAX_LEVELS)
             ]
         # Jump-start indexes: the first 8-byte key of every suffix -> its
         # suffix-array interval, plus a 4-byte variant that jump-starts the
-        # short factors the 8-byte index cannot serve.
-        if self._jump_start and n and indexed:
-            level0 = self._prefix_keys
-            boundaries = np.flatnonzero(level0[1:] != level0[:-1]) + 1
-            starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [n]))
-            self._jump_index = {
-                key: (lb, rb)
-                for key, lb, rb in zip(
-                    level0[starts].tolist(), starts.tolist(), (ends - 1).tolist()
-                )
-            }
-            quads = level0 >> np.uint64(32)
-            quad_boundaries = np.flatnonzero(quads[1:] != quads[:-1]) + 1
-            quad_starts = np.concatenate(([0], quad_boundaries))
-            quad_ends = np.concatenate((quad_boundaries, [n]))
-            self._jump4_index = {
-                key: (lb, rb)
-                for key, lb, rb in zip(
-                    quads[quad_starts].tolist(),
-                    quad_starts.tolist(),
-                    (quad_ends - 1).tolist(),
-                )
-            }
+        # short factors the 8-byte index cannot serve.  ``auto`` picks the
+        # representation by size: hash dicts probe fastest but cost ~100 B
+        # per distinct key, so they serve small texts; the compact numpy
+        # index (~10 B per distinct key) serves everything else — large
+        # dictionaries get jump-start acceleration instead of a silent
+        # fallback to the full-array binary search.
+        if self._jump_mode != "off" and n:
+            use_dict = self._jump_mode == "dict" or (
+                self._jump_mode == "auto" and small
+            )
+            if use_dict:
+                boundaries = np.flatnonzero(level0[1:] != level0[:-1]) + 1
+                starts = np.concatenate(([0], boundaries))
+                ends = np.concatenate((boundaries, [n]))
+                self._jump_index = {
+                    key: (lb, rb)
+                    for key, lb, rb in zip(
+                        level0[starts].tolist(), starts.tolist(), (ends - 1).tolist()
+                    )
+                }
+                quads = level0 >> np.uint64(32)
+                quad_boundaries = np.flatnonzero(quads[1:] != quads[:-1]) + 1
+                quad_starts = np.concatenate(([0], quad_boundaries))
+                quad_ends = np.concatenate((quad_boundaries, [n]))
+                self._jump4_index = {
+                    key: (lb, rb)
+                    for key, lb, rb in zip(
+                        quads[quad_starts].tolist(),
+                        quad_starts.tolist(),
+                        (quad_ends - 1).tolist(),
+                    )
+                }
+                self._jump_index_kind = "dict"
+            else:
+                self._jump_index = CompactJumpIndex(level0)
+                self._jump4_index = CompactJumpIndex(level0, shift=32)
+                self._jump_index_kind = "compact"
         return self._prefix_keys
 
     def prepare(self) -> None:
@@ -362,6 +541,47 @@ class SuffixArray:
         """
         if self._accelerated:
             self._ensure_keys()
+
+    def acceleration_stats(self) -> Dict[str, object]:
+        """Size accounting for the acceleration state (builds it first).
+
+        Returns the jump-index kind and entry counts plus byte totals: exact
+        ``nbytes`` for the numpy structures, an estimate for the dict-based
+        index (measured ~100-150 B per distinct key, reported at 120).  The
+        large-dictionary benchmark records these so the memory model in
+        PERFORMANCE.md stays tied to measured numbers.
+        """
+        if self._accelerated:
+            self._ensure_keys()
+        jump_entries = 0
+        jump_nbytes = 0
+        for index in (self._jump_index, self._jump4_index):
+            if index is None:
+                continue
+            jump_entries += len(index)
+            if isinstance(index, CompactJumpIndex):
+                jump_nbytes += index.nbytes
+            else:
+                jump_nbytes += len(index) * 120  # measured dict overhead/key
+        numpy_nbytes = sum(
+            int(array.nbytes)
+            for array in (self._position_keys, self._padded)
+            if array is not None
+        ) + sum(int(keys.nbytes) for keys in self._level_keys.values())
+        list_nbytes = 0
+        if self._sa_list is not None:
+            list_nbytes += len(self._sa_list) * 36  # list slot + small-int object
+        if self._level_key_lists is not None:
+            for keys in self._level_key_lists:
+                list_nbytes += len(keys) * 40  # list slot + boxed uint64
+        return {
+            "jump_index_kind": self._jump_index_kind,
+            "jump_entries": jump_entries,
+            "jump_nbytes": jump_nbytes,
+            "numpy_nbytes": numpy_nbytes,
+            "list_nbytes": list_nbytes,
+            "text_bytes": self._n,
+        }
 
     def _get_level_keys(self, level: int) -> np.ndarray:
         """Keys of bytes ``8 * level .. 8 * level + 7`` of every suffix."""
@@ -561,22 +781,26 @@ class SuffixArray:
             byte = query[start + matched]
             if matched == 0 and lb == 0 and rb == n - 1 and byte_intervals is not None:
                 jump4 = self._jump4_index
-                if (
-                    jump4 is not None
-                    and max_len >= 4
-                    and b"\x00" not in query[start : start + 4]
-                ):
+                if jump4 is not None and max_len >= 4:
+                    window4 = query[start : start + 4]
                     # Short-factor jump start: hash the first 4 bytes to the
-                    # interval four refinements would reach.  A zero-free
-                    # window cannot collide with the zero padding, but keep
-                    # the same defensive verification as the 8-byte index.
-                    hit4 = jump4.get(int.from_bytes(query[start : start + 4], "big"))
-                    if hit4 is not None:
-                        candidate = sa[hit4[0]]
-                        if text[candidate : candidate + 4] == query[start : start + 4]:
-                            lb, rb = hit4
-                            matched = 4
-                            continue
+                    # interval four refinements would reach.  The index is
+                    # consulted only for a *full-width, zero-free* window: a
+                    # sub-width window's big-endian value is indistinguishable
+                    # from the zero-padded key of a suffix near the end of the
+                    # text, and a zero byte in the window is ambiguous against
+                    # that same padding.  (``max_len >= 4`` already implies
+                    # four query bytes exist, but the length guard keeps the
+                    # invariant local.)  The candidate verification below
+                    # additionally rejects any padding artefact outright.
+                    if len(window4) == 4 and b"\x00" not in window4:
+                        hit4 = jump4.get(int.from_bytes(window4, "big"))
+                        if hit4 is not None:
+                            candidate = sa[hit4[0]]
+                            if text[candidate : candidate + 4] == window4:
+                                lb, rb = hit4
+                                matched = 4
+                                continue
                 # Full interval at offset 0: the precomputed first-byte table
                 # is exactly refine(full, 0, byte).
                 hit = byte_intervals[byte]

@@ -61,3 +61,28 @@ def test_benchmark_json_appends(tmp_path, gov_small):
 
 def test_fastpath_registered_as_experiment():
     assert "fastpath" in EXPERIMENTS
+    assert "fastpath-large-dict" in EXPERIMENTS
+
+
+def test_large_dictionary_benchmark_rejects_gated_sizes():
+    """The experiment exists to exercise dictionaries above the old 1 MiB
+    jump-start gate; sizes at or below it must be refused loudly."""
+    from repro.bench.fastpath import large_dictionary_benchmark
+
+    with pytest.raises(ValueError, match="1 MiB"):
+        large_dictionary_benchmark(dictionary_bytes=1 << 20)
+    with pytest.raises(ValueError, match="1 MiB"):
+        large_dictionary_benchmark(dictionary_bytes=4096)
+
+
+def test_large_dictionary_benchmark_rejects_small_collections(gov_small):
+    """A caller-supplied collection that cannot yield a >1 MiB dictionary is
+    an error, not a silently smaller experiment."""
+    from repro.bench.fastpath import large_dictionary_benchmark
+
+    if gov_small.total_size > (1 << 20) + (1 << 18):
+        pytest.skip("fixture collection large enough to sample the dictionary")
+    with pytest.raises(ValueError, match="too small"):
+        large_dictionary_benchmark(
+            collection=gov_small, dictionary_bytes=(1 << 20) + (1 << 18)
+        )

@@ -1,5 +1,8 @@
 """Tests for the parallel encode pipeline."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.core import (
@@ -10,9 +13,15 @@ from repro.core import (
     RlzDictionary,
     RlzFactorizer,
 )
-from repro.core.parallel import resolve_workers
+from repro.core import parallel as parallel_module
+from repro.core.parallel import _describe_chunk, resolve_workers
 from repro.corpus import generate_gov_collection
 from repro.errors import FactorizationError
+
+spawn_available = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method not available",
+)
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +53,23 @@ def test_resolve_workers():
     assert resolve_workers(0) >= 1
     with pytest.raises(FactorizationError):
         resolve_workers(-2)
+
+
+def test_resolve_workers_negative_error_states_the_contract():
+    """The error must describe the documented contract (None/1 serial,
+    0 all cores, positive pool size), not a bare numeric bound."""
+    with pytest.raises(FactorizationError) as excinfo:
+        resolve_workers(-2)
+    message = str(excinfo.value)
+    assert "None or 1 (serial)" in message
+    assert "0 (use every core)" in message
+    assert "got -2" in message
+
+
+def test_resolve_workers_zero_without_cpu_count(monkeypatch):
+    """workers=0 falls back to serial when the core count is unknown."""
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_workers(0) == 1
 
 
 def test_serial_pipeline_matches_object_path(dictionary, documents):
@@ -84,6 +110,135 @@ def test_compressor_workers_produce_identical_collection():
     assert [d.data for d in serial.documents] == [d.data for d in parallel.documents]
     for document in collection:
         assert parallel.decode_document(document.doc_id) == document.content
+
+
+def test_parent_state_not_leaked_when_pool_start_fails(dictionary, documents, monkeypatch):
+    """A failed pool start must not leave the dictionary referenced by the
+    module global (the fork handoff) — regression test for the leak where an
+    exception between the handoff and pool construction kept the parent
+    dictionary alive for the life of the process."""
+
+    class _BrokenContext:
+        def Pool(self, *args, **kwargs):
+            raise RuntimeError("pool start failed")
+
+    monkeypatch.setattr(
+        parallel_module.multiprocessing, "get_context", lambda method: _BrokenContext()
+    )
+    pipeline = ParallelCompressor(dictionary, workers=2, start_method="fork")
+    with pytest.raises(RuntimeError, match="pool start failed"):
+        pipeline.encode_documents(documents)
+    assert parallel_module._PARENT_STATE is None
+
+
+@spawn_available
+def test_spawn_shared_memory_matches_serial_and_attaches(dictionary, documents):
+    """spawn workers must attach the parent's suffix array through shared
+    memory (not rebuild it) and produce byte-identical blobs."""
+    pipeline = ParallelCompressor(
+        dictionary, scheme="ZZ", workers=2, chunk_size=3, start_method="spawn"
+    )
+    blobs = pipeline.encode_documents(documents)
+    assert blobs == serial_blobs(dictionary, documents)
+    assert len(pipeline.last_segment_names) >= 2  # text + suffix array at least
+    descriptions = pipeline._run(_describe_chunk, documents)
+    for algorithm, segments, _pid in descriptions:
+        assert algorithm.startswith("shared:")
+        assert segments >= 2
+
+
+@spawn_available
+def test_spawn_shared_memory_segments_released_on_shutdown(dictionary, documents):
+    from multiprocessing import shared_memory
+
+    pipeline = ParallelCompressor(dictionary, workers=2, start_method="spawn")
+    pipeline.encode_documents(documents)
+    names = pipeline.last_segment_names
+    assert names  # the shared path was taken
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@spawn_available
+def test_spawn_shared_memory_segments_released_when_pool_fails(
+    dictionary, documents, monkeypatch
+):
+    """Segment cleanup must also run when pool construction raises."""
+    from multiprocessing import shared_memory
+
+    real_get_context = multiprocessing.get_context
+
+    class _BrokenContext:
+        def Pool(self, *args, **kwargs):
+            raise RuntimeError("pool start failed")
+
+    monkeypatch.setattr(
+        parallel_module.multiprocessing, "get_context", lambda method: _BrokenContext()
+    )
+    pipeline = ParallelCompressor(dictionary, workers=2, start_method="spawn")
+    with pytest.raises(RuntimeError, match="pool start failed"):
+        pipeline.encode_documents(documents)
+    names = pipeline.last_segment_names
+    assert names
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    assert parallel_module._PARENT_STATE is None
+    assert real_get_context("spawn") is not None  # sanity: patch was local
+
+
+def test_shared_publish_midway_failure_releases_created_segments(dictionary, monkeypatch):
+    """If segment creation fails partway through publish (e.g. a full
+    /dev/shm), the real error must propagate and every already-created
+    segment must be closed and unlinked — no kernel objects leak."""
+    from multiprocessing import shared_memory
+
+    real_shared_memory = shared_memory.SharedMemory
+    created = []
+    state = {"creations": 0}
+
+    def flaky(*args, **kwargs):
+        if kwargs.get("create"):
+            state["creations"] += 1
+            if state["creations"] == 3:
+                raise OSError("shm exhausted")
+        segment = real_shared_memory(*args, **kwargs)
+        if kwargs.get("create"):
+            created.append(segment.name)
+        return segment
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", flaky)
+    with pytest.raises(OSError, match="shm exhausted"):
+        parallel_module._SharedDictionary.publish(dictionary)
+    assert created  # some segments were created before the failure
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            real_shared_memory(name=name)
+
+
+@spawn_available
+def test_spawn_without_shared_memory_rebuilds_per_worker(dictionary, documents):
+    pipeline = ParallelCompressor(
+        dictionary, workers=2, start_method="spawn", share_memory=False
+    )
+    blobs = pipeline.encode_documents(documents)
+    assert blobs == serial_blobs(dictionary, documents)
+    assert pipeline.last_segment_names == ()
+    descriptions = pipeline._run(_describe_chunk, documents)
+    for algorithm, segments, _pid in descriptions:
+        assert not algorithm.startswith("shared:")
+        assert segments == 0
+
+
+@spawn_available
+def test_factorize_many_spawn_shared_memory(dictionary, documents):
+    factorizer = RlzFactorizer(dictionary)
+    serial = factorizer.factorize_many(documents)
+    shared = factorizer.factorize_many(
+        documents, workers=2, start_method="spawn", share_memory=True
+    )
+    assert shared == serial
 
 
 def test_empty_document_list(dictionary):

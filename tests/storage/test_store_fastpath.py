@@ -76,3 +76,54 @@ def test_get_many_uses_cache(store_path, gov_small):
         again = store.get_many(doc_ids)
         assert store.disk.accounting.seeks == 0
         assert again == [store.get(doc_id) for doc_id in doc_ids]
+
+
+def _access_sequences(doc_ids):
+    """Access patterns that exercise hits, repeats, eviction and interleaving."""
+    return [
+        [doc_ids[0], doc_ids[0]],
+        [doc_ids[0], doc_ids[1], doc_ids[0], doc_ids[2], doc_ids[0]],
+        [doc_ids[2], doc_ids[2], doc_ids[2]],
+        list(doc_ids[:4]) * 2,
+        [doc_ids[3], doc_ids[0], doc_ids[3], doc_ids[1], doc_ids[1], doc_ids[2]],
+    ]
+
+
+@pytest.mark.parametrize("capacity", [0, 1, 2, 8])
+def test_get_many_cache_accounting_matches_get(store_path, gov_small, capacity):
+    """The same access sequence must produce identical hit/miss counters,
+    cache size and LRU contents whether issued via ``get`` or ``get_many``
+    — including when the batch itself overflows the cache and evicts
+    entries mid-replay."""
+    doc_ids = gov_small.doc_ids()
+    for sequence in _access_sequences(doc_ids):
+        with RlzStore.open(store_path, decode_cache_size=capacity) as via_get, RlzStore.open(
+            store_path, decode_cache_size=capacity
+        ) as via_get_many:
+            expected = [via_get.get(doc_id) for doc_id in sequence]
+            batch = via_get_many.get_many(sequence)
+            assert batch == expected
+            assert via_get_many.cache_info == via_get.cache_info
+            # Same contents *and* the same LRU recency order.
+            assert list(via_get_many._cache.items()) == list(via_get._cache.items())
+
+
+def test_get_many_replays_entry_evicted_during_batch(store_path, gov_small):
+    """An ID cached before the batch but evicted while the batch replays
+    must be re-decoded exactly as ``get`` would (miss counted, bytes
+    correct)."""
+    doc_ids = gov_small.doc_ids()
+    with RlzStore.open(store_path, decode_cache_size=1) as store:
+        a, b = doc_ids[0], doc_ids[1]
+        store.get(a)  # cache == {a}
+        batch = store.get_many([b, a])  # b evicts a, then a must re-decode
+        assert batch == [store.get(b), store.get(a)]
+
+    with RlzStore.open(store_path, decode_cache_size=1) as reference:
+        reference.get(a)
+        reference.get(b)
+        reference.get(a)
+    with RlzStore.open(store_path, decode_cache_size=1) as store:
+        store.get(a)
+        store.get_many([b, a])
+        assert store.cache_info == reference.cache_info

@@ -118,14 +118,19 @@ def test_randomized_adversarial_equivalence():
         assert_all_modes_agree(text, query)
 
 
-def test_large_text_gate_falls_back_to_numpy_machinery():
-    """Texts beyond _JUMP_START_MAX_TEXT skip the hash/list indexes but parse identically."""
+def test_large_text_configuration_uses_compact_jump_index():
+    """Texts beyond _SMALL_TEXT_MAX drop the Python-list machinery but keep a
+    (compact) jump index and parse identically — the 1 MiB gate no longer
+    silently disables jump-start for the multi-MB dictionaries the paper
+    targets."""
     rng = random.Random(77)
     text = bytes(rng.choices(b"abcdef <html>", k=400))
     gated = SuffixArray(text)
-    gated._JUMP_START_MAX_TEXT = 0  # force the large-text configuration
+    gated._SMALL_TEXT_MAX = 0  # force the large-text configuration
     gated._ensure_keys()
-    assert gated._jump_index is None
+    assert gated.jump_index_kind == "compact"
+    assert gated._jump_index is not None
+    assert gated._jump4_index is not None
     assert gated._level_key_lists is None
     assert gated._sa_list is None
     reference = SuffixArray(text, accelerated=False)

@@ -1,0 +1,101 @@
+"""Unit tests for the compact (array-backed) jump-start index."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.suffix import CompactJumpIndex, SuffixArray
+
+
+def reference_intervals(keys, shift):
+    """Brute-force key -> (lb, rb) mapping from a sorted key array."""
+    effective = [int(key) >> shift for key in keys]
+    intervals = {}
+    for rank, key in enumerate(effective):
+        if key not in intervals:
+            intervals[key] = [rank, rank]
+        else:
+            intervals[key][1] = rank
+    return {key: tuple(bounds) for key, bounds in intervals.items()}
+
+
+@pytest.mark.parametrize("shift", [0, 32])
+def test_matches_brute_force_mapping(shift):
+    rng = random.Random(9)
+    for _ in range(40):
+        n = rng.randrange(0, 300)
+        keys = np.sort(
+            np.array([rng.randrange(0, 2**64) for _ in range(n)], dtype=np.uint64)
+        )
+        index = CompactJumpIndex(keys, shift=shift)
+        expected = reference_intervals(keys, shift)
+        assert len(index) == len(expected)
+        assert dict(index.items()) == expected
+        for key, interval in expected.items():
+            assert index.get(key) == interval
+            assert key in index
+        for _ in range(25):
+            probe = rng.randrange(0, 2**64) >> shift
+            assert index.get(probe) == expected.get(probe)
+            assert index.get(probe, "sentinel") == expected.get(probe, "sentinel")
+
+
+def test_empty_key_array():
+    index = CompactJumpIndex(np.array([], dtype=np.uint64))
+    assert len(index) == 0
+    assert index.get(0) is None
+    assert index.get(12345, -1) == -1
+    assert 7 not in index
+
+
+def test_duplicate_heavy_keys_collapse_to_runs():
+    keys = np.array([5] * 100 + [9] * 3 + [2**40] * 7, dtype=np.uint64)
+    index = CompactJumpIndex(keys)
+    assert len(index) == 3
+    assert index.get(5) == (0, 99)
+    assert index.get(9) == (100, 102)
+    assert index.get(2**40) == (103, 109)
+
+
+def test_extreme_key_values():
+    keys = np.array([0, 0, 1, 2**63, 2**64 - 1, 2**64 - 1], dtype=np.uint64)
+    index = CompactJumpIndex(keys)
+    assert index.get(0) == (0, 1)
+    assert index.get(1) == (2, 2)
+    assert index.get(2**63) == (3, 3)
+    assert index.get(2**64 - 1) == (4, 5)
+    assert index.get(2**62) is None
+
+
+def test_load_factor_and_memory_bounds():
+    keys = np.sort(np.random.default_rng(3).integers(0, 2**63, 50_000).astype(np.uint64))
+    index = CompactJumpIndex(keys)
+    assert 0 < index.load_factor <= 2 / 3 + 1e-9
+    # ~10 B per distinct key: 4 B run start + <= ~8 B of (power-of-two
+    # rounded) hash slots.  The whole point of the structure.
+    assert index.nbytes <= len(index) * 17
+    assert index.table_size >= len(index)
+
+
+def test_agrees_with_dict_index_on_real_text():
+    """Compact and dict representations of the same suffix array must hold
+    the identical mapping (the factorization loops treat them as drop-in
+    replacements)."""
+    text = b"abracadabra banana abracadabra \x00\x00 the end" * 8
+    dict_version = SuffixArray(text, jump_start="dict")
+    compact_version = SuffixArray(text, jump_start="compact")
+    dict_version._ensure_keys()
+    compact_version._ensure_keys()
+    assert dict_version.jump_index_kind == "dict"
+    assert compact_version.jump_index_kind == "compact"
+    assert dict(compact_version._jump_index.items()) == dict_version._jump_index
+    assert dict(compact_version._jump4_index.items()) == dict_version._jump4_index
+
+
+def test_rejects_oversized_inputs_early():
+    class _FakeKeys:
+        pass
+
+    with pytest.raises(TypeError):
+        CompactJumpIndex(_FakeKeys())

@@ -74,6 +74,37 @@ def test_compress_with_workers(tmp_path, capsys):
     assert "all documents round-tripped" in capsys.readouterr().out
 
 
+def test_compress_with_spawn_shared_memory_and_jump_index(tmp_path, capsys):
+    warc = tmp_path / "s.warc"
+    corpus_main([str(warc), "--documents", "6", "--seed", "2"])
+    container = tmp_path / "s.repro"
+    status = compress_main(
+        [
+            str(warc),
+            str(container),
+            "--dictionary-size",
+            str(16 * 1024),
+            "--workers",
+            "2",
+            "--start-method",
+            "spawn",
+            "--share-memory",
+            "--jump-index",
+            "compact",
+            "--verify",
+        ]
+    )
+    assert status == 0
+    assert "all documents round-tripped" in capsys.readouterr().out
+
+
+def test_compress_rejects_negative_workers(tmp_path):
+    warc = tmp_path / "n.warc"
+    corpus_main([str(warc), "--documents", "3", "--seed", "2"])
+    with pytest.raises(SystemExit):
+        compress_main([str(warc), str(tmp_path / "n.repro"), "--workers", "-1"])
+
+
 def test_main_dispatches_subcommands(tmp_path, capsys):
     warc = tmp_path / "m.warc"
     assert main(["corpus", str(warc), "--documents", "3"]) == 0
