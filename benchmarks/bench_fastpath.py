@@ -1,7 +1,8 @@
 """Fast-path throughput benchmark: current pipeline vs the frozen seed.
 
 Measures encode throughput (jump-start index + stream factorization +
-parallel pipeline) and decode throughput (batch decode + serving cache)
+parallel pipeline), decode throughput (batch decode + serving cache) and
+the serving front (async clients + cache tier vs the sequential get loop)
 against frozen re-implementations of the seed revision's hot loops, verifies
 byte-identical factor streams and exact round-trips in the same run, and
 appends the raw numbers to ``benchmarks/results/fastpath.json`` so the perf
@@ -34,6 +35,25 @@ def test_fastpath(benchmark, results_path):
     assert "byte-identical to seed: True" in notes
     assert "parallel blobs identical to serial: True" in notes
     assert "round-trip verified against corpus: True" in notes
+    assert "served bytes verified against corpus: True" in notes
+
+
+def test_fastpath_serving(benchmark, results_path):
+    """Record the serving-front comparison (sequential loop vs cache tier vs
+    concurrent async clients) and verify every served byte."""
+    from repro.bench.serving import serving_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        serving_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
     assert "served bytes verified against corpus: True" in notes
 
 

@@ -1,11 +1,14 @@
 """Quickstart: compress a web collection with RLZ and read documents back.
 
-This walks the paper's pipeline end to end on a small synthetic crawl:
+This walks the paper's pipeline end to end on a small synthetic crawl,
+through the :class:`repro.api.RlzArchive` facade:
 
 1. generate a GOV2-like collection,
-2. sample a dictionary and compress every document relative to it,
-3. persist the result to an on-disk store,
-4. retrieve documents by ID (random access) and sequentially.
+2. ``RlzArchive.build`` — sample a dictionary, compress every document and
+   persist the result in one call, configured by one ``ArchiveConfig``,
+3. ``RlzArchive.open`` — reopen for serving with an LRU decode cache,
+4. retrieve documents by ID (random access, with per-request stats) and
+   sequentially.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -15,8 +18,14 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import DictionaryConfig, RlzCompressor, generate_gov_collection
-from repro.storage import RlzStore
+from repro import (
+    ArchiveConfig,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    generate_gov_collection,
+)
 
 
 def main() -> None:
@@ -30,43 +39,61 @@ def main() -> None:
         f"average {collection.average_document_size / 1024:.1f} KB/doc"
     )
 
-    # 2. Compress with a dictionary of ~1.5% of the collection (the paper
-    #    shows even ~0.1% works at web scale) and the ZV pair coding.
-    dictionary_size = max(64 * 1024, collection.total_size // 64)
-    compressor = RlzCompressor(
-        dictionary_config=DictionaryConfig(size=dictionary_size, sample_size=1024),
-        scheme="ZV",
-    )
-    compressed, report = compressor.compress(collection, collect_statistics=True)
-    print(
-        f"dictionary: {dictionary_size / 1024:.0f} KB, "
-        f"average factor length {report.average_factor_length:.1f}, "
-        f"unused dictionary bytes {report.unused_dictionary_percent:.1f}%"
-    )
-    print(
-        f"compression: {compressed.compression_ratio(include_dictionary=False):.2f}% "
-        f"of the original size (excluding the dictionary), "
-        f"{compressed.compression_ratio(include_dictionary=True):.2f}% including it"
+    # 2. One config object carries every tuning decision: a dictionary of
+    #    ~1.5% of the collection (the paper shows even ~0.1% works at web
+    #    scale), the ZV pair coding, and an LRU decode cache for serving.
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(
+            size=max(64 * 1024, collection.total_size // 64), sample_size=1024
+        ),
+        encoding=EncodingSpec(scheme="ZV"),
+        cache=CacheSpec(tier="lru", capacity=32),
     )
 
-    # 3. Persist to a container file and reopen it.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "crawl.rlz"
-        RlzStore.write(compressed, path)
-        print(f"store written: {path.stat().st_size / 1e6:.2f} MB on disk")
 
-        with RlzStore.open(path) as store:
-            # 4a. Random access by document ID.
-            wanted = collection.doc_ids()[37]
-            document = store.get(wanted)
-            original = collection.document_by_id(wanted)
-            assert document == original.content
-            print(f"random access: doc {wanted} ({len(document):,} bytes) round-tripped")
+        # 3. Build + persist + open in one call.
+        archive = RlzArchive.build(collection, config, path)
+        print(
+            f"archive built: {path.stat().st_size / 1e6:.2f} MB on disk, "
+            f"{archive.compression_percent(include_dictionary=False):.2f}% of "
+            f"the original size (excluding the dictionary), "
+            f"{archive.compression_percent(include_dictionary=True):.2f}% including it"
+        )
+        archive.close()
 
-            # 4b. Sequential scan (batch processing).
-            total = sum(len(text) for _, text in store.iter_documents())
+        # 4. Reopen for serving (what a reader process does).
+        with RlzArchive.open(path, config) as archive:
+            # 4a. Random access by document ID, with per-request stats.
+            wanted = archive.doc_ids()[37]
+            document = archive.get(wanted)
+            assert document == collection.document_by_id(wanted).content
+            request = archive.last_request
+            print(
+                f"random access: doc {wanted} ({request.bytes_served:,} bytes) "
+                f"round-tripped in {request.seconds * 1e3:.2f} ms"
+            )
+
+            # Repeated access hits the cache tier instead of re-decoding.
+            archive.get(wanted)
+            print(f"repeat access: cache hits = {archive.last_request.cache_hits}")
+
+            # 4b. Batched random access (one vectorized decode for misses).
+            batch = archive.get_many(archive.doc_ids()[:10])
+            print(f"batched access: {len(batch)} documents in one request")
+
+            # 4c. Sequential scan (batch processing).
+            total = sum(len(text) for _, text in archive.iter_documents())
             assert total == collection.total_size
             print(f"sequential scan: decoded {total / 1e6:.1f} MB")
+
+            stats = archive.stats()
+            print(
+                f"session stats: {stats['requests']:.0f} requests, "
+                f"{stats['bytes_served'] / 1e6:.1f} MB served, "
+                f"{stats['cache_hits']:.0f} cache hits"
+            )
 
 
 if __name__ == "__main__":

@@ -3,22 +3,33 @@
 This is the workload the paper's introduction motivates: a retrieval system
 stores its crawl compressed, answers queries from an inverted index, and must
 fetch the matching documents quickly to build query-biased snippets.  The
-script compares the RLZ store against a blocked-zlib store on exactly that
-access pattern and prints per-system retrieval statistics.
+script serves that access pattern through the :class:`repro.api.RlzArchive`
+facade — including the asyncio front, where concurrent queries asking for
+the same popular documents are coalesced into single decodes — and compares
+it against a blocked-zlib store.
 
 Run with ``python examples/web_archive_snippets.py``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import tempfile
 from pathlib import Path
 
-from repro import DictionaryConfig, RlzCompressor, generate_gov_collection
+from repro import (
+    ArchiveConfig,
+    AsyncRlzArchive,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    generate_gov_collection,
+)
 from repro.baselines import build_blocked_baseline
 from repro.bench import measure_retrieval
 from repro.search import InvertedIndex, generate_queries, strip_markup
-from repro.storage import BlockedStore, RlzStore
+from repro.storage import BlockedStore
 
 
 def make_snippet(document_text: str, query: str, width: int = 160) -> str:
@@ -33,6 +44,13 @@ def make_snippet(document_text: str, query: str, width: int = 160) -> str:
     return text[:width] + "…"
 
 
+async def serve_queries(path: Path, config: ArchiveConfig, query_hits):
+    """Serve the query load concurrently: one client session per query."""
+    async with AsyncRlzArchive.open(path, config) as front:
+        await asyncio.gather(*(front.gather(doc_ids) for doc_ids in query_hits))
+        return front.stats()
+
+
 def main() -> None:
     collection = generate_gov_collection(
         num_documents=150, target_document_size=10 * 1024, seed=99
@@ -43,27 +61,31 @@ def main() -> None:
     index = InvertedIndex.build(collection)
     queries = generate_queries(collection, num_queries=25, seed=7)
 
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(size=collection.total_size // 50, sample_size=1024),
+        encoding=EncodingSpec(scheme="ZV"),
+        cache=CacheSpec(tier="lru", capacity=64),
+    )
+
     with tempfile.TemporaryDirectory() as tmp:
-        # The paper's system: RLZ with a small in-memory dictionary.
-        compressor = RlzCompressor(
-            dictionary_config=DictionaryConfig(
-                size=collection.total_size // 50, sample_size=1024
-            ),
-            scheme="ZV",
-        )
-        rlz_path = RlzStore.write(compressor.compress(collection), Path(tmp) / "rlz.repro")
+        # The paper's system behind the facade; one build call.
+        rlz_path = Path(tmp) / "rlz.repro"
+        RlzArchive.build(collection, config, rlz_path).close()
         # The conventional alternative: 0.5 MB zlib blocks.
         zlib_path = build_blocked_baseline(collection, Path(tmp) / "zlib.repro", "zlib", 0.5)
 
         # Build the query-log access pattern: top-5 results per query.
+        query_hits = []
         requests = []
         for query in queries:
-            requests.extend(result.doc_id for result in index.search(query, top_k=5))
+            hits = [result.doc_id for result in index.search(query, top_k=5)]
+            query_hits.append(hits)
+            requests.extend(hits)
         print(f"query load: {len(queries)} queries, {len(requests)} document fetches")
 
-        with RlzStore.open(rlz_path) as store:
-            rlz_stats = measure_retrieval(store, requests)
-            rlz_percent = store.compression_percent(include_dictionary=True)
+        with RlzArchive.open(rlz_path, config) as archive:
+            rlz_stats = measure_retrieval(archive, requests)
+            rlz_percent = archive.compression_percent(include_dictionary=True)
         with BlockedStore.open(zlib_path) as store:
             zlib_stats = measure_retrieval(store, requests)
             zlib_percent = store.compression_percent()
@@ -77,13 +99,24 @@ def main() -> None:
             f"{zlib_stats.docs_per_second:8.0f} docs/s on the query log"
         )
 
-        # Show a couple of query-biased snippets fetched from the RLZ store.
-        with RlzStore.open(rlz_path) as store:
+        # Serve the same load through the async front: every query is a
+        # concurrent client session; popular documents requested by several
+        # queries at once are decoded one time and shared.
+        stats = asyncio.run(serve_queries(rlz_path, config, query_hits))
+        print(
+            f"async front: {stats['async_requests']:.0f} requests from "
+            f"{len(queries)} concurrent sessions, "
+            f"{stats['async_coalesced']:.0f} coalesced, "
+            f"{stats['cache_hits']:.0f} cache hits"
+        )
+
+        # Show a couple of query-biased snippets fetched from the archive.
+        with RlzArchive.open(rlz_path, config) as archive:
             for query in queries[:3]:
                 results = index.search(query, top_k=1)
                 if not results:
                     continue
-                page = store.get(results[0].doc_id).decode("utf-8", errors="replace")
+                page = archive.get(results[0].doc_id).decode("utf-8", errors="replace")
                 print(f"\nquery: {query!r}\n  {make_snippet(page, query)}")
 
 

@@ -8,14 +8,17 @@ A from-scratch Python reproduction of
 
 The package is organised by subsystem:
 
+* :mod:`repro.api` — the service facade: :class:`RlzArchive` /
+  :class:`AsyncRlzArchive` serving fronts configured by one declarative
+  :class:`ArchiveConfig`;
 * :mod:`repro.core` — the RLZ compressor itself (dictionary sampling,
   suffix-array driven factorization, pair encodings, random-access decode);
 * :mod:`repro.suffix` — suffix array construction and search;
 * :mod:`repro.coding` — integer codecs (vbyte, u32, zlib, Elias, Simple-9,
   PForDelta);
 * :mod:`repro.corpus` — synthetic GOV2-like and Wikipedia-like collections;
-* :mod:`repro.storage` — on-disk stores with random access, blocked
-  baselines, and a disk latency model;
+* :mod:`repro.storage` — on-disk stores with random access, pluggable
+  decode-cache tiers, blocked baselines, and a disk latency model;
 * :mod:`repro.baselines` — block-compressed and semi-static baselines;
 * :mod:`repro.search` — the inverted-index search engine used to generate
   query-log access patterns;
@@ -24,18 +27,28 @@ The package is organised by subsystem:
 
 Quickstart::
 
-    from repro import RlzCompressor, DictionaryConfig, generate_gov_collection
+    from repro import ArchiveConfig, RlzArchive, generate_gov_collection
 
     collection = generate_gov_collection(num_documents=200)
-    compressor = RlzCompressor(
-        dictionary_config=DictionaryConfig(size=256 * 1024, sample_size=1024),
-        scheme="ZV",
-    )
-    compressed = compressor.compress(collection)
-    print(compressed.compression_ratio())        # ~10-15 (% of original)
-    text = compressed.decode_document(doc_id=0)  # random access
+    archive = RlzArchive.build(collection, ArchiveConfig(), "crawl.rlz")
+    print(archive.compression_percent())       # ~10-15 (% of original)
+    text = archive.get(doc_id=0)               # random access
+    texts = archive.get_many([0, 1, 2])        # batched random access
+
+The pre-facade pipeline (:class:`RlzCompressor` → :meth:`RlzStore.write` →
+:meth:`RlzStore.open`) remains fully supported for callers that need the
+individual pieces.
 """
 
+from .api import (
+    ArchiveConfig,
+    AsyncRlzArchive,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    ParallelSpec,
+    RlzArchive,
+)
 from .core import (
     CompressedCollection,
     CompressionReport,
@@ -56,6 +69,8 @@ from .corpus import (
     url_sorted,
 )
 from .errors import (
+    BenchmarkError,
+    ConfigurationError,
     CorpusError,
     DecodingError,
     DictionaryError,
@@ -64,31 +79,48 @@ from .errors import (
     ReproError,
     SearchError,
     StorageError,
+    StoreClosedError,
 )
+from .storage import CacheTier, LruCache, NullCache, RlzStore, SharedMemoryCache
 from .suffix import SuffixArray
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArchiveConfig",
+    "AsyncRlzArchive",
+    "BenchmarkError",
+    "CacheSpec",
+    "CacheTier",
     "CompressedCollection",
     "CompressionReport",
+    "ConfigurationError",
     "CorpusError",
     "DecodingError",
     "DictionaryConfig",
     "DictionaryError",
+    "DictionarySpec",
     "Document",
     "DocumentCollection",
     "EncodingError",
+    "EncodingSpec",
     "Factor",
     "Factorization",
     "FactorizationError",
+    "LruCache",
+    "NullCache",
     "PairEncoder",
+    "ParallelSpec",
     "ReproError",
+    "RlzArchive",
     "RlzCompressor",
     "RlzDictionary",
     "RlzFactorizer",
+    "RlzStore",
     "SearchError",
+    "SharedMemoryCache",
     "StorageError",
+    "StoreClosedError",
     "SuffixArray",
     "build_dictionary",
     "generate_gov_collection",

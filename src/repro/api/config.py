@@ -1,0 +1,228 @@
+"""Declarative configuration for :class:`repro.api.RlzArchive`.
+
+One :class:`ArchiveConfig` replaces the tuning kwargs that used to be
+threaded through four constructors (``RlzCompressor``, ``RlzDictionary``,
+``ParallelCompressor``, ``RlzStore``).  It is a small tree of frozen
+dataclasses, one per concern:
+
+* :class:`DictionarySpec` — how the dictionary is sampled and indexed;
+* :class:`EncodingSpec` — the pair-coding scheme;
+* :class:`ParallelSpec` — the encode worker pool;
+* :class:`CacheSpec` — the serving-time decode-cache tier.
+
+Everything has a sensible default, so ``ArchiveConfig()`` is a valid
+paper-faithful configuration; ``dataclasses.replace`` (or keyword
+construction) tweaks one concern without touching the others.  The tree
+round-trips through plain dicts (:meth:`ArchiveConfig.to_dict` /
+:meth:`ArchiveConfig.from_dict`) so configs can live in JSON/CLI land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ArchiveConfig",
+    "CacheSpec",
+    "DictionarySpec",
+    "EncodingSpec",
+    "ParallelSpec",
+]
+
+_SAMPLING_POLICIES = ("uniform", "prefix", "random_documents")
+_JUMP_MODES = ("auto", "dict", "compact", "off")
+_CACHE_TIERS = ("none", "lru", "shared")
+_START_METHODS = ("fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class DictionarySpec:
+    """Dictionary sampling and index configuration.
+
+    ``size=None`` (default) auto-sizes the dictionary to ~1% of the
+    collection (at least 64 KB), mirroring the paper's observation that
+    even ~0.1% dictionaries work well at web scale.
+    """
+
+    size: Optional[int] = None
+    sample_size: int = 1024
+    policy: str = "uniform"
+    prefix_fraction: float = 1.0
+    seed: int = 0
+    sa_algorithm: str = "doubling"
+    accelerated: bool = True
+    jump_start: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size <= 0:
+            raise ConfigurationError("dictionary size must be positive (or None)")
+        if self.sample_size <= 0:
+            raise ConfigurationError("dictionary sample_size must be positive")
+        if self.policy not in _SAMPLING_POLICIES:
+            raise ConfigurationError(
+                f"unknown sampling policy {self.policy!r}; "
+                f"expected one of {_SAMPLING_POLICIES}"
+            )
+        if not 0.0 < self.prefix_fraction <= 1.0:
+            raise ConfigurationError("prefix_fraction must be in (0, 1]")
+        if self.jump_start not in _JUMP_MODES:
+            raise ConfigurationError(
+                f"unknown jump_start mode {self.jump_start!r}; "
+                f"expected one of {_JUMP_MODES}"
+            )
+
+    def sized_for(self, total_bytes: int) -> int:
+        """The concrete dictionary size for a collection of ``total_bytes``."""
+        if self.size is not None:
+            return self.size
+        return max(64 * 1024, total_bytes // 100)
+
+
+@dataclass(frozen=True)
+class EncodingSpec:
+    """Factor-stream pair-coding configuration (the paper's ZZ/ZV/UZ/UV)."""
+
+    scheme: str = "ZZ"
+
+    def __post_init__(self) -> None:
+        if not self.scheme or not isinstance(self.scheme, str):
+            raise ConfigurationError("encoding scheme must be a non-empty string")
+        object.__setattr__(self, "scheme", self.scheme.upper())
+
+
+@dataclass(frozen=True)
+class ParallelSpec:
+    """Encode-pipeline worker-pool configuration.
+
+    ``workers``: ``None``/1 serial, 0 every core, else the pool size.
+    ``start_method``/``share_memory`` configure how non-``fork`` workers
+    receive the dictionary (see :class:`repro.core.ParallelCompressor`).
+    """
+
+    workers: Optional[int] = None
+    start_method: Optional[str] = None
+    share_memory: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError(
+                "workers must be None/1 (serial), 0 (all cores) or a positive "
+                f"pool size; got {self.workers}"
+            )
+        if self.start_method is not None and self.start_method not in _START_METHODS:
+            raise ConfigurationError(
+                f"unknown start_method {self.start_method!r}; "
+                f"expected one of {_START_METHODS}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Serving-time decode-cache tier configuration.
+
+    ``tier``:
+
+    * ``"none"`` — no caching (paper-faithful cold decodes, the default);
+    * ``"lru"`` — in-process :class:`repro.storage.LruCache` of
+      ``capacity`` decoded documents;
+    * ``"shared"`` — cross-process :class:`repro.storage.SharedMemoryCache`
+      ring of ``capacity`` slots of ``slot_bytes`` each.  Give the spec a
+      ``name`` and every process opening the archive with the same name
+      shares one cache (first process creates, the rest attach).
+    """
+
+    tier: str = "none"
+    capacity: int = 0
+    slot_bytes: int = 64 * 1024
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in _CACHE_TIERS:
+            raise ConfigurationError(
+                f"unknown cache tier {self.tier!r}; expected one of {_CACHE_TIERS}"
+            )
+        if self.tier == "none":
+            if self.capacity:
+                raise ConfigurationError("cache tier 'none' takes no capacity")
+        elif self.capacity <= 0:
+            raise ConfigurationError(
+                f"cache tier {self.tier!r} needs a positive capacity"
+            )
+        if self.slot_bytes <= 0:
+            raise ConfigurationError("slot_bytes must be positive")
+        if self.name is not None and self.tier != "shared":
+            raise ConfigurationError("cache name= only applies to the 'shared' tier")
+
+    def build_tier(self):
+        """Instantiate the configured :class:`repro.storage.CacheTier`."""
+        from ..storage.cache import LruCache, NullCache, SharedMemoryCache
+
+        if self.tier == "none":
+            return NullCache()
+        if self.tier == "lru":
+            return LruCache(self.capacity)
+        return SharedMemoryCache(
+            slots=self.capacity, slot_bytes=self.slot_bytes, name=self.name
+        )
+
+
+@dataclass(frozen=True)
+class ArchiveConfig:
+    """The single way to configure building and serving an archive."""
+
+    dictionary: DictionarySpec = field(default_factory=DictionarySpec)
+    encoding: EncodingSpec = field(default_factory=EncodingSpec)
+    parallel: ParallelSpec = field(default_factory=ParallelSpec)
+    cache: CacheSpec = field(default_factory=CacheSpec)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dictionary, DictionarySpec):
+            raise ConfigurationError("dictionary must be a DictionarySpec")
+        if not isinstance(self.encoding, EncodingSpec):
+            raise ConfigurationError("encoding must be an EncodingSpec")
+        if not isinstance(self.parallel, ParallelSpec):
+            raise ConfigurationError("parallel must be a ParallelSpec")
+        if not isinstance(self.cache, CacheSpec):
+            raise ConfigurationError("cache must be a CacheSpec")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form (JSON-safe) of the whole tree."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ArchiveConfig":
+        """Rebuild a config from :meth:`to_dict` output (extra keys rejected)."""
+        specs = {
+            "dictionary": DictionarySpec,
+            "encoding": EncodingSpec,
+            "parallel": ParallelSpec,
+            "cache": CacheSpec,
+        }
+        unknown = set(data) - set(specs)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ArchiveConfig sections: {sorted(unknown)}"
+            )
+        kwargs = {}
+        for key, spec_cls in specs.items():
+            if key not in data:
+                continue
+            section = data[key]
+            if isinstance(section, spec_cls):
+                kwargs[key] = section
+            elif isinstance(section, dict):
+                try:
+                    kwargs[key] = spec_cls(**section)
+                except TypeError as exc:
+                    raise ConfigurationError(f"bad {key} section: {exc}") from exc
+            else:
+                raise ConfigurationError(
+                    f"{key} section must be a dict or {spec_cls.__name__}"
+                )
+        return cls(**kwargs)

@@ -24,6 +24,7 @@ from .harness import EXPERIMENTS, run_all, run_experiment
 from .reporting import ResultTable
 from .retrieval import RetrievalMeasurement, measure_retrieval
 from .scale import BenchScale, current_scale
+from .serving import serving_benchmark
 
 __all__ = [
     "BenchScale",
@@ -46,5 +47,6 @@ __all__ = [
     "run_all",
     "run_experiment",
     "sampling_policy_ablation_table",
+    "serving_benchmark",
     "wiki_collection",
 ]

@@ -27,6 +27,7 @@ from .experiments import (
 from .fastpath import fastpath_benchmark, large_dictionary_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
+from .serving import serving_benchmark
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
 
@@ -113,6 +114,10 @@ def _fastpath_large_dict() -> ResultTable:
     return large_dictionary_benchmark()
 
 
+def _fastpath_serving() -> ResultTable:
+    return serving_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -131,6 +136,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "ablation-pruning": _ablation_pruning,
     "fastpath": _fastpath,
     "fastpath-large-dict": _fastpath_large_dict,
+    "fastpath-serving": _fastpath_serving,
 }
 
 

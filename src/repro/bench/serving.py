@@ -1,0 +1,221 @@
+"""Serving-front benchmark: concurrent async clients vs a sequential loop.
+
+The ``fastpath`` benchmark measures raw decode throughput; this experiment
+measures the *serving shape* on top of it — the difference between the
+legacy caller pattern (a sequential ``get`` loop, no cache, the pre-facade
+default) and the :mod:`repro.api` front (an :class:`AsyncRlzArchive` with a
+decode-cache tier, thread-pool offload and coalesced duplicate requests)
+on the same repeated-access query log.
+
+Three pipelines serve the identical shuffled log:
+
+* ``serve/sequential``        — ``archive.get`` loop, no cache (legacy);
+* ``serve/sequential-cache``  — the same loop with the LRU tier (what the
+  cache alone buys);
+* ``serve/async-clients``     — N concurrent async client sessions over the
+  LRU tier (what the async front adds: overlap plus coalescing).
+
+Every served byte is verified against the corpus in the same run, and a
+JSON record (``"benchmark": "fastpath-serving"``) is appended to the same
+history as :func:`repro.bench.fastpath.fastpath_benchmark`, whose frozen
+seed baselines are untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..api import (
+    ArchiveConfig,
+    AsyncRlzArchive,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+)
+from ..corpus.document import DocumentCollection
+from .corpora import gov_collection
+from .fastpath import _append_json_record
+from .reporting import ResultTable
+from .scale import BenchScale, current_scale
+
+__all__ = ["serving_benchmark"]
+
+
+def _serve_async(
+    path: Path,
+    config: ArchiveConfig,
+    access_log: List[int],
+    clients: int,
+    max_workers: Optional[int],
+) -> tuple:
+    """Serve the log with ``clients`` concurrent sessions; returns
+    (served-in-log-order, elapsed-seconds, front-stats)."""
+
+    async def run() -> tuple:
+        front = AsyncRlzArchive.open(path, config, max_workers=max_workers)
+        results: List[Optional[bytes]] = [None] * len(access_log)
+
+        async def client(offset: int) -> None:
+            # Client sessions interleave over the log (client i takes
+            # requests i, i+C, i+2C, ...), so concurrent sessions ask for
+            # the same popular documents close together in time — the
+            # workload coalescing exists for.
+            for index in range(offset, len(access_log), clients):
+                results[index] = await front.get(access_log[index])
+
+        start = time.perf_counter()
+        await asyncio.gather(*(client(offset) for offset in range(clients)))
+        elapsed = time.perf_counter() - start
+        stats = front.stats()
+        await front.close()
+        return results, elapsed, stats
+
+    return asyncio.run(run())
+
+
+def serving_benchmark(
+    collection: Optional[DocumentCollection] = None,
+    scale: Optional[BenchScale] = None,
+    dictionary_label: str = "1.0",
+    scheme: str = "ZZ",
+    clients: int = 8,
+    serving_repeats: int = 4,
+    cache_capacity: int = 128,
+    max_workers: Optional[int] = None,
+    output_json: Optional[str | Path] = None,
+) -> ResultTable:
+    """Measure the async serving front against the sequential ``get`` loop.
+
+    Builds one archive (via :meth:`RlzArchive.build`) in a temporary
+    directory, replays a shuffled query log touching every document
+    ``serving_repeats`` times through the three pipelines described in the
+    module docstring, verifies every served byte against the corpus, and
+    optionally appends a machine-readable record to ``output_json``.
+    """
+    scale = scale or current_scale()
+    collection = collection if collection is not None else gov_collection(scale)
+    contents = {document.doc_id: document.content for document in collection}
+
+    base_config = ArchiveConfig(
+        dictionary=DictionarySpec(
+            size=scale.dictionary_sizes[dictionary_label],
+            sample_size=scale.default_sample_size,
+        ),
+        encoding=EncodingSpec(scheme=scheme),
+    )
+    cached_config = ArchiveConfig(
+        dictionary=base_config.dictionary,
+        encoding=base_config.encoding,
+        cache=CacheSpec(tier="lru", capacity=cache_capacity),
+    )
+
+    doc_ids = sorted(contents)
+    access_log = doc_ids * serving_repeats
+    random.Random(0).shuffle(access_log)
+    serving_bytes = sum(len(contents[doc_id]) for doc_id in access_log)
+    requests = len(access_log)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "serving.rlz"
+        RlzArchive.build(collection, base_config, path).close()
+
+        # -- sequential, no cache: the legacy caller pattern ---------------
+        archive = RlzArchive.open(path, base_config)
+        start = time.perf_counter()
+        sequential = [archive.get(doc_id) for doc_id in access_log]
+        sequential_elapsed = time.perf_counter() - start
+        archive.close()
+
+        # -- sequential + LRU tier: what the cache alone buys --------------
+        archive = RlzArchive.open(path, cached_config)
+        start = time.perf_counter()
+        sequential_cached = [archive.get(doc_id) for doc_id in access_log]
+        cached_elapsed = time.perf_counter() - start
+        cached_info = archive.cache_info()
+        archive.close()
+
+        # -- async front: concurrent clients, cache + coalescing -----------
+        async_served, async_elapsed, async_stats = _serve_async(
+            path, cached_config, access_log, clients, max_workers
+        )
+
+    sequential_ok = all(
+        document == contents[doc_id]
+        for document, doc_id in zip(sequential, access_log)
+    )
+    cached_ok = sequential_cached == sequential
+    async_ok = async_served == sequential
+
+    def rate(elapsed: float) -> float:
+        return requests / elapsed if elapsed > 0 else 0.0
+
+    cached_speedup = sequential_elapsed / cached_elapsed if cached_elapsed else 0.0
+    async_speedup = sequential_elapsed / async_elapsed if async_elapsed else 0.0
+
+    table = ResultTable(
+        title="Serving front: async clients vs the sequential get loop",
+        headers=["Pipeline", "Seconds", "Requests/s", "Speedup vs sequential"],
+    )
+    table.add_row("serve/sequential", sequential_elapsed, rate(sequential_elapsed), 1.0)
+    table.add_row(
+        "serve/sequential-cache", cached_elapsed, rate(cached_elapsed), cached_speedup
+    )
+    table.add_row(
+        f"serve/async-{clients}-clients", async_elapsed, rate(async_elapsed), async_speedup
+    )
+    table.add_note(f"served bytes verified against corpus: {sequential_ok and cached_ok and async_ok}")
+    table.add_note(
+        f"query log: {requests} requests over {len(doc_ids)} documents "
+        f"(x{serving_repeats}), {serving_bytes:,} bytes served per pipeline"
+    )
+    table.add_note(
+        f"cache tier: lru capacity {cache_capacity} "
+        f"(hits {cached_info['hits']}, misses {cached_info['misses']} on the "
+        "sequential-cache pass)"
+    )
+    table.add_note(
+        f"async front: {clients} client sessions, "
+        f"{int(async_stats['async_coalesced'])} duplicate requests coalesced, "
+        f"{int(async_stats['cache_hits'])} cache hits"
+    )
+
+    if output_json is not None:
+        record = {
+            "benchmark": "fastpath-serving",
+            "scale": scale.name,
+            "collection": collection.name,
+            "documents": len(doc_ids),
+            "requests": requests,
+            "serving_repeats": serving_repeats,
+            "bytes_served": serving_bytes,
+            "scheme": scheme,
+            "clients": clients,
+            "cache_capacity": cache_capacity,
+            "serve": {
+                "sequential_seconds": sequential_elapsed,
+                "sequential_cache_seconds": cached_elapsed,
+                "async_seconds": async_elapsed,
+                "sequential_requests_per_s": rate(sequential_elapsed),
+                "sequential_cache_requests_per_s": rate(cached_elapsed),
+                "async_requests_per_s": rate(async_elapsed),
+                "cache_speedup": cached_speedup,
+                "async_speedup": async_speedup,
+                "coalesced": int(async_stats["async_coalesced"]),
+                "async_cache_hits": int(async_stats["cache_hits"]),
+            },
+            "verified": {
+                "sequential_ok": sequential_ok,
+                "cached_identical": cached_ok,
+                "async_identical": async_ok,
+            },
+        }
+        json_path = _append_json_record(output_json, record)
+        table.add_note(f"JSON record appended to {json_path}")
+
+    return table

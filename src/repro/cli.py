@@ -2,13 +2,18 @@
 
 Four console scripts are installed with the package:
 
-* ``repro``          — umbrella command: ``repro corpus|compress|bench ...``;
+* ``repro``          — umbrella command:
+  ``repro corpus|compress|bench|serve-bench ...``;
 * ``repro-corpus``  — generate a synthetic collection and write it to a
   REPRO-WARC file;
 * ``repro-compress`` — compress a REPRO-WARC collection with rlz (or a
   baseline) into a container file, and optionally verify it by decoding;
 * ``repro-bench``   — run the paper's experiments and print/save the result
   tables.
+
+``repro serve-bench`` runs the serving-front benchmark (concurrent async
+clients through :class:`repro.api.AsyncRlzArchive` vs a sequential ``get``
+loop) and can append its record to the fast-path JSON history.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .bench.harness import EXPERIMENTS, run_all
+from .bench.serving import serving_benchmark
 from .core import DictionaryConfig, RlzCompressor
 from .corpus import (
     generate_gov_collection,
@@ -29,7 +35,7 @@ from .corpus import (
 )
 from .storage import BlockedStore, BlockedStoreConfig, RawStore, RlzStore
 
-__all__ = ["corpus_main", "compress_main", "bench_main", "main"]
+__all__ = ["corpus_main", "compress_main", "bench_main", "serve_bench_main", "main"]
 
 
 def corpus_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -190,10 +196,70 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the serving-front benchmark (async clients vs sequential loop)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description=(
+            "Benchmark the async serving front (repro.api.AsyncRlzArchive: "
+            "decode-cache tier, thread-pool offload, request coalescing) "
+            "against the legacy sequential get loop on a repeated-access "
+            "query log.  Scale with REPRO_BENCH_SCALE."
+        ),
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent async client sessions"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=4, help="times the log touches each document"
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=128, help="LRU tier capacity (documents)"
+    )
+    parser.add_argument("--scheme", default="ZZ", help="rlz pair-coding scheme")
+    parser.add_argument(
+        "--max-workers", type=int, default=None, help="decode thread-pool width"
+    )
+    parser.add_argument(
+        "--output", default="bench_results.txt", help="file to append the table to"
+    )
+    parser.add_argument(
+        "--output-json",
+        default=None,
+        help="JSON history to append the record to "
+        "(e.g. benchmarks/results/fastpath.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.clients <= 0:
+        parser.error(f"--clients must be positive, got {args.clients}")
+    if args.repeats <= 0:
+        parser.error(f"--repeats must be positive, got {args.repeats}")
+    if args.cache_capacity <= 0:
+        parser.error(f"--cache-capacity must be positive, got {args.cache_capacity}")
+
+    table = serving_benchmark(
+        clients=args.clients,
+        serving_repeats=args.repeats,
+        cache_capacity=args.cache_capacity,
+        scheme=args.scheme,
+        max_workers=args.max_workers,
+        output_json=args.output_json,
+    )
+    table.print()
+    if args.output:
+        table.save(args.output)
+        print(f"\nresults appended to {args.output}")
+    if "served bytes verified against corpus: True" not in "\n".join(table.notes):
+        print("VERIFY FAILED: served bytes did not match the corpus", file=sys.stderr)
+        return 1
+    return 0
+
+
 _SUBCOMMANDS = {
     "corpus": corpus_main,
     "compress": compress_main,
     "bench": bench_main,
+    "serve-bench": serve_bench_main,
 }
 
 

@@ -40,6 +40,7 @@ from ..suffix import SuffixArray
 from .dictionary import RlzDictionary
 from .encoder import PairEncoder
 from .factorizer import RlzFactorizer
+from .shm import attach_segment, release_segment
 
 __all__ = ["ParallelCompressor", "resolve_workers"]
 
@@ -150,52 +151,20 @@ class _SharedDictionary:
     def cleanup(self) -> None:
         """Close and unlink every segment (idempotent).
 
-        Close and unlink are attempted independently per segment: a close
-        refused because a buffer is still exported (``BufferError``) must
-        not stop the segment — or any later one — from being unlinked.
+        Close and unlink are attempted independently per segment (see
+        :func:`repro.core.shm.release_segment`): a close refused because a
+        buffer is still exported must not stop the segment — or any later
+        one — from being unlinked.
         """
         segments, self._segments = self._segments, []
         for segment in segments:
-            try:
-                segment.close()
-            except (OSError, BufferError):
-                pass
-            try:
-                segment.unlink()
-            except (OSError, FileNotFoundError):
-                pass
+            release_segment(segment, unlink=True)
 
 
 def _attach_segment(name: str):
-    """Attach a shared-memory segment without resource-tracker ownership.
-
-    Workers only borrow the segments — the parent owns their lifecycle — so
-    the worker's ``resource_tracker`` must not adopt them (the tracker is
-    shared with the parent; a worker registering and later unregistering
-    the same name races the parent's own unlink bookkeeping and logs
-    spurious tracker errors).  Python 3.13+ exposes ``track=False`` for
-    exactly this; on older versions registration is suppressed for the
-    duration of the attach, which keeps the tracker out of the loop
-    entirely.
-    """
-    from multiprocessing import shared_memory
-
-    try:
-        segment = shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: no ``track`` parameter
-        from multiprocessing import resource_tracker
-
-        original_register = resource_tracker.register
-
-        def _skip_shared_memory(resource_name, rtype):
-            if rtype != "shared_memory":
-                original_register(resource_name, rtype)
-
-        resource_tracker.register = _skip_shared_memory
-        try:
-            segment = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original_register
+    """Attach a segment (tracker-free, see :mod:`repro.core.shm`) and keep
+    it referenced for the lifetime of the worker process."""
+    segment = attach_segment(name)
     _WORKER_SEGMENTS.append(segment)
     return segment
 

@@ -1,0 +1,64 @@
+"""Shared-memory segment lifecycle helpers.
+
+Two subsystems keep state in ``multiprocessing.shared_memory`` segments: the
+parallel encode pipeline (the dictionary bytes + suffix-array acceleration
+arrays published to spawn/forkserver workers) and the cross-process serving
+cache (:class:`repro.storage.SharedMemoryCache`).  Both need the same two
+pieces of lifecycle machinery, so they live here:
+
+* :func:`attach_segment` — attach to an existing segment *without* handing
+  its lifetime to the attaching process's ``resource_tracker``.  Attachers
+  only borrow segments; the creator owns unlink.  A tracker that adopts a
+  borrowed name races the owner's own bookkeeping and logs spurious errors
+  at interpreter shutdown.  Python 3.13+ exposes ``track=False`` for exactly
+  this; on older versions registration is suppressed for the duration of the
+  attach.
+* :func:`release_segment` — close (and optionally unlink) one segment,
+  swallowing the errors that only mean "already released": close refused
+  because a buffer is still exported must not stop the unlink, and a name
+  already unlinked by a racing owner is not a failure.
+"""
+
+from __future__ import annotations
+
+__all__ = ["attach_segment", "release_segment"]
+
+
+def attach_segment(name: str):
+    """Attach to segment ``name`` without resource-tracker ownership."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _skip_shared_memory(resource_name, rtype):
+            if rtype != "shared_memory":
+                original_register(resource_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def release_segment(segment, unlink: bool = False) -> None:
+    """Close ``segment`` and, when ``unlink`` is set, remove its name.
+
+    Close and unlink are attempted independently: a close refused because a
+    buffer is still exported (``BufferError``) must not stop the unlink, and
+    unlinking a name that is already gone is treated as success.
+    """
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except (OSError, FileNotFoundError):
+            pass

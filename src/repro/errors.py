@@ -32,6 +32,20 @@ class StorageError(ReproError):
     """Raised on container/document-map corruption or I/O failures."""
 
 
+class StoreClosedError(StorageError):
+    """Raised when a document is requested from a store after ``close()``.
+
+    Subclasses :class:`StorageError` so existing ``except StorageError``
+    handlers keep working; the dedicated type lets serving fronts
+    distinguish "store is gone" from data corruption.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an :class:`repro.api.ArchiveConfig` (or one of its spec
+    dataclasses) is inconsistent or names an unknown tier/scheme/policy."""
+
+
 class CorpusError(ReproError):
     """Raised when a corpus cannot be generated, read, or written."""
 

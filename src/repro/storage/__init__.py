@@ -13,6 +13,7 @@ disk-bound retrieval regime of the paper's experiments at laptop scale.
 """
 
 from .blocked import BlockedStore, BlockedStoreConfig
+from .cache import CacheTier, LruCache, NullCache, SharedMemoryCache
 from .container import ContainerHeader, read_container_header, write_container
 from .disk_model import DiskAccounting, DiskModel
 from .document_map import DocumentEntry, DocumentMap
@@ -22,13 +23,17 @@ from .rlz_store import RlzStore
 __all__ = [
     "BlockedStore",
     "BlockedStoreConfig",
+    "CacheTier",
     "ContainerHeader",
     "DiskAccounting",
     "DiskModel",
     "DocumentEntry",
     "DocumentMap",
+    "LruCache",
+    "NullCache",
     "RawStore",
     "RlzStore",
+    "SharedMemoryCache",
     "read_container_header",
     "write_container",
 ]

@@ -1,0 +1,456 @@
+"""Pluggable decode-cache tiers for the serving path.
+
+The paper's serving story is CPU-cheap random access; a decode cache on top
+of it turns repeated-access query logs (the dominant web-archive workload)
+into memory reads.  PR 1 hardcoded that cache into :class:`RlzStore` as a
+private ``OrderedDict``; this module extracts it behind a small protocol so
+the facade (:mod:`repro.api`) can plug in different tiers per deployment:
+
+* :class:`NullCache` — no caching; every request decodes.  This is the
+  paper-faithful default: the benchmark tables keep measuring cold decodes.
+* :class:`LruCache` — the in-process LRU of decoded documents, semantics
+  identical to the PR-1 store cache (move-to-end on hit, evict-oldest on
+  overflow, hit/miss counters).
+* :class:`SharedMemoryCache` — a cross-process tier: a fixed-slot ring of
+  decoded documents in one ``multiprocessing.shared_memory`` segment, so
+  every reader process serving the same archive shares one decode cache
+  instead of each warming its own.
+
+Every tier implements :class:`CacheTier`: ``get`` (counted lookup),
+``peek`` (uncounted presence check, used by ``get_many``'s planning pass),
+``put``, ``cache_info``, ``clear`` and ``close``.
+
+Cross-process memory model
+--------------------------
+
+:class:`SharedMemoryCache` is deliberately lock-free across processes.  The
+segment holds a header (magic, slot count, slot size, ring cursor), four
+``int64`` metadata arrays (``doc_id``, version, length, checksum per slot)
+and the slot data.  Writers claim the next ring slot, force the slot's
+version to an *odd* value, invalidate the doc id, copy the bytes, then
+publish length, checksum, doc id and the next *even* version — a seqlock.
+Readers locate a slot by doc id, snapshot the version (odd means "write in
+progress": skip), copy the bytes out, and re-check version and doc id; any
+change discards the copy and the lookup falls through to a miss.
+
+The seqlock alone cannot order two *processes* writing the same slot (the
+cursor bump and version arithmetic are not cross-process atomic, and two
+racing writers can publish the same version value around interleaved byte
+copies), so correctness does not rest on it: every slot also stores the
+CRC-32 of its document, and a reader only serves bytes whose checksum
+matches.  Writer races therefore cost a lost ``put`` or a spurious miss —
+never served torn data.  Documents larger than ``slot_bytes`` are simply
+not cached.
+
+The *creator* of the segment owns its name and unlinks it on ``close()``;
+attaching processes (same ``name=``) only borrow it, via the
+tracker-suppressing attach shared with the parallel-encode pipeline
+(:mod:`repro.core.shm`).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.shm import attach_segment, release_segment
+from ..errors import StorageError
+
+__all__ = [
+    "CacheTier",
+    "NullCache",
+    "LruCache",
+    "SharedMemoryCache",
+]
+
+
+@runtime_checkable
+class CacheTier(Protocol):
+    """Protocol every decode-cache tier implements.
+
+    ``get`` is the *counted* lookup (it moves hit/miss statistics and any
+    recency state); ``peek`` answers "would ``get`` hit right now?" without
+    side effects, which batch planning (``RlzStore.get_many``) needs to
+    stage decodes without disturbing the accounting of the replay pass.
+    """
+
+    def get(self, doc_id: int) -> Optional[bytes]:
+        """Counted lookup: the cached document, or ``None`` on a miss."""
+        ...
+
+    def peek(self, doc_id: int) -> bool:
+        """Uncounted presence check (no counter or recency side effects)."""
+        ...
+
+    def put(self, doc_id: int, document: bytes) -> None:
+        """Offer a decoded document to the tier (may be declined)."""
+        ...
+
+    def cache_info(self) -> Dict[str, int]:
+        """Counters; always includes ``hits``/``misses``/``size``/``capacity``."""
+        ...
+
+    def clear(self) -> None:
+        """Drop all cached documents (counters keep accumulating)."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources held by the tier (idempotent)."""
+        ...
+
+
+class NullCache:
+    """The no-op tier: never stores, never hits, never counts.
+
+    Matches the pre-facade behaviour of ``decode_cache_size=0``, where the
+    store skipped the cache entirely (misses were *not* counted), so the
+    paper-faithful benchmark numbers are untouched by the refactor.
+    """
+
+    def get(self, doc_id: int) -> Optional[bytes]:
+        return None
+
+    def peek(self, doc_id: int) -> bool:
+        return False
+
+    def put(self, doc_id: int, document: bytes) -> None:
+        pass
+
+    def items(self) -> list:
+        """Cached ``(doc_id, document)`` pairs — always empty here."""
+        return []
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+
+    def clear(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class LruCache:
+    """In-process LRU of decoded documents (the PR-1 store cache, extracted).
+
+    Semantics are exactly the old ``RlzStore`` private cache: hits move the
+    entry to the most-recent end, stores evict from the least-recent end
+    while over capacity, and the counters only move through :meth:`get`.
+    A lock makes the tier safe under the async front's thread pool.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise StorageError("LruCache capacity must be positive (use NullCache)")
+        self._capacity = capacity
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached documents."""
+        return self._capacity
+
+    def get(self, doc_id: int) -> Optional[bytes]:
+        with self._lock:
+            document = self._entries.get(doc_id)
+            if document is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(doc_id)
+            self._hits += 1
+            return document
+
+    def peek(self, doc_id: int) -> bool:
+        with self._lock:
+            return doc_id in self._entries
+
+    def put(self, doc_id: int, document: bytes) -> None:
+        with self._lock:
+            self._entries[doc_id] = document
+            self._entries.move_to_end(doc_id)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def items(self) -> list:
+        """Cached ``(doc_id, document)`` pairs, least-recent first."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "capacity": self._capacity,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def close(self) -> None:
+        # Nothing to release in-process; contents stay inspectable through
+        # cache_info() after the owning store closes (matching the PR-1
+        # store cache, whose counters survived close()).
+        pass
+
+
+class SharedMemoryCache:
+    """Cross-process decode cache: a fixed-slot ring in shared memory.
+
+    Parameters
+    ----------
+    slots:
+        Number of document slots in the ring (the tier's capacity).
+    slot_bytes:
+        Bytes reserved per slot.  Documents larger than this are served but
+        not cached (counted under ``rejected``).
+    name:
+        Segment name.  ``None`` creates an anonymous segment this process
+        owns.  With a name, the first process to arrive *creates* (and owns)
+        the segment; later processes with the same name *attach* to it and
+        share its contents — that is how several reader processes share one
+        cache over one archive.  ``slots``/``slot_bytes`` of an attacher are
+        ignored in favour of the creator's geometry.
+
+    The creator unlinks the segment on :meth:`close`; attachers only close
+    their mapping.  See the module docstring for the seqlock memory model.
+    """
+
+    _MAGIC = 0x524C5A43_41434845  # "RLZCACHE"
+    _HEADER_WORDS = 4  # magic, slots, slot_bytes, ring cursor
+
+    def __init__(
+        self,
+        slots: int = 256,
+        slot_bytes: int = 64 * 1024,
+        name: Optional[str] = None,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if slots <= 0:
+            raise StorageError("SharedMemoryCache slots must be positive")
+        if slot_bytes <= 0:
+            raise StorageError("SharedMemoryCache slot_bytes must be positive")
+        self._closed = False
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._rejected = 0
+        self._lock = threading.Lock()
+        size = self._segment_size(slots, slot_bytes)
+        if name is None:
+            self._segment = shared_memory.SharedMemory(create=True, size=size)
+            self._owner = True
+        else:
+            try:
+                self._segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+                self._owner = True
+            except FileExistsError:
+                self._segment = attach_segment(name)
+                self._owner = False
+        try:
+            self._map_views(initialize=self._owner, slots=slots, slot_bytes=slot_bytes)
+        except Exception:
+            self._release_views()
+            release_segment(self._segment, unlink=self._owner)
+            raise
+
+    @classmethod
+    def _segment_size(cls, slots: int, slot_bytes: int) -> int:
+        return 8 * (cls._HEADER_WORDS + 4 * slots) + slots * slot_bytes
+
+    def _map_views(self, initialize: bool, slots: int, slot_bytes: int) -> None:
+        buf = self._segment.buf
+        header = np.frombuffer(buf, dtype=np.int64, count=self._HEADER_WORDS)
+        if initialize:
+            header[0] = self._MAGIC
+            header[1] = slots
+            header[2] = slot_bytes
+            header[3] = 0
+        elif int(header[0]) != self._MAGIC:
+            raise StorageError(
+                f"segment {self._segment.name!r} is not a SharedMemoryCache"
+            )
+        else:
+            slots = int(header[1])
+            slot_bytes = int(header[2])
+            if len(buf) < self._segment_size(slots, slot_bytes):
+                raise StorageError(
+                    f"segment {self._segment.name!r} is truncated for its geometry"
+                )
+        self._slots = slots
+        self._slot_bytes = slot_bytes
+        offset = 8 * self._HEADER_WORDS
+        self._header = header
+        self._doc_ids = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
+        offset += 8 * slots
+        self._versions = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
+        offset += 8 * slots
+        self._lengths = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
+        offset += 8 * slots
+        self._checksums = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
+        offset += 8 * slots
+        self._data_offset = offset
+        if initialize:
+            self._doc_ids[:] = -1
+            self._versions[:] = 0
+            self._lengths[:] = 0
+            self._checksums[:] = 0
+
+    def _release_views(self) -> None:
+        self._header = None
+        self._doc_ids = None
+        self._versions = None
+        self._lengths = None
+        self._checksums = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Name of the shared-memory segment (pass to other processes)."""
+        return self._segment.name
+
+    @property
+    def owner(self) -> bool:
+        """Whether this handle created the segment (and will unlink it)."""
+        return self._owner
+
+    @property
+    def slots(self) -> int:
+        """Number of document slots in the ring."""
+        return self._slots
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes reserved per slot."""
+        return self._slot_bytes
+
+    # ------------------------------------------------------------------
+    # CacheTier
+    # ------------------------------------------------------------------
+    def _find(self, doc_id: int) -> Optional[bytes]:
+        """Seqlock read: copy a slot out and verify it did not move.
+
+        The version re-check catches in-flight single-writer updates; the
+        CRC-32 comparison is what makes the read safe against two *writer
+        processes* racing the same slot (they can publish identical version
+        values around interleaved byte copies, which no version check can
+        see).  A checksum mismatch is just a miss.
+        """
+        for slot in np.flatnonzero(self._doc_ids == doc_id):
+            slot = int(slot)
+            version = int(self._versions[slot])
+            if version & 1:
+                continue  # write in progress
+            length = int(self._lengths[slot])
+            if not 0 <= length <= self._slot_bytes:
+                continue
+            checksum = int(self._checksums[slot])
+            start = self._data_offset + slot * self._slot_bytes
+            document = bytes(self._segment.buf[start : start + length])
+            if (
+                int(self._versions[slot]) == version
+                and int(self._doc_ids[slot]) == doc_id
+                and zlib.crc32(document) == checksum
+            ):
+                return document
+        return None
+
+    def get(self, doc_id: int) -> Optional[bytes]:
+        if self._closed:
+            return None
+        document = self._find(doc_id)
+        with self._lock:
+            if document is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return document
+
+    def peek(self, doc_id: int) -> bool:
+        if self._closed:
+            return False
+        return bool((self._doc_ids == doc_id).any())
+
+    def put(self, doc_id: int, document: bytes) -> None:
+        if self._closed or doc_id < 0:
+            return
+        if len(document) > self._slot_bytes:
+            with self._lock:
+                self._rejected += 1
+            return
+        if self.peek(doc_id):
+            return  # already cached (possibly by another process)
+        with self._lock:
+            cursor = int(self._header[3])
+            self._header[3] = cursor + 1
+            slot = cursor % self._slots
+            # Force parity rather than trusting the snapshot: a racing
+            # writer process may leave the version odd, and in-progress must
+            # stay odd / published even regardless of what was read.
+            version = int(self._versions[slot]) | 1
+            self._versions[slot] = version  # odd: write in progress
+            self._doc_ids[slot] = -1
+            start = self._data_offset + slot * self._slot_bytes
+            self._segment.buf[start : start + len(document)] = document
+            self._lengths[slot] = len(document)
+            self._checksums[slot] = zlib.crc32(document)
+            self._doc_ids[slot] = doc_id
+            self._versions[slot] = version + 1  # even: published
+            self._stores += 1
+
+    def cache_info(self) -> Dict[str, int]:
+        if self._closed:
+            size = 0
+        else:
+            size = int((self._doc_ids >= 0).sum())
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": size,
+                "capacity": self._slots,
+                "slot_bytes": self._slot_bytes,
+                "stores": self._stores,
+                "rejected": self._rejected,
+                "owner": int(self._owner),
+            }
+
+    def clear(self) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            for slot in range(self._slots):
+                version = int(self._versions[slot]) | 1
+                self._versions[slot] = version
+                self._doc_ids[slot] = -1
+                self._lengths[slot] = 0
+                self._checksums[slot] = 0
+                self._versions[slot] = version + 1
+
+    def close(self) -> None:
+        """Release the mapping; the creator also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_views()
+        release_segment(self._segment, unlink=self._owner)
+
+    def __enter__(self) -> "SharedMemoryCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -10,11 +10,19 @@ factors out of the in-memory dictionary.
 All reads are charged to a :class:`repro.storage.DiskModel`, so the
 benchmark harness can report retrieval rates in the disk-bound regime of
 the paper as well as pure CPU decode rates.
+
+Decoded-document caching is delegated to a pluggable
+:class:`repro.storage.CacheTier` (``cache=``): :class:`NullCache` (default,
+every get decodes — the paper-faithful measurement mode),
+:class:`LruCache` (in-process) or :class:`SharedMemoryCache`
+(cross-process).  The legacy ``decode_cache_size=N`` knob still works as a
+deprecated shim that builds the equivalent ``LruCache``.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -22,7 +30,8 @@ from ..core.compressor import CompressedCollection
 from ..core.decoder import decode_many, decode_pairs
 from ..core.dictionary import RlzDictionary
 from ..core.encoder import PairEncoder
-from ..errors import StorageError
+from ..errors import StorageError, StoreClosedError
+from .cache import CacheTier, LruCache, NullCache
 from .container import ContainerHeader, read_container_header, write_container
 from .disk_model import DiskModel
 from .document_map import DocumentEntry, DocumentMap
@@ -39,7 +48,8 @@ class RlzStore:
         self,
         header: ContainerHeader,
         disk: Optional[DiskModel] = None,
-        decode_cache_size: int = 0,
+        decode_cache_size: Optional[int] = None,
+        cache: Optional[CacheTier] = None,
     ) -> None:
         if header.store_type != self.store_type:
             raise StorageError(
@@ -50,15 +60,38 @@ class RlzStore:
         self._scheme_name = header.metadata["scheme"]
         self._encoder = PairEncoder(self._scheme_name)
         self._disk = disk if disk is not None else DiskModel()
+        self._cache = self._resolve_cache(cache, decode_cache_size)
         self._handle = header.path.open("rb")
-        # Decoded-document LRU cache for repeated-access serving workloads.
-        # 0 disables it (every get decodes from disk, as the paper measures).
+        self._closed = False
+        # get()/get_many() may be driven concurrently by the async front's
+        # thread pool; the shared file handle's seek+read must be atomic.
+        self._io_lock = threading.Lock()
+
+    @staticmethod
+    def _resolve_cache(
+        cache: Optional[CacheTier], decode_cache_size: Optional[int]
+    ) -> CacheTier:
+        if cache is not None:
+            if decode_cache_size is not None:
+                raise StorageError(
+                    "pass either cache= (a CacheTier) or the legacy "
+                    "decode_cache_size=, not both"
+                )
+            return cache
+        if decode_cache_size is None:
+            return NullCache()
+        warnings.warn(
+            "decode_cache_size= is deprecated; pass cache=LruCache(n) or open "
+            "the archive through repro.api.RlzArchive with "
+            "ArchiveConfig(cache=CacheSpec(tier='lru', capacity=n))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         if decode_cache_size < 0:
             raise StorageError("decode_cache_size must be >= 0")
-        self._cache_capacity = decode_cache_size
-        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        if decode_cache_size == 0:
+            return NullCache()
+        return LruCache(decode_cache_size)
 
     # ------------------------------------------------------------------
     # Construction
@@ -98,18 +131,21 @@ class RlzStore:
         cls,
         path: str | Path,
         disk: Optional[DiskModel] = None,
-        decode_cache_size: int = 0,
+        decode_cache_size: Optional[int] = None,
+        cache: Optional[CacheTier] = None,
     ) -> "RlzStore":
         """Open an existing RLZ container for reading.
 
-        ``decode_cache_size`` turns on an LRU cache of that many decoded
-        documents, which repeated-access serving workloads hit instead of
-        re-reading and re-decoding.
+        ``cache`` plugs in a decode-cache tier (see
+        :mod:`repro.storage.cache`); repeated-access serving workloads hit
+        it instead of re-reading and re-decoding.  ``decode_cache_size=N``
+        is the deprecated spelling of ``cache=LruCache(N)``.
         """
         return cls(
             read_container_header(Path(path)),
             disk=disk,
             decode_cache_size=decode_cache_size,
+            cache=cache,
         )
 
     # ------------------------------------------------------------------
@@ -145,6 +181,16 @@ class RlzStore:
         """Total uncompressed size recorded at write time."""
         return int(self._header.metadata["original_size"])
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def cache(self) -> CacheTier:
+        """The decode-cache tier serving this store."""
+        return self._cache
+
     def compression_percent(self, include_dictionary: bool = False) -> float:
         """Stored payload (optionally plus dictionary) as % of original size."""
         payload = sum(entry.length for entry in self._header.document_map)
@@ -164,53 +210,40 @@ class RlzStore:
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(
+                f"store {self._header.path} is closed; reopen it before reading"
+            )
+
     def _read_blob(self, entry: DocumentEntry) -> bytes:
-        self._disk.charge_read(self._header.payload_offset + entry.offset, entry.length)
-        self._handle.seek(self._header.payload_offset + entry.offset)
-        blob = self._handle.read(entry.length)
+        with self._io_lock:
+            self._ensure_open()
+            self._disk.charge_read(
+                self._header.payload_offset + entry.offset, entry.length
+            )
+            self._handle.seek(self._header.payload_offset + entry.offset)
+            blob = self._handle.read(entry.length)
         if len(blob) != entry.length:
             raise StorageError("payload truncated while reading document")
         return blob
 
-    def _cache_lookup(self, doc_id: int) -> Optional[bytes]:
-        if not self._cache_capacity:
-            return None
-        document = self._cache.get(doc_id)
-        if document is None:
-            self._cache_misses += 1
-            return None
-        self._cache.move_to_end(doc_id)
-        self._cache_hits += 1
-        return document
-
-    def _cache_store(self, doc_id: int, document: bytes) -> None:
-        if not self._cache_capacity:
-            return
-        self._cache[doc_id] = document
-        self._cache.move_to_end(doc_id)
-        while len(self._cache) > self._cache_capacity:
-            self._cache.popitem(last=False)
-
     @property
     def cache_info(self) -> Dict[str, int]:
         """Decoded-document cache counters (hits, misses, size, capacity)."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cache),
-            "capacity": self._cache_capacity,
-        }
+        return self._cache.cache_info()
 
     def get(self, doc_id: int) -> bytes:
         """Random access: decode one document."""
-        cached = self._cache_lookup(doc_id)
+        self._ensure_open()
+        cached = self._cache.get(doc_id)
         if cached is not None:
             return cached
         entry = self._header.document_map.lookup(doc_id)
         blob = self._read_blob(entry)
         positions, lengths = self._encoder.decode_streams(blob)
         document = decode_pairs(positions, lengths, self._dictionary)
-        self._cache_store(doc_id, document)
+        self._cache.put(doc_id, document)
         return document
 
     def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
@@ -222,10 +255,11 @@ class RlzStore:
         only once) — but the cache *accounting* replays the accesses in
         request order through exactly the :meth:`get` code path: the same
         sequence of IDs produces the same hit/miss counters, the same cache
-        contents and the same LRU recency whether it is issued through
-        ``get`` or ``get_many``.  Only the disk reads are deduplicated.
-        The result order matches ``doc_ids``.
+        contents and the same recency whether it is issued through ``get``
+        or ``get_many``.  Only the disk reads are deduplicated.  The result
+        order matches ``doc_ids``.
         """
+        self._ensure_open()
         # Pass 1 — peek (no counter or recency side effects) to find the IDs
         # that will need a decode, then batch-decode them in one call.
         to_decode: List[int] = []
@@ -234,7 +268,7 @@ class RlzStore:
             if doc_id in seen:
                 continue
             seen.add(doc_id)
-            if not self._cache_capacity or doc_id not in self._cache:
+            if not self._cache.peek(doc_id):
                 to_decode.append(doc_id)
         decoded: Dict[int, bytes] = {}
         if to_decode:
@@ -248,7 +282,7 @@ class RlzStore:
         # Pass 2 — replay the accesses in order with get's exact accounting.
         results: List[bytes] = []
         for doc_id in doc_ids:
-            cached = self._cache_lookup(doc_id)
+            cached = self._cache.get(doc_id)
             if cached is not None:
                 results.append(cached)
                 continue
@@ -263,19 +297,25 @@ class RlzStore:
                 document = decode_pairs(positions, lengths, self._dictionary)
                 decoded[doc_id] = document
             results.append(document)
-            self._cache_store(doc_id, document)
+            self._cache.put(doc_id, document)
         return results
 
     def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
         """Sequential access: decode every document in store order."""
+        self._ensure_open()
         for entry in self._header.document_map:
             blob = self._read_blob(entry)
             positions, lengths = self._encoder.decode_streams(blob)
             yield entry.doc_id, decode_pairs(positions, lengths, self._dictionary)
 
     def close(self) -> None:
-        """Close the underlying file handle."""
-        self._handle.close()
+        """Close the file handle and the cache tier (idempotent)."""
+        if self._closed:
+            return
+        with self._io_lock:
+            self._closed = True
+            self._handle.close()
+        self._cache.close()
 
     def __enter__(self) -> "RlzStore":
         return self

@@ -1,0 +1,184 @@
+"""Tests for the RlzArchive facade: build/open round-trips, stats, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ArchiveConfig, CacheSpec, DictionarySpec, EncodingSpec, RlzArchive
+from repro.core import PAPER_SCHEMES, DictionaryConfig, RlzCompressor
+from repro.corpus import Document
+from repro.errors import ConfigurationError, StoreClosedError
+from repro.storage import RlzStore
+
+
+def _config(scheme: str = "ZV", cache: CacheSpec | None = None) -> ArchiveConfig:
+    return ArchiveConfig(
+        dictionary=DictionarySpec(size=32 * 1024, sample_size=512),
+        encoding=EncodingSpec(scheme=scheme),
+        cache=cache or CacheSpec(),
+    )
+
+
+@pytest.mark.parametrize("scheme", sorted(PAPER_SCHEMES))
+def test_build_open_roundtrips_every_codec(tmp_path, gov_small, scheme):
+    """build → open → get/get_many must return byte-identical documents for
+    every pair-coding scheme."""
+    path = tmp_path / f"archive-{scheme}.rlz"
+    built = RlzArchive.build(gov_small, _config(scheme), path)
+    built.close()
+
+    with RlzArchive.open(path, _config(scheme)) as archive:
+        assert archive.scheme_name == scheme
+        doc_ids = archive.doc_ids()
+        assert doc_ids == gov_small.doc_ids()
+        for doc_id in doc_ids[:5]:
+            assert archive.get(doc_id) == gov_small.document_by_id(doc_id).content
+        batch = archive.get_many(doc_ids)
+        assert batch == [gov_small.document_by_id(d).content for d in doc_ids]
+
+
+def test_build_matches_legacy_pipeline_bytes(tmp_path, gov_small):
+    """The facade writes the same container the legacy dance writes."""
+    legacy_path = tmp_path / "legacy.rlz"
+    compressor = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=32 * 1024, sample_size=512),
+        scheme="ZV",
+    )
+    RlzStore.write(compressor.compress(gov_small), legacy_path)
+
+    facade_path = tmp_path / "facade.rlz"
+    RlzArchive.build(gov_small, _config("ZV"), facade_path).close()
+
+    assert facade_path.read_bytes() == legacy_path.read_bytes()
+
+
+def test_build_accepts_raw_bytes_and_tuples_and_documents(tmp_path):
+    payloads = [b"alpha " * 400, b"beta " * 400, b"gamma " * 400]
+    path = tmp_path / "raw.rlz"
+    with RlzArchive.build(payloads, path=path) as archive:
+        assert archive.doc_ids() == [0, 1, 2]
+        assert archive.get(1) == payloads[1]
+
+    pairs = [(10, "ten " * 500), (20, b"twenty " * 500)]
+    path2 = tmp_path / "pairs.rlz"
+    with RlzArchive.build(pairs, path=path2) as archive:
+        assert archive.doc_ids() == [10, 20]
+        assert archive.get(10) == b"ten " * 500
+
+    documents = [
+        Document(doc_id=5, url="http://e.com/5", content=b"five " * 500),
+    ]
+    path3 = tmp_path / "docs.rlz"
+    with RlzArchive.build(documents, path=path3) as archive:
+        assert archive.get(5) == b"five " * 500
+
+
+def test_build_rejects_bad_sources(tmp_path):
+    with pytest.raises(ConfigurationError):
+        RlzArchive.build([], path=tmp_path / "empty.rlz")
+    with pytest.raises(ConfigurationError):
+        RlzArchive.build(b"one document", path=tmp_path / "single.rlz")
+    with pytest.raises(ConfigurationError):
+        RlzArchive.build([object()], path=tmp_path / "bad.rlz")
+    with pytest.raises(ConfigurationError):
+        RlzArchive.build([(1, b"x", b"y")], path=tmp_path / "triple.rlz")
+    with pytest.raises(ConfigurationError):
+        RlzArchive.build([b"doc " * 300])  # no path
+
+
+def test_per_request_stats(tmp_path, gov_small):
+    path = tmp_path / "stats.rlz"
+    cache = CacheSpec(tier="lru", capacity=8)
+    with RlzArchive.build(gov_small, _config(cache=cache), path) as archive:
+        doc_ids = archive.doc_ids()
+        assert archive.last_request is None
+
+        document = archive.get(doc_ids[0])
+        request = archive.last_request
+        assert request.operation == "get"
+        assert request.documents == 1
+        assert request.bytes_served == len(document)
+        assert request.cache_misses == 1 and request.cache_hits == 0
+        assert request.seconds >= 0.0
+
+        archive.get(doc_ids[0])  # cache hit now
+        assert archive.last_request.cache_hits == 1
+
+        batch = archive.get_many(doc_ids[:4])
+        request = archive.last_request
+        assert request.operation == "get_many"
+        assert request.documents == 4
+        assert request.bytes_served == sum(len(d) for d in batch)
+
+        stats = archive.stats()
+        assert stats["requests"] == 3
+        assert stats["documents"] == 6
+        assert stats["cache_hits"] >= 2
+
+
+def test_iter_documents_records_stats_on_completion(tmp_path, gov_small):
+    path = tmp_path / "iter.rlz"
+    with RlzArchive.build(gov_small, _config(), path) as archive:
+        total = sum(len(document) for _, document in archive.iter_documents())
+        assert total == gov_small.total_size
+        request = archive.last_request
+        assert request.operation == "iter_documents"
+        assert request.documents == len(gov_small)
+        assert request.bytes_served == total
+
+
+def test_close_idempotent_and_get_after_close(tmp_path, gov_small):
+    path = tmp_path / "closed.rlz"
+    archive = RlzArchive.build(gov_small, _config(), path)
+    doc_id = archive.doc_ids()[0]
+    archive.close()
+    archive.close()
+    assert archive.closed
+    with pytest.raises(StoreClosedError):
+        archive.get(doc_id)
+    with pytest.raises(StoreClosedError):
+        archive.get_many([doc_id])
+
+
+def test_failed_open_releases_the_cache_tier(tmp_path):
+    """Opening a missing archive with a shared tier must not leak the
+    freshly created shared-memory segment."""
+    import uuid
+
+    from multiprocessing import shared_memory
+
+    from repro.errors import StorageError
+
+    name = f"rlza-{uuid.uuid4().hex[:12]}"
+    config = ArchiveConfig(
+        cache=CacheSpec(tier="shared", capacity=4, slot_bytes=1024, name=name)
+    )
+    with pytest.raises((StorageError, OSError)):
+        RlzArchive.open(tmp_path / "does-not-exist.rlz", config)
+    with pytest.raises(FileNotFoundError):
+        segment = shared_memory.SharedMemory(name=name)
+        segment.close()  # pragma: no cover - only reached on a leak
+
+
+def test_shared_cache_tier_crosses_archive_handles(tmp_path, gov_small):
+    """Two archive handles (as two reader processes would) share one decode
+    cache through the shared tier: the second handle's first get is a hit."""
+    import uuid
+
+    path = tmp_path / "shared.rlz"
+    name = f"rlza-{uuid.uuid4().hex[:12]}"
+    config = _config(
+        cache=CacheSpec(tier="shared", capacity=8, slot_bytes=64 * 1024, name=name)
+    )
+    RlzArchive.build(gov_small, _config(), path).close()
+
+    first = RlzArchive.open(path, config)
+    doc_id = first.doc_ids()[0]
+    document = first.get(doc_id)
+
+    second = RlzArchive.open(path, config)
+    assert second.get(doc_id) == document
+    info = second.cache_info()
+    assert info["hits"] == 1 and info["misses"] == 0
+    second.close()
+    first.close()

@@ -1,0 +1,40 @@
+"""Smoke tests for the serving-front benchmark."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import EXPERIMENTS
+from repro.bench.serving import serving_benchmark
+
+
+def test_serving_benchmark_verifies_and_records(gov_small, tmp_path):
+    json_path = tmp_path / "serving.json"
+    table = serving_benchmark(
+        collection=gov_small,
+        clients=3,
+        serving_repeats=2,
+        cache_capacity=8,
+        output_json=json_path,
+    )
+    notes = "\n".join(table.notes)
+    assert "served bytes verified against corpus: True" in notes
+
+    pipelines = [row[0] for row in table.rows]
+    assert "serve/sequential" in pipelines
+    assert "serve/sequential-cache" in pipelines
+    assert "serve/async-3-clients" in pipelines
+
+    records = json.loads(json_path.read_text())
+    record = records[-1]
+    assert record["benchmark"] == "fastpath-serving"
+    assert record["verified"] == {
+        "sequential_ok": True,
+        "cached_identical": True,
+        "async_identical": True,
+    }
+    assert record["serve"]["async_requests_per_s"] > 0
+
+
+def test_serving_experiment_registered():
+    assert "fastpath-serving" in EXPERIMENTS

@@ -1,0 +1,214 @@
+"""Conformance suite for the pluggable decode-cache tiers.
+
+One shared battery runs against every :class:`CacheTier` implementation
+(NullCache, LruCache, SharedMemoryCache), then tier-specific sections cover
+the LRU semantics and the shared-memory ring (cross-process visibility,
+unlink-on-close, slot-size rejection).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import uuid
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import CacheTier, LruCache, NullCache, SharedMemoryCache
+
+REQUIRED_INFO_KEYS = {"hits", "misses", "size", "capacity"}
+
+
+def _make_tier(kind: str):
+    if kind == "null":
+        return NullCache()
+    if kind == "lru":
+        return LruCache(4)
+    return SharedMemoryCache(slots=4, slot_bytes=1024)
+
+
+@pytest.fixture(params=["null", "lru", "shared"])
+def tier_kind(request):
+    tier = _make_tier(request.param)
+    yield request.param, tier
+    tier.close()
+
+
+# ----------------------------------------------------------------------
+# Shared conformance battery
+# ----------------------------------------------------------------------
+def test_implements_protocol(tier_kind):
+    _, tier = tier_kind
+    assert isinstance(tier, CacheTier)
+
+
+def test_empty_lookup_misses(tier_kind):
+    _, tier = tier_kind
+    assert tier.get(1) is None
+    assert tier.peek(1) is False
+
+
+def test_put_then_get_roundtrips_bytes(tier_kind):
+    kind, tier = tier_kind
+    tier.put(7, b"payload-7")
+    if kind == "null":
+        assert tier.get(7) is None
+        assert tier.peek(7) is False
+    else:
+        assert tier.peek(7) is True
+        assert tier.get(7) == b"payload-7"
+
+
+def test_peek_moves_no_counters(tier_kind):
+    _, tier = tier_kind
+    tier.put(3, b"x")
+    before = tier.cache_info()
+    tier.peek(3)
+    tier.peek(99)
+    after = tier.cache_info()
+    assert after["hits"] == before["hits"]
+    assert after["misses"] == before["misses"]
+
+
+def test_cache_info_required_keys(tier_kind):
+    _, tier = tier_kind
+    info = tier.cache_info()
+    assert REQUIRED_INFO_KEYS <= set(info)
+    assert all(isinstance(value, int) for value in info.values())
+
+
+def test_counters_track_get(tier_kind):
+    kind, tier = tier_kind
+    tier.put(1, b"one")
+    tier.get(1)
+    tier.get(2)
+    info = tier.cache_info()
+    if kind == "null":
+        assert info["hits"] == 0 and info["misses"] == 0
+    else:
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+
+def test_clear_empties(tier_kind):
+    kind, tier = tier_kind
+    for doc_id in range(3):
+        tier.put(doc_id, b"doc")
+    tier.clear()
+    assert tier.cache_info()["size"] == 0
+    assert tier.get(0) is None
+
+
+def test_close_is_idempotent(tier_kind):
+    _, tier = tier_kind
+    tier.close()
+    tier.close()  # second close must not raise
+
+
+# ----------------------------------------------------------------------
+# LruCache specifics
+# ----------------------------------------------------------------------
+def test_lru_rejects_non_positive_capacity():
+    with pytest.raises(StorageError):
+        LruCache(0)
+    with pytest.raises(StorageError):
+        LruCache(-1)
+
+
+def test_lru_evicts_least_recent():
+    cache = LruCache(2)
+    cache.put(1, b"a")
+    cache.put(2, b"b")
+    assert cache.get(1) == b"a"  # 1 becomes most recent
+    cache.put(3, b"c")  # evicts 2
+    assert cache.peek(2) is False
+    assert cache.get(1) == b"a"
+    assert cache.get(3) == b"c"
+    assert [doc_id for doc_id, _ in cache.items()] == [1, 3]
+
+
+# ----------------------------------------------------------------------
+# SharedMemoryCache specifics
+# ----------------------------------------------------------------------
+def test_shared_rejects_bad_geometry():
+    with pytest.raises(StorageError):
+        SharedMemoryCache(slots=0)
+    with pytest.raises(StorageError):
+        SharedMemoryCache(slots=4, slot_bytes=0)
+
+
+def test_shared_rejects_oversized_documents():
+    with SharedMemoryCache(slots=2, slot_bytes=8) as cache:
+        cache.put(1, b"x" * 9)
+        assert cache.peek(1) is False
+        assert cache.cache_info()["rejected"] == 1
+        cache.put(2, b"y" * 8)  # exactly slot-sized fits
+        assert cache.get(2) == b"y" * 8
+
+
+def test_shared_ring_overwrites_oldest_slot():
+    with SharedMemoryCache(slots=2, slot_bytes=64) as cache:
+        cache.put(1, b"one")
+        cache.put(2, b"two")
+        cache.put(3, b"three")  # ring wraps: slot of doc 1 is overwritten
+        assert cache.peek(1) is False
+        assert cache.get(2) == b"two"
+        assert cache.get(3) == b"three"
+        assert cache.cache_info()["size"] == 2
+
+
+def test_shared_two_handles_share_one_segment():
+    name = f"rlzc-{uuid.uuid4().hex[:12]}"
+    owner = SharedMemoryCache(slots=4, slot_bytes=256, name=name)
+    attacher = SharedMemoryCache(slots=1, slot_bytes=1, name=name)  # geometry from owner
+    try:
+        assert owner.owner and not attacher.owner
+        assert attacher.slots == 4 and attacher.slot_bytes == 256
+        owner.put(11, b"from-owner")
+        assert attacher.get(11) == b"from-owner"
+        info = attacher.cache_info()
+        assert info["hits"] == 1 and info["stores"] == 0
+    finally:
+        attacher.close()
+        owner.close()
+
+
+def test_shared_owner_unlinks_on_close():
+    from multiprocessing import shared_memory
+
+    name = f"rlzc-{uuid.uuid4().hex[:12]}"
+    owner = SharedMemoryCache(slots=2, slot_bytes=64, name=name)
+    owner.close()
+    with pytest.raises(FileNotFoundError):
+        segment = shared_memory.SharedMemory(name=name)
+        segment.close()  # pragma: no cover - only reached on failure
+
+
+def _child_reads_and_writes(name: str, queue) -> None:
+    """Subprocess body: attach to the segment, read one doc, publish one."""
+    cache = SharedMemoryCache(name=name)
+    try:
+        seen = cache.get(1)
+        cache.put(2, b"from-child")
+        queue.put((seen, cache.cache_info()["hits"]))
+    finally:
+        cache.close()
+
+
+def test_shared_cache_is_visible_across_processes():
+    """A document stored by this process is a *hit* in a separate reader
+    process, and vice versa — the tier is one segment, not per-process."""
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    context = multiprocessing.get_context(method)
+    name = f"rlzc-{uuid.uuid4().hex[:12]}"
+    with SharedMemoryCache(slots=4, slot_bytes=256, name=name) as cache:
+        cache.put(1, b"from-parent")
+        queue = context.Queue()
+        process = context.Process(target=_child_reads_and_writes, args=(name, queue))
+        process.start()
+        seen, child_hits = queue.get(timeout=30)
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        assert seen == b"from-parent"
+        assert child_hits == 1
+        assert cache.get(2) == b"from-child"  # child's store visible here

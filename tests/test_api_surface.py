@@ -1,0 +1,122 @@
+"""API-surface snapshot: accidental export removals must fail the build.
+
+These sets are the *intended* public surface.  If you remove or rename an
+export on purpose, update the snapshot here in the same change (and note it
+in CHANGES.md); if this test fails and you did not intend an API change,
+the change is a regression.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+import repro.storage
+
+TOP_LEVEL_EXPORTS = {
+    # facade
+    "ArchiveConfig",
+    "AsyncRlzArchive",
+    "CacheSpec",
+    "DictionarySpec",
+    "EncodingSpec",
+    "ParallelSpec",
+    "RlzArchive",
+    # cache tiers
+    "CacheTier",
+    "LruCache",
+    "NullCache",
+    "SharedMemoryCache",
+    # core pipeline
+    "CompressedCollection",
+    "CompressionReport",
+    "DictionaryConfig",
+    "Factor",
+    "Factorization",
+    "PairEncoder",
+    "RlzCompressor",
+    "RlzDictionary",
+    "RlzFactorizer",
+    "RlzStore",
+    "SuffixArray",
+    "build_dictionary",
+    # corpus
+    "Document",
+    "DocumentCollection",
+    "generate_gov_collection",
+    "generate_wikipedia_collection",
+    "url_sorted",
+    # errors
+    "BenchmarkError",
+    "ConfigurationError",
+    "CorpusError",
+    "DecodingError",
+    "DictionaryError",
+    "EncodingError",
+    "FactorizationError",
+    "ReproError",
+    "SearchError",
+    "StorageError",
+    "StoreClosedError",
+    # metadata
+    "__version__",
+}
+
+API_EXPORTS = {
+    "ArchiveConfig",
+    "ArchiveStats",
+    "AsyncRlzArchive",
+    "CacheSpec",
+    "DictionarySpec",
+    "EncodingSpec",
+    "ParallelSpec",
+    "RequestStats",
+    "RlzArchive",
+}
+
+STORAGE_EXPORTS = {
+    "BlockedStore",
+    "BlockedStoreConfig",
+    "CacheTier",
+    "ContainerHeader",
+    "DiskAccounting",
+    "DiskModel",
+    "DocumentEntry",
+    "DocumentMap",
+    "LruCache",
+    "NullCache",
+    "RawStore",
+    "RlzStore",
+    "SharedMemoryCache",
+    "read_container_header",
+    "write_container",
+}
+
+
+def _assert_surface(module, expected):
+    exported = set(module.__all__)
+    missing = expected - exported
+    unexpected = exported - expected
+    assert not missing, f"{module.__name__} lost exports: {sorted(missing)}"
+    assert not unexpected, (
+        f"{module.__name__} grew exports not in the snapshot: "
+        f"{sorted(unexpected)} (update tests/test_api_surface.py deliberately)"
+    )
+    for name in expected:
+        assert hasattr(module, name), f"{module.__name__}.{name} is in __all__ but absent"
+
+
+def test_top_level_surface():
+    _assert_surface(repro, TOP_LEVEL_EXPORTS)
+
+
+def test_api_package_surface():
+    _assert_surface(repro.api, API_EXPORTS)
+
+
+def test_storage_package_surface():
+    _assert_surface(repro.storage, STORAGE_EXPORTS)
+
+
+def test_no_duplicate_exports():
+    for module in (repro, repro.api, repro.storage):
+        assert len(module.__all__) == len(set(module.__all__)), module.__name__

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import bench_main, compress_main, corpus_main, main
+from repro.cli import bench_main, compress_main, corpus_main, main, serve_bench_main
 
 
 def test_corpus_and_compress_roundtrip(tmp_path, capsys):
@@ -112,6 +112,40 @@ def test_main_dispatches_subcommands(tmp_path, capsys):
     assert main(["no-such-command"]) == 2
     assert main(["--help"]) == 0
     assert "usage: repro" in capsys.readouterr().out
+
+
+def test_serve_bench_runs_and_appends_json(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    output = tmp_path / "serve.txt"
+    json_path = tmp_path / "serving.json"
+    status = main(
+        [
+            "serve-bench",
+            "--clients",
+            "2",
+            "--repeats",
+            "2",
+            "--cache-capacity",
+            "16",
+            "--output",
+            str(output),
+            "--output-json",
+            str(json_path),
+        ]
+    )
+    assert status == 0
+    assert "serve/async-2-clients" in output.read_text()
+    records = json.loads(json_path.read_text())
+    assert records[-1]["benchmark"] == "fastpath-serving"
+
+
+def test_serve_bench_rejects_bad_arguments():
+    with pytest.raises(SystemExit):
+        serve_bench_main(["--clients", "0"])
+    with pytest.raises(SystemExit):
+        serve_bench_main(["--repeats", "-1"])
 
 
 def test_bench_main_runs_selected_experiment(tmp_path, capsys, monkeypatch):
