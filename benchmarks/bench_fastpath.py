@@ -57,6 +57,25 @@ def test_fastpath_serving(benchmark, results_path):
     assert "served bytes verified against corpus: True" in notes
 
 
+def test_fastpath_network(benchmark, results_path):
+    """Record the socket-serving comparison (local get loop vs 1/8/64
+    concurrent RlzClient sessions) and verify every served byte."""
+    from repro.bench.network import network_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        network_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "served bytes verified against corpus: True" in notes
+
+
 def test_fastpath_large_dictionary(benchmark, results_path):
     """Verify the compact jump index is active (no silent fallback) for a
     dictionary above the old 1 MiB gate, with seed-identical streams."""

@@ -10,7 +10,12 @@ The package is organised by subsystem:
 
 * :mod:`repro.api` — the service facade: :class:`RlzArchive` /
   :class:`AsyncRlzArchive` serving fronts configured by one declarative
-  :class:`ArchiveConfig`;
+  :class:`ArchiveConfig`, all implementing the transport-agnostic
+  :class:`ArchiveView` protocol;
+* :mod:`repro.serve` — the network front: :class:`RlzServer` puts an
+  archive behind a socket (framed binary protocol, backpressure, graceful
+  shutdown) and :class:`RlzClient` / :class:`AsyncRlzClient` mirror the
+  local :class:`ArchiveView` surface over the wire;
 * :mod:`repro.core` — the RLZ compressor itself (dictionary sampling,
   suffix-array driven factorization, pair encodings, random-access decode);
 * :mod:`repro.suffix` — suffix array construction and search;
@@ -42,12 +47,15 @@ individual pieces.
 
 from .api import (
     ArchiveConfig,
+    ArchiveView,
+    AsyncArchiveView,
     AsyncRlzArchive,
     CacheSpec,
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
     RlzArchive,
+    ServeSpec,
 )
 from .core import (
     CompressedCollection,
@@ -76,19 +84,25 @@ from .errors import (
     DictionaryError,
     EncodingError,
     FactorizationError,
+    ProtocolError,
     ReproError,
     SearchError,
     StorageError,
     StoreClosedError,
 )
+from .serve import AsyncRlzClient, BackgroundServer, RlzClient, RlzServer
 from .storage import CacheTier, LruCache, NullCache, RlzStore, SharedMemoryCache
 from .suffix import SuffixArray
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArchiveConfig",
+    "ArchiveView",
+    "AsyncArchiveView",
     "AsyncRlzArchive",
+    "AsyncRlzClient",
+    "BackgroundServer",
     "BenchmarkError",
     "CacheSpec",
     "CacheTier",
@@ -111,13 +125,17 @@ __all__ = [
     "NullCache",
     "PairEncoder",
     "ParallelSpec",
+    "ProtocolError",
     "ReproError",
     "RlzArchive",
+    "RlzClient",
     "RlzCompressor",
     "RlzDictionary",
     "RlzFactorizer",
+    "RlzServer",
     "RlzStore",
     "SearchError",
+    "ServeSpec",
     "SharedMemoryCache",
     "StorageError",
     "StoreClosedError",

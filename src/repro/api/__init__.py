@@ -25,11 +25,15 @@ from .config import (
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
+    ServeSpec,
 )
+from .view import ArchiveView, AsyncArchiveView
 
 __all__ = [
     "ArchiveConfig",
     "ArchiveStats",
+    "ArchiveView",
+    "AsyncArchiveView",
     "AsyncRlzArchive",
     "CacheSpec",
     "DictionarySpec",
@@ -37,4 +41,5 @@ __all__ = [
     "ParallelSpec",
     "RequestStats",
     "RlzArchive",
+    "ServeSpec",
 ]

@@ -106,6 +106,13 @@ class AsyncRlzArchive:
         self._ensure_open()
         self._requests += 1
         future = self._inflight.get(doc_id)
+        if future is not None and future.cancelled():
+            # A cancelled decode (a timeout path cancelled the executor
+            # future before its done-callback ran) must not satisfy new
+            # requests: evict it and decode fresh.
+            if self._inflight.get(doc_id) is future:
+                del self._inflight[doc_id]
+            future = None
         if future is not None:
             self._coalesced += 1
         else:
@@ -114,7 +121,11 @@ class AsyncRlzArchive:
             self._inflight[doc_id] = future
 
             def _on_done(completed: "asyncio.Future[bytes]") -> None:
-                self._inflight.pop(doc_id, None)
+                # Only drop the map entry if it is still *this* future: a
+                # cancelled entry may already have been replaced by a fresh
+                # decode that must stay coalescible.
+                if self._inflight.get(doc_id) is completed:
+                    del self._inflight[doc_id]
                 if not completed.cancelled():
                     # Mark a failure retrieved: every awaiter may have been
                     # cancelled, and an unobserved exception would warn at

@@ -8,7 +8,8 @@ dataclasses, one per concern:
 * :class:`DictionarySpec` — how the dictionary is sampled and indexed;
 * :class:`EncodingSpec` — the pair-coding scheme;
 * :class:`ParallelSpec` — the encode worker pool;
-* :class:`CacheSpec` — the serving-time decode-cache tier.
+* :class:`CacheSpec` — the serving-time decode-cache tier;
+* :class:`ServeSpec` — the network front (``repro serve`` / RlzServer).
 
 Everything has a sensible default, so ``ArchiveConfig()`` is a valid
 paper-faithful configuration; ``dataclasses.replace`` (or keyword
@@ -30,6 +31,7 @@ __all__ = [
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
+    "ServeSpec",
 ]
 
 _SAMPLING_POLICIES = ("uniform", "prefix", "random_documents")
@@ -170,6 +172,43 @@ class CacheSpec:
 
 
 @dataclass(frozen=True)
+class ServeSpec:
+    """Network-front configuration (``repro serve`` and
+    :class:`repro.serve.RlzServer`).
+
+    ``port=0`` binds an ephemeral port (the server reports the real one);
+    ``max_inflight`` is the backpressure gate — at most that many requests
+    decode concurrently across *all* connections, the rest queue at the
+    socket; ``max_frame_bytes`` bounds a single request/response frame
+    (oversized frames are rejected as :class:`~repro.errors.ProtocolError`
+    before any allocation); ``drain_seconds`` is how long a graceful
+    shutdown waits for in-flight requests before cancelling them.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+    max_frame_bytes: int = 64 * 1024 * 1024
+    drain_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.host or not isinstance(self.host, str):
+            raise ConfigurationError("serve host must be a non-empty string")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(f"serve port must be in [0, 65535]; got {self.port}")
+        if self.max_inflight <= 0:
+            raise ConfigurationError(
+                f"max_inflight must be positive; got {self.max_inflight}"
+            )
+        if self.max_frame_bytes < 4096:
+            raise ConfigurationError(
+                "max_frame_bytes must be at least 4096 (one handshake frame)"
+            )
+        if self.drain_seconds < 0:
+            raise ConfigurationError("drain_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """The single way to configure building and serving an archive."""
 
@@ -177,6 +216,7 @@ class ArchiveConfig:
     encoding: EncodingSpec = field(default_factory=EncodingSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     cache: CacheSpec = field(default_factory=CacheSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.dictionary, DictionarySpec):
@@ -187,6 +227,8 @@ class ArchiveConfig:
             raise ConfigurationError("parallel must be a ParallelSpec")
         if not isinstance(self.cache, CacheSpec):
             raise ConfigurationError("cache must be a CacheSpec")
+        if not isinstance(self.serve, ServeSpec):
+            raise ConfigurationError("serve must be a ServeSpec")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -203,6 +245,7 @@ class ArchiveConfig:
             "encoding": EncodingSpec,
             "parallel": ParallelSpec,
             "cache": CacheSpec,
+            "serve": ServeSpec,
         }
         unknown = set(data) - set(specs)
         if unknown:

@@ -1,0 +1,98 @@
+"""The transport-agnostic :class:`ArchiveView` protocol.
+
+The facade (:class:`repro.api.RlzArchive`) and the network client
+(:class:`repro.serve.RlzClient`) serve documents through the same surface;
+this module is that surface, extracted so callers — examples, benchmarks,
+the CLI ``repro get`` — can be written once against :class:`ArchiveView`
+and pointed at either a local archive or a remote one without change.
+
+The contract every implementation honours:
+
+* ``get`` / ``get_many`` return byte-identical documents for the same
+  archive, with ``get_many`` preserving request order (duplicates
+  included);
+* ``iter_documents`` yields every ``(doc_id, content)`` pair in store
+  order;
+* errors are the same :mod:`repro.errors` types everywhere — a missing
+  document raises :class:`~repro.errors.StorageError` and a closed view
+  raises :class:`~repro.errors.StoreClosedError` whether the decode
+  happened in-process or on the other side of a socket (the wire protocol
+  round-trips the concrete error class);
+* ``stats()`` returns a flat ``str -> number`` mapping (keys vary by
+  implementation: local views report cache counters, remote views add
+  server-side counters);
+* ``close()`` is idempotent and ``closed`` reports it.
+
+:class:`AsyncArchiveView` is the coroutine mirror, satisfied by
+:class:`repro.api.AsyncRlzArchive` and :class:`repro.serve.AsyncRlzClient`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Protocol, Sequence, Tuple, runtime_checkable
+
+__all__ = ["ArchiveView", "AsyncArchiveView"]
+
+
+@runtime_checkable
+class ArchiveView(Protocol):
+    """Synchronous random access to an archive, local or remote."""
+
+    def get(self, doc_id: int) -> bytes:
+        """One decoded document (raises ``StorageError`` if unknown)."""
+        ...
+
+    def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+        """Documents in request order, duplicates preserved."""
+        ...
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Every ``(doc_id, content)`` pair in store order."""
+        ...
+
+    def doc_ids(self) -> List[int]:
+        """All stored document IDs in store order."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of stored documents."""
+        ...
+
+    def stats(self) -> Dict[str, float]:
+        """Flat serving counters (implementation-specific keys)."""
+        ...
+
+    def close(self) -> None:
+        """Release the view (idempotent)."""
+        ...
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        ...
+
+
+@runtime_checkable
+class AsyncArchiveView(Protocol):
+    """Coroutine mirror of :class:`ArchiveView`: the serving surface
+    (``get``/``get_many``/``close``) is awaitable.
+
+    ``stats`` is deliberately *not* part of this protocol: a local front
+    snapshots counters synchronously (``AsyncRlzArchive.stats()``) while a
+    remote client must round-trip the ``stats`` opcode
+    (``await AsyncRlzClient.stats()``), so the two shapes differ and
+    callers should name the implementation they need it from.
+    """
+
+    async def get(self, doc_id: int) -> bytes:
+        ...
+
+    async def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+        ...
+
+    async def close(self) -> None:
+        ...
+
+    @property
+    def closed(self) -> bool:
+        ...

@@ -1,0 +1,216 @@
+"""Network-serving benchmark: local access vs the socket front.
+
+The serving benchmark (:mod:`repro.bench.serving`) measures the async
+front inside one process; this experiment measures the *fleet-of-readers*
+shape — an :class:`repro.serve.RlzServer` on a socket, with 1, 8 and 64
+concurrent :class:`repro.serve.RlzClient` sessions replaying the same
+shuffled repeated-access query log that a local sequential ``get`` loop
+serves as the baseline:
+
+* ``serve/local-sequential``   — ``RlzArchive.get`` loop in-process (the
+  PR-3 facade path, LRU tier);
+* ``serve/socket-N-clients``   — N threads, each with its own pooled
+  ``RlzClient``, splitting the identical log over the wire.
+
+Every pipeline's output is byte-verified against the corpus, and a JSON
+record (``"benchmark": "fastpath-network"``) is appended to the same
+history as the other fast-path experiments; the frozen seed baselines in
+:mod:`repro.bench.fastpath` are untouched.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..api import (
+    ArchiveConfig,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    ServeSpec,
+)
+from ..corpus.document import DocumentCollection
+from ..serve import BackgroundServer, RlzClient
+from .corpora import gov_collection
+from .fastpath import _append_json_record
+from .reporting import ResultTable
+from .scale import BenchScale, current_scale
+
+__all__ = ["network_benchmark"]
+
+
+def _serve_over_socket(
+    host: str,
+    port: int,
+    access_log: List[int],
+    clients: int,
+) -> Tuple[List[Optional[bytes]], float]:
+    """Replay the log with ``clients`` threads, each owning one RlzClient.
+
+    Client ``i`` takes requests ``i, i+C, i+2C, ...`` (the same interleaving
+    as the async serving benchmark), so concurrent sessions ask for popular
+    documents close together in time.  Returns (served-in-log-order,
+    elapsed-seconds).
+    """
+    results: List[Optional[bytes]] = [None] * len(access_log)
+    failures: List[BaseException] = []
+
+    def session(offset: int) -> None:
+        try:
+            with RlzClient(host, port) as client:
+                for index in range(offset, len(access_log), clients):
+                    results[index] = client.get(access_log[index])
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=session, args=(offset,), name=f"rlz-client-{offset}")
+        for offset in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    return results, elapsed
+
+
+def network_benchmark(
+    collection: Optional[DocumentCollection] = None,
+    scale: Optional[BenchScale] = None,
+    dictionary_label: str = "1.0",
+    scheme: str = "ZZ",
+    client_counts: Sequence[int] = (1, 8, 64),
+    serving_repeats: int = 2,
+    cache_capacity: int = 128,
+    max_inflight: int = 64,
+    output_json: Optional[str | Path] = None,
+) -> ResultTable:
+    """Measure socket serving against local access on one query log.
+
+    Builds one archive in a temporary directory, serves it from a
+    :class:`BackgroundServer`, replays the shuffled log locally and then
+    through 1/8/64 concurrent socket clients, byte-verifies every pipeline
+    against the corpus, and optionally appends a machine-readable record
+    to ``output_json``.
+    """
+    scale = scale or current_scale()
+    collection = collection if collection is not None else gov_collection(scale)
+    contents = {document.doc_id: document.content for document in collection}
+
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(
+            size=scale.dictionary_sizes[dictionary_label],
+            sample_size=scale.default_sample_size,
+        ),
+        encoding=EncodingSpec(scheme=scheme),
+        cache=CacheSpec(tier="lru", capacity=cache_capacity),
+        serve=ServeSpec(max_inflight=max_inflight),
+    )
+
+    doc_ids = sorted(contents)
+    access_log = doc_ids * serving_repeats
+    random.Random(0).shuffle(access_log)
+    requests = len(access_log)
+    serving_bytes = sum(len(contents[doc_id]) for doc_id in access_log)
+    expected = [contents[doc_id] for doc_id in access_log]
+    client_counts = [count for count in client_counts if count <= requests] or [1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "network.rlz"
+        RlzArchive.build(collection, config, path).close()
+
+        # -- local baseline: the facade get loop, same cache tier ----------
+        archive = RlzArchive.open(path, config)
+        start = time.perf_counter()
+        local = [archive.get(doc_id) for doc_id in access_log]
+        local_elapsed = time.perf_counter() - start
+        archive.close()
+
+        # -- socket pipelines over one live server -------------------------
+        socket_runs = []
+        with BackgroundServer(path, config) as server:
+            host, port = server.address
+            for clients in client_counts:
+                served, elapsed = _serve_over_socket(host, port, access_log, clients)
+                socket_runs.append((clients, served, elapsed))
+            server_stats = server.stats()
+
+    local_ok = local == expected
+    verified = {"local_ok": local_ok}
+
+    def rate(elapsed: float) -> float:
+        return requests / elapsed if elapsed > 0 else 0.0
+
+    table = ResultTable(
+        title="Network serving: socket clients vs local access",
+        headers=["Pipeline", "Seconds", "Requests/s", "Relative to local"],
+    )
+    table.add_row("serve/local-sequential", local_elapsed, rate(local_elapsed), 1.0)
+    runs_json = []
+    for clients, served, elapsed in socket_runs:
+        identical = served == expected
+        verified[f"socket_{clients}_identical"] = identical
+        relative = local_elapsed / elapsed if elapsed else 0.0
+        table.add_row(
+            f"serve/socket-{clients}-clients", elapsed, rate(elapsed), relative
+        )
+        runs_json.append(
+            {
+                "clients": clients,
+                "seconds": elapsed,
+                "requests_per_s": rate(elapsed),
+                "relative_to_local": relative,
+            }
+        )
+
+    all_ok = all(verified.values())
+    table.add_note(f"served bytes verified against corpus: {all_ok}")
+    table.add_note(
+        f"query log: {requests} requests over {len(doc_ids)} documents "
+        f"(x{serving_repeats}), {serving_bytes:,} bytes served per pipeline"
+    )
+    table.add_note(
+        f"server: {int(server_stats.get('server_requests', 0))} requests over "
+        f"{int(server_stats.get('server_connections_total', 0))} connections, "
+        f"{int(server_stats.get('async_coalesced', 0))} coalesced, "
+        f"backpressure gate {max_inflight}"
+    )
+
+    if output_json is not None:
+        record = {
+            "benchmark": "fastpath-network",
+            "scale": scale.name,
+            "collection": collection.name,
+            "documents": len(doc_ids),
+            "requests": requests,
+            "serving_repeats": serving_repeats,
+            "bytes_served": serving_bytes,
+            "scheme": scheme,
+            "cache_capacity": cache_capacity,
+            "max_inflight": max_inflight,
+            "serve": {
+                "local_seconds": local_elapsed,
+                "local_requests_per_s": rate(local_elapsed),
+                "socket_runs": runs_json,
+                "server_requests": int(server_stats.get("server_requests", 0)),
+                "server_connections": int(
+                    server_stats.get("server_connections_total", 0)
+                ),
+                "coalesced": int(server_stats.get("async_coalesced", 0)),
+            },
+            "verified": verified,
+        }
+        json_path = _append_json_record(output_json, record)
+        table.add_note(f"JSON record appended to {json_path}")
+
+    return table

@@ -14,15 +14,24 @@ Four console scripts are installed with the package:
 ``repro serve-bench`` runs the serving-front benchmark (concurrent async
 clients through :class:`repro.api.AsyncRlzArchive` vs a sequential ``get``
 loop) and can append its record to the fast-path JSON history.
+
+``repro serve`` puts a built archive behind a socket
+(:class:`repro.serve.RlzServer`); ``repro get`` retrieves documents from
+either a local archive path or — with ``--connect host:port`` — a running
+server, through the same :class:`repro.api.ArchiveView` code path.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .api import ArchiveConfig, CacheSpec, RlzArchive, ServeSpec
 from .bench.harness import EXPERIMENTS, run_all
 from .bench.serving import serving_benchmark
 from .core import DictionaryConfig, RlzCompressor
@@ -33,9 +42,50 @@ from .corpus import (
     url_sorted,
     write_warc,
 )
+from .errors import ReproError
 from .storage import BlockedStore, BlockedStoreConfig, RawStore, RlzStore
 
-__all__ = ["corpus_main", "compress_main", "bench_main", "serve_bench_main", "main"]
+__all__ = [
+    "corpus_main",
+    "compress_main",
+    "bench_main",
+    "serve_bench_main",
+    "serve_main",
+    "get_main",
+    "main",
+]
+
+
+def _cache_spec_from_args(args: argparse.Namespace) -> CacheSpec:
+    """Build the CacheSpec shared by ``repro serve`` / ``repro get``."""
+    if args.cache == "none":
+        return CacheSpec()
+    return CacheSpec(
+        tier=args.cache,
+        capacity=args.cache_capacity,
+        name=args.cache_name if args.cache == "shared" else None,
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        choices=("none", "lru", "shared"),
+        default="none",
+        help="decode-cache tier for the opened archive",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="cache capacity (documents for lru, ring slots for shared)",
+    )
+    parser.add_argument(
+        "--cache-name",
+        default=None,
+        help="shared-memory segment name (shared tier only; lets a fleet of "
+        "servers on one machine share a cache)",
+    )
 
 
 def corpus_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -255,11 +305,183 @@ def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Serve a built archive over a socket until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Put a built RLZ archive behind a socket (repro.serve.RlzServer). "
+            "Clients connect with repro.serve.RlzClient or `repro get "
+            "--connect host:port`.  SIGINT/SIGTERM shut down gracefully."
+        ),
+    )
+    parser.add_argument("archive", help="container file written by repro compress")
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind")
+    parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (0 = ephemeral, printed)"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="backpressure gate: concurrent requests served across all connections",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None, help="decode thread-pool width"
+    )
+    parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown wait for in-flight requests",
+    )
+    _add_cache_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from .serve import RlzServer
+
+    config = ArchiveConfig(
+        cache=_cache_spec_from_args(args),
+        serve=ServeSpec(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            drain_seconds=args.drain_seconds,
+        ),
+    )
+
+    async def run() -> None:
+        server = RlzServer.open(args.archive, config, max_workers=args.max_workers)
+        await server.start()
+        print(
+            f"serving {args.archive} on {server.host}:{server.port} "
+            f"({len(server.front.archive)} documents, "
+            f"max {args.max_inflight} in-flight)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            stats = server.stats()
+            await server.close()
+            print(
+                f"shutdown: served {int(stats.get('server_requests', 0))} requests "
+                f"over {int(stats.get('server_connections_total', 0))} connections "
+                f"({int(stats.get('server_errors', 0))} errors)",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, OSError) as exc:
+        # OSError covers bind failures (port in use, bad host) and socket
+        # teardown races — one-line errors, not tracebacks.
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def get_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Fetch documents from a local archive or a running server."""
+    parser = argparse.ArgumentParser(
+        prog="repro get",
+        description=(
+            "Retrieve documents by ID from an archive — a local container "
+            "file, or a running `repro serve` instance via --connect.  Both "
+            "paths go through the same ArchiveView code."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="+",
+        metavar="ARCHIVE|DOC_ID",
+        help="without --connect: the local container file followed by "
+        "document IDs; with --connect: document IDs only",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch from a running repro serve instance instead of a local file",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="write the raw document bytes to stdout (concatenated, in order)",
+    )
+    _add_cache_arguments(parser)
+    # parse_intermixed_args collects every positional even when flags sit
+    # between them (`repro get path --raw 3`), which plain parse_args cannot
+    # do for a greedy nargs="+" positional.
+    args = parser.parse_intermixed_args(list(argv) if argv is not None else None)
+
+    # The first positional is the archive path unless --connect is given.
+    if args.connect is None:
+        args.archive, id_texts = args.target[0], args.target[1:]
+        if not id_texts:
+            parser.error("no document IDs given")
+    else:
+        args.archive, id_texts = None, args.target
+    try:
+        args.doc_ids = [int(text) for text in id_texts]
+    except ValueError as exc:
+        parser.error(f"document IDs must be integers: {exc}")
+
+    if args.connect is not None:
+        from .serve import RlzClient
+
+        if args.cache != "none":
+            parser.error(
+                "--cache configures a locally opened archive; the server "
+                "owns the cache tier when using --connect"
+            )
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        view = RlzClient(host, int(port_text))
+        source = args.connect
+    else:
+        config = ArchiveConfig(cache=_cache_spec_from_args(args))
+        try:
+            view = RlzArchive.open(args.archive, config)
+        except (OSError, ReproError) as exc:
+            print(f"repro get: cannot open {args.archive!r}: {exc}", file=sys.stderr)
+            return 1
+        source = args.archive
+
+    status = 0
+    try:
+        documents = view.get_many(args.doc_ids)
+        if args.raw:
+            for document in documents:
+                sys.stdout.buffer.write(document)
+            sys.stdout.buffer.flush()
+        else:
+            for doc_id, document in zip(args.doc_ids, documents):
+                print(f"doc {doc_id}: {len(document):,} bytes from {source}")
+    except (ReproError, OSError) as exc:
+        # OSError covers a dead/unreachable server after retries.
+        print(f"repro get: {exc}", file=sys.stderr)
+        status = 1
+    finally:
+        view.close()
+    return status
+
+
 _SUBCOMMANDS = {
     "corpus": corpus_main,
     "compress": compress_main,
     "bench": bench_main,
     "serve-bench": serve_bench_main,
+    "serve": serve_main,
+    "get": get_main,
 }
 
 

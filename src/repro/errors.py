@@ -46,6 +46,16 @@ class ConfigurationError(ReproError):
     dataclasses) is inconsistent or names an unknown tier/scheme/policy."""
 
 
+class ProtocolError(ReproError):
+    """Raised on a malformed, truncated or incompatible wire exchange.
+
+    Covers the :mod:`repro.serve` framing layer: bad magic, unsupported
+    protocol versions, oversized or truncated frames, and responses that
+    do not parse.  A connection that raised it cannot be trusted further
+    and is closed by whichever side detected the problem.
+    """
+
+
 class CorpusError(ReproError):
     """Raised when a corpus cannot be generated, read, or written."""
 

@@ -1,0 +1,42 @@
+"""Network serving: the archive behind a socket, clients that mirror it.
+
+The paper's claim is that RLZ makes retrieval from a compressed web
+collection cheap enough to *serve from*; this package makes that serving
+story cross the process boundary:
+
+* :mod:`repro.serve.protocol` — the length-prefixed binary wire protocol:
+  framed request/response with opcodes for ``get``/``get_many``/
+  ``iter_documents``/``stats``/``ping``, structured error frames that
+  round-trip every :mod:`repro.errors` class, and protocol version
+  negotiation;
+* :class:`RlzServer` — the asyncio server over
+  :class:`repro.api.AsyncRlzArchive`: per-connection stats, a
+  ``max_inflight`` backpressure gate shared by all connections, and
+  graceful drain-then-cancel shutdown (:class:`BackgroundServer` runs it
+  on a dedicated thread for synchronous callers);
+* :class:`RlzClient` / :class:`AsyncRlzClient` — clients implementing the
+  same :class:`repro.api.ArchiveView` surface as a local
+  :class:`repro.api.RlzArchive`, with connection pooling and retry, so
+  everything written against the facade runs unchanged against a remote
+  archive.
+
+Configuration lives in :class:`repro.api.ServeSpec` (the ``serve`` section
+of :class:`repro.api.ArchiveConfig`); the CLI front ends are ``repro
+serve`` and ``repro get --connect``.
+"""
+
+from .client import AsyncRlzClient, RlzClient
+from .protocol import ERROR_CODES, MAGIC, PROTOCOL_VERSION, Opcode
+from .server import BackgroundServer, ConnectionStats, RlzServer
+
+__all__ = [
+    "AsyncRlzClient",
+    "BackgroundServer",
+    "ConnectionStats",
+    "ERROR_CODES",
+    "MAGIC",
+    "Opcode",
+    "PROTOCOL_VERSION",
+    "RlzClient",
+    "RlzServer",
+]

@@ -1,0 +1,525 @@
+"""Clients that make a remote archive look exactly like a local one.
+
+:class:`RlzClient` is the synchronous client: it implements the same
+:class:`repro.api.ArchiveView` protocol as :class:`repro.api.RlzArchive`,
+so any code written against the facade — examples, benchmarks, ``repro
+get`` — runs unchanged whether it holds a local archive or a socket to an
+:class:`repro.serve.RlzServer`.  Error types round-trip through the wire
+protocol's structured error frames: a remote miss raises the very same
+:class:`~repro.errors.StorageError` a local miss does.
+
+:class:`AsyncRlzClient` is the coroutine mirror (the
+:class:`repro.api.AsyncArchiveView` shape, matching
+:class:`repro.api.AsyncRlzArchive`).
+
+Both clients maintain a small **connection pool**: requests check a
+connection out, use it for one framed request/response exchange (or one
+``iter_documents`` stream) and return it; concurrent requests above the
+pool's high-water mark dial extra connections that are closed instead of
+pooled on return.  Dialing (and re-dialing after a server restart) retries
+with a delay; because every request opcode is idempotent, a connection
+that dies mid-request is retried on a fresh connection up to ``retries``
+times.  Protocol violations are never retried — the server told us
+something is structurally wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError, StoreClosedError
+from . import protocol
+from .protocol import Opcode
+
+__all__ = ["AsyncRlzClient", "RlzClient"]
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on EOF/truncation."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class RlzClient:
+    """Synchronous network client for :class:`repro.serve.RlzServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    timeout:
+        Per-socket-operation timeout in seconds.
+    retries:
+        How many times to retry dialing (and re-running an idempotent
+        request on a fresh connection) before giving up.
+    retry_delay:
+        Sleep between retries, in seconds (doubles each attempt).
+    pool_size:
+        How many idle connections to keep for reuse.  More may be open
+        concurrently; the surplus is closed on return.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_delay: float = 0.05,
+        pool_size: int = 2,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if retries < 0:
+            raise ProtocolError("retries must be non-negative")
+        if pool_size < 1:
+            raise ProtocolError("pool_size must be at least 1")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
+        self._retry_delay = retry_delay
+        self._pool_size = pool_size
+        self._max_frame_bytes = max_frame_bytes
+        self._pool: List[socket.socket] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self._doc_ids: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _dial_once(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._send(sock, protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+            opcode, payload = self._read_frame(sock)
+            if opcode == Opcode.R_ERROR:
+                protocol.raise_error_frame(payload)
+            if opcode != Opcode.R_HELLO:
+                raise ProtocolError(
+                    f"handshake expected R_HELLO, got {protocol.describe_opcode(opcode)}"
+                )
+            protocol.checked_version(protocol.unpack_hello_reply(payload))
+            return sock
+        except BaseException:
+            sock.close()
+            raise
+
+    def _dial(self) -> socket.socket:
+        delay = self._retry_delay
+        for attempt in range(self._retries + 1):
+            try:
+                return self._dial_once()
+            except (ConnectionError, socket.timeout, OSError):
+                if attempt == self._retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _checkout(self) -> socket.socket:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return self._dial()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._pool_lock:
+            if not self._closed and len(self._pool) < self._pool_size:
+                self._pool.append(sock)
+                return
+        sock.close()
+
+    @staticmethod
+    def _send(sock: socket.socket, frame: bytes) -> None:
+        sock.sendall(frame)
+
+    def _read_frame(self, sock: socket.socket) -> Tuple[int, bytes]:
+        prefix = _recv_exact(sock, 4)
+        length = protocol.frame_length(prefix, self._max_frame_bytes)
+        return protocol.split_frame(_recv_exact(sock, length))
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(
+                f"client for {self._host}:{self._port} is closed"
+            )
+
+    def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
+        """One request/response exchange, retried on connection failure.
+
+        Every request opcode is idempotent (pure reads), so a connection
+        that dies before the response completes is safely retried on a
+        fresh one.  Structured error frames re-raise the server-side
+        error; they are never retried.
+        """
+        self._ensure_open()
+        delay = self._retry_delay
+        for attempt in range(self._retries + 1):
+            sock = self._checkout()
+            try:
+                self._send(sock, protocol.encode_frame(opcode, payload))
+                reply, body = self._read_frame(sock)
+            except (ConnectionError, socket.timeout, OSError):
+                sock.close()
+                if attempt == self._retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+                continue
+            except BaseException:
+                sock.close()
+                raise
+            if reply == Opcode.R_ERROR:
+                try:
+                    protocol.raise_error_frame(body)
+                except ProtocolError:
+                    # The server closes the connection after a protocol
+                    # violation; pooling it would poison a later request.
+                    sock.close()
+                    raise
+                except BaseException:
+                    self._checkin(sock)  # archive errors leave framing intact
+                    raise
+            if reply != expect:
+                sock.close()
+                raise ProtocolError(
+                    f"expected {protocol.describe_opcode(expect)}, "
+                    f"got {protocol.describe_opcode(reply)}"
+                )
+            self._checkin(sock)
+            return body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # ArchiveView
+    # ------------------------------------------------------------------
+    def get(self, doc_id: int) -> bytes:
+        """One decoded document from the remote archive."""
+        return self._request(Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC)
+
+    def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+        """Batch retrieval; the reply preserves request order."""
+        doc_ids = list(doc_ids)
+        body = self._request(
+            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS
+        )
+        documents = protocol.unpack_documents(body)
+        if len(documents) != len(doc_ids):
+            raise ProtocolError(
+                f"get_many asked for {len(doc_ids)} documents, got {len(documents)}"
+            )
+        return documents
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Stream every document; one connection is held for the scan."""
+        self._ensure_open()
+        sock = self._checkout()
+        clean = False
+        try:
+            self._send(sock, protocol.encode_frame(Opcode.ITER))
+            while True:
+                opcode, payload = self._read_frame(sock)
+                if opcode == Opcode.R_END:
+                    clean = True
+                    return
+                if opcode == Opcode.R_ERROR:
+                    try:
+                        protocol.raise_error_frame(payload)
+                    except ProtocolError:
+                        raise  # server closed the connection: do not pool
+                    except BaseException:
+                        clean = True  # framing intact: connection reusable
+                        raise
+                if opcode != Opcode.R_ITEM:
+                    raise ProtocolError(
+                        f"stream expected R_ITEM/R_END, got "
+                        f"{protocol.describe_opcode(opcode)}"
+                    )
+                yield protocol.unpack_item(payload)
+        finally:
+            # An abandoned or failed stream leaves frames in flight: the
+            # connection cannot be pooled.
+            if clean:
+                self._checkin(sock)
+            else:
+                sock.close()
+
+    def doc_ids(self) -> List[int]:
+        """All stored document IDs (cached: archives are immutable)."""
+        if self._doc_ids is None:
+            body = self._request(Opcode.DOC_IDS, b"", Opcode.R_DOC_IDS)
+            self._doc_ids = protocol.unpack_doc_ids(body)
+        return list(self._doc_ids)
+
+    def __len__(self) -> int:
+        return len(self.doc_ids())
+
+    def stats(self) -> Dict[str, float]:
+        """The server's stats snapshot (archive + cache + server counters)."""
+        return protocol.unpack_stats(
+            self._request(Opcode.STATS, b"", Opcode.R_STATS)
+        )
+
+    def ping(self) -> float:
+        """Round-trip time of an empty request, in seconds."""
+        start = time.perf_counter()
+        self._request(Opcode.PING, b"", Opcode.R_PONG)
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            sock.close()
+
+    def __enter__(self) -> "RlzClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncRlzClient:
+    """Asyncio client: the coroutine mirror of :class:`RlzClient`.
+
+    Matches :class:`repro.api.AsyncRlzArchive`'s surface (``await get`` /
+    ``get_many`` / ``gather``, plus ``stats``/``ping``/``doc_ids``), so an
+    async serving stack can swap a local front for a remote one.  The
+    connection pool and retry rules are the same as the sync client's.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_delay: float = 0.05,
+        pool_size: int = 2,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if retries < 0:
+            raise ProtocolError("retries must be non-negative")
+        if pool_size < 1:
+            raise ProtocolError("pool_size must be at least 1")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
+        self._retry_delay = retry_delay
+        self._pool_size = pool_size
+        self._max_frame_bytes = max_frame_bytes
+        self._pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        # Created lazily inside a coroutine: asyncio primitives must bind
+        # the running loop (pre-3.10 they grab get_event_loop() eagerly,
+        # which breaks clients constructed outside asyncio.run()).
+        self._pool_guard: Optional[asyncio.Lock] = None
+        self._closed = False
+        self._doc_ids: Optional[List[int]] = None
+
+    @property
+    def _pool_lock(self) -> asyncio.Lock:
+        if self._pool_guard is None:
+            self._pool_guard = asyncio.Lock()
+        return self._pool_guard
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def _dial_once(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port), self._timeout
+        )
+        try:
+            writer.write(protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+            await writer.drain()
+            opcode, payload = await self._read_frame(reader)
+            if opcode == Opcode.R_ERROR:
+                protocol.raise_error_frame(payload)
+            if opcode != Opcode.R_HELLO:
+                raise ProtocolError(
+                    f"handshake expected R_HELLO, got {protocol.describe_opcode(opcode)}"
+                )
+            protocol.checked_version(protocol.unpack_hello_reply(payload))
+            return reader, writer
+        except BaseException:
+            writer.close()
+            raise
+
+    async def _dial(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        delay = self._retry_delay
+        for attempt in range(self._retries + 1):
+            try:
+                return await self._dial_once()
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                if attempt == self._retries:
+                    raise
+                await asyncio.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        async with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return await self._dial()
+
+    async def _checkin(
+        self, conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        async with self._pool_lock:
+            if not self._closed and len(self._pool) < self._pool_size:
+                self._pool.append(conn)
+                return
+        conn[1].close()
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+        try:
+            prefix = await asyncio.wait_for(reader.readexactly(4), self._timeout)
+            length = protocol.frame_length(prefix, self._max_frame_bytes)
+            body = await asyncio.wait_for(reader.readexactly(length), self._timeout)
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionError(f"connection closed mid-frame: {exc}") from exc
+        return protocol.split_frame(body)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(
+                f"client for {self._host}:{self._port} is closed"
+            )
+
+    async def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
+        self._ensure_open()
+        delay = self._retry_delay
+        for attempt in range(self._retries + 1):
+            reader, writer = await self._checkout()
+            try:
+                writer.write(protocol.encode_frame(opcode, payload))
+                await writer.drain()
+                reply, body = await self._read_frame(reader)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                writer.close()
+                if attempt == self._retries:
+                    raise
+                await asyncio.sleep(delay)
+                delay *= 2
+                continue
+            except BaseException:
+                writer.close()
+                raise
+            if reply == Opcode.R_ERROR:
+                try:
+                    protocol.raise_error_frame(body)
+                except ProtocolError:
+                    writer.close()  # server closed its side: do not pool
+                    raise
+                except BaseException:
+                    await self._checkin((reader, writer))
+                    raise
+            if reply != expect:
+                writer.close()
+                raise ProtocolError(
+                    f"expected {protocol.describe_opcode(expect)}, "
+                    f"got {protocol.describe_opcode(reply)}"
+                )
+            await self._checkin((reader, writer))
+            return body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # AsyncArchiveView
+    # ------------------------------------------------------------------
+    async def get(self, doc_id: int) -> bytes:
+        return await self._request(
+            Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC
+        )
+
+    async def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+        doc_ids = list(doc_ids)
+        body = await self._request(
+            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS
+        )
+        documents = protocol.unpack_documents(body)
+        if len(documents) != len(doc_ids):
+            raise ProtocolError(
+                f"get_many asked for {len(doc_ids)} documents, got {len(documents)}"
+            )
+        return documents
+
+    async def gather(self, doc_ids: Sequence[int]) -> List[bytes]:
+        """Fan per-document requests out concurrently (pool + extra dials)."""
+        return list(await asyncio.gather(*(self.get(doc_id) for doc_id in doc_ids)))
+
+    async def doc_ids(self) -> List[int]:
+        if self._doc_ids is None:
+            body = await self._request(Opcode.DOC_IDS, b"", Opcode.R_DOC_IDS)
+            self._doc_ids = protocol.unpack_doc_ids(body)
+        return list(self._doc_ids)
+
+    async def stats(self) -> Dict[str, float]:
+        return protocol.unpack_stats(
+            await self._request(Opcode.STATS, b"", Opcode.R_STATS)
+        )
+
+    async def ping(self) -> float:
+        start = time.perf_counter()
+        await self._request(Opcode.PING, b"", Opcode.R_PONG)
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    async def close(self) -> None:
+        async with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for _, writer in pool:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncRlzClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

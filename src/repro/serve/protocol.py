@@ -1,0 +1,350 @@
+"""The length-prefixed binary wire protocol between RlzServer and clients.
+
+Framing
+-------
+
+Every message on the wire is one *frame*::
+
+    +----------------+--------+-----------------+
+    | length (u32 BE)| opcode |   payload ...   |
+    +----------------+--------+-----------------+
+
+``length`` counts the opcode byte plus the payload, so a frame occupies
+``4 + length`` bytes.  Frames larger than the negotiated ``max_frame_bytes``
+are rejected with :class:`~repro.errors.ProtocolError` *before* the payload
+is read, on both sides.
+
+A connection starts with a handshake: the client sends ``HELLO`` carrying
+the 4-byte magic ``RLZN`` and the highest protocol version it speaks; the
+server answers ``R_HELLO`` with the version it selected (currently it must
+equal :data:`PROTOCOL_VERSION`) or an error frame if the magic or version
+is unacceptable.  After the handshake the client issues request frames and
+reads response frames; ``ITER`` is the one streaming opcode (a sequence of
+``R_ITEM`` frames terminated by ``R_END``).
+
+Errors travel as structured ``R_ERROR`` frames carrying a numeric code
+from :data:`ERROR_CODES` plus the message, so the client re-raises the
+*same* :mod:`repro.errors` class the server-side archive raised — a remote
+miss is a :class:`~repro.errors.StorageError` exactly like a local one.
+
+The payload codecs below are deliberately struct-based (no pickling): the
+protocol surface is auditable and language-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from .. import errors
+from ..errors import ProtocolError
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "Opcode",
+    "ERROR_CODES",
+    "encode_frame",
+    "split_frame",
+    "frame_length",
+    "pack_hello",
+    "unpack_hello",
+    "pack_hello_reply",
+    "unpack_hello_reply",
+    "pack_doc_id",
+    "unpack_doc_id",
+    "pack_doc_ids",
+    "unpack_doc_ids",
+    "pack_documents",
+    "unpack_documents",
+    "pack_item",
+    "unpack_item",
+    "pack_stats",
+    "unpack_stats",
+    "pack_error",
+    "unpack_error",
+    "error_to_frame",
+    "raise_error_frame",
+]
+
+MAGIC = b"RLZN"
+PROTOCOL_VERSION = 1
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_HELLO = struct.Struct("!4sB")
+
+
+class Opcode:
+    """Request and response opcodes (one byte on the wire).
+
+    Requests use the low half, responses set the high bit; ``R_ERROR`` can
+    answer any request.
+    """
+
+    HELLO = 0x01
+    PING = 0x02
+    GET = 0x03
+    GET_MANY = 0x04
+    ITER = 0x05
+    STATS = 0x06
+    DOC_IDS = 0x07
+
+    R_HELLO = 0x81
+    R_PONG = 0x82
+    R_DOC = 0x83
+    R_DOCS = 0x84
+    R_ITEM = 0x85
+    R_END = 0x86
+    R_STATS = 0x87
+    R_DOC_IDS = 0x88
+    R_ERROR = 0xFF
+
+
+#: Wire code for every exported error class.  The codes are part of the
+#: protocol: never renumber, only append.  ``decode`` walks the exception's
+#: MRO, so an unregistered subclass degrades to its nearest ancestor.
+ERROR_CODES: Dict[Type[BaseException], int] = {
+    errors.ReproError: 1,
+    errors.DictionaryError: 2,
+    errors.FactorizationError: 3,
+    errors.EncodingError: 4,
+    errors.DecodingError: 5,
+    errors.StorageError: 6,
+    errors.StoreClosedError: 7,
+    errors.ConfigurationError: 8,
+    errors.CorpusError: 9,
+    errors.SearchError: 10,
+    errors.BenchmarkError: 11,
+    errors.ProtocolError: 12,
+}
+
+_CODE_TO_ERROR: Dict[int, Type[BaseException]] = {
+    code: cls for cls, code in ERROR_CODES.items()
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(opcode: int, payload: bytes = b"") -> bytes:
+    """One wire frame: length prefix, opcode byte, payload."""
+    return _LEN.pack(1 + len(payload)) + _U8.pack(opcode) + payload
+
+
+def frame_length(prefix: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> int:
+    """Validate a 4-byte length prefix and return the body length.
+
+    Raises :class:`ProtocolError` if the prefix is short, the frame is
+    empty (no opcode) or the body exceeds ``max_frame_bytes``.
+    """
+    if len(prefix) != 4:
+        raise ProtocolError(
+            f"truncated frame: expected a 4-byte length prefix, got {len(prefix)} bytes"
+        )
+    (length,) = _LEN.unpack(prefix)
+    if length < 1:
+        raise ProtocolError("malformed frame: zero-length body (no opcode)")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"oversized frame: {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return length
+
+
+def split_frame(body: bytes) -> Tuple[int, bytes]:
+    """Split a frame body into ``(opcode, payload)``."""
+    if not body:
+        raise ProtocolError("malformed frame: empty body")
+    return body[0], body[1:]
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+def pack_hello(version: int = PROTOCOL_VERSION) -> bytes:
+    return _HELLO.pack(MAGIC, version)
+
+
+def unpack_hello(payload: bytes) -> int:
+    """Validate a HELLO payload and return the client's protocol version."""
+    if len(payload) != _HELLO.size:
+        raise ProtocolError(f"malformed HELLO: {len(payload)} bytes")
+    magic, version = _HELLO.unpack(payload)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}: not an rlz-serve client")
+    return version
+
+
+def pack_hello_reply(version: int = PROTOCOL_VERSION) -> bytes:
+    return _U8.pack(version)
+
+
+def unpack_hello_reply(payload: bytes) -> int:
+    if len(payload) != 1:
+        raise ProtocolError(f"malformed HELLO reply: {len(payload)} bytes")
+    return payload[0]
+
+
+def pack_doc_id(doc_id: int) -> bytes:
+    return _I64.pack(doc_id)
+
+
+def unpack_doc_id(payload: bytes) -> int:
+    if len(payload) != _I64.size:
+        raise ProtocolError(f"malformed doc-id payload: {len(payload)} bytes")
+    return _I64.unpack(payload)[0]
+
+
+def pack_doc_ids(doc_ids: Sequence[int]) -> bytes:
+    return _U32.pack(len(doc_ids)) + struct.pack(f"!{len(doc_ids)}q", *doc_ids)
+
+
+def unpack_doc_ids(payload: bytes) -> List[int]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("malformed doc-id list: missing count")
+    (count,) = _U32.unpack_from(payload)
+    expected = _U32.size + count * _I64.size
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"malformed doc-id list: {count} ids need {expected} bytes, "
+            f"got {len(payload)}"
+        )
+    return list(struct.unpack_from(f"!{count}q", payload, _U32.size))
+
+
+def pack_documents(documents: Sequence[bytes]) -> bytes:
+    parts = [_U32.pack(len(documents))]
+    for document in documents:
+        parts.append(_U32.pack(len(document)))
+        parts.append(document)
+    return b"".join(parts)
+
+
+def unpack_documents(payload: bytes) -> List[bytes]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("malformed document batch: missing count")
+    (count,) = _U32.unpack_from(payload)
+    documents: List[bytes] = []
+    offset = _U32.size
+    for _ in range(count):
+        if len(payload) < offset + _U32.size:
+            raise ProtocolError("malformed document batch: truncated length")
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        if len(payload) < offset + length:
+            raise ProtocolError("malformed document batch: truncated document")
+        documents.append(payload[offset : offset + length])
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("malformed document batch: trailing bytes")
+    return documents
+
+
+def pack_item(doc_id: int, document: bytes) -> bytes:
+    return _I64.pack(doc_id) + document
+
+
+def unpack_item(payload: bytes) -> Tuple[int, bytes]:
+    if len(payload) < _I64.size:
+        raise ProtocolError(f"malformed stream item: {len(payload)} bytes")
+    return _I64.unpack_from(payload)[0], payload[_I64.size :]
+
+
+def pack_stats(stats: Dict[str, float]) -> bytes:
+    return json.dumps(stats, sort_keys=True).encode("utf-8")
+
+
+def unpack_stats(payload: bytes) -> Dict[str, float]:
+    try:
+        stats = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed stats payload: {exc}") from exc
+    if not isinstance(stats, dict):
+        raise ProtocolError("malformed stats payload: not an object")
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Error frames
+# ----------------------------------------------------------------------
+def pack_error(code: int, message: str) -> bytes:
+    return _U16.pack(code) + message.encode("utf-8", errors="replace")
+
+
+def unpack_error(payload: bytes) -> Tuple[int, str]:
+    if len(payload) < _U16.size:
+        raise ProtocolError(f"malformed error frame: {len(payload)} bytes")
+    (code,) = _U16.unpack_from(payload)
+    return code, payload[_U16.size :].decode("utf-8", errors="replace")
+
+
+def error_to_frame(exc: BaseException) -> bytes:
+    """Encode an exception as a complete ``R_ERROR`` frame.
+
+    The exact class wins; otherwise the MRO is walked so subclasses map to
+    their nearest registered ancestor (and anything non-repro to code 0,
+    which decodes as a plain :class:`~repro.errors.ReproError`).
+    """
+    code = ERROR_CODES.get(type(exc))
+    if code is None:
+        for base in type(exc).__mro__:
+            if base in ERROR_CODES:
+                code = ERROR_CODES[base]
+                break
+        else:
+            code = 0
+    return encode_frame(Opcode.R_ERROR, pack_error(code, str(exc)))
+
+
+def raise_error_frame(payload: bytes) -> None:
+    """Re-raise the error carried by an ``R_ERROR`` payload.
+
+    Unknown codes degrade to :class:`~repro.errors.ReproError` rather than
+    failing the decode: a newer server may know error types this client
+    does not.
+    """
+    code, message = unpack_error(payload)
+    raise _CODE_TO_ERROR.get(code, errors.ReproError)(message)
+
+
+def describe_opcode(opcode: int) -> str:
+    """Human-readable opcode name (for error messages and stats keys)."""
+    for name, value in vars(Opcode).items():
+        if not name.startswith("_") and value == opcode:
+            return name.lower()
+    return f"0x{opcode:02x}"
+
+
+def negotiate_version(client_version: int) -> int:
+    """The server-side version pick for a client speaking ``client_version``.
+
+    Currently one version exists, so anything else is a mismatch; the
+    function is the single place a future version-2 server would widen.
+    """
+    if client_version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: client speaks {client_version}, "
+            f"server supports {PROTOCOL_VERSION}"
+        )
+    return PROTOCOL_VERSION
+
+
+def checked_version(server_version: int) -> int:
+    """Client-side validation of the version the server selected."""
+    if server_version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: server selected {server_version}, "
+            f"client supports {PROTOCOL_VERSION}"
+        )
+    return server_version
+
+
+#: Optional ``__all__`` additions used by the server/client modules.
+__all__ += ["describe_opcode", "negotiate_version", "checked_version"]

@@ -1,0 +1,486 @@
+"""The asyncio :class:`RlzServer`: an archive behind a socket.
+
+The server puts an :class:`repro.api.AsyncRlzArchive` behind the framed
+wire protocol of :mod:`repro.serve.protocol`:
+
+* every connection handshakes (magic + version negotiation), then issues
+  request frames and reads responses; connections are independent and a
+  slow client never blocks another (each connection runs its own task);
+* a **backpressure gate** bounds the number of requests being served at
+  once across *all* connections (``max_inflight``); excess requests wait
+  in order at the gate, so a burst degrades to queueing, not to memory
+  growth or thread-pool starvation;
+* archive failures travel back as structured error frames carrying the
+  concrete :mod:`repro.errors` class, and the connection keeps serving;
+  protocol violations (bad magic, oversized or truncated frames) close
+  the connection after an error frame, because its framing can no longer
+  be trusted;
+* **graceful shutdown**: :meth:`close` stops accepting, gives in-flight
+  requests ``drain_seconds`` to finish, cancels stragglers, and closes
+  the front (and with it the archive and cache tier) when it owns it.
+
+:class:`BackgroundServer` runs the whole thing on a dedicated event-loop
+thread — the handle tests, benchmarks and examples use to serve and keep
+interacting from synchronous code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from ..api.async_front import AsyncRlzArchive
+from ..api.config import ArchiveConfig, ServeSpec
+from ..errors import ProtocolError, ReproError
+from . import protocol
+from .protocol import Opcode
+
+__all__ = ["BackgroundServer", "ConnectionStats", "RlzServer"]
+
+
+@dataclass
+class ConnectionStats:
+    """What one client connection has cost so far."""
+
+    peer: str
+    requests: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, opcode: int) -> None:
+        self.requests += 1
+        name = protocol.describe_opcode(opcode)
+        self.by_opcode[name] = self.by_opcode.get(name, 0) + 1
+
+
+class RlzServer:
+    """Serve an :class:`AsyncRlzArchive` over a TCP socket.
+
+    Parameters
+    ----------
+    front:
+        The async front to serve.  With ``own_front=True`` (default) the
+        server closes it — archive and cache tier included — on shutdown.
+    spec:
+        The :class:`ServeSpec` carrying host/port/backpressure settings
+        (defaults to ``ServeSpec()``: loopback, ephemeral port).
+    """
+
+    def __init__(
+        self,
+        front: AsyncRlzArchive,
+        spec: Optional[ServeSpec] = None,
+        own_front: bool = True,
+    ) -> None:
+        self._front = front
+        self._spec = spec or ServeSpec()
+        self._own_front = own_front
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Created in start(): asyncio primitives must be built on the loop
+        # that will use them (pre-3.10 they bind get_event_loop() eagerly).
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._busy: Set[asyncio.Task] = set()
+        self._conn_stats: Dict[asyncio.Task, ConnectionStats] = {}
+        self._closing = False
+        self._closed = False
+        self._connections_total = 0
+        self._requests = 0
+        self._errors = 0
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        config: Optional[ArchiveConfig] = None,
+        max_workers: Optional[int] = None,
+    ) -> "RlzServer":
+        """Open an archive, wrap it in an async front, and build a server
+        configured by ``config.serve`` (not yet started)."""
+        config = config or ArchiveConfig()
+        front = AsyncRlzArchive.open(path, config, max_workers=max_workers)
+        return cls(front, spec=config.serve)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def front(self) -> AsyncRlzArchive:
+        """The async front being served."""
+        return self._front
+
+    @property
+    def spec(self) -> ServeSpec:
+        """The serve configuration."""
+        return self._spec
+
+    @property
+    def host(self) -> str:
+        return self._spec.host
+
+    @property
+    def port(self) -> int:
+        """The actual bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._spec.port
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, float]:
+        """Server counters merged with the front's (archive + cache) stats."""
+        snapshot = self._front.stats() if not self._front.closed else {}
+        snapshot["server_connections_total"] = self._connections_total
+        snapshot["server_connections_active"] = len(self._connections)
+        snapshot["server_requests"] = self._requests
+        snapshot["server_errors"] = self._errors
+        snapshot["server_inflight_capacity"] = self._spec.max_inflight
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ProtocolError("server already started")
+        self._gate = asyncio.Semaphore(self._spec.max_inflight)
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self._spec.host, port=self._spec.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`close` (convenience for CLI use)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self) -> None:
+        """Graceful shutdown: drain in-flight requests, then release.
+
+        Stops accepting, cancels *idle* connections immediately (they are
+        parked waiting for a next request that will never be answered),
+        waits up to ``drain_seconds`` for connections serving a request to
+        finish it, cancels stragglers, and closes the front if this server
+        owns it.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._connections if not task.done()]
+        idle = [task for task in pending if task not in self._busy]
+        busy = [task for task in pending if task in self._busy]
+        for task in idle:
+            task.cancel()
+        if busy:
+            done, still_pending = await asyncio.wait(
+                busy, timeout=self._spec.drain_seconds
+            )
+            for task in still_pending:
+                task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._closed = True
+        if self._own_front and not self._front.closed:
+            await self._front.close()
+
+    async def __aenter__(self) -> "RlzServer":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Run each connection as its own task and register it so close()
+        # can drain (then cancel) live connections.
+        handler = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(handler)
+        self._connections_total += 1
+        handler.add_done_callback(self._connections.discard)
+        handler.add_done_callback(self._busy.discard)
+        handler.add_done_callback(lambda t: self._conn_stats.pop(t, None))
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader, stats: ConnectionStats
+    ) -> tuple:
+        prefix = await reader.readexactly(4)
+        length = protocol.frame_length(prefix, self._spec.max_frame_bytes)
+        body = await reader.readexactly(length)
+        stats.bytes_in += 4 + length
+        return protocol.split_frame(body)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        frame: bytes,
+        stats: ConnectionStats,
+    ) -> None:
+        writer.write(frame)
+        stats.bytes_out += len(frame)
+        await writer.drain()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        stats = ConnectionStats(peer=str(peername))
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_stats[task] = stats
+        try:
+            await self._handshake(reader, writer, stats)
+            while not self._closing:
+                try:
+                    opcode, payload = await self._read_frame(reader, stats)
+                except asyncio.IncompleteReadError:
+                    return  # client hung up between requests: normal
+                stats.count(opcode)
+                self._requests += 1
+                # Mark the connection busy while a request is in flight so a
+                # graceful close drains it; idle connections (parked in the
+                # read above) are cancelled immediately instead.
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    async with self._gate:  # backpressure, all connections
+                        try:
+                            await self._dispatch(opcode, payload, writer, stats)
+                        except ProtocolError as exc:
+                            stats.errors += 1
+                            self._errors += 1
+                            await self._write(
+                                writer, protocol.error_to_frame(exc), stats
+                            )
+                            return  # framing no longer trustworthy
+                        except ReproError as exc:
+                            stats.errors += 1
+                            self._errors += 1
+                            await self._write(
+                                writer, protocol.error_to_frame(exc), stats
+                            )
+                        except (ConnectionError, asyncio.IncompleteReadError):
+                            return
+                        except Exception as exc:  # server bug: report, go on
+                            stats.errors += 1
+                            self._errors += 1
+                            await self._write(
+                                writer, protocol.error_to_frame(exc), stats
+                            )
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+        except ProtocolError as exc:
+            stats.errors += 1
+            self._errors += 1
+            try:
+                await self._write(writer, protocol.error_to_frame(exc), stats)
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: ConnectionStats,
+    ) -> None:
+        opcode, payload = await self._read_frame(reader, stats)
+        if opcode != Opcode.HELLO:
+            raise ProtocolError(
+                f"expected HELLO, got {protocol.describe_opcode(opcode)}"
+            )
+        version = protocol.negotiate_version(protocol.unpack_hello(payload))
+        await self._write(
+            writer,
+            protocol.encode_frame(Opcode.R_HELLO, protocol.pack_hello_reply(version)),
+            stats,
+        )
+
+    async def _dispatch(
+        self,
+        opcode: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        stats: ConnectionStats,
+    ) -> None:
+        if opcode == Opcode.PING:
+            await self._write(
+                writer, protocol.encode_frame(Opcode.R_PONG, payload), stats
+            )
+        elif opcode == Opcode.GET:
+            document = await self._front.get(protocol.unpack_doc_id(payload))
+            await self._write(
+                writer, protocol.encode_frame(Opcode.R_DOC, document), stats
+            )
+        elif opcode == Opcode.GET_MANY:
+            documents = await self._front.get_many(protocol.unpack_doc_ids(payload))
+            await self._write(
+                writer,
+                protocol.encode_frame(Opcode.R_DOCS, protocol.pack_documents(documents)),
+                stats,
+            )
+        elif opcode == Opcode.ITER:
+            # Stream one document per frame (decodes go through the front,
+            # so the cache tier and coalescing apply), then terminate.
+            for doc_id in self._front.archive.doc_ids():
+                document = await self._front.get(doc_id)
+                await self._write(
+                    writer,
+                    protocol.encode_frame(
+                        Opcode.R_ITEM, protocol.pack_item(doc_id, document)
+                    ),
+                    stats,
+                )
+            await self._write(writer, protocol.encode_frame(Opcode.R_END), stats)
+        elif opcode == Opcode.STATS:
+            await self._write(
+                writer,
+                protocol.encode_frame(Opcode.R_STATS, protocol.pack_stats(self.stats())),
+                stats,
+            )
+        elif opcode == Opcode.DOC_IDS:
+            await self._write(
+                writer,
+                protocol.encode_frame(
+                    Opcode.R_DOC_IDS,
+                    protocol.pack_doc_ids(self._front.archive.doc_ids()),
+                ),
+                stats,
+            )
+        else:
+            raise ProtocolError(
+                f"unknown request opcode {protocol.describe_opcode(opcode)}"
+            )
+
+
+class BackgroundServer:
+    """Run an :class:`RlzServer` on its own event-loop thread.
+
+    Synchronous code (tests, benchmarks, the quickstart example) uses this
+    to put an archive on a socket without restructuring around asyncio::
+
+        with BackgroundServer(path, config) as server:
+            client = RlzClient(*server.address)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the server's
+    graceful shutdown and returns its final stats snapshot.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        config: Optional[ArchiveConfig] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._path = Path(path)
+        self._config = config or ArchiveConfig()
+        self._max_workers = max_workers
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[RlzServer] = None
+        self._final_stats: Dict[str, float] = {}
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` of the live server."""
+        if self._server is None:
+            raise ProtocolError("BackgroundServer is not running")
+        return self._server.host, self._server.port
+
+    def stats(self) -> Dict[str, float]:
+        """A live stats snapshot (final snapshot after :meth:`stop`)."""
+        if self._server is None or self._loop is None:
+            return dict(self._final_stats)
+        return asyncio.run_coroutine_threadsafe(
+            self._snapshot(), self._loop
+        ).result(timeout=30)
+
+    async def _snapshot(self) -> Dict[str, float]:
+        return self._server.stats()
+
+    def start(self) -> tuple:
+        """Start the loop thread and the server; returns ``(host, port)``."""
+        if self._server is not None:
+            raise ProtocolError("BackgroundServer already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="rlz-serve-loop", daemon=True
+        )
+        self._thread.start()
+
+        async def boot() -> RlzServer:
+            server = RlzServer.open(
+                self._path, self._config, max_workers=self._max_workers
+            )
+            await server.start()
+            return server
+
+        try:
+            self._server = asyncio.run_coroutine_threadsafe(
+                boot(), self._loop
+            ).result(timeout=60)
+        except Exception:
+            self._teardown_loop()
+            raise
+        return self.address
+
+    def stop(self) -> Dict[str, float]:
+        """Gracefully shut the server down; returns the final stats."""
+        if self._server is not None and self._loop is not None:
+            async def shutdown() -> Dict[str, float]:
+                stats = self._server.stats()
+                await self._server.close()
+                return stats
+
+            try:
+                self._final_stats = asyncio.run_coroutine_threadsafe(
+                    shutdown(), self._loop
+                ).result(timeout=60)
+            finally:
+                self._server = None
+                self._teardown_loop()
+        return dict(self._final_stats)
+
+    def _teardown_loop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=30)
+            self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

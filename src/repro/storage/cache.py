@@ -24,14 +24,30 @@ Cross-process memory model
 --------------------------
 
 :class:`SharedMemoryCache` is deliberately lock-free across processes.  The
-segment holds a header (magic, slot count, slot size, ring cursor), four
-``int64`` metadata arrays (``doc_id``, version, length, checksum per slot)
-and the slot data.  Writers claim the next ring slot, force the slot's
-version to an *odd* value, invalidate the doc id, copy the bytes, then
-publish length, checksum, doc id and the next *even* version — a seqlock.
-Readers locate a slot by doc id, snapshot the version (odd means "write in
-progress": skip), copy the bytes out, and re-check version and doc id; any
-change discards the copy and the lookup falls through to a miss.
+segment holds a header (magic, geometry, ring cursor, and the shared stats
+block), four ``int64`` metadata arrays (``doc_id``, version, length,
+checksum per slot), an open-addressing **slot index** (two ``int64`` arrays
+of ``table_size >= 2 x slots`` entries mapping doc id -> slot, linear
+probing with Fibonacci hashing — the :class:`repro.suffix.CompactJumpIndex`
+scheme), and the slot data.  Writers claim the next ring slot, force the
+slot's version to an *odd* value, invalidate the doc id, copy the bytes,
+then publish length, checksum, doc id and the next *even* version — a
+seqlock — and finally point an index entry at the slot.  Readers **probe**
+the index by doc id (O(1), not O(slots)), snapshot the version (odd means
+"write in progress": skip), copy the bytes out, and re-check version and
+doc id; any change discards the copy and the probe continues (a stale
+index entry — its slot since recycled for another document — fails that
+same validation, so staleness costs a probe step, never a wrong answer).
+Index entries are reclaimed in place: an insert claims the first empty,
+same-id or stale entry on its probe path.
+
+The header also carries a **shared stats block** — machine-wide ``hits``/
+``misses``/``stores``/``rejected``/``evictions`` counters folded into
+``cache_info()`` as ``shared_*`` keys — so a fleet of reader processes
+observes one hit rate instead of each handle guessing from its own.
+Cross-process increments are not atomic (a racing pair can lose a count);
+the shared block is observability, not accounting the correctness of
+anything rests on.
 
 The seqlock alone cannot order two *processes* writing the same slot (the
 cursor bump and version arithmetic are not cross-process atomic, and two
@@ -225,8 +241,21 @@ class SharedMemoryCache:
     their mapping.  See the module docstring for the seqlock memory model.
     """
 
-    _MAGIC = 0x524C5A43_41434845  # "RLZCACHE"
-    _HEADER_WORDS = 4  # magic, slots, slot_bytes, ring cursor
+    _MAGIC = 0x524C5A43_41434832  # "RLZCACH2": v2 layout (slot index + stats)
+    #: magic, slots, slot_bytes, ring cursor, table_size, then the shared
+    #: stats block: hits, misses, stores, rejected, evictions.
+    _HEADER_WORDS = 10
+    _H_CURSOR = 3
+    _H_TABLE = 4
+    _H_HITS = 5
+    _H_MISSES = 6
+    _H_STORES = 7
+    _H_REJECTED = 8
+    _H_EVICTIONS = 9
+    #: Fibonacci-hashing multiplier (odd, ~2**64 / golden ratio), the same
+    #: spreading trick as :class:`repro.suffix.CompactJumpIndex`.
+    _FIB_MULTIPLIER = 0x9E3779B97F4A7C15
+    _MASK_64 = (1 << 64) - 1
 
     def __init__(
         self,
@@ -267,8 +296,19 @@ class SharedMemoryCache:
             raise
 
     @classmethod
+    def _table_size(cls, slots: int) -> int:
+        """Open-addressing table entries: a power of two >= 2 x slots."""
+        size = 8
+        while size < 2 * slots:
+            size *= 2
+        return size
+
+    @classmethod
     def _segment_size(cls, slots: int, slot_bytes: int) -> int:
-        return 8 * (cls._HEADER_WORDS + 4 * slots) + slots * slot_bytes
+        return (
+            8 * (cls._HEADER_WORDS + 4 * slots + 2 * cls._table_size(slots))
+            + slots * slot_bytes
+        )
 
     def _map_views(self, initialize: bool, slots: int, slot_bytes: int) -> None:
         buf = self._segment.buf
@@ -277,7 +317,8 @@ class SharedMemoryCache:
             header[0] = self._MAGIC
             header[1] = slots
             header[2] = slot_bytes
-            header[3] = 0
+            header[3:] = 0
+            header[self._H_TABLE] = self._table_size(slots)
         elif int(header[0]) != self._MAGIC:
             raise StorageError(
                 f"segment {self._segment.name!r} is not a SharedMemoryCache"
@@ -285,12 +326,16 @@ class SharedMemoryCache:
         else:
             slots = int(header[1])
             slot_bytes = int(header[2])
-            if len(buf) < self._segment_size(slots, slot_bytes):
+            if (
+                int(header[self._H_TABLE]) != self._table_size(slots)
+                or len(buf) < self._segment_size(slots, slot_bytes)
+            ):
                 raise StorageError(
                     f"segment {self._segment.name!r} is truncated for its geometry"
                 )
         self._slots = slots
         self._slot_bytes = slot_bytes
+        table_size = self._table_size(slots)
         offset = 8 * self._HEADER_WORDS
         self._header = header
         self._doc_ids = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
@@ -301,12 +346,22 @@ class SharedMemoryCache:
         offset += 8 * slots
         self._checksums = np.frombuffer(buf, dtype=np.int64, count=slots, offset=offset)
         offset += 8 * slots
+        self._index_ids = np.frombuffer(
+            buf, dtype=np.int64, count=table_size, offset=offset
+        )
+        offset += 8 * table_size
+        self._index_slots = np.frombuffer(
+            buf, dtype=np.int64, count=table_size, offset=offset
+        )
+        offset += 8 * table_size
         self._data_offset = offset
         if initialize:
             self._doc_ids[:] = -1
             self._versions[:] = 0
             self._lengths[:] = 0
             self._checksums[:] = 0
+            self._index_ids[:] = -1
+            self._index_slots[:] = 0
 
     def _release_views(self) -> None:
         self._header = None
@@ -314,6 +369,8 @@ class SharedMemoryCache:
         self._versions = None
         self._lengths = None
         self._checksums = None
+        self._index_ids = None
+        self._index_slots = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -341,33 +398,95 @@ class SharedMemoryCache:
     # ------------------------------------------------------------------
     # CacheTier
     # ------------------------------------------------------------------
-    def _find(self, doc_id: int) -> Optional[bytes]:
-        """Seqlock read: copy a slot out and verify it did not move.
+    def _probe_slots(self, doc_id: int):
+        """Yield ring slots the index claims hold ``doc_id`` (may be stale).
+
+        Linear probing from the Fibonacci hash of the doc id; stops at the
+        first empty index entry (entries are overwritten, never emptied, so
+        an empty entry proves the id was never inserted past it).  O(1)
+        expected — the table has at least twice as many entries as the ring
+        has slots.
+        """
+        index_ids = self._index_ids
+        index_slots = self._index_slots
+        mask = len(index_ids) - 1
+        entry = ((doc_id * self._FIB_MULTIPLIER) & self._MASK_64) >> 32 & mask
+        for _ in range(mask + 1):
+            entry_id = int(index_ids[entry])
+            if entry_id == -1:
+                return
+            if entry_id == doc_id:
+                slot = int(index_slots[entry])
+                if 0 <= slot < self._slots:
+                    yield slot
+            entry = (entry + 1) & mask
+
+    def _slot_read(self, slot: int, doc_id: int) -> Optional[bytes]:
+        """Seqlock read of one slot: copy out and verify it did not move.
 
         The version re-check catches in-flight single-writer updates; the
         CRC-32 comparison is what makes the read safe against two *writer
         processes* racing the same slot (they can publish identical version
         values around interleaved byte copies, which no version check can
-        see).  A checksum mismatch is just a miss.
+        see).  Any mismatch — including a stale index entry whose slot has
+        been recycled for another document — is just a miss.
         """
-        for slot in np.flatnonzero(self._doc_ids == doc_id):
-            slot = int(slot)
-            version = int(self._versions[slot])
-            if version & 1:
-                continue  # write in progress
-            length = int(self._lengths[slot])
-            if not 0 <= length <= self._slot_bytes:
-                continue
-            checksum = int(self._checksums[slot])
-            start = self._data_offset + slot * self._slot_bytes
-            document = bytes(self._segment.buf[start : start + length])
-            if (
-                int(self._versions[slot]) == version
-                and int(self._doc_ids[slot]) == doc_id
-                and zlib.crc32(document) == checksum
-            ):
+        if int(self._doc_ids[slot]) != doc_id:
+            return None
+        version = int(self._versions[slot])
+        if version & 1:
+            return None  # write in progress
+        length = int(self._lengths[slot])
+        if not 0 <= length <= self._slot_bytes:
+            return None
+        checksum = int(self._checksums[slot])
+        start = self._data_offset + slot * self._slot_bytes
+        document = bytes(self._segment.buf[start : start + length])
+        if (
+            int(self._versions[slot]) == version
+            and int(self._doc_ids[slot]) == doc_id
+            and zlib.crc32(document) == checksum
+        ):
+            return document
+        return None
+
+    def _find(self, doc_id: int) -> Optional[bytes]:
+        for slot in self._probe_slots(doc_id):
+            document = self._slot_read(slot, doc_id)
+            if document is not None:
                 return document
         return None
+
+    def _index_insert(self, doc_id: int, slot: int) -> None:
+        """Point an index entry at ``slot``; claims the first reusable entry.
+
+        Reusable means empty, already this doc id, or *stale* — pointing at
+        a slot whose current occupant is a different document (its entry
+        owner was evicted by the ring).  Reclaiming stale entries in place
+        keeps the table from silting up without a sweep pass.
+        """
+        index_ids = self._index_ids
+        index_slots = self._index_slots
+        mask = len(index_ids) - 1
+        entry = ((doc_id * self._FIB_MULTIPLIER) & self._MASK_64) >> 32 & mask
+        for _ in range(mask + 1):
+            entry_id = int(index_ids[entry])
+            if entry_id == -1 or entry_id == doc_id:
+                break
+            entry_slot = int(index_slots[entry])
+            if not 0 <= entry_slot < self._slots:
+                break  # torn cross-process write: reclaim
+            if int(self._doc_ids[entry_slot]) != entry_id:
+                break  # stale: its document was evicted from the ring
+            entry = (entry + 1) & mask
+        else:  # pragma: no cover - table is 2x slots, a claimable entry exists
+            return
+        index_slots[entry] = slot
+        self._index_ids[entry] = doc_id
+
+    def _bump(self, header_word: int, amount: int = 1) -> None:
+        """Increment a shared stats counter (caller holds the lock)."""
+        self._header[header_word] += amount
 
     def get(self, doc_id: int) -> Optional[bytes]:
         if self._closed:
@@ -376,14 +495,22 @@ class SharedMemoryCache:
         with self._lock:
             if document is None:
                 self._misses += 1
+                self._bump(self._H_MISSES)
             else:
                 self._hits += 1
+                self._bump(self._H_HITS)
         return document
 
     def peek(self, doc_id: int) -> bool:
         if self._closed:
             return False
-        return bool((self._doc_ids == doc_id).any())
+        for slot in self._probe_slots(doc_id):
+            if (
+                int(self._doc_ids[slot]) == doc_id
+                and not int(self._versions[slot]) & 1
+            ):
+                return True
+        return False
 
     def put(self, doc_id: int, document: bytes) -> None:
         if self._closed or doc_id < 0:
@@ -391,13 +518,17 @@ class SharedMemoryCache:
         if len(document) > self._slot_bytes:
             with self._lock:
                 self._rejected += 1
+                self._bump(self._H_REJECTED)
             return
         if self.peek(doc_id):
             return  # already cached (possibly by another process)
         with self._lock:
-            cursor = int(self._header[3])
-            self._header[3] = cursor + 1
+            cursor = int(self._header[self._H_CURSOR])
+            self._header[self._H_CURSOR] = cursor + 1
             slot = cursor % self._slots
+            evicted = int(self._doc_ids[slot])
+            if evicted >= 0 and evicted != doc_id:
+                self._bump(self._H_EVICTIONS)
             # Force parity rather than trusting the snapshot: a racing
             # writer process may leave the version odd, and in-progress must
             # stay odd / published even regardless of what was read.
@@ -410,15 +541,29 @@ class SharedMemoryCache:
             self._checksums[slot] = zlib.crc32(document)
             self._doc_ids[slot] = doc_id
             self._versions[slot] = version + 1  # even: published
+            self._index_insert(doc_id, slot)
             self._stores += 1
+            self._bump(self._H_STORES)
 
     def cache_info(self) -> Dict[str, int]:
         if self._closed:
             size = 0
+            shared = dict.fromkeys(
+                ("shared_hits", "shared_misses", "shared_stores",
+                 "shared_rejected", "shared_evictions"),
+                0,
+            )
         else:
             size = int((self._doc_ids >= 0).sum())
+            shared = {
+                "shared_hits": int(self._header[self._H_HITS]),
+                "shared_misses": int(self._header[self._H_MISSES]),
+                "shared_stores": int(self._header[self._H_STORES]),
+                "shared_rejected": int(self._header[self._H_REJECTED]),
+                "shared_evictions": int(self._header[self._H_EVICTIONS]),
+            }
         with self._lock:
-            return {
+            info = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "size": size,
@@ -428,6 +573,8 @@ class SharedMemoryCache:
                 "rejected": self._rejected,
                 "owner": int(self._owner),
             }
+        info.update(shared)
+        return info
 
     def clear(self) -> None:
         if self._closed:
@@ -440,6 +587,8 @@ class SharedMemoryCache:
                 self._lengths[slot] = 0
                 self._checksums[slot] = 0
                 self._versions[slot] = version + 1
+            self._index_ids[:] = -1
+            self._index_slots[:] = 0
 
     def close(self) -> None:
         """Release the mapping; the creator also unlinks the segment."""

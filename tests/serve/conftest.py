@@ -1,0 +1,24 @@
+"""Shared fixtures for the network-serving tests: one built archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ArchiveConfig, CacheSpec, DictionarySpec, EncodingSpec, RlzArchive
+
+
+def make_config(cache: CacheSpec | None = None) -> ArchiveConfig:
+    return ArchiveConfig(
+        dictionary=DictionarySpec(size=32 * 1024, sample_size=512),
+        encoding=EncodingSpec(scheme="ZV"),
+        cache=cache or CacheSpec(),
+    )
+
+
+@pytest.fixture(scope="module")
+def served_archive(tmp_path_factory, gov_small):
+    """A built archive (path, config, collection) shared by a test module."""
+    path = tmp_path_factory.mktemp("serve") / "served.rlz"
+    config = make_config()
+    RlzArchive.build(gov_small, config, path).close()
+    return path, config, gov_small

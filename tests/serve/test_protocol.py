@@ -1,0 +1,182 @@
+"""Unit tests for the wire protocol: framing, codecs, error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.protocol import Opcode
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_roundtrip():
+    frame = protocol.encode_frame(Opcode.GET, b"payload")
+    length = protocol.frame_length(frame[:4])
+    assert length == len(frame) - 4
+    opcode, payload = protocol.split_frame(frame[4:])
+    assert opcode == Opcode.GET
+    assert payload == b"payload"
+
+
+def test_frame_length_rejects_truncated_prefix():
+    with pytest.raises(ProtocolError, match="truncated"):
+        protocol.frame_length(b"\x00\x00")
+
+
+def test_frame_length_rejects_empty_body():
+    with pytest.raises(ProtocolError, match="zero-length"):
+        protocol.frame_length(b"\x00\x00\x00\x00")
+
+
+def test_frame_length_rejects_oversized():
+    frame = protocol.encode_frame(Opcode.GET, b"x" * 100)
+    with pytest.raises(ProtocolError, match="oversized"):
+        protocol.frame_length(frame[:4], max_frame_bytes=50)
+
+
+def test_split_frame_rejects_empty():
+    with pytest.raises(ProtocolError):
+        protocol.split_frame(b"")
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def test_hello_roundtrip():
+    assert protocol.unpack_hello(protocol.pack_hello()) == protocol.PROTOCOL_VERSION
+    assert protocol.unpack_hello_reply(protocol.pack_hello_reply(1)) == 1
+
+
+def test_hello_rejects_bad_magic():
+    with pytest.raises(ProtocolError, match="magic"):
+        protocol.unpack_hello(b"HTTP\x01")
+
+
+def test_hello_rejects_wrong_size():
+    with pytest.raises(ProtocolError):
+        protocol.unpack_hello(b"RL")
+
+
+def test_version_negotiation():
+    assert protocol.negotiate_version(protocol.PROTOCOL_VERSION) == (
+        protocol.PROTOCOL_VERSION
+    )
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        protocol.negotiate_version(protocol.PROTOCOL_VERSION + 1)
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        protocol.checked_version(99)
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+def test_doc_id_roundtrip():
+    for doc_id in (0, 1, 2**40, -1):
+        assert protocol.unpack_doc_id(protocol.pack_doc_id(doc_id)) == doc_id
+    with pytest.raises(ProtocolError):
+        protocol.unpack_doc_id(b"\x00")
+
+
+def test_doc_ids_roundtrip():
+    for ids in ([], [7], list(range(100))):
+        assert protocol.unpack_doc_ids(protocol.pack_doc_ids(ids)) == ids
+    with pytest.raises(ProtocolError):
+        protocol.unpack_doc_ids(b"\x00")
+    with pytest.raises(ProtocolError):  # count says 2, bytes say 1
+        protocol.unpack_doc_ids(protocol.pack_doc_ids([1])[:-1] + b"\x00\x00\x00\x02")
+
+
+def test_documents_roundtrip_preserves_order_and_duplicates():
+    documents = [b"alpha", b"", b"alpha", b"\x00" * 1000]
+    assert protocol.unpack_documents(protocol.pack_documents(documents)) == documents
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        b"",  # missing count
+        b"\x00\x00\x00\x01",  # count 1, no length
+        b"\x00\x00\x00\x01\x00\x00\x00\x05ab",  # length 5, 2 bytes
+        b"\x00\x00\x00\x00extra",  # trailing bytes
+    ],
+)
+def test_documents_rejects_corrupt_batches(corrupt):
+    with pytest.raises(ProtocolError):
+        protocol.unpack_documents(corrupt)
+
+
+def test_item_roundtrip():
+    doc_id, document = protocol.unpack_item(protocol.pack_item(42, b"body"))
+    assert (doc_id, document) == (42, b"body")
+    with pytest.raises(ProtocolError):
+        protocol.unpack_item(b"abc")
+
+
+def test_stats_roundtrip():
+    stats = {"requests": 3, "seconds": 0.25}
+    assert protocol.unpack_stats(protocol.pack_stats(stats)) == stats
+    with pytest.raises(ProtocolError):
+        protocol.unpack_stats(b"not json")
+    with pytest.raises(ProtocolError):
+        protocol.unpack_stats(b"[1, 2]")
+
+
+# ----------------------------------------------------------------------
+# Error frames
+# ----------------------------------------------------------------------
+ALL_ERROR_CLASSES = sorted(protocol.ERROR_CODES, key=lambda cls: cls.__name__)
+
+
+@pytest.mark.parametrize("error_class", ALL_ERROR_CLASSES)
+def test_every_exported_error_roundtrips_exactly(error_class):
+    """The wire must reproduce the concrete class, not an ancestor."""
+    frame = protocol.error_to_frame(error_class("the message"))
+    opcode, payload = protocol.split_frame(frame[4:])
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(error_class, match="the message") as excinfo:
+        protocol.raise_error_frame(payload)
+    assert type(excinfo.value) is error_class
+
+
+def test_error_codes_cover_every_public_error():
+    """Every class exported by repro.errors must have a wire code."""
+    public = {
+        obj
+        for name, obj in vars(errors).items()
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError)
+    }
+    assert public == set(protocol.ERROR_CODES)
+
+
+def test_unregistered_subclass_degrades_to_nearest_ancestor():
+    class CustomStorageError(errors.StorageError):
+        pass
+
+    frame = protocol.error_to_frame(CustomStorageError("deep failure"))
+    _, payload = protocol.split_frame(frame[4:])
+    with pytest.raises(errors.StorageError, match="deep failure") as excinfo:
+        protocol.raise_error_frame(payload)
+    assert type(excinfo.value) is errors.StorageError
+
+
+def test_non_repro_exception_degrades_to_repro_error():
+    frame = protocol.error_to_frame(ValueError("server bug"))
+    _, payload = protocol.split_frame(frame[4:])
+    with pytest.raises(errors.ReproError, match="server bug") as excinfo:
+        protocol.raise_error_frame(payload)
+    assert type(excinfo.value) is errors.ReproError
+
+
+def test_unknown_error_code_degrades_to_repro_error():
+    with pytest.raises(errors.ReproError, match="future"):
+        protocol.raise_error_frame(protocol.pack_error(999, "future error kind"))
+
+
+def test_describe_opcode():
+    assert protocol.describe_opcode(Opcode.GET) == "get"
+    assert protocol.describe_opcode(Opcode.R_ERROR) == "r_error"
+    assert protocol.describe_opcode(0x42) == "0x42"

@@ -1,0 +1,322 @@
+"""Wire-level edge cases: malformed clients, malformed servers, shutdowns.
+
+The server must survive (and cleanly reject) every way a client can
+misbehave on the socket, and the client must fail loudly — never hang,
+never mis-parse — when the peer violates the protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import errors
+from repro.api import ServeSpec
+from repro.errors import ProtocolError
+from repro.serve import BackgroundServer, RlzClient, RlzServer, protocol
+from repro.serve.client import _recv_exact
+from repro.serve.protocol import Opcode
+
+
+@pytest.fixture()
+def live_server(served_archive):
+    path, config, _ = served_archive
+    config = dataclasses.replace(
+        config, serve=ServeSpec(max_frame_bytes=256 * 1024, drain_seconds=0.2)
+    )
+    with BackgroundServer(path, config) as server:
+        yield server
+
+
+def _raw_handshake(host: str, port: int) -> socket.socket:
+    raw = socket.create_connection((host, port), timeout=10)
+    raw.sendall(protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_HELLO
+    assert protocol.unpack_hello_reply(payload) == protocol.PROTOCOL_VERSION
+    return raw
+
+
+def _read_raw_frame(raw: socket.socket):
+    length = protocol.frame_length(_recv_exact(raw, 4))
+    return protocol.split_frame(_recv_exact(raw, length))
+
+
+# ----------------------------------------------------------------------
+# Server-side edge cases (misbehaving client)
+# ----------------------------------------------------------------------
+def test_server_survives_truncated_frame(live_server, served_archive):
+    _, _, collection = served_archive
+    host, port = live_server.address
+    raw = _raw_handshake(host, port)
+    # Announce a 1000-byte frame, send 3 bytes, hang up.
+    raw.sendall(struct.pack("!I", 1000) + b"\x03ab")
+    raw.close()
+    # The server must shrug and keep serving fresh connections.
+    with RlzClient(host, port) as client:
+        doc_id = client.doc_ids()[0]
+        assert client.get(doc_id) == collection.document_by_id(doc_id).content
+
+
+def test_server_rejects_oversized_frame(live_server):
+    host, port = live_server.address
+    raw = _raw_handshake(host, port)
+    # Claim a frame bigger than the server's max_frame_bytes (256 KiB).
+    raw.sendall(struct.pack("!I", 1 << 20))
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="oversized"):
+        protocol.raise_error_frame(payload)
+    # The connection is closed afterwards: the framing is untrusted.
+    raw.settimeout(5)
+    try:
+        assert raw.recv(1) == b""
+    except ConnectionError:
+        pass  # reset instead of FIN: also closed
+    raw.close()
+
+
+def test_server_rejects_version_mismatch(live_server):
+    host, port = live_server.address
+    raw = socket.create_connection((host, port), timeout=10)
+    raw.sendall(
+        protocol.encode_frame(Opcode.HELLO, protocol.MAGIC + bytes([99]))
+    )
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        protocol.raise_error_frame(payload)
+    raw.close()
+
+
+def test_server_rejects_bad_magic(live_server):
+    host, port = live_server.address
+    raw = socket.create_connection((host, port), timeout=10)
+    raw.sendall(protocol.encode_frame(Opcode.HELLO, b"HTTP" + bytes([1])))
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="magic"):
+        protocol.raise_error_frame(payload)
+    raw.close()
+
+
+def test_server_rejects_request_before_hello(live_server):
+    host, port = live_server.address
+    raw = socket.create_connection((host, port), timeout=10)
+    raw.sendall(protocol.encode_frame(Opcode.GET, protocol.pack_doc_id(0)))
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="expected HELLO"):
+        protocol.raise_error_frame(payload)
+    raw.close()
+
+
+def test_server_rejects_unknown_opcode(live_server):
+    host, port = live_server.address
+    raw = _raw_handshake(host, port)
+    raw.sendall(protocol.encode_frame(0x42))
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="unknown request opcode"):
+        protocol.raise_error_frame(payload)
+    raw.close()
+
+
+def test_server_maps_malformed_payload_to_protocol_error(live_server):
+    host, port = live_server.address
+    raw = _raw_handshake(host, port)
+    raw.sendall(protocol.encode_frame(Opcode.GET, b"\x01"))  # not 8 bytes
+    opcode, payload = _read_raw_frame(raw)
+    assert opcode == Opcode.R_ERROR
+    with pytest.raises(ProtocolError, match="malformed doc-id"):
+        protocol.raise_error_frame(payload)
+    raw.close()
+
+
+# ----------------------------------------------------------------------
+# Error round-tripping end-to-end (server raises -> client re-raises)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "error_class",
+    sorted(protocol.ERROR_CODES, key=lambda cls: cls.__name__),
+    ids=lambda cls: cls.__name__,
+)
+def test_every_error_type_roundtrips_over_the_socket(served_archive, error_class):
+    path, config, _ = served_archive
+
+    async def main():
+        server = RlzServer.open(path, config)
+        await server.start()
+        try:
+            async def raising(doc_id):
+                raise error_class(f"server-side {error_class.__name__}")
+
+            server.front.get = raising  # the GET handler awaits this
+            client_error = None
+            from repro.serve import AsyncRlzClient
+
+            client = AsyncRlzClient(server.host, server.port)
+            try:
+                await client.get(0)
+            except errors.ReproError as exc:
+                client_error = exc
+            finally:
+                await client.close()
+            assert client_error is not None
+            assert type(client_error) is error_class
+            assert f"server-side {error_class.__name__}" in str(client_error)
+        finally:
+            await server.close()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Shutdown mid-request
+# ----------------------------------------------------------------------
+def test_server_shutdown_mid_request(served_archive):
+    """Graceful close with a short drain window: an in-flight slow request
+    is cancelled, the client sees a connection-level failure (not a hang),
+    and the server closes cleanly."""
+    path, config, _ = served_archive
+    config = dataclasses.replace(config, serve=ServeSpec(drain_seconds=0.05))
+    server = BackgroundServer(path, config)
+    host, port = server.start()
+    try:
+        front = server._server.front
+        real_get = front.archive.get
+        started = threading.Event()
+
+        def slow_get(doc_id):
+            started.set()
+            time.sleep(1.0)
+            return real_get(doc_id)
+
+        front._archive.get = slow_get
+        client = RlzClient(host, port, retries=0, timeout=10)
+        doc_id = client.doc_ids()[0]
+        outcome = []
+
+        def request():
+            try:
+                outcome.append(client.get(doc_id))
+            except BaseException as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        assert started.wait(timeout=10)  # the decode is in flight
+    finally:
+        stats = server.stop()  # drain window elapses, request cancelled
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    client.close()
+    assert len(outcome) == 1
+    # The client must observe a failure (connection dropped or an error
+    # frame), never a silent wrong answer.
+    assert isinstance(outcome[0], (ConnectionError, OSError, errors.ReproError))
+    assert stats["server_connections_total"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Client-side edge cases (misbehaving server)
+# ----------------------------------------------------------------------
+class _FakeServer:
+    """A TCP peer that handshakes correctly, then replies with `script`."""
+
+    def __init__(self, script: bytes, close_after: bool = True) -> None:
+        self._script = script
+        self._close_after = close_after
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        conn, _ = self._sock.accept()
+        try:
+            _recv_exact(conn, 4 + 1 + 5)  # HELLO frame
+            conn.sendall(
+                protocol.encode_frame(
+                    Opcode.R_HELLO, protocol.pack_hello_reply()
+                )
+            )
+            # Wait for one request frame, then play the script.
+            length = protocol.frame_length(_recv_exact(conn, 4))
+            _recv_exact(conn, length)
+            conn.sendall(self._script)
+            if self._close_after:
+                conn.shutdown(socket.SHUT_WR)
+                time.sleep(0.1)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            conn.close()
+            self._sock.close()
+
+    def join(self) -> None:
+        self._thread.join(timeout=10)
+
+
+def test_client_rejects_truncated_response():
+    fake = _FakeServer(struct.pack("!I", 500) + b"\x83abc")  # 500 claimed, 4 sent
+    client = RlzClient("127.0.0.1", fake.port, retries=0, timeout=10)
+    with pytest.raises((ConnectionError, OSError)):
+        client.get(0)
+    client.close()
+    fake.join()
+
+
+def test_client_rejects_oversized_response():
+    fake = _FakeServer(struct.pack("!I", 1 << 30))
+    client = RlzClient(
+        "127.0.0.1", fake.port, retries=0, timeout=10, max_frame_bytes=1 << 20
+    )
+    with pytest.raises(ProtocolError, match="oversized"):
+        client.get(0)
+    client.close()
+    fake.join()
+
+
+def test_client_rejects_unexpected_reply_opcode():
+    fake = _FakeServer(protocol.encode_frame(Opcode.R_PONG))
+    client = RlzClient("127.0.0.1", fake.port, retries=0, timeout=10)
+    with pytest.raises(ProtocolError, match="expected r_doc"):
+        client.get(0)
+    client.close()
+    fake.join()
+
+
+def test_client_rejects_server_version_mismatch():
+    reply = protocol.encode_frame(Opcode.R_HELLO, protocol.pack_hello_reply(42))
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    port = sock.getsockname()[1]
+
+    def serve():
+        conn, _ = sock.accept()
+        try:
+            _recv_exact(conn, 4 + 1 + 5)
+            conn.sendall(reply)
+            time.sleep(0.1)
+        finally:
+            conn.close()
+            sock.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    client = RlzClient("127.0.0.1", port, retries=0, timeout=10)
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        client.get(0)
+    client.close()
+    thread.join(timeout=10)

@@ -184,6 +184,91 @@ def test_shared_owner_unlinks_on_close():
         segment.close()  # pragma: no cover - only reached on failure
 
 
+def test_shared_lookup_is_an_index_probe_not_a_scan():
+    """The open-addressing index must find documents without scanning the
+    doc-id array, including after ring wrap-around leaves stale entries."""
+    with SharedMemoryCache(slots=4, slot_bytes=64) as cache:
+        for doc_id in range(10):  # wraps the 4-slot ring twice
+            cache.put(doc_id, f"doc-{doc_id}".encode())
+        # The last `slots` documents are live; everything older was evicted
+        # and its index entry is stale.
+        for doc_id in range(6):
+            assert cache.get(doc_id) is None
+        for doc_id in range(6, 10):
+            assert cache.get(doc_id) == f"doc-{doc_id}".encode()
+
+
+def test_shared_reclaims_stale_index_entries():
+    """Stale index entries (their slot recycled by the ring) are reclaimed
+    on insert, so the table never fills up with tombstones."""
+    with SharedMemoryCache(slots=2, slot_bytes=64) as cache:
+        for doc_id in range(100):  # 50x the ring, 12.5x the index table
+            cache.put(doc_id, b"x")
+        live = [doc_id for doc_id in range(100) if cache.get(doc_id) is not None]
+        assert live == [98, 99]
+        assert cache.cache_info()["size"] == 2
+
+
+def test_shared_hit_miss_parity_with_lru():
+    """On a workload without evictions the shared tier must count exactly
+    the hits and misses LruCache counts for the same access sequence."""
+    import random
+
+    rng = random.Random(7)
+    documents = {doc_id: f"document-{doc_id}".encode() * 3 for doc_id in range(16)}
+    accesses = [rng.randrange(16) for _ in range(400)]
+    lru = LruCache(16)
+    with SharedMemoryCache(slots=16, slot_bytes=1024) as shared:
+        for tier in (lru, shared):
+            for doc_id in accesses:
+                if tier.get(doc_id) is None:
+                    tier.put(doc_id, documents[doc_id])
+        lru_info = lru.cache_info()
+        shared_info = shared.cache_info()
+    assert shared_info["hits"] == lru_info["hits"]
+    assert shared_info["misses"] == lru_info["misses"]
+    assert shared_info["size"] == lru_info["size"]
+
+
+def test_shared_stats_block_is_machine_wide():
+    """shared_* counters live in the segment: every handle sees the fleet's
+    totals while the plain counters stay per-handle."""
+    name = f"rlzc-{uuid.uuid4().hex[:12]}"
+    owner = SharedMemoryCache(slots=4, slot_bytes=256, name=name)
+    attacher = SharedMemoryCache(name=name)
+    try:
+        owner.put(1, b"one")
+        owner.get(1)  # owner hit
+        attacher.get(1)  # attacher hit
+        attacher.get(99)  # attacher miss
+        owner_info = owner.cache_info()
+        attacher_info = attacher.cache_info()
+        # Per-handle counters diverge...
+        assert owner_info["hits"] == 1 and owner_info["misses"] == 0
+        assert attacher_info["hits"] == 1 and attacher_info["misses"] == 1
+        # ...while the shared block agrees across handles.
+        for info in (owner_info, attacher_info):
+            assert info["shared_hits"] == 2
+            assert info["shared_misses"] == 1
+            assert info["shared_stores"] == 1
+            assert info["shared_evictions"] == 0
+    finally:
+        attacher.close()
+        owner.close()
+
+
+def test_shared_evictions_counted():
+    with SharedMemoryCache(slots=2, slot_bytes=64) as cache:
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        assert cache.cache_info()["shared_evictions"] == 0
+        cache.put(3, b"c")  # overwrites doc 1's slot
+        cache.put(4, b"d")  # overwrites doc 2's slot
+        info = cache.cache_info()
+        assert info["shared_evictions"] == 2
+        assert info["shared_stores"] == 4
+
+
 def _child_reads_and_writes(name: str, queue) -> None:
     """Subprocess body: attach to the segment, read one doc, publish one."""
     cache = SharedMemoryCache(name=name)

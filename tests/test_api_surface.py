@@ -10,17 +10,26 @@ from __future__ import annotations
 
 import repro
 import repro.api
+import repro.serve
 import repro.storage
 
 TOP_LEVEL_EXPORTS = {
     # facade
     "ArchiveConfig",
+    "ArchiveView",
+    "AsyncArchiveView",
     "AsyncRlzArchive",
     "CacheSpec",
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
     "RlzArchive",
+    "ServeSpec",
+    # network serving
+    "AsyncRlzClient",
+    "BackgroundServer",
+    "RlzClient",
+    "RlzServer",
     # cache tiers
     "CacheTier",
     "LruCache",
@@ -53,6 +62,7 @@ TOP_LEVEL_EXPORTS = {
     "DictionaryError",
     "EncodingError",
     "FactorizationError",
+    "ProtocolError",
     "ReproError",
     "SearchError",
     "StorageError",
@@ -64,6 +74,8 @@ TOP_LEVEL_EXPORTS = {
 API_EXPORTS = {
     "ArchiveConfig",
     "ArchiveStats",
+    "ArchiveView",
+    "AsyncArchiveView",
     "AsyncRlzArchive",
     "CacheSpec",
     "DictionarySpec",
@@ -71,6 +83,19 @@ API_EXPORTS = {
     "ParallelSpec",
     "RequestStats",
     "RlzArchive",
+    "ServeSpec",
+}
+
+SERVE_EXPORTS = {
+    "AsyncRlzClient",
+    "BackgroundServer",
+    "ConnectionStats",
+    "ERROR_CODES",
+    "MAGIC",
+    "Opcode",
+    "PROTOCOL_VERSION",
+    "RlzClient",
+    "RlzServer",
 }
 
 STORAGE_EXPORTS = {
@@ -117,6 +142,10 @@ def test_storage_package_surface():
     _assert_surface(repro.storage, STORAGE_EXPORTS)
 
 
+def test_serve_package_surface():
+    _assert_surface(repro.serve, SERVE_EXPORTS)
+
+
 def test_no_duplicate_exports():
-    for module in (repro, repro.api, repro.storage):
+    for module in (repro, repro.api, repro.serve, repro.storage):
         assert len(module.__all__) == len(set(module.__all__)), module.__name__

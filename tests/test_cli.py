@@ -1,8 +1,21 @@
 """Tests for the command-line entry points."""
 
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.cli import bench_main, compress_main, corpus_main, main, serve_bench_main
+from repro.cli import (
+    bench_main,
+    compress_main,
+    corpus_main,
+    get_main,
+    main,
+    serve_bench_main,
+)
 
 
 def test_corpus_and_compress_roundtrip(tmp_path, capsys):
@@ -146,6 +159,97 @@ def test_serve_bench_rejects_bad_arguments():
         serve_bench_main(["--clients", "0"])
     with pytest.raises(SystemExit):
         serve_bench_main(["--repeats", "-1"])
+
+
+@pytest.fixture()
+def built_container(tmp_path):
+    warc = tmp_path / "serve.warc"
+    corpus_main([str(warc), "--documents", "8", "--seed", "5"])
+    container = tmp_path / "serve.repro"
+    compress_main(
+        [str(warc), str(container), "--dictionary-size", str(16 * 1024)]
+    )
+    return container
+
+
+def test_get_local_archive(built_container, capsys):
+    from repro.storage import RlzStore
+
+    store = RlzStore.open(built_container)
+    doc_ids = store.doc_ids()[:3]
+    store.close()
+    status = get_main([str(built_container)] + [str(d) for d in doc_ids])
+    assert status == 0
+    out = capsys.readouterr().out
+    for doc_id in doc_ids:
+        assert f"doc {doc_id}:" in out
+
+
+def test_get_requires_exactly_one_target(built_container, capsys):
+    with pytest.raises(SystemExit):
+        get_main(["1"])  # one positional: doc id, but no archive/--connect
+    with pytest.raises(SystemExit):
+        get_main([str(built_container), "--connect", "x:1", "1"])  # both
+    with pytest.raises(SystemExit):
+        get_main(["--connect", "not-an-address", "1"])
+    # A positional that is not a readable archive fails cleanly, not with
+    # a traceback.
+    assert get_main(["no-such-archive.rlz", "2"]) == 1
+    assert "cannot open" in capsys.readouterr().err
+
+
+def test_get_reports_missing_document(built_container, capsys):
+    assert get_main([str(built_container), "99999"]) == 1
+    assert "repro get:" in capsys.readouterr().err
+
+
+def test_serve_and_get_connect_end_to_end(built_container, tmp_path):
+    """`repro serve` in a subprocess, `repro get --connect` against it,
+    SIGINT shuts it down cleanly (exit 0, shutdown summary printed)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(filter(None, [src, env.get("PYTHONPATH")]))
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.cli import main; import sys; "
+            "sys.exit(main(sys.argv[1:]))",
+            "serve",
+            str(built_container),
+            "--cache",
+            "lru",
+            "--cache-capacity",
+            "32",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        assert "serving" in banner, banner
+        address = banner.split(" on ")[1].split()[0]
+        host, port = address.rsplit(":", 1)
+
+        from repro.serve import RlzClient
+
+        with RlzClient(host, int(port)) as client:
+            doc_ids = client.doc_ids()
+            assert client.get_many(doc_ids) == [client.get(d) for d in doc_ids]
+
+        # `repro get --connect` in-process against the live server.
+        assert get_main(["--connect", f"{host}:{port}", str(doc_ids[0])]) == 0
+
+        server.send_signal(signal.SIGINT)
+        stdout, stderr = server.communicate(timeout=30)
+        assert server.returncode == 0, stderr
+        assert "shutdown:" in stdout
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate(timeout=10)
 
 
 def test_bench_main_runs_selected_experiment(tmp_path, capsys, monkeypatch):

@@ -15,6 +15,7 @@ def test_all_errors_derive_from_repro_error():
         "CorpusError",
         "SearchError",
         "BenchmarkError",
+        "ProtocolError",
     ):
         error_class = getattr(errors, name)
         assert issubclass(error_class, errors.ReproError)
