@@ -76,6 +76,28 @@ def test_fastpath_network(benchmark, results_path):
     assert "served bytes verified against corpus: True" in notes
 
 
+def test_fastpath_cluster(benchmark, results_path):
+    """Record the cluster-serving comparison (v1 request/response loop vs
+    pipelined single connection vs 1/2/4-shard ClusterClient fan-out) and
+    verify every served byte.  The pipelined loop must measurably beat
+    the v1 loop (target >= 1.5x)."""
+    from repro.bench.cluster import cluster_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        cluster_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "served bytes verified against corpus: True" in notes
+    assert "pipelined 1-conn speedup over v1 request/response:" in notes
+
+
 def test_fastpath_large_dictionary(benchmark, results_path):
     """Verify the compact jump index is active (no silent fallback) for a
     dictionary above the old 1 MiB gate, with seed-identical streams."""

@@ -1,0 +1,130 @@
+"""Quickstart, clustered: one archive view over a fleet of servers.
+
+The horizontal-scale variant of ``examples/quickstart_networked.py``: the
+same archive, but replicated behind *two* servers with a
+:class:`repro.serve.ClusterClient` fanning requests out by consistent
+hashing — the shape the paper's "heavy traffic from millions of users"
+story lands on.
+
+1. build an archive and start two replica servers (each could also host
+   several *named* archives: ``BackgroundServer({"gov": ..., "wiki":
+   ...})`` / ``repro serve gov=a.rlz wiki=b.rlz``),
+2. connect a ``ClusterClient`` — still the plain ``ArchiveView`` surface,
+   so retrieval code is identical to local code — and watch the shard map
+   split the documents between the endpoints,
+3. batch-retrieve with per-shard pipelining (one connection per shard,
+   a window of requests in flight, out-of-order replies correlated by
+   request id),
+4. kill one server mid-run and retrieve the same batch again: the
+   circuit breaker re-routes to the surviving replica and the bytes stay
+   identical.
+
+Run with ``python examples/quickstart_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ArchiveConfig,
+    BackgroundServer,
+    CacheSpec,
+    ClusterClient,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    generate_gov_collection,
+)
+
+
+def main() -> None:
+    collection = generate_gov_collection(num_documents=120, seed=7)
+    expected = {document.doc_id: document.content for document in collection}
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(size=64 * 1024),
+        encoding=EncodingSpec(scheme="ZV"),
+        cache=CacheSpec(tier="lru", capacity=64),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cluster-quickstart.rlz"
+        RlzArchive.build(collection, config, path).close()
+
+        # Two replica servers: the fleet.  (In production these are
+        # separate machines running `repro serve`.)
+        replicas = [BackgroundServer(path, config) for _ in range(2)]
+        endpoints = []
+        try:
+            for server in replicas:
+                host, port = server.start()
+                endpoints.append(f"{host}:{port}")
+            print(f"fleet up: {', '.join(endpoints)}")
+
+            with ClusterClient(
+                endpoints, breaker_cooldown=0.2, retries=1, retry_delay=0.02
+            ) as cluster:
+                doc_ids = cluster.doc_ids()
+                shares = {endpoint: 0 for endpoint in endpoints}
+                for doc_id in doc_ids:
+                    shares[cluster.shard_map.primary(doc_id)] += 1
+                print(
+                    "shard map: "
+                    + ", ".join(
+                        f"{endpoint} owns {count} docs"
+                        for endpoint, count in shares.items()
+                    )
+                )
+
+                # Batch retrieval: pipelined per shard, order preserved.
+                batch = list(reversed(doc_ids)) + doc_ids[:5]
+                documents = cluster.get_many(batch)
+                assert documents == [expected[doc_id] for doc_id in batch]
+                print(f"get_many: {len(batch)} documents byte-identical, in order")
+
+                # Full scan: chunked SCAN streams per shard, merged back
+                # into exact store order.
+                assert dict(cluster.iter_documents()) == expected
+                print(f"iter_documents: all {len(doc_ids)} documents verified")
+
+                # Failover: one replica dies mid-run.
+                replicas[1].stop()
+                print(f"killed {endpoints[1]} -- retrieving the same batch...")
+                survivors = cluster.get_many(batch)
+                assert survivors == documents  # byte-identical through failover
+                # A few per-document gets against the corpse trip its
+                # circuit breaker: later requests skip it for a cooldown
+                # instead of paying a failed dial each.
+                dead_owned = [
+                    doc_id for doc_id in doc_ids
+                    if cluster.shard_map.primary(doc_id) == endpoints[1]
+                ]
+                for doc_id in dead_owned[:3]:
+                    assert cluster.get(doc_id) == expected[doc_id]
+                print(
+                    f"failover: byte-identical results, "
+                    f"{cluster.failovers} re-routed requests, breaker for the "
+                    f"dead shard is {cluster.breaker(endpoints[1]).state!r}"
+                )
+
+                stats = cluster.stats()
+                reachable = sum(
+                    stats[f"shard{i}_reachable"] for i in range(len(endpoints))
+                )
+                print(
+                    f"stats: {int(stats['cluster_endpoints'])} endpoints, "
+                    f"{int(reachable)} reachable, "
+                    f"{int(stats['cluster_failovers'])} failovers total"
+                )
+        finally:
+            for server in replicas:
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+    print("cluster quickstart finished")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,14 +87,23 @@ from .errors import (
     ProtocolError,
     ReproError,
     SearchError,
+    ServerBusyError,
     StorageError,
     StoreClosedError,
 )
-from .serve import AsyncRlzClient, BackgroundServer, RlzClient, RlzServer
+from .serve import (
+    AsyncRlzClient,
+    BackgroundServer,
+    ClusterClient,
+    RlzClient,
+    RlzRouter,
+    RlzServer,
+    ShardMap,
+)
 from .storage import CacheTier, LruCache, NullCache, RlzStore, SharedMemoryCache
 from .suffix import SuffixArray
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArchiveConfig",
@@ -106,6 +115,7 @@ __all__ = [
     "BenchmarkError",
     "CacheSpec",
     "CacheTier",
+    "ClusterClient",
     "CompressedCollection",
     "CompressionReport",
     "ConfigurationError",
@@ -132,10 +142,13 @@ __all__ = [
     "RlzCompressor",
     "RlzDictionary",
     "RlzFactorizer",
+    "RlzRouter",
     "RlzServer",
     "RlzStore",
     "SearchError",
     "ServeSpec",
+    "ServerBusyError",
+    "ShardMap",
     "SharedMemoryCache",
     "StorageError",
     "StoreClosedError",

@@ -21,7 +21,7 @@ round-trips through plain dicts (:meth:`ArchiveConfig.to_dict` /
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -178,11 +178,26 @@ class ServeSpec:
 
     ``port=0`` binds an ephemeral port (the server reports the real one);
     ``max_inflight`` is the backpressure gate — at most that many requests
-    decode concurrently across *all* connections, the rest queue at the
-    socket; ``max_frame_bytes`` bounds a single request/response frame
-    (oversized frames are rejected as :class:`~repro.errors.ProtocolError`
-    before any allocation); ``drain_seconds`` is how long a graceful
-    shutdown waits for in-flight requests before cancelling them.
+    decode concurrently *per archive*, the rest queue (and once the queue
+    is a full gate deep, protocol-v2 clients are shed with ``R_BUSY``);
+    ``max_pipeline`` bounds how many requests one protocol-v2 connection
+    may have in flight before the server stops reading its frames;
+    ``max_frame_bytes`` bounds a single request/response frame (oversized
+    frames are rejected as :class:`~repro.errors.ProtocolError` before any
+    allocation); ``drain_seconds`` is how long a graceful shutdown waits
+    for in-flight requests before cancelling them.
+
+    The cluster fields:
+
+    * ``archives`` — ``name -> container path`` map; a server given one
+      hosts every named archive behind one port (the
+      :class:`~repro.serve.RlzRouter`), opening each lazily;
+    * ``default_archive`` — the name served to clients that do not pick
+      one (v1 clients, empty HELLO names); defaults to the first entry;
+    * ``endpoints`` — ``host:port`` list a
+      :class:`~repro.serve.ClusterClient` fans out over;
+    * ``virtual_nodes`` — consistent-hash points per endpoint in the
+      shard map (more points = smoother balance, bigger ring).
     """
 
     host: str = "127.0.0.1"
@@ -190,6 +205,11 @@ class ServeSpec:
     max_inflight: int = 64
     max_frame_bytes: int = 64 * 1024 * 1024
     drain_seconds: float = 5.0
+    max_pipeline: int = 128
+    archives: Optional[Dict[str, str]] = None
+    default_archive: Optional[str] = None
+    endpoints: Optional[Tuple[str, ...]] = None
+    virtual_nodes: int = 64
 
     def __post_init__(self) -> None:
         if not self.host or not isinstance(self.host, str):
@@ -206,6 +226,40 @@ class ServeSpec:
             )
         if self.drain_seconds < 0:
             raise ConfigurationError("drain_seconds must be non-negative")
+        if self.max_pipeline <= 0:
+            raise ConfigurationError(
+                f"max_pipeline must be positive; got {self.max_pipeline}"
+            )
+        if self.virtual_nodes <= 0:
+            raise ConfigurationError(
+                f"virtual_nodes must be positive; got {self.virtual_nodes}"
+            )
+        if self.archives is not None:
+            if not isinstance(self.archives, dict) or not self.archives:
+                raise ConfigurationError(
+                    "archives must be a non-empty {name: path} mapping (or None)"
+                )
+            normalized = {}
+            for name, path in self.archives.items():
+                if not isinstance(name, str):
+                    raise ConfigurationError(
+                        f"archive names must be strings; got {name!r}"
+                    )
+                normalized[name] = str(path)
+            object.__setattr__(self, "archives", normalized)
+        if self.default_archive is not None:
+            if self.archives is None or self.default_archive not in self.archives:
+                raise ConfigurationError(
+                    f"default_archive {self.default_archive!r} is not in the "
+                    "archives map"
+                )
+        if self.endpoints is not None:
+            endpoints = tuple(str(endpoint) for endpoint in self.endpoints)
+            if not endpoints:
+                raise ConfigurationError(
+                    "endpoints must be a non-empty host:port list (or None)"
+                )
+            object.__setattr__(self, "endpoints", endpoints)
 
 
 @dataclass(frozen=True)

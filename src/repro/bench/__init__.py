@@ -21,6 +21,7 @@ from .experiments import (
 )
 from .fastpath import fastpath_benchmark
 from .harness import EXPERIMENTS, run_all, run_experiment
+from .cluster import cluster_benchmark
 from .network import network_benchmark
 from .reporting import ResultTable
 from .retrieval import RetrievalMeasurement, measure_retrieval
@@ -43,6 +44,7 @@ __all__ = [
     "gov_collection_url_sorted",
     "length_histogram_figure",
     "measure_retrieval",
+    "cluster_benchmark",
     "network_benchmark",
     "pruning_ablation_table",
     "rlz_retrieval_table",

@@ -25,6 +25,7 @@ from .experiments import (
     sampling_policy_ablation_table,
 )
 from .fastpath import fastpath_benchmark, large_dictionary_benchmark
+from .cluster import cluster_benchmark
 from .network import network_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
@@ -123,6 +124,10 @@ def _fastpath_network() -> ResultTable:
     return network_benchmark()
 
 
+def _fastpath_cluster() -> ResultTable:
+    return cluster_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -143,6 +148,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "fastpath-large-dict": _fastpath_large_dict,
     "fastpath-serving": _fastpath_serving,
     "fastpath-network": _fastpath_network,
+    "fastpath-cluster": _fastpath_cluster,
 }
 
 

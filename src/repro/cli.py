@@ -305,17 +305,47 @@ def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _parse_archive_args(parser, texts: Sequence[str]):
+    """``repro serve`` positionals: bare paths or ``name=path`` pairs.
+
+    One bare path keeps the single-archive server; anything else builds a
+    name→path map for the router (bare paths name themselves by stem).
+    """
+    if len(texts) == 1 and "=" not in texts[0]:
+        return texts[0], None
+    archives = {}
+    for text in texts:
+        name, separator, path = text.partition("=")
+        if not separator:
+            name, path = Path(text).stem, text
+        if not name or not path:
+            parser.error(f"archives must be PATH or NAME=PATH, got {text!r}")
+        if name in archives:
+            parser.error(f"duplicate archive name {name!r}")
+        archives[name] = path
+    return None, archives
+
+
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
-    """Serve a built archive over a socket until interrupted."""
+    """Serve built archives over a socket until interrupted."""
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description=(
-            "Put a built RLZ archive behind a socket (repro.serve.RlzServer). "
-            "Clients connect with repro.serve.RlzClient or `repro get "
-            "--connect host:port`.  SIGINT/SIGTERM shut down gracefully."
+            "Put built RLZ archives behind a socket (repro.serve.RlzServer). "
+            "One PATH serves a single archive; several NAME=PATH pairs serve "
+            "a multi-archive router (clients pick with RlzClient(archive=...) "
+            "or `repro get --archive`).  Clients connect with "
+            "repro.serve.RlzClient or `repro get --connect host:port`.  "
+            "SIGINT/SIGTERM shut down gracefully."
         ),
     )
-    parser.add_argument("archive", help="container file written by repro compress")
+    parser.add_argument(
+        "archive",
+        nargs="+",
+        metavar="PATH|NAME=PATH",
+        help="container file(s) written by repro compress; NAME=PATH pairs "
+        "host multiple named archives behind one port",
+    )
     parser.add_argument("--host", default="127.0.0.1", help="address to bind")
     parser.add_argument(
         "--port", type=int, default=0, help="port to bind (0 = ephemeral, printed)"
@@ -324,7 +354,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-inflight",
         type=int,
         default=64,
-        help="backpressure gate: concurrent requests served across all connections",
+        help="backpressure gate: concurrent requests served per archive",
     )
     parser.add_argument(
         "--max-workers", type=int, default=None, help="decode thread-pool width"
@@ -335,11 +365,20 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         default=5.0,
         help="graceful-shutdown wait for in-flight requests",
     )
+    parser.add_argument(
+        "--default-archive",
+        default=None,
+        help="archive name served to clients that do not pick one "
+        "(multi-archive mode; defaults to the first)",
+    )
     _add_cache_arguments(parser)
     args = parser.parse_args(argv)
 
     from .serve import RlzServer
 
+    single_path, archive_map = _parse_archive_args(parser, args.archive)
+    if archive_map is None and args.default_archive is not None:
+        parser.error("--default-archive only applies to NAME=PATH archive maps")
     config = ArchiveConfig(
         cache=_cache_spec_from_args(args),
         serve=ServeSpec(
@@ -347,18 +386,34 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             port=args.port,
             max_inflight=args.max_inflight,
             drain_seconds=args.drain_seconds,
+            archives=archive_map,
+            default_archive=args.default_archive,
         ),
     )
 
     async def run() -> None:
-        server = RlzServer.open(args.archive, config, max_workers=args.max_workers)
+        if archive_map is not None:
+            server = RlzServer.open_many(
+                archive_map,
+                config,
+                default=args.default_archive,
+                max_workers=args.max_workers,
+            )
+            description = ", ".join(
+                f"{name}={path}" for name, path in archive_map.items()
+            )
+            banner = f"serving {len(archive_map)} archives [{description}]"
+        else:
+            server = RlzServer.open(
+                single_path, config, max_workers=args.max_workers
+            )
+            banner = (
+                f"serving {single_path}"
+                f" ({len(server.front.archive)} documents,"
+                f" max {args.max_inflight} in-flight)"
+            )
         await server.start()
-        print(
-            f"serving {args.archive} on {server.host}:{server.port} "
-            f"({len(server.front.archive)} documents, "
-            f"max {args.max_inflight} in-flight)",
-            flush=True,
-        )
+        print(f"{banner} on {server.host}:{server.port}", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -408,8 +463,17 @@ def get_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--connect",
         default=None,
-        metavar="HOST:PORT",
-        help="fetch from a running repro serve instance instead of a local file",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="fetch from running repro serve instance(s) instead of a local "
+        "file; a comma-separated list fans out through a consistent-hash "
+        "ClusterClient",
+    )
+    parser.add_argument(
+        "--archive",
+        dest="archive_name",
+        default="",
+        metavar="NAME",
+        help="archive name on a multi-archive server (with --connect)",
     )
     parser.add_argument(
         "--raw",
@@ -435,19 +499,29 @@ def get_main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"document IDs must be integers: {exc}")
 
     if args.connect is not None:
-        from .serve import RlzClient
+        from .serve import ClusterClient, RlzClient
 
         if args.cache != "none":
             parser.error(
                 "--cache configures a locally opened archive; the server "
                 "owns the cache tier when using --connect"
             )
-        host, _, port_text = args.connect.rpartition(":")
-        if not host or not port_text.isdigit():
+        endpoints = [text.strip() for text in args.connect.split(",") if text.strip()]
+        for endpoint in endpoints:
+            host, _, port_text = endpoint.rpartition(":")
+            if not host or not port_text.isdigit():
+                parser.error(f"--connect expects HOST:PORT, got {endpoint!r}")
+        if not endpoints:
             parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
-        view = RlzClient(host, int(port_text))
+        if len(endpoints) == 1:
+            host, _, port_text = endpoints[0].rpartition(":")
+            view = RlzClient(host, int(port_text), archive=args.archive_name)
+        else:
+            view = ClusterClient(endpoints, archive=args.archive_name)
         source = args.connect
     else:
+        if args.archive_name:
+            parser.error("--archive only applies with --connect")
         config = ArchiveConfig(cache=_cache_spec_from_args(args))
         try:
             view = RlzArchive.open(args.archive, config)

@@ -56,6 +56,16 @@ class ProtocolError(ReproError):
     """
 
 
+class ServerBusyError(ProtocolError):
+    """Raised when a server kept answering ``R_BUSY`` past the retry budget.
+
+    The endpoint is alive but its ``max_inflight`` gate stayed saturated
+    for every backoff retry.  Unlike its :class:`ProtocolError` parent it
+    does *not* mean the connection is untrustworthy — the cluster layer
+    treats it as "re-route this work to a replica", not as a dead peer.
+    """
+
+
 class CorpusError(ReproError):
     """Raised when a corpus cannot be generated, read, or written."""
 

@@ -1,42 +1,58 @@
-"""Network serving: the archive behind a socket, clients that mirror it.
+"""Network serving: archives behind sockets, clients that mirror them.
 
 The paper's claim is that RLZ makes retrieval from a compressed web
 collection cheap enough to *serve from*; this package makes that serving
-story cross the process boundary:
+story cross the process boundary — and, with the cluster layer, the
+machine boundary:
 
 * :mod:`repro.serve.protocol` — the length-prefixed binary wire protocol:
   framed request/response with opcodes for ``get``/``get_many``/
-  ``iter_documents``/``stats``/``ping``, structured error frames that
-  round-trip every :mod:`repro.errors` class, and protocol version
-  negotiation;
-* :class:`RlzServer` — the asyncio server over
-  :class:`repro.api.AsyncRlzArchive`: per-connection stats, a
-  ``max_inflight`` backpressure gate shared by all connections, and
-  graceful drain-then-cancel shutdown (:class:`BackgroundServer` runs it
-  on a dedicated thread for synchronous callers);
+  ``iter_documents``/``scan``/``stats``/``ping``, structured error frames
+  that round-trip every :mod:`repro.errors` class, and protocol version
+  negotiation.  Version 2 tags every frame with a request id, so replies
+  may arrive out of order — one connection carries a whole pipeline —
+  and the HELLO handshake names the archive to talk to;
+* :class:`RlzRouter` — many named archives (lazily opened, per-archive
+  inflight gates and stats) behind one server;
+* :class:`RlzServer` — the asyncio server: per-connection stats, v2
+  request pipelining with ``R_BUSY`` load shedding, graceful
+  drain-then-cancel shutdown (:class:`BackgroundServer` runs it on a
+  dedicated thread for synchronous callers);
 * :class:`RlzClient` / :class:`AsyncRlzClient` — clients implementing the
   same :class:`repro.api.ArchiveView` surface as a local
-  :class:`repro.api.RlzArchive`, with connection pooling and retry, so
-  everything written against the facade runs unchanged against a remote
-  archive.
+  :class:`repro.api.RlzArchive`, with connection pooling, retry,
+  pipelined windows (:meth:`RlzClient.pipelined_get`), chunked bulk scans
+  and — async, on v2 — full single-connection multiplexing;
+* :class:`ClusterClient` — one ``ArchiveView`` over N endpoints:
+  consistent-hash routing (:class:`ShardMap`), per-endpoint
+  :class:`CircuitBreaker`\\ s, ordered ``get_many`` fan-out/fan-in and
+  failover that keeps results byte-identical when a shard dies.
 
 Configuration lives in :class:`repro.api.ServeSpec` (the ``serve`` section
 of :class:`repro.api.ArchiveConfig`); the CLI front ends are ``repro
-serve`` and ``repro get --connect``.
+serve`` (``name=path`` archives) and ``repro get --connect`` (comma-
+separated endpoints fan out through a :class:`ClusterClient`).
 """
 
 from .client import AsyncRlzClient, RlzClient
-from .protocol import ERROR_CODES, MAGIC, PROTOCOL_VERSION, Opcode
+from .cluster import CircuitBreaker, ClusterClient, ShardMap
+from .protocol import ERROR_CODES, MAGIC, PROTOCOL_V1, PROTOCOL_VERSION, Opcode
+from .router import RlzRouter
 from .server import BackgroundServer, ConnectionStats, RlzServer
 
 __all__ = [
     "AsyncRlzClient",
     "BackgroundServer",
+    "CircuitBreaker",
+    "ClusterClient",
     "ConnectionStats",
     "ERROR_CODES",
     "MAGIC",
     "Opcode",
+    "PROTOCOL_V1",
     "PROTOCOL_VERSION",
     "RlzClient",
+    "RlzRouter",
     "RlzServer",
+    "ShardMap",
 ]

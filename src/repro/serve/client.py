@@ -8,19 +8,38 @@ get`` — runs unchanged whether it holds a local archive or a socket to an
 protocol's structured error frames: a remote miss raises the very same
 :class:`~repro.errors.StorageError` a local miss does.
 
-:class:`AsyncRlzClient` is the coroutine mirror (the
-:class:`repro.api.AsyncArchiveView` shape, matching
-:class:`repro.api.AsyncRlzArchive`).
+Both clients negotiate the protocol version at dial time.  Against a
+version-2 server every request carries a request id, which buys:
+
+* **pipelining** — :meth:`RlzClient.pipelined_get` keeps a window of
+  requests in flight on *one* connection and correlates the replies as
+  they arrive (out of order included), collapsing the per-request
+  round-trip latency that makes a sequential request/response loop slow
+  on a socket;
+* **bulk scans** — :meth:`RlzClient.scan` streams ``R_CHUNK`` batches
+  (many documents per frame, batched container decodes server-side)
+  instead of one ``get`` per document; ``iter_documents`` rides it
+  automatically on v2 connections;
+* **multiplexing** — :class:`AsyncRlzClient` shares one connection among
+  every concurrent coroutine: a background reader resolves each tagged
+  reply to the future that asked for it;
+* **backpressure hints** — an ``R_BUSY`` reply (the server's
+  ``max_inflight`` gate is saturated) is retried with backoff instead of
+  queueing server-side, and surfaces to the cluster layer so it can
+  re-route to a replica.
+
+Against a version-1 server every path falls back to PR 4's strict
+request/response behaviour — the negotiation keeps old servers working.
 
 Both clients maintain a small **connection pool**: requests check a
-connection out, use it for one framed request/response exchange (or one
-``iter_documents`` stream) and return it; concurrent requests above the
-pool's high-water mark dial extra connections that are closed instead of
-pooled on return.  Dialing (and re-dialing after a server restart) retries
-with a delay; because every request opcode is idempotent, a connection
-that dies mid-request is retried on a fresh connection up to ``retries``
-times.  Protocol violations are never retried — the server told us
-something is structurally wrong.
+connection out, use it for one framed exchange (or one stream) and return
+it; concurrent requests above the pool's high-water mark dial extra
+connections that are closed instead of pooled on return.  Dialing (and
+re-dialing after a server restart) retries with a delay; because every
+request opcode is idempotent, a connection that dies mid-request is
+retried on a fresh connection up to ``retries`` times.  Protocol
+violations are never retried — the server told us something is
+structurally wrong.
 """
 
 from __future__ import annotations
@@ -29,13 +48,16 @@ import asyncio
 import socket
 import threading
 import time
+from collections import deque
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ProtocolError, StoreClosedError
+from ..errors import ProtocolError, ServerBusyError, StoreClosedError
 from . import protocol
 from .protocol import Opcode
 
 __all__ = ["AsyncRlzClient", "RlzClient"]
+
+_UNSET = object()
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -53,6 +75,25 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
+class _SyncConnection:
+    """One negotiated socket: transport + version + request-id counter."""
+
+    __slots__ = ("sock", "version", "_next_id")
+
+    def __init__(self, sock: socket.socket, version: int) -> None:
+        self.sock = sock
+        self.version = version
+        self._next_id = 1
+
+    def next_request_id(self) -> int:
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        return request_id
+
+    def close(self) -> None:
+        self.sock.close()
+
+
 class RlzClient:
     """Synchronous network client for :class:`repro.serve.RlzServer`.
 
@@ -60,6 +101,9 @@ class RlzClient:
     ----------
     host, port:
         The server address.
+    archive:
+        Name of the archive to talk to on a multi-archive server (the
+        router); the empty default selects the server's default archive.
     timeout:
         Per-socket-operation timeout in seconds.
     retries:
@@ -67,47 +111,73 @@ class RlzClient:
         request on a fresh connection) before giving up.
     retry_delay:
         Sleep between retries, in seconds (doubles each attempt).
+    busy_retries:
+        How many ``R_BUSY`` backpressure hints one request tolerates
+        (each retried with ``retry_delay`` backoff) before giving up.
     pool_size:
         How many idle connections to keep for reuse.  More may be open
         concurrently; the surplus is closed on return.
+    protocol_version:
+        Highest protocol version to announce (the server negotiates
+        down).  Pass ``1`` to force the legacy request/response protocol.
     """
 
     def __init__(
         self,
         host: str,
         port: int,
+        archive: str = "",
         timeout: float = 30.0,
         retries: int = 3,
         retry_delay: float = 0.05,
+        busy_retries: int = 8,
         pool_size: int = 2,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        protocol_version: int = protocol.PROTOCOL_VERSION,
     ) -> None:
         if retries < 0:
             raise ProtocolError("retries must be non-negative")
+        if busy_retries < 0:
+            raise ProtocolError("busy_retries must be non-negative")
         if pool_size < 1:
             raise ProtocolError("pool_size must be at least 1")
+        if not protocol.PROTOCOL_V1 <= protocol_version <= protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol_version must be in "
+                f"[{protocol.PROTOCOL_V1}, {protocol.PROTOCOL_VERSION}]"
+            )
         self._host = host
         self._port = port
+        self._archive = archive
         self._timeout = timeout
         self._retries = retries
         self._retry_delay = retry_delay
+        self._busy_retries = busy_retries
         self._pool_size = pool_size
         self._max_frame_bytes = max_frame_bytes
-        self._pool: List[socket.socket] = []
+        self._protocol_version = protocol_version
+        self._pool: List[_SyncConnection] = []
         self._pool_lock = threading.Lock()
         self._closed = False
         self._doc_ids: Optional[List[int]] = None
+        self._busy_seen = 0
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
-    def _dial_once(self) -> socket.socket:
+    def _dial_once(self) -> _SyncConnection:
         sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout
         )
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._send(sock, protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+            self._send(
+                sock,
+                protocol.encode_frame(
+                    Opcode.HELLO,
+                    protocol.pack_hello(self._protocol_version, self._archive),
+                ),
+            )
             opcode, payload = self._read_frame(sock)
             if opcode == Opcode.R_ERROR:
                 protocol.raise_error_frame(payload)
@@ -115,13 +185,18 @@ class RlzClient:
                 raise ProtocolError(
                     f"handshake expected R_HELLO, got {protocol.describe_opcode(opcode)}"
                 )
-            protocol.checked_version(protocol.unpack_hello_reply(payload))
-            return sock
+            version = protocol.checked_version(protocol.unpack_hello_reply(payload))
+            if version > self._protocol_version:
+                raise ProtocolError(
+                    f"protocol version mismatch: server selected {version}, "
+                    f"client asked for at most {self._protocol_version}"
+                )
+            return _SyncConnection(sock, version)
         except BaseException:
             sock.close()
             raise
 
-    def _dial(self) -> socket.socket:
+    def _dial(self) -> _SyncConnection:
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
             try:
@@ -133,18 +208,18 @@ class RlzClient:
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _checkout(self) -> socket.socket:
+    def _checkout(self) -> _SyncConnection:
         with self._pool_lock:
             if self._pool:
                 return self._pool.pop()
         return self._dial()
 
-    def _checkin(self, sock: socket.socket) -> None:
+    def _checkin(self, conn: _SyncConnection) -> None:
         with self._pool_lock:
             if not self._closed and len(self._pool) < self._pool_size:
-                self._pool.append(sock)
+                self._pool.append(conn)
                 return
-        sock.close()
+        conn.close()
 
     @staticmethod
     def _send(sock: socket.socket, frame: bytes) -> None:
@@ -155,11 +230,69 @@ class RlzClient:
         length = protocol.frame_length(prefix, self._max_frame_bytes)
         return protocol.split_frame(_recv_exact(sock, length))
 
+    def _read_frame2(self, sock: socket.socket) -> Tuple[int, int, bytes]:
+        prefix = _recv_exact(sock, 4)
+        length = protocol.frame_length(prefix, self._max_frame_bytes)
+        return protocol.split_frame2(_recv_exact(sock, length))
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise StoreClosedError(
                 f"client for {self._host}:{self._port} is closed"
             )
+
+    # ------------------------------------------------------------------
+    # Request/response core
+    # ------------------------------------------------------------------
+    def _exchange(
+        self, conn: _SyncConnection, opcode: int, payload: bytes, expect: int
+    ) -> bytes:
+        """One exchange on an already-negotiated connection.
+
+        Raises the transported error for ``R_ERROR`` replies; retries
+        ``R_BUSY`` with backoff.  Connection-level failures propagate for
+        the caller's retry loop.
+        """
+        if conn.version < 2:
+            self._send(conn.sock, protocol.encode_frame(opcode, payload))
+            reply, body = self._read_frame(conn.sock)
+            return self._check_reply(reply, body, expect)
+        delay = self._retry_delay
+        for busy in range(self._busy_retries + 1):
+            request_id = conn.next_request_id()
+            self._send(conn.sock, protocol.encode_frame2(opcode, request_id, payload))
+            reply, reply_id, body = self._read_frame2(conn.sock)
+            if reply == Opcode.R_ERROR and reply_id == 0:
+                # Request id 0 is reserved: a connection-level error (the
+                # server could not attribute it to any single request).
+                protocol.raise_error_frame(body)
+            if reply_id != request_id:
+                raise ProtocolError(
+                    f"response correlation broke: sent request {request_id}, "
+                    f"got a reply for {reply_id}"
+                )
+            if reply == Opcode.R_BUSY:
+                self._busy_seen += 1
+                if busy == self._busy_retries:
+                    raise ServerBusyError(
+                        f"server still busy after {self._busy_retries} retries"
+                    )
+                time.sleep(delay)
+                delay *= 2
+                continue
+            return self._check_reply(reply, body, expect)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _check_reply(reply: int, body: bytes, expect: int) -> bytes:
+        if reply == Opcode.R_ERROR:
+            protocol.raise_error_frame(body)
+        if reply != expect:
+            raise ProtocolError(
+                f"expected {protocol.describe_opcode(expect)}, "
+                f"got {protocol.describe_opcode(reply)}"
+            )
+        return body
 
     def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
         """One request/response exchange, retried on connection failure.
@@ -172,40 +305,148 @@ class RlzClient:
         self._ensure_open()
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
-            sock = self._checkout()
+            conn = self._checkout()
             try:
-                self._send(sock, protocol.encode_frame(opcode, payload))
-                reply, body = self._read_frame(sock)
+                body = self._exchange(conn, opcode, payload, expect)
             except (ConnectionError, socket.timeout, OSError):
-                sock.close()
+                conn.close()
                 if attempt == self._retries:
                     raise
                 time.sleep(delay)
                 delay *= 2
                 continue
-            except BaseException:
-                sock.close()
+            except ProtocolError:
+                # The server closes the connection after a protocol
+                # violation (and a violated expectation means the framing
+                # is off); pooling it would poison a later request.
+                conn.close()
                 raise
-            if reply == Opcode.R_ERROR:
-                try:
-                    protocol.raise_error_frame(body)
-                except ProtocolError:
-                    # The server closes the connection after a protocol
-                    # violation; pooling it would poison a later request.
-                    sock.close()
-                    raise
-                except BaseException:
-                    self._checkin(sock)  # archive errors leave framing intact
-                    raise
-            if reply != expect:
-                sock.close()
-                raise ProtocolError(
-                    f"expected {protocol.describe_opcode(expect)}, "
-                    f"got {protocol.describe_opcode(reply)}"
-                )
-            self._checkin(sock)
+            except BaseException:
+                # Archive errors leave the framing intact: reusable.
+                self._checkin(conn)
+                raise
+            self._checkin(conn)
             return body
         raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Pipelining
+    # ------------------------------------------------------------------
+    def pipelined_get(self, doc_ids: Sequence[int], window: int = 32) -> List[bytes]:
+        """Batch retrieval over *one* connection with requests in flight.
+
+        Keeps up to ``window`` GET requests outstanding and correlates
+        replies by request id as they arrive — out of order included — so
+        the cost per document approaches server work instead of one full
+        round-trip each, which is what makes a single socket competitive
+        with local access.  Falls back to a sequential loop when the
+        server only speaks protocol version 1.  Returns documents in
+        request order (duplicates preserved); a connection that dies
+        mid-pipeline is retried on a fresh one for the still-unanswered
+        documents only.
+        """
+        if window < 1:
+            raise ProtocolError("window must be at least 1")
+        self._ensure_open()
+        doc_ids = list(doc_ids)
+        results: List = [_UNSET] * len(doc_ids)
+        if not doc_ids:
+            return []
+        delay = self._retry_delay
+        for attempt in range(self._retries + 1):
+            conn = self._checkout()
+            if conn.version < 2:
+                return self._sequential_get(conn, doc_ids, results)
+            try:
+                self._pipeline_on(conn, doc_ids, results, window)
+            except (ConnectionError, socket.timeout, OSError):
+                conn.close()
+                if attempt == self._retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+                continue
+            except ProtocolError:
+                conn.close()
+                raise
+            except BaseException:
+                # An archive error mid-pipeline may leave replies for the
+                # other in-flight requests unread: the connection cannot
+                # be pooled.
+                conn.close()
+                raise
+            self._checkin(conn)
+            return results
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _sequential_get(
+        self, conn: _SyncConnection, doc_ids: Sequence[int], results: List
+    ) -> List[bytes]:
+        """The v1 fallback: request/response per still-missing document."""
+        try:
+            self._checkin(conn)  # _request manages its own connections
+        except BaseException:
+            conn.close()
+            raise
+        for index, doc_id in enumerate(doc_ids):
+            if results[index] is _UNSET:
+                results[index] = self.get(doc_id)
+        return results
+
+    def _pipeline_on(
+        self,
+        conn: _SyncConnection,
+        doc_ids: Sequence[int],
+        results: List,
+        window: int,
+    ) -> None:
+        """Run the pipelined window on one v2 connection, filling ``results``.
+
+        On connection failure, everything already in ``results`` stays —
+        the retry resends only the unanswered documents.
+        """
+        to_send = deque(
+            index for index, slot in enumerate(results) if slot is _UNSET
+        )
+        pending: Dict[int, int] = {}
+        busy_budget = self._busy_retries * max(1, len(to_send))
+        while to_send or pending:
+            while to_send and len(pending) < window:
+                index = to_send.popleft()
+                request_id = conn.next_request_id()
+                pending[request_id] = index
+                self._send(
+                    conn.sock,
+                    protocol.encode_frame2(
+                        Opcode.GET, request_id, protocol.pack_doc_id(doc_ids[index])
+                    ),
+                )
+            reply, reply_id, body = self._read_frame2(conn.sock)
+            if reply == Opcode.R_ERROR and reply_id == 0:
+                protocol.raise_error_frame(body)  # connection-level error
+            index = pending.pop(reply_id, None)
+            if index is None:
+                raise ProtocolError(
+                    f"response correlation broke: got a reply for unknown "
+                    f"request {reply_id}"
+                )
+            if reply == Opcode.R_DOC:
+                results[index] = body
+            elif reply == Opcode.R_BUSY:
+                self._busy_seen += 1
+                busy_budget -= 1
+                if busy_budget < 0:
+                    raise ServerBusyError(
+                        "server still busy after the pipelined retry budget"
+                    )
+                time.sleep(self._retry_delay)
+                to_send.append(index)
+            elif reply == Opcode.R_ERROR:
+                protocol.raise_error_frame(body)
+            else:
+                raise ProtocolError(
+                    f"expected r_doc, got {protocol.describe_opcode(reply)}"
+                )
 
     # ------------------------------------------------------------------
     # ArchiveView
@@ -227,15 +468,115 @@ class RlzClient:
             )
         return documents
 
-    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
-        """Stream every document; one connection is held for the scan."""
+    def scan(
+        self,
+        doc_ids: Optional[Sequence[int]] = None,
+        chunk_docs: int = 0,
+    ) -> Iterator[Tuple[int, bytes]]:
+        """Bulk scan: stream ``(doc_id, content)`` in chunked frames.
+
+        ``doc_ids=None`` scans the whole archive in store order; an
+        explicit list scans that subset in the given order.  The server
+        decodes ``chunk_docs`` documents per batched container read
+        (0 = server default) and ships each batch as one frame, so a full
+        export costs a handful of round trips instead of one per document.
+        Falls back to per-document ``get``\\ s against v1 servers.
+        """
         self._ensure_open()
-        sock = self._checkout()
+        requested = list(doc_ids) if doc_ids is not None else None
+        conn = self._checkout()
+        if conn.version < 2:
+            self._checkin(conn)
+            ids = requested if requested is not None else self.doc_ids()
+            for doc_id in ids:
+                yield doc_id, self.get(doc_id)
+            return
+        yield from self._scan_stream(conn, requested, chunk_docs)
+
+    def _scan_stream(
+        self,
+        conn: _SyncConnection,
+        doc_ids: Optional[List[int]],
+        chunk_docs: int,
+    ) -> Iterator[Tuple[int, bytes]]:
+        clean = False
+        started = False
+        try:
+            delay = self._retry_delay
+            for busy in range(self._busy_retries + 1):
+                request_id = conn.next_request_id()
+                self._send(
+                    conn.sock,
+                    protocol.encode_frame2(
+                        Opcode.SCAN,
+                        request_id,
+                        protocol.pack_scan(chunk_docs, doc_ids),
+                    ),
+                )
+                reply, reply_id, body = self._read_frame2(conn.sock)
+                if reply == Opcode.R_ERROR and reply_id == 0:
+                    protocol.raise_error_frame(body)  # connection-level error
+                if reply_id != request_id:
+                    raise ProtocolError(
+                        f"response correlation broke: sent request {request_id}, "
+                        f"got a reply for {reply_id}"
+                    )
+                if reply == Opcode.R_BUSY and not started:
+                    self._busy_seen += 1
+                    if busy == self._busy_retries:
+                        raise ServerBusyError(
+                            f"server still busy after {self._busy_retries} retries"
+                        )
+                    time.sleep(delay)
+                    delay *= 2
+                    continue
+                while True:
+                    if reply == Opcode.R_END:
+                        clean = True
+                        return
+                    if reply == Opcode.R_ERROR:
+                        protocol.raise_error_frame(body)
+                    if reply != Opcode.R_CHUNK:
+                        raise ProtocolError(
+                            f"scan expected R_CHUNK/R_END, got "
+                            f"{protocol.describe_opcode(reply)}"
+                        )
+                    started = True
+                    for item in protocol.unpack_chunk(body):
+                        yield item
+                    reply, reply_id, body = self._read_frame2(conn.sock)
+                    if reply == Opcode.R_ERROR and reply_id == 0:
+                        protocol.raise_error_frame(body)  # connection-level
+                    if reply_id != request_id:
+                        raise ProtocolError(
+                            f"response correlation broke mid-scan: expected "
+                            f"{request_id}, got {reply_id}"
+                        )
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            # An abandoned or failed stream leaves frames in flight: the
+            # connection cannot be pooled.
+            if clean:
+                self._checkin(conn)
+            else:
+                conn.close()
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Stream every document; one connection is held for the scan.
+
+        Rides the chunked SCAN opcode on protocol-v2 connections and the
+        legacy one-frame-per-document ITER stream on v1.
+        """
+        self._ensure_open()
+        conn = self._checkout()
+        if conn.version >= 2:
+            yield from self._scan_stream(conn, None, 0)
+            return
         clean = False
         try:
-            self._send(sock, protocol.encode_frame(Opcode.ITER))
+            self._send(conn.sock, protocol.encode_frame(Opcode.ITER))
             while True:
-                opcode, payload = self._read_frame(sock)
+                opcode, payload = self._read_frame(conn.sock)
                 if opcode == Opcode.R_END:
                     clean = True
                     return
@@ -254,12 +595,10 @@ class RlzClient:
                     )
                 yield protocol.unpack_item(payload)
         finally:
-            # An abandoned or failed stream leaves frames in flight: the
-            # connection cannot be pooled.
             if clean:
-                self._checkin(sock)
+                self._checkin(conn)
             else:
-                sock.close()
+                conn.close()
 
     def doc_ids(self) -> List[int]:
         """All stored document IDs (cached: archives are immutable)."""
@@ -294,13 +633,23 @@ class RlzClient:
     def address(self) -> Tuple[str, int]:
         return self._host, self._port
 
+    @property
+    def archive_name(self) -> str:
+        """The archive this client asks the server's router for."""
+        return self._archive
+
+    @property
+    def busy_hints(self) -> int:
+        """How many R_BUSY backpressure hints this client has absorbed."""
+        return self._busy_seen
+
     def close(self) -> None:
         """Close every pooled connection (idempotent)."""
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, []
-        for sock in pool:
-            sock.close()
+        for conn in pool:
+            conn.close()
 
     def __enter__(self) -> "RlzClient":
         return self
@@ -309,43 +658,115 @@ class RlzClient:
         self.close()
 
 
+class _AsyncConnection:
+    """One negotiated asyncio connection, optionally multiplexed.
+
+    On protocol v2 a background reader resolves every tagged reply to the
+    future registered for its request id, so any number of coroutines
+    share this one transport.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        version: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.version = version
+        self.futures: Dict[int, "asyncio.Future[Tuple[int, bytes]]"] = {}
+        self.reader_task: Optional[asyncio.Task] = None
+        self.dead = False
+        self._next_id = 1
+
+    def next_request_id(self) -> int:
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        return request_id
+
+    def kill(self, exc: Optional[BaseException] = None) -> None:
+        """Mark dead, fail every waiter, close the transport."""
+        if self.dead:
+            return
+        self.dead = True
+        error = exc or ConnectionError("connection lost")
+        for future in self.futures.values():
+            if not future.done():
+                future.set_exception(error)
+        self.futures.clear()
+        if self.reader_task is not None and not self.reader_task.done():
+            current = None
+            try:
+                current = asyncio.current_task()
+            except RuntimeError:  # pragma: no cover - no running loop
+                pass
+            if self.reader_task is not current:
+                self.reader_task.cancel()
+        self.writer.close()
+
+
 class AsyncRlzClient:
     """Asyncio client: the coroutine mirror of :class:`RlzClient`.
 
     Matches :class:`repro.api.AsyncRlzArchive`'s surface (``await get`` /
     ``get_many`` / ``gather``, plus ``stats``/``ping``/``doc_ids``), so an
-    async serving stack can swap a local front for a remote one.  The
-    connection pool and retry rules are the same as the sync client's.
+    async serving stack can swap a local front for a remote one.
+
+    Against a protocol-v2 server every concurrent coroutine multiplexes
+    over **one** connection: requests are tagged with ids, a background
+    reader dispatches the (possibly out-of-order) replies, and ``R_BUSY``
+    hints are retried with backoff.  Against a v1 server the PR-4
+    connection pool and strict request/response exchange are used
+    unchanged.
     """
 
     def __init__(
         self,
         host: str,
         port: int,
+        archive: str = "",
         timeout: float = 30.0,
         retries: int = 3,
         retry_delay: float = 0.05,
+        busy_retries: int = 8,
         pool_size: int = 2,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        protocol_version: int = protocol.PROTOCOL_VERSION,
     ) -> None:
         if retries < 0:
             raise ProtocolError("retries must be non-negative")
+        if busy_retries < 0:
+            raise ProtocolError("busy_retries must be non-negative")
         if pool_size < 1:
             raise ProtocolError("pool_size must be at least 1")
+        if not protocol.PROTOCOL_V1 <= protocol_version <= protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol_version must be in "
+                f"[{protocol.PROTOCOL_V1}, {protocol.PROTOCOL_VERSION}]"
+            )
         self._host = host
         self._port = port
+        self._archive = archive
         self._timeout = timeout
         self._retries = retries
         self._retry_delay = retry_delay
+        self._busy_retries = busy_retries
         self._pool_size = pool_size
         self._max_frame_bytes = max_frame_bytes
-        self._pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._protocol_version = protocol_version
+        self._pool: List[_AsyncConnection] = []
+        self._mux: Optional[_AsyncConnection] = None
         # Created lazily inside a coroutine: asyncio primitives must bind
         # the running loop (pre-3.10 they grab get_event_loop() eagerly,
         # which breaks clients constructed outside asyncio.run()).
         self._pool_guard: Optional[asyncio.Lock] = None
         self._closed = False
         self._doc_ids: Optional[List[int]] = None
+        self._busy_seen = 0
+        #: Learned at the first successful dial; routes later requests to
+        #: the mux (v2) or the pool (v1) without re-negotiating.
+        self._server_version: Optional[int] = None
 
     @property
     def _pool_lock(self) -> asyncio.Lock:
@@ -356,12 +777,17 @@ class AsyncRlzClient:
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
-    async def _dial_once(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    async def _dial_once(self) -> _AsyncConnection:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self._host, self._port), self._timeout
         )
         try:
-            writer.write(protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+            writer.write(
+                protocol.encode_frame(
+                    Opcode.HELLO,
+                    protocol.pack_hello(self._protocol_version, self._archive),
+                )
+            )
             await writer.drain()
             opcode, payload = await self._read_frame(reader)
             if opcode == Opcode.R_ERROR:
@@ -370,13 +796,68 @@ class AsyncRlzClient:
                 raise ProtocolError(
                     f"handshake expected R_HELLO, got {protocol.describe_opcode(opcode)}"
                 )
-            protocol.checked_version(protocol.unpack_hello_reply(payload))
-            return reader, writer
+            version = protocol.checked_version(protocol.unpack_hello_reply(payload))
+            if version > self._protocol_version:
+                raise ProtocolError(
+                    f"protocol version mismatch: server selected {version}, "
+                    f"client asked for at most {self._protocol_version}"
+                )
+            return _AsyncConnection(reader, writer, version)
         except BaseException:
             writer.close()
             raise
 
-    async def _dial(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    async def _mux_connection(self) -> _AsyncConnection:
+        """The shared multiplexed connection (dial or revive as needed)."""
+        async with self._pool_lock:
+            if self._closed:
+                raise StoreClosedError(
+                    f"client for {self._host}:{self._port} is closed"
+                )
+            if self._mux is not None and not self._mux.dead:
+                return self._mux
+            conn = await self._dial_once()
+            self._server_version = conn.version
+            if conn.version >= 2:
+                conn.reader_task = asyncio.ensure_future(self._mux_reader(conn))
+                self._mux = conn
+            return conn
+
+    async def _mux_reader(self, conn: _AsyncConnection) -> None:
+        """Dispatch tagged replies to their futures until the peer goes."""
+        try:
+            while True:
+                prefix = await conn.reader.readexactly(4)
+                length = protocol.frame_length(prefix, self._max_frame_bytes)
+                body = await conn.reader.readexactly(length)
+                opcode, request_id, payload = protocol.split_frame2(body)
+                if opcode == Opcode.R_ERROR and request_id == 0:
+                    # Connection-level error: fail every in-flight request
+                    # with the server's actual complaint.
+                    try:
+                        protocol.raise_error_frame(payload)
+                    except BaseException as exc:
+                        conn.kill(exc)
+                    return
+                future = conn.futures.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result((opcode, payload))
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            conn.kill(exc)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            conn.kill(ConnectionError(f"connection lost: {exc}"))
+        except Exception as exc:  # pragma: no cover - defensive
+            conn.kill(ConnectionError(f"reader failed: {exc}"))
+
+    async def _checkout(self) -> _AsyncConnection:
+        async with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return await self._dial()
+
+    async def _dial(self) -> _AsyncConnection:
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
             try:
@@ -388,20 +869,12 @@ class AsyncRlzClient:
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
-    async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        async with self._pool_lock:
-            if self._pool:
-                return self._pool.pop()
-        return await self._dial()
-
-    async def _checkin(
-        self, conn: Tuple[asyncio.StreamReader, asyncio.StreamWriter]
-    ) -> None:
+    async def _checkin(self, conn: _AsyncConnection) -> None:
         async with self._pool_lock:
             if not self._closed and len(self._pool) < self._pool_size:
                 self._pool.append(conn)
                 return
-        conn[1].close()
+        conn.writer.close()
 
     async def _read_frame(self, reader: asyncio.StreamReader) -> Tuple[int, bytes]:
         try:
@@ -418,43 +891,118 @@ class AsyncRlzClient:
                 f"client for {self._host}:{self._port} is closed"
             )
 
+    # ------------------------------------------------------------------
+    # Request/response core
+    # ------------------------------------------------------------------
     async def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
         self._ensure_open()
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
-            reader, writer = await self._checkout()
             try:
-                writer.write(protocol.encode_frame(opcode, payload))
-                await writer.drain()
-                reply, body = await self._read_frame(reader)
+                if self._server_version == protocol.PROTOCOL_V1:
+                    conn = await self._checkout()
+                    if conn.version >= 2:
+                        # The server was replaced by a v2 one mid-life:
+                        # this conn has no mux reader, so re-route through
+                        # the mux path on the next attempt.
+                        conn.writer.close()
+                        self._server_version = None
+                        continue
+                else:
+                    conn = await self._mux_connection()
             except (ConnectionError, asyncio.TimeoutError, OSError):
-                writer.close()
                 if attempt == self._retries:
                     raise
                 await asyncio.sleep(delay)
                 delay *= 2
                 continue
-            except BaseException:
-                writer.close()
-                raise
-            if reply == Opcode.R_ERROR:
+            if conn.version >= 2:
                 try:
-                    protocol.raise_error_frame(body)
-                except ProtocolError:
-                    writer.close()  # server closed its side: do not pool
+                    reply, body = await self._mux_exchange(conn, opcode, payload)
+                except (ConnectionError, asyncio.TimeoutError, OSError):
+                    conn.kill()
+                    if attempt == self._retries:
+                        raise
+                    await asyncio.sleep(delay)
+                    delay *= 2
+                    continue
+                return self._check_reply(reply, body, expect)
+            # v1 server: the mux dial handed back a plain connection; run
+            # the legacy exclusive request/response exchange on it.
+            try:
+                body = await self._v1_exchange(conn, opcode, payload, expect)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                conn.writer.close()
+                if attempt == self._retries:
                     raise
-                except BaseException:
-                    await self._checkin((reader, writer))
-                    raise
-            if reply != expect:
-                writer.close()
-                raise ProtocolError(
-                    f"expected {protocol.describe_opcode(expect)}, "
-                    f"got {protocol.describe_opcode(reply)}"
-                )
-            await self._checkin((reader, writer))
+                await asyncio.sleep(delay)
+                delay *= 2
+                continue
             return body
         raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _mux_exchange(
+        self, conn: _AsyncConnection, opcode: int, payload: bytes
+    ) -> Tuple[int, bytes]:
+        """One tagged exchange over the shared connection, R_BUSY retried."""
+        loop = asyncio.get_running_loop()
+        delay = self._retry_delay
+        for busy in range(self._busy_retries + 1):
+            request_id = conn.next_request_id()
+            future: "asyncio.Future[Tuple[int, bytes]]" = loop.create_future()
+            conn.futures[request_id] = future
+            try:
+                conn.writer.write(protocol.encode_frame2(opcode, request_id, payload))
+                await conn.writer.drain()
+                reply, body = await asyncio.wait_for(future, self._timeout)
+            finally:
+                conn.futures.pop(request_id, None)
+            if reply == Opcode.R_BUSY:
+                self._busy_seen += 1
+                if busy == self._busy_retries:
+                    raise ServerBusyError(
+                        f"server still busy after {self._busy_retries} retries"
+                    )
+                await asyncio.sleep(delay)
+                delay *= 2
+                continue
+            return reply, body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _v1_exchange(
+        self, conn: _AsyncConnection, opcode: int, payload: bytes, expect: int
+    ) -> bytes:
+        conn.writer.write(protocol.encode_frame(opcode, payload))
+        await conn.writer.drain()
+        reply, body = await self._read_frame(conn.reader)
+        if reply == Opcode.R_ERROR:
+            try:
+                protocol.raise_error_frame(body)
+            except ProtocolError:
+                conn.writer.close()  # server closed its side: do not pool
+                raise
+            except BaseException:
+                await self._checkin(conn)
+                raise
+        if reply != expect:
+            conn.writer.close()
+            raise ProtocolError(
+                f"expected {protocol.describe_opcode(expect)}, "
+                f"got {protocol.describe_opcode(reply)}"
+            )
+        await self._checkin(conn)
+        return body
+
+    @staticmethod
+    def _check_reply(reply: int, body: bytes, expect: int) -> bytes:
+        if reply == Opcode.R_ERROR:
+            protocol.raise_error_frame(body)
+        if reply != expect:
+            raise ProtocolError(
+                f"expected {protocol.describe_opcode(expect)}, "
+                f"got {protocol.describe_opcode(reply)}"
+            )
+        return body
 
     # ------------------------------------------------------------------
     # AsyncArchiveView
@@ -477,7 +1025,12 @@ class AsyncRlzClient:
         return documents
 
     async def gather(self, doc_ids: Sequence[int]) -> List[bytes]:
-        """Fan per-document requests out concurrently (pool + extra dials)."""
+        """Fan per-document requests out concurrently.
+
+        On protocol v2 every request multiplexes over the one shared
+        connection (tagged ids, out-of-order replies); on v1 concurrency
+        comes from the connection pool plus extra dials.
+        """
         return list(await asyncio.gather(*(self.get(doc_id) for doc_id in doc_ids)))
 
     async def doc_ids(self) -> List[int]:
@@ -507,14 +1060,31 @@ class AsyncRlzClient:
     def address(self) -> Tuple[str, int]:
         return self._host, self._port
 
+    @property
+    def archive_name(self) -> str:
+        """The archive this client asks the server's router for."""
+        return self._archive
+
+    @property
+    def busy_hints(self) -> int:
+        """How many R_BUSY backpressure hints this client has absorbed."""
+        return self._busy_seen
+
     async def close(self) -> None:
         async with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, []
-        for _, writer in pool:
-            writer.close()
+            mux, self._mux = self._mux, None
+        if mux is not None:
+            mux.kill(StoreClosedError("client closed"))
             try:
-                await writer.wait_closed()
+                await mux.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        for conn in pool:
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 

@@ -1,0 +1,629 @@
+"""Consistent-hash client fan-out: one :class:`ArchiveView` over N servers.
+
+The north star is heavy traffic from millions of users, which means many
+servers.  :class:`ClusterClient` makes a fleet of
+:class:`~repro.serve.RlzServer` endpoints look like one archive:
+
+* a :class:`ShardMap` — a consistent-hash ring built with the same
+  Fibonacci-hash multiplier as :class:`repro.storage.SharedMemoryCache`
+  and :class:`repro.suffix.CompactJumpIndex` — assigns every doc id a
+  stable *preference order* over the endpoints.  Each endpoint owns the
+  arc behind its virtual points, so adding or removing one endpoint only
+  remaps the documents it owned (the classic consistent-hashing
+  guarantee), which keeps per-server decode caches hot across fleet
+  changes;
+* every endpoint is assumed to be able to serve every document (replicas
+  of one archive, the deployment the benchmarks and CI run): the shard
+  map spreads load and concentrates each document's cache hits on its
+  primary, and the remaining ring order is the **failover path**;
+* a per-endpoint :class:`CircuitBreaker` trips after consecutive
+  connection failures and re-routes around the dead endpoint for a
+  cooldown, so a dead shard costs one failed dial per cooldown instead
+  of hammering retries on every request;
+* ``get_many`` fans out one *pipelined* batch per endpoint (concurrent
+  threads), fans the replies back in, and preserves input order exactly —
+  duplicates included; documents of a shard that dies mid-batch are
+  re-routed to the next endpoint on their ring order and the result is
+  byte-identical to a single-archive read;
+* ``iter_documents`` scans every shard with the chunked ``SCAN`` opcode
+  (each endpoint streams only the documents it owns, in store order) and
+  merges the streams back into exact store order.
+
+The client implements :class:`repro.api.ArchiveView`, so everything
+written against the facade — ``repro get``, the conformance battery, the
+benchmarks — runs unchanged over a whole fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServerBusyError,
+    StoreClosedError,
+)
+from .client import RlzClient
+
+__all__ = ["CircuitBreaker", "ClusterClient", "ShardMap"]
+
+#: Fibonacci-hashing multiplier (odd, ~2**64 / golden ratio) — the same
+#: constant the shared cache and the compact jump index use.
+_FIB_MULTIPLIER = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+#: Odd mixing constant for virtual-node indices (a second multiplier so a
+#: vnode's points do not collide with doc-id hashes).
+_VNODE_MIX = 0xA24BAED4963EE407
+
+
+def _fib32(value: int) -> int:
+    """The high 32 bits of the 64-bit Fibonacci hash of ``value``."""
+    return ((value * _FIB_MULTIPLIER) & _MASK_64) >> 32
+
+
+def _endpoint_seed(endpoint: str) -> int:
+    """A stable 64-bit seed for an endpoint label (no PYTHONHASHSEED)."""
+    seed = 0xCBF29CE484222325  # FNV-1a offset basis
+    for byte in endpoint.encode("utf-8"):
+        seed = ((seed ^ byte) * 0x100000001B3) & _MASK_64
+    return seed
+
+
+class ShardMap:
+    """A consistent-hash ring from doc ids to endpoint preference orders.
+
+    Every endpoint contributes ``virtual_nodes`` points on a 32-bit ring;
+    a doc id hashes (Fibonacci) to a ring position and its *primary* is
+    the endpoint owning the next point clockwise.  Walking further
+    clockwise yields the failover order.  Ring points depend only on the
+    endpoint *labels*, so two clients built from the same endpoint list —
+    in any order — route identically, and removing an endpoint only
+    remaps the documents it owned.
+    """
+
+    def __init__(self, endpoints: Sequence[str], virtual_nodes: int = 64) -> None:
+        labels = [str(endpoint) for endpoint in endpoints]
+        if not labels:
+            raise ConfigurationError("ShardMap needs at least one endpoint")
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate endpoints: {labels}")
+        if virtual_nodes <= 0:
+            raise ConfigurationError("virtual_nodes must be positive")
+        self._endpoints = labels
+        self._virtual_nodes = virtual_nodes
+        points: List[Tuple[int, int]] = []
+        for index, label in enumerate(labels):
+            seed = _endpoint_seed(label)
+            for vnode in range(virtual_nodes):
+                mixed = (seed ^ ((vnode * _VNODE_MIX) & _MASK_64)) & _MASK_64
+                points.append((_fib32(mixed), index))
+        # Ties (astronomically unlikely) resolve by endpoint index so the
+        # ring is deterministic regardless of construction order.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @property
+    def endpoints(self) -> List[str]:
+        return list(self._endpoints)
+
+    @property
+    def virtual_nodes(self) -> int:
+        return self._virtual_nodes
+
+    def route(self, doc_id: int) -> List[str]:
+        """Every endpoint in preference order for ``doc_id`` (primary first)."""
+        start = bisect_left(self._points, _fib32(doc_id)) % len(self._points)
+        seen: List[str] = []
+        seen_indices = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen_indices:
+                seen_indices.add(owner)
+                seen.append(self._endpoints[owner])
+                if len(seen) == len(self._endpoints):
+                    break
+        return seen
+
+    def primary(self, doc_id: int) -> str:
+        """The endpoint that owns ``doc_id``."""
+        start = bisect_left(self._points, _fib32(doc_id)) % len(self._points)
+        return self._endpoints[self._owners[start]]
+
+    def assignments(self, doc_ids: Sequence[int]) -> Dict[str, List[int]]:
+        """Doc ids grouped by primary endpoint (order preserved per group)."""
+        groups: Dict[str, List[int]] = {}
+        for doc_id in doc_ids:
+            groups.setdefault(self.primary(doc_id), []).append(doc_id)
+        return groups
+
+
+class CircuitBreaker:
+    """Consecutive-failure trip with cooldown (per endpoint).
+
+    Closed: requests flow and failures count.  After ``threshold``
+    consecutive failures the breaker *opens*: :meth:`allow` answers False
+    until ``cooldown`` seconds pass, at which point trial requests are
+    let through (half-open); a success closes the breaker, a failure
+    re-opens it for another cooldown.  :meth:`allow` is a pure query — it
+    never changes state, so routing layers may call it freely to *order*
+    candidates without burning the half-open trial (only
+    ``record_success``/``record_failure`` move the state).  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be at least 1")
+        if cooldown < 0:
+            raise ConfigurationError("breaker cooldown must be non-negative")
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._clock() - self._opened_at >= self._cooldown:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        """Whether a request may go to this endpoint right now (pure query)."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            return self._clock() - self._opened_at >= self._cooldown
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self._threshold:
+                if self._opened_at is None:
+                    self.trips += 1
+                self._opened_at = self._clock()
+
+
+#: Connection-level failures that trigger failover (archive-level errors —
+#: a missing document, say — are answers, not failures).
+_FAILOVER_ERRORS = (ConnectionError, TimeoutError, OSError)
+
+
+class ClusterClient:
+    """One :class:`~repro.api.ArchiveView` over N server endpoints.
+
+    Parameters
+    ----------
+    endpoints:
+        ``host:port`` strings (or ``(host, port)`` tuples) of the servers.
+        Every endpoint must be able to serve every document (replicas).
+    archive:
+        Archive name passed in each HELLO (multi-archive routers).
+    virtual_nodes:
+        Consistent-hash points per endpoint (see :class:`ShardMap`).
+    breaker_threshold, breaker_cooldown:
+        Per-endpoint :class:`CircuitBreaker` tuning.
+    pipeline_window:
+        In-flight request window per endpoint for ``get_many`` /
+        ``pipelined_get`` fan-out.
+    client_options:
+        Extra keyword arguments for every underlying :class:`RlzClient`
+        (``timeout``, ``retries``, ``protocol_version``, ...).
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Union[str, Tuple[str, int]]],
+        archive: str = "",
+        virtual_nodes: int = 64,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        pipeline_window: int = 32,
+        **client_options,
+    ) -> None:
+        labels = [self._normalize(endpoint) for endpoint in endpoints]
+        self._shard_map = ShardMap(labels, virtual_nodes=virtual_nodes)
+        self._archive = archive
+        self._pipeline_window = pipeline_window
+        self._clients: Dict[str, RlzClient] = {}
+        for label in labels:
+            host, _, port_text = label.rpartition(":")
+            self._clients[label] = RlzClient(
+                host, int(port_text), archive=archive, **client_options
+            )
+        self._breakers: Dict[str, CircuitBreaker] = {
+            label: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for label in labels
+        }
+        self._closed = False
+        self._doc_ids: Optional[List[int]] = None
+        self._failovers = 0
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _normalize(endpoint: Union[str, Tuple[str, int]]) -> str:
+        if isinstance(endpoint, tuple):
+            host, port = endpoint
+            return f"{host}:{int(port)}"
+        endpoint = str(endpoint).strip()
+        host, _, port_text = endpoint.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ConfigurationError(
+                f"endpoint must be host:port, got {endpoint!r}"
+            )
+        return endpoint
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._shard_map
+
+    @property
+    def endpoints(self) -> List[str]:
+        return self._shard_map.endpoints
+
+    @property
+    def archive_name(self) -> str:
+        return self._archive
+
+    @property
+    def failovers(self) -> int:
+        """How many times a request was re-routed off its primary."""
+        return self._failovers
+
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``endpoint``."""
+        return self._breakers[endpoint]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("cluster client is closed")
+
+    def _candidates(self, doc_id: int) -> List[str]:
+        """The ring order for ``doc_id`` with tripped endpoints demoted.
+
+        Endpoints whose breaker is open go to the back rather than being
+        dropped: if *every* breaker is open the request still tries them
+        (an all-open cluster should fail with the real connection error,
+        not an artificial one).
+        """
+        route = self._shard_map.route(doc_id)
+        allowed = [label for label in route if self._breakers[label].allow()]
+        blocked = [label for label in route if label not in allowed]
+        return allowed + blocked
+
+    def _with_failover(self, doc_id: int, call: Callable[[RlzClient], object]):
+        """Run ``call`` against the ring order, recording breaker outcomes.
+
+        Connection-level failures trip the breaker; a sustained ``R_BUSY``
+        (:class:`~repro.errors.ServerBusyError`) re-routes *without*
+        tripping it — the endpoint is alive, just saturated, and should
+        come straight back into rotation.
+        """
+        self._ensure_open()
+        last_error: Optional[BaseException] = None
+        candidates = self._candidates(doc_id)
+        for position, label in enumerate(candidates):
+            breaker = self._breakers[label]
+            try:
+                result = call(self._clients[label])
+            except ServerBusyError as exc:
+                last_error = exc
+                continue
+            except _FAILOVER_ERRORS as exc:
+                breaker.record_failure()
+                last_error = exc
+                continue
+            breaker.record_success()
+            if position:
+                with self._lock:
+                    self._failovers += 1
+            return result
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # ArchiveView
+    # ------------------------------------------------------------------
+    def get(self, doc_id: int) -> bytes:
+        """One document from its primary shard (failover down the ring)."""
+        return self._with_failover(doc_id, lambda client: client.get(doc_id))
+
+    def get_many(
+        self, doc_ids: Sequence[int], window: Optional[int] = None
+    ) -> List[bytes]:
+        """Fan out by shard, fan in preserving input order exactly.
+
+        Each endpoint receives one pipelined batch of the documents it
+        owns (its requests overlap on one connection); batches run
+        concurrently across endpoints.  A shard that fails mid-batch has
+        its still-missing documents re-routed to the next endpoints on
+        their ring order, so one dead server degrades throughput, not
+        results.
+        """
+        self._ensure_open()
+        pipeline_window = window if window is not None else self._pipeline_window
+        doc_ids = list(doc_ids)
+        if not doc_ids:
+            return []
+        results: List = [None] * len(doc_ids)
+        done = [False] * len(doc_ids)
+        remaining = list(range(len(doc_ids)))
+        #: Endpoints that failed *within this call*: re-routed around
+        #: immediately, independent of the breaker threshold (the breaker
+        #: shields future calls; the dead-set shields this one).
+        dead: set = set()
+        while remaining:
+            groups: Dict[str, List[int]] = {}
+            for index in remaining:
+                for label in self._candidates(doc_ids[index]):
+                    if label not in dead:
+                        groups.setdefault(label, []).append(index)
+                        break
+            if not groups:  # pragma: no cover - dead-set exhaustion raises below
+                raise ConnectionError("no cluster endpoint is reachable")
+            failures: Dict[str, BaseException] = {}
+            hard_errors: List[BaseException] = []
+
+            def fetch(label: str, indices: List[int]) -> None:
+                client = self._clients[label]
+                breaker = self._breakers[label]
+                try:
+                    documents = client.pipelined_get(
+                        [doc_ids[index] for index in indices],
+                        window=pipeline_window,
+                    )
+                except ServerBusyError as exc:
+                    # The endpoint is alive but saturated: re-route this
+                    # batch to a replica without tripping the breaker.
+                    failures[label] = exc
+                    return
+                except _FAILOVER_ERRORS as exc:
+                    breaker.record_failure()
+                    failures[label] = exc
+                    return
+                except BaseException as exc:
+                    # Archive/protocol errors are answers about the data,
+                    # not the endpoint: surface them to the caller.
+                    hard_errors.append(exc)
+                    return
+                breaker.record_success()
+                for index, document in zip(indices, documents):
+                    results[index] = document
+                    done[index] = True
+
+            if len(groups) == 1:
+                label, indices = next(iter(groups.items()))
+                fetch(label, indices)
+            else:
+                threads = [
+                    threading.Thread(
+                        target=fetch, args=(label, indices), name=f"rlz-fanout-{label}"
+                    )
+                    for label, indices in groups.items()
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            if hard_errors:
+                raise hard_errors[0]
+            still = [index for index in remaining if not done[index]]
+            if still:
+                if not failures:
+                    raise ProtocolError("cluster get_many made no progress")
+                dead.update(failures)
+                if len(dead) >= len(self.endpoints):
+                    raise next(iter(failures.values()))
+                with self._lock:
+                    self._failovers += len(still)
+            remaining = still
+        return results
+
+    def pipelined_get(
+        self, doc_ids: Sequence[int], window: Optional[int] = None
+    ) -> List[bytes]:
+        """Alias of :meth:`get_many` (the cluster always pipelines);
+        ``window`` overrides the per-shard in-flight window for this call."""
+        return self.get_many(doc_ids, window=window)
+
+    def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
+        """Stream every document in store order via per-shard SCANs.
+
+        Each endpoint scans only the documents it owns (one chunked SCAN
+        stream per shard, store-order within the shard), and the streams
+        merge back into exact store order.  A shard that dies mid-scan
+        has its remaining documents re-scanned from the next endpoint on
+        their ring order.
+        """
+        self._ensure_open()
+        order = self.doc_ids()
+        owners = {doc_id: self._candidates(doc_id)[0] for doc_id in order}
+        per_shard: Dict[str, List[int]] = {}
+        for doc_id in order:
+            per_shard.setdefault(owners[doc_id], []).append(doc_id)
+        streams: Dict[str, Iterator[Tuple[int, bytes]]] = {
+            label: self._clients[label].scan(ids)
+            for label, ids in per_shard.items()
+        }
+        consumed: Dict[str, int] = {label: 0 for label in per_shard}
+        for doc_id in order:
+            label = owners[doc_id]
+            while True:
+                try:
+                    got_id, document = next(streams[label])
+                except ServerBusyError:
+                    # Saturated, not dead: re-route the tail, breaker intact.
+                    label = self._rescan(
+                        per_shard, consumed, streams, owners, label, doc_id
+                    )
+                    continue
+                except _FAILOVER_ERRORS:
+                    self._breakers[label].record_failure()
+                    label = self._rescan(
+                        per_shard, consumed, streams, owners, label, doc_id
+                    )
+                    continue
+                except StopIteration:
+                    raise ProtocolError(
+                        f"shard {label} ended its scan early (at doc {doc_id})"
+                    ) from None
+                consumed[label] += 1
+                if got_id != doc_id:
+                    raise ProtocolError(
+                        f"scan order broke: expected doc {doc_id}, got {got_id}"
+                    )
+                yield doc_id, document
+                break
+
+    def _rescan(
+        self,
+        per_shard: Dict[str, List[int]],
+        consumed: Dict[str, int],
+        streams: Dict[str, Iterator[Tuple[int, bytes]]],
+        owners: Dict[int, str],
+        dead_label: str,
+        from_doc: int,
+    ) -> str:
+        """Re-route a dead shard's unserved scan tail to a live endpoint."""
+        tail = per_shard[dead_label][consumed[dead_label] :]
+        assert tail and tail[0] == from_doc
+        # A merged label chains every endpoint that already failed for
+        # this tail ("E3#E2#E1"): never route back to one of those.
+        exhausted = set(dead_label.split("#"))
+        replacement = None
+        for label in self._candidates(from_doc):
+            if label not in exhausted:
+                replacement = label
+                break
+        if replacement is None:
+            raise ConnectionError(
+                f"shard {dead_label} died mid-scan and no replica is available"
+            )
+        with self._lock:
+            self._failovers += 1
+        # The replacement endpoint scans the tail as its own fresh stream;
+        # its previously-assigned documents are unaffected (separate
+        # stream bookkeeping under a merged label).
+        merged_label = f"{replacement}#{dead_label}"
+        per_shard[merged_label] = tail
+        consumed[merged_label] = 0
+        streams[merged_label] = self._clients[replacement].scan(tail)
+        for doc_id in tail:
+            owners[doc_id] = merged_label
+        # Breaker bookkeeping for the merged label routes to the live
+        # endpoint's breaker.
+        self._breakers.setdefault(merged_label, self._breakers[replacement])
+        return merged_label
+
+    def doc_ids(self) -> List[int]:
+        """Store-order doc ids (from the first healthy endpoint; cached)."""
+        self._ensure_open()
+        if self._doc_ids is None:
+            last_error: Optional[BaseException] = None
+            candidates = [
+                label
+                for label in self.endpoints
+                if self._breakers[label].allow()
+            ] or self.endpoints
+            for label in candidates:
+                breaker = self._breakers[label]
+                try:
+                    self._doc_ids = self._clients[label].doc_ids()
+                except _FAILOVER_ERRORS as exc:
+                    breaker.record_failure()
+                    last_error = exc
+                    continue
+                breaker.record_success()
+                break
+            if self._doc_ids is None:
+                assert last_error is not None
+                raise last_error
+        return list(self._doc_ids)
+
+    def __len__(self) -> int:
+        return len(self.doc_ids())
+
+    def stats(self) -> Dict[str, float]:
+        """Cluster counters plus every reachable endpoint's snapshot.
+
+        Per-endpoint keys are prefixed ``shard<i>_``; endpoints that are
+        down contribute ``shard<i>_reachable = 0`` instead of failing the
+        whole snapshot.
+        """
+        self._ensure_open()
+        snapshot: Dict[str, float] = {
+            "cluster_endpoints": len(self.endpoints),
+            "cluster_failovers": self._failovers,
+            "cluster_virtual_nodes": self._shard_map.virtual_nodes,
+        }
+        for index, label in enumerate(self.endpoints):
+            breaker = self._breakers[label]
+            snapshot[f"shard{index}_breaker_open"] = int(breaker.state != "closed")
+            snapshot[f"shard{index}_breaker_trips"] = breaker.trips
+            snapshot[f"shard{index}_busy_hints"] = self._clients[label].busy_hints
+            try:
+                shard_stats = self._clients[label].stats()
+            except _FAILOVER_ERRORS:
+                snapshot[f"shard{index}_reachable"] = 0
+                continue
+            snapshot[f"shard{index}_reachable"] = 1
+            for key, value in shard_stats.items():
+                snapshot[f"shard{index}_{key}"] = value
+        return snapshot
+
+    def ping(self) -> float:
+        """Round-trip time to the slowest reachable endpoint."""
+        self._ensure_open()
+        times = []
+        for label in self.endpoints:
+            try:
+                times.append(self._clients[label].ping())
+            except _FAILOVER_ERRORS:
+                continue
+        if not times:
+            raise ConnectionError("no cluster endpoint is reachable")
+        return max(times)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every per-endpoint client (idempotent)."""
+        self._closed = True
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

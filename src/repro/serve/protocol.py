@@ -3,24 +3,47 @@
 Framing
 -------
 
-Every message on the wire is one *frame*::
+Every message on the wire is one *frame*.  Version 1 frames the opcode and
+payload directly::
 
     +----------------+--------+-----------------+
     | length (u32 BE)| opcode |   payload ...   |
     +----------------+--------+-----------------+
 
-``length`` counts the opcode byte plus the payload, so a frame occupies
-``4 + length`` bytes.  Frames larger than the negotiated ``max_frame_bytes``
-are rejected with :class:`~repro.errors.ProtocolError` *before* the payload
-is read, on both sides.
+Version 2 inserts a **u32 request id** between the opcode and the payload,
+so replies can arrive out of order and a single connection can carry many
+requests in flight (pipelining / multiplexing).  Clients allocate ids from
+1; **id 0 is reserved** for connection-level ``R_ERROR`` frames the server
+cannot attribute to a single request (e.g. an oversized frame rejected
+before its id was read)::
 
-A connection starts with a handshake: the client sends ``HELLO`` carrying
-the 4-byte magic ``RLZN`` and the highest protocol version it speaks; the
-server answers ``R_HELLO`` with the version it selected (currently it must
-equal :data:`PROTOCOL_VERSION`) or an error frame if the magic or version
-is unacceptable.  After the handshake the client issues request frames and
-reads response frames; ``ITER`` is the one streaming opcode (a sequence of
-``R_ITEM`` frames terminated by ``R_END``).
+    +----------------+--------+------------------+-----------------+
+    | length (u32 BE)| opcode | request id (u32) |   payload ...   |
+    +----------------+--------+------------------+-----------------+
+
+``length`` counts everything after the prefix, so a frame occupies
+``4 + length`` bytes in both versions.  Frames larger than the negotiated
+``max_frame_bytes`` are rejected with :class:`~repro.errors.ProtocolError`
+*before* the payload is read, on both sides.
+
+A connection starts with a handshake, always spoken in **version-1
+framing** (neither side knows the negotiated version yet): the client
+sends ``HELLO`` carrying the 4-byte magic ``RLZN``, the highest protocol
+version it speaks and — from version 2 — the *name* of the archive it
+wants (empty selects the server's default); the server answers ``R_HELLO``
+with the version it selected (``min(client, server)``, see
+:func:`negotiate_version`) or an error frame if the magic, version or
+archive name is unacceptable.  Every frame after the handshake uses the
+negotiated version's framing.
+
+After the handshake the client issues request frames and reads response
+frames; ``ITER`` and ``SCAN`` are the streaming opcodes (``R_ITEM`` /
+``R_CHUNK`` sequences terminated by ``R_END``; under version 2 every
+stream frame carries the request id of the originating request, so stream
+frames and ordinary replies can interleave on one connection).  ``R_BUSY``
+is the backpressure hint: the server's ``max_inflight`` gate is saturated
+and the client should retry the request after a short delay (every request
+opcode is idempotent).
 
 Errors travel as structured ``R_ERROR`` frames carrying a numeric code
 from :data:`ERROR_CODES` plus the message, so the client re-raises the
@@ -42,12 +65,16 @@ from ..errors import ProtocolError
 
 __all__ = [
     "MAGIC",
+    "PROTOCOL_V1",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
+    "MAX_ARCHIVE_NAME_BYTES",
     "Opcode",
     "ERROR_CODES",
     "encode_frame",
+    "encode_frame2",
     "split_frame",
+    "split_frame2",
     "frame_length",
     "pack_hello",
     "unpack_hello",
@@ -61,6 +88,10 @@ __all__ = [
     "unpack_documents",
     "pack_item",
     "unpack_item",
+    "pack_scan",
+    "unpack_scan",
+    "pack_chunk",
+    "unpack_chunk",
     "pack_stats",
     "unpack_stats",
     "pack_error",
@@ -70,8 +101,14 @@ __all__ = [
 ]
 
 MAGIC = b"RLZN"
-PROTOCOL_VERSION = 1
+#: The legacy request/response protocol (PR 4): no request ids, one
+#: archive per server, strictly in-order replies.
+PROTOCOL_V1 = 1
+#: The current protocol: request ids, out-of-order replies, named
+#: archives, SCAN and R_BUSY.
+PROTOCOL_VERSION = 2
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+MAX_ARCHIVE_NAME_BYTES = 255
 
 _LEN = struct.Struct("!I")
 _U8 = struct.Struct("!B")
@@ -79,6 +116,7 @@ _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _I64 = struct.Struct("!q")
 _HELLO = struct.Struct("!4sB")
+_OP_REQ = struct.Struct("!BI")
 
 
 class Opcode:
@@ -95,6 +133,7 @@ class Opcode:
     ITER = 0x05
     STATS = 0x06
     DOC_IDS = 0x07
+    SCAN = 0x08
 
     R_HELLO = 0x81
     R_PONG = 0x82
@@ -104,6 +143,8 @@ class Opcode:
     R_END = 0x86
     R_STATS = 0x87
     R_DOC_IDS = 0x88
+    R_BUSY = 0x89
+    R_CHUNK = 0x8A
     R_ERROR = 0xFF
 
 
@@ -123,6 +164,7 @@ ERROR_CODES: Dict[Type[BaseException], int] = {
     errors.SearchError: 10,
     errors.BenchmarkError: 11,
     errors.ProtocolError: 12,
+    errors.ServerBusyError: 13,
 }
 
 _CODE_TO_ERROR: Dict[int, Type[BaseException]] = {
@@ -134,8 +176,13 @@ _CODE_TO_ERROR: Dict[int, Type[BaseException]] = {
 # Framing
 # ----------------------------------------------------------------------
 def encode_frame(opcode: int, payload: bytes = b"") -> bytes:
-    """One wire frame: length prefix, opcode byte, payload."""
+    """One version-1 wire frame: length prefix, opcode byte, payload."""
     return _LEN.pack(1 + len(payload)) + _U8.pack(opcode) + payload
+
+
+def encode_frame2(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One version-2 wire frame: length prefix, opcode, request id, payload."""
+    return _LEN.pack(5 + len(payload)) + _OP_REQ.pack(opcode, request_id) + payload
 
 
 def frame_length(prefix: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> int:
@@ -159,27 +206,69 @@ def frame_length(prefix: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) 
 
 
 def split_frame(body: bytes) -> Tuple[int, bytes]:
-    """Split a frame body into ``(opcode, payload)``."""
+    """Split a version-1 frame body into ``(opcode, payload)``."""
     if not body:
         raise ProtocolError("malformed frame: empty body")
     return body[0], body[1:]
 
 
+def split_frame2(body: bytes) -> Tuple[int, int, bytes]:
+    """Split a version-2 frame body into ``(opcode, request_id, payload)``."""
+    if len(body) < _OP_REQ.size:
+        raise ProtocolError(
+            f"malformed v2 frame: {len(body)} bytes (need opcode + request id)"
+        )
+    opcode, request_id = _OP_REQ.unpack_from(body)
+    return opcode, request_id, body[_OP_REQ.size :]
+
+
 # ----------------------------------------------------------------------
 # Payload codecs
 # ----------------------------------------------------------------------
-def pack_hello(version: int = PROTOCOL_VERSION) -> bytes:
-    return _HELLO.pack(MAGIC, version)
+def pack_hello(version: int = PROTOCOL_VERSION, archive: str = "") -> bytes:
+    """A HELLO payload: magic, highest spoken version, archive name (v2+).
+
+    Version-1 HELLOs are exactly the 5 legacy bytes (no name field), so a
+    v1 client's handshake is parsed unchanged by a v2 server.
+    """
+    if version <= PROTOCOL_V1:
+        if archive:
+            raise ProtocolError(
+                "protocol version 1 cannot name an archive (it predates the router)"
+            )
+        return _HELLO.pack(MAGIC, version)
+    name = archive.encode("utf-8")
+    if len(name) > MAX_ARCHIVE_NAME_BYTES:
+        raise ProtocolError(
+            f"archive name too long: {len(name)} bytes > {MAX_ARCHIVE_NAME_BYTES}"
+        )
+    return _HELLO.pack(MAGIC, version) + _U16.pack(len(name)) + name
 
 
-def unpack_hello(payload: bytes) -> int:
-    """Validate a HELLO payload and return the client's protocol version."""
-    if len(payload) != _HELLO.size:
+def unpack_hello(payload: bytes) -> Tuple[int, str]:
+    """Validate a HELLO payload; return ``(version, archive_name)``.
+
+    A legacy 5-byte HELLO (any version) decodes with an empty archive name
+    — the server maps that to its default archive.
+    """
+    if len(payload) < _HELLO.size:
         raise ProtocolError(f"malformed HELLO: {len(payload)} bytes")
-    magic, version = _HELLO.unpack(payload)
+    magic, version = _HELLO.unpack_from(payload)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}: not an rlz-serve client")
-    return version
+    if len(payload) == _HELLO.size:
+        return version, ""
+    if len(payload) < _HELLO.size + _U16.size:
+        raise ProtocolError("malformed HELLO: truncated archive-name length")
+    (name_length,) = _U16.unpack_from(payload, _HELLO.size)
+    expected = _HELLO.size + _U16.size + name_length
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"malformed HELLO: archive name needs {expected} bytes, "
+            f"got {len(payload)}"
+        )
+    name = payload[_HELLO.size + _U16.size :].decode("utf-8", errors="replace")
+    return version, name
 
 
 def pack_hello_reply(version: int = PROTOCOL_VERSION) -> bytes:
@@ -247,6 +336,55 @@ def unpack_documents(payload: bytes) -> List[bytes]:
     return documents
 
 
+def pack_scan(chunk_docs: int = 0, doc_ids: Optional[Sequence[int]] = None) -> bytes:
+    """A SCAN request: chunk-size hint plus an optional doc-id subset.
+
+    ``chunk_docs=0`` lets the server pick its default chunking; an empty
+    ``doc_ids`` (or ``None``) scans every document in store order.
+    """
+    ids = list(doc_ids) if doc_ids is not None else []
+    return _U32.pack(chunk_docs) + pack_doc_ids(ids)
+
+
+def unpack_scan(payload: bytes) -> Tuple[int, List[int]]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("malformed SCAN request: missing chunk size")
+    (chunk_docs,) = _U32.unpack_from(payload)
+    return chunk_docs, unpack_doc_ids(payload[_U32.size :])
+
+
+def pack_chunk(items: Sequence[Tuple[int, bytes]]) -> bytes:
+    """One R_CHUNK payload: a batch of ``(doc_id, document)`` pairs."""
+    parts = [_U32.pack(len(items))]
+    for doc_id, document in items:
+        parts.append(_I64.pack(doc_id))
+        parts.append(_U32.pack(len(document)))
+        parts.append(document)
+    return b"".join(parts)
+
+
+def unpack_chunk(payload: bytes) -> List[Tuple[int, bytes]]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("malformed scan chunk: missing count")
+    (count,) = _U32.unpack_from(payload)
+    items: List[Tuple[int, bytes]] = []
+    offset = _U32.size
+    for _ in range(count):
+        if len(payload) < offset + _I64.size + _U32.size:
+            raise ProtocolError("malformed scan chunk: truncated item header")
+        (doc_id,) = _I64.unpack_from(payload, offset)
+        offset += _I64.size
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        if len(payload) < offset + length:
+            raise ProtocolError("malformed scan chunk: truncated document")
+        items.append((doc_id, payload[offset : offset + length]))
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("malformed scan chunk: trailing bytes")
+    return items
+
+
 def pack_item(doc_id: int, document: bytes) -> bytes:
     return _I64.pack(doc_id) + document
 
@@ -285,8 +423,8 @@ def unpack_error(payload: bytes) -> Tuple[int, str]:
     return code, payload[_U16.size :].decode("utf-8", errors="replace")
 
 
-def error_to_frame(exc: BaseException) -> bytes:
-    """Encode an exception as a complete ``R_ERROR`` frame.
+def pack_error_for(exc: BaseException) -> bytes:
+    """An ``R_ERROR`` payload for an exception.
 
     The exact class wins; otherwise the MRO is walked so subclasses map to
     their nearest registered ancestor (and anything non-repro to code 0,
@@ -300,7 +438,12 @@ def error_to_frame(exc: BaseException) -> bytes:
                 break
         else:
             code = 0
-    return encode_frame(Opcode.R_ERROR, pack_error(code, str(exc)))
+    return pack_error(code, str(exc))
+
+
+def error_to_frame(exc: BaseException) -> bytes:
+    """Encode an exception as a complete version-1 ``R_ERROR`` frame."""
+    return encode_frame(Opcode.R_ERROR, pack_error_for(exc))
 
 
 def raise_error_frame(payload: bytes) -> None:
@@ -325,26 +468,28 @@ def describe_opcode(opcode: int) -> str:
 def negotiate_version(client_version: int) -> int:
     """The server-side version pick for a client speaking ``client_version``.
 
-    Currently one version exists, so anything else is a mismatch; the
-    function is the single place a future version-2 server would widen.
+    ``client_version`` is the *highest* version the client speaks, so the
+    server selects ``min(client, server)`` — a v1 client keeps its legacy
+    request/response framing against a v2 server, and a future v3 client
+    degrades to v2 here.  Anything below :data:`PROTOCOL_V1` is a mismatch.
     """
-    if client_version != PROTOCOL_VERSION:
+    if client_version < PROTOCOL_V1:
         raise ProtocolError(
             f"protocol version mismatch: client speaks {client_version}, "
-            f"server supports {PROTOCOL_VERSION}"
+            f"server supports {PROTOCOL_V1}..{PROTOCOL_VERSION}"
         )
-    return PROTOCOL_VERSION
+    return min(client_version, PROTOCOL_VERSION)
 
 
 def checked_version(server_version: int) -> int:
     """Client-side validation of the version the server selected."""
-    if server_version != PROTOCOL_VERSION:
+    if not PROTOCOL_V1 <= server_version <= PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version mismatch: server selected {server_version}, "
-            f"client supports {PROTOCOL_VERSION}"
+            f"client supports {PROTOCOL_V1}..{PROTOCOL_VERSION}"
         )
     return server_version
 
 
 #: Optional ``__all__`` additions used by the server/client modules.
-__all__ += ["describe_opcode", "negotiate_version", "checked_version"]
+__all__ += ["describe_opcode", "negotiate_version", "checked_version", "pack_error_for"]

@@ -1,0 +1,251 @@
+"""The :class:`RlzRouter`: many named archives behind one server port.
+
+PR 4's :class:`~repro.serve.server.RlzServer` bound exactly one archive to
+one socket.  The router splits *archive dispatch* out of *connection
+handling*: a server owns one router, the router owns any number of named
+archives, and the HELLO handshake's archive-name field picks which one a
+connection talks to (the empty name selects the default archive, which is
+also what legacy v1 clients — whose HELLO predates the name field — get).
+
+Per archive, the router keeps:
+
+* a **lazily opened** :class:`~repro.api.AsyncRlzArchive` — registering an
+  archive costs nothing until the first connection asks for it (the open
+  runs on the server's executor so the event loop never blocks on disk);
+* an **inflight gate** (``max_inflight`` from the archive's
+  :class:`~repro.api.ServeSpec`) — one hot archive saturating its gate
+  queues *its* requests without starving the others, and once the queue
+  itself is a full gate deep the server answers version-2 clients with
+  ``R_BUSY`` instead of queueing further;
+* request/error/busy counters, surfaced per archive in :meth:`stats`.
+
+The router owns the fronts it opens (closing the router closes them); a
+front handed in pre-opened (the single-archive compatibility path) is
+owned only if the caller says so.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..api.async_front import AsyncRlzArchive
+from ..api.config import ArchiveConfig, ServeSpec
+from ..errors import ConfigurationError, ProtocolError
+
+__all__ = ["ArchiveEntry", "RlzRouter"]
+
+
+class ArchiveEntry:
+    """One named archive hosted by a router: lazy front + gate + counters."""
+
+    def __init__(
+        self,
+        name: str,
+        path: Optional[Path],
+        config: ArchiveConfig,
+        front: Optional[AsyncRlzArchive] = None,
+        owned: bool = True,
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.config = config
+        self.front = front
+        self.owned = owned
+        # Created on first use: asyncio primitives must bind the loop that
+        # will use them, and entries are registered before the loop runs.
+        self.gate: Optional[asyncio.Semaphore] = None
+        self.open_lock: Optional[asyncio.Lock] = None
+        #: Requests parked behind a saturated gate right now; once this
+        #: reaches ``max_inflight`` the server sheds load with R_BUSY.
+        self.waiting = 0
+        self.requests = 0
+        self.errors = 0
+        self.busy_rejections = 0
+
+    @property
+    def max_inflight(self) -> int:
+        return self.config.serve.max_inflight
+
+    def stats_into(self, snapshot: Dict[str, float]) -> None:
+        """Per-archive counters (and front stats once opened)."""
+        prefix = f"archive_{self.name or 'default'}"
+        snapshot[f"{prefix}_requests"] = self.requests
+        snapshot[f"{prefix}_errors"] = self.errors
+        snapshot[f"{prefix}_busy_rejections"] = self.busy_rejections
+        snapshot[f"{prefix}_open"] = int(self.front is not None)
+
+
+class RlzRouter:
+    """Dispatch connections to named archives, opening each lazily.
+
+    Parameters
+    ----------
+    archives:
+        ``name -> container path`` of the archives to host.  Paths are not
+        touched until a connection asks for the name.
+    config:
+        The :class:`ArchiveConfig` every archive opens with (cache tier,
+        serve gate, ...).  Per-archive configs can be supplied through
+        :meth:`add`.
+    default:
+        Archive name served to clients that do not pick one (v1 clients
+        and v2 clients sending an empty name).  Defaults to the first
+        registered archive.
+    max_workers:
+        Decode thread-pool width handed to each opened front.
+    """
+
+    def __init__(
+        self,
+        archives: Optional[Mapping[str, Union[str, Path]]] = None,
+        config: Optional[ArchiveConfig] = None,
+        default: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._config = config or ArchiveConfig()
+        self._max_workers = max_workers
+        self._entries: Dict[str, ArchiveEntry] = {}
+        self._default: Optional[str] = None
+        self._closed = False
+        for name, path in (archives or {}).items():
+            self.add(name, path)
+        if default is not None:
+            if default not in self._entries:
+                raise ConfigurationError(
+                    f"default archive {default!r} is not registered "
+                    f"(have: {sorted(self._entries) or '[]'})"
+                )
+            self._default = default
+
+    @classmethod
+    def for_front(
+        cls,
+        front: AsyncRlzArchive,
+        name: str = "",
+        config: Optional[ArchiveConfig] = None,
+        owned: bool = True,
+    ) -> "RlzRouter":
+        """A router hosting one pre-opened front (the PR-4 single-archive
+        path; ``owned`` says whether closing the router closes the front)."""
+        router = cls(config=config)
+        entry = ArchiveEntry(
+            name=name,
+            path=None,
+            config=config or ArchiveConfig(),
+            front=front,
+            owned=owned,
+        )
+        router._entries[name] = entry
+        router._default = name
+        return router
+
+    # ------------------------------------------------------------------
+    # Registration / introspection
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        path: Union[str, Path],
+        config: Optional[ArchiveConfig] = None,
+    ) -> None:
+        """Register archive ``name`` at ``path`` (not opened yet)."""
+        if name in self._entries:
+            raise ConfigurationError(f"archive {name!r} is already registered")
+        self._entries[name] = ArchiveEntry(
+            name=name, path=Path(path), config=config or self._config
+        )
+        if self._default is None:
+            self._default = name
+
+    @property
+    def names(self) -> List[str]:
+        """Registered archive names, registration order."""
+        return list(self._entries)
+
+    @property
+    def default_name(self) -> Optional[str]:
+        return self._default
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def entry(self, name: str = "") -> ArchiveEntry:
+        """The entry for ``name`` ('' = default), without opening it."""
+        if not name:
+            if self._default is None:
+                raise ConfigurationError("router hosts no archives")
+            return self._entries[self._default]
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown archive {name!r} (this server hosts: "
+                f"{', '.join(self._entries) or 'none'})"
+            ) from None
+
+    def default_front(self) -> AsyncRlzArchive:
+        """The default archive's front, if already open (sync callers)."""
+        entry = self.entry("")
+        if entry.front is None:
+            raise ProtocolError(
+                f"archive {entry.name or 'default'!r} has not been opened yet"
+            )
+        return entry.front
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def resolve(self, name: str = "") -> ArchiveEntry:
+        """The entry for ``name`` with its front opened and gate ready.
+
+        Lazy open runs on the default executor (it reads the container
+        header and dictionary from disk), serialized per entry so two
+        concurrent first connections open the archive once.
+        """
+        if self._closed:
+            raise ProtocolError("router is closed")
+        entry = self.entry(name)
+        if entry.gate is None:
+            entry.gate = asyncio.Semaphore(entry.max_inflight)
+        if entry.front is None:
+            if entry.open_lock is None:
+                entry.open_lock = asyncio.Lock()
+            async with entry.open_lock:
+                if entry.front is None and not self._closed:
+                    loop = asyncio.get_running_loop()
+                    path, config, workers = entry.path, entry.config, self._max_workers
+                    entry.front = await loop.run_in_executor(
+                        None,
+                        lambda: AsyncRlzArchive.open(
+                            path, config, max_workers=workers
+                        ),
+                    )
+        if entry.front is None:
+            raise ProtocolError("router is closed")
+        return entry
+
+    def stats(self) -> Dict[str, float]:
+        """Per-archive counters plus the default front's archive stats."""
+        snapshot: Dict[str, float] = {"router_archives": len(self._entries)}
+        for entry in self._entries.values():
+            entry.stats_into(snapshot)
+        default = self.entry("") if self._entries else None
+        if default is not None and default.front is not None and not default.front.closed:
+            snapshot.update(default.front.stats())
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Close every owned, opened front (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._entries.values():
+            front = entry.front
+            if front is not None and entry.owned and not front.closed:
+                await front.close()

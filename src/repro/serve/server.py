@@ -1,23 +1,36 @@
-"""The asyncio :class:`RlzServer`: an archive behind a socket.
+"""The asyncio :class:`RlzServer`: archives behind a socket.
 
-The server puts an :class:`repro.api.AsyncRlzArchive` behind the framed
-wire protocol of :mod:`repro.serve.protocol`:
+The server separates **connection handling** (this module) from **archive
+dispatch** (:class:`repro.serve.router.RlzRouter`): every server owns one
+router, the router hosts any number of named archives (each a lazily
+opened :class:`repro.api.AsyncRlzArchive`), and a connection's HELLO picks
+the archive it talks to.
 
-* every connection handshakes (magic + version negotiation), then issues
-  request frames and reads responses; connections are independent and a
-  slow client never blocks another (each connection runs its own task);
-* a **backpressure gate** bounds the number of requests being served at
-  once across *all* connections (``max_inflight``); excess requests wait
-  in order at the gate, so a burst degrades to queueing, not to memory
-  growth or thread-pool starvation;
+* every connection handshakes (magic + version negotiation + archive
+  name), then issues request frames and reads responses; connections are
+  independent and a slow client never blocks another (each connection
+  runs its own task);
+* protocol-**v1** connections keep PR 4's strict request/response loop:
+  one request in flight, replies in order;
+* protocol-**v2** connections are *pipelined*: every request frame
+  carries a u32 request id, the server runs each request as its own task
+  and writes replies as they finish — out of order when that is faster —
+  tagged with the originating id.  ``max_pipeline`` bounds how many
+  requests one connection may have in flight before the server stops
+  reading its frames (natural TCP backpressure);
+* a per-archive **backpressure gate** bounds the number of requests being
+  served at once across *all* connections (``max_inflight``); excess
+  requests wait in order at the gate, and once the queue is a full gate
+  deep, v2 requests are shed with an ``R_BUSY`` hint instead of queueing
+  (v1 clients, which cannot parse it, keep queueing);
 * archive failures travel back as structured error frames carrying the
   concrete :mod:`repro.errors` class, and the connection keeps serving;
-  protocol violations (bad magic, oversized or truncated frames) close
-  the connection after an error frame, because its framing can no longer
-  be trusted;
+  protocol violations (bad magic, oversized or truncated frames,
+  duplicate request ids) close the connection after an error frame,
+  because its framing can no longer be trusted;
 * **graceful shutdown**: :meth:`close` stops accepting, gives in-flight
   requests ``drain_seconds`` to finish, cancels stragglers, and closes
-  the front (and with it the archive and cache tier) when it owns it.
+  the router (and with it every owned archive and cache tier).
 
 :class:`BackgroundServer` runs the whole thing on a dedicated event-loop
 thread — the handle tests, benchmarks and examples use to serve and keep
@@ -30,15 +43,19 @@ import asyncio
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Set, Union
+from typing import Dict, Mapping, Optional, Set, Union
 
 from ..api.async_front import AsyncRlzArchive
 from ..api.config import ArchiveConfig, ServeSpec
 from ..errors import ProtocolError, ReproError
 from . import protocol
 from .protocol import Opcode
+from .router import ArchiveEntry, RlzRouter
 
 __all__ = ["BackgroundServer", "ConnectionStats", "RlzServer"]
+
+#: Documents per R_CHUNK frame when a SCAN request does not say.
+DEFAULT_SCAN_CHUNK = 64
 
 
 @dataclass
@@ -46,6 +63,8 @@ class ConnectionStats:
     """What one client connection has cost so far."""
 
     peer: str
+    version: int = 0
+    archive: str = ""
     requests: int = 0
     errors: int = 0
     bytes_in: int = 0
@@ -58,14 +77,57 @@ class ConnectionStats:
         self.by_opcode[name] = self.by_opcode.get(name, 0) + 1
 
 
+class _Connection:
+    """One client connection: handshake, then the version's request loop."""
+
+    def __init__(
+        self,
+        server: "RlzServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.stats = ConnectionStats(peer=str(writer.get_extra_info("peername")))
+        self.version = protocol.PROTOCOL_V1
+        self.entry: Optional[ArchiveEntry] = None
+        #: Request tasks in flight on this (v2) connection.
+        self.tasks: Set[asyncio.Task] = set()
+        self.inflight_ids: Set[int] = set()
+
+    # -- I/O ------------------------------------------------------------
+    async def read_body(self) -> bytes:
+        prefix = await self.reader.readexactly(4)
+        length = protocol.frame_length(prefix, self.server.spec.max_frame_bytes)
+        body = await self.reader.readexactly(length)
+        self.stats.bytes_in += 4 + length
+        return body
+
+    async def write_frame(self, frame: bytes) -> None:
+        self.writer.write(frame)
+        self.stats.bytes_out += len(frame)
+        await self.writer.drain()
+
+    async def respond(
+        self, opcode: int, payload: bytes = b"", request_id: Optional[int] = None
+    ) -> None:
+        """One reply frame in the connection's negotiated framing."""
+        if request_id is None:
+            await self.write_frame(protocol.encode_frame(opcode, payload))
+        else:
+            await self.write_frame(protocol.encode_frame2(opcode, request_id, payload))
+
+
 class RlzServer:
-    """Serve an :class:`AsyncRlzArchive` over a TCP socket.
+    """Serve one or many archives over a TCP socket.
 
     Parameters
     ----------
-    front:
-        The async front to serve.  With ``own_front=True`` (default) the
-        server closes it — archive and cache tier included — on shutdown.
+    source:
+        What to serve: a pre-opened :class:`AsyncRlzArchive` (the
+        single-archive path; with ``own_front=True`` the server closes it
+        on shutdown) or an :class:`RlzRouter` hosting named archives.
     spec:
         The :class:`ServeSpec` carrying host/port/backpressure settings
         (defaults to ``ServeSpec()``: loopback, ephemeral port).
@@ -73,25 +135,30 @@ class RlzServer:
 
     def __init__(
         self,
-        front: AsyncRlzArchive,
+        source: Union[AsyncRlzArchive, RlzRouter],
         spec: Optional[ServeSpec] = None,
         own_front: bool = True,
     ) -> None:
-        self._front = front
         self._spec = spec or ServeSpec()
-        self._own_front = own_front
+        if isinstance(source, RlzRouter):
+            self._router = source
+        else:
+            self._router = RlzRouter.for_front(
+                source,
+                config=ArchiveConfig(serve=self._spec),
+                owned=own_front,
+            )
         self._server: Optional[asyncio.base_events.Server] = None
-        # Created in start(): asyncio primitives must be built on the loop
-        # that will use them (pre-3.10 they bind get_event_loop() eagerly).
-        self._gate: Optional[asyncio.Semaphore] = None
         self._connections: Set[asyncio.Task] = set()
         self._busy: Set[asyncio.Task] = set()
         self._conn_stats: Dict[asyncio.Task, ConnectionStats] = {}
+        self._conn_objects: Dict[asyncio.Task, _Connection] = {}
         self._closing = False
         self._closed = False
         self._connections_total = 0
         self._requests = 0
         self._errors = 0
+        self._busy_rejections = 0
 
     @classmethod
     def open(
@@ -100,19 +167,41 @@ class RlzServer:
         config: Optional[ArchiveConfig] = None,
         max_workers: Optional[int] = None,
     ) -> "RlzServer":
-        """Open an archive, wrap it in an async front, and build a server
+        """Open one archive, wrap it in an async front, and build a server
         configured by ``config.serve`` (not yet started)."""
         config = config or ArchiveConfig()
         front = AsyncRlzArchive.open(path, config, max_workers=max_workers)
         return cls(front, spec=config.serve)
+
+    @classmethod
+    def open_many(
+        cls,
+        archives: Mapping[str, Union[str, Path]],
+        config: Optional[ArchiveConfig] = None,
+        default: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> "RlzServer":
+        """A server hosting every named archive (each opened lazily on the
+        first connection that asks for it)."""
+        config = config or ArchiveConfig()
+        router = RlzRouter(
+            archives, config=config, default=default, max_workers=max_workers
+        )
+        return cls(router, spec=config.serve)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def front(self) -> AsyncRlzArchive:
-        """The async front being served."""
-        return self._front
+        """The default archive's async front (single-archive compatibility
+        accessor; raises until the archive has been opened)."""
+        return self._router.default_front()
+
+    @property
+    def router(self) -> RlzRouter:
+        """The archive router behind this server."""
+        return self._router
 
     @property
     def spec(self) -> ServeSpec:
@@ -135,12 +224,13 @@ class RlzServer:
         return self._closed
 
     def stats(self) -> Dict[str, float]:
-        """Server counters merged with the front's (archive + cache) stats."""
-        snapshot = self._front.stats() if not self._front.closed else {}
+        """Server counters merged with the router's per-archive stats."""
+        snapshot = self._router.stats()
         snapshot["server_connections_total"] = self._connections_total
         snapshot["server_connections_active"] = len(self._connections)
         snapshot["server_requests"] = self._requests
         snapshot["server_errors"] = self._errors
+        snapshot["server_busy_rejections"] = self._busy_rejections
         snapshot["server_inflight_capacity"] = self._spec.max_inflight
         return snapshot
 
@@ -151,7 +241,6 @@ class RlzServer:
         """Bind and start accepting connections."""
         if self._server is not None:
             raise ProtocolError("server already started")
-        self._gate = asyncio.Semaphore(self._spec.max_inflight)
         self._server = await asyncio.start_server(
             self._on_connection, host=self._spec.host, port=self._spec.port
         )
@@ -171,8 +260,8 @@ class RlzServer:
         Stops accepting, cancels *idle* connections immediately (they are
         parked waiting for a next request that will never be answered),
         waits up to ``drain_seconds`` for connections serving a request to
-        finish it, cancels stragglers, and closes the front if this server
-        owns it.  Idempotent.
+        finish it, cancels stragglers, and closes the router (and every
+        owned front).  Idempotent.
         """
         if self._closed:
             return
@@ -185,17 +274,30 @@ class RlzServer:
         busy = [task for task in pending if task in self._busy]
         for task in idle:
             task.cancel()
-        if busy:
+        # What actually needs the drain window: v1 connection tasks finish
+        # their in-flight request inside the task itself; a pipelined v2
+        # connection task is parked reading the socket and never finishes
+        # on its own — its in-flight *request tasks* are the drain target.
+        drain_targets = []
+        for task in busy:
+            conn = self._conn_objects.get(task)
+            if conn is not None and conn.version >= 2:
+                drain_targets.extend(t for t in conn.tasks if not t.done())
+            else:
+                drain_targets.append(task)
+        if drain_targets:
             done, still_pending = await asyncio.wait(
-                busy, timeout=self._spec.drain_seconds
+                drain_targets, timeout=self._spec.drain_seconds
             )
             for task in still_pending:
+                task.cancel()
+        for task in busy:
+            if not task.done():
                 task.cancel()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         self._closed = True
-        if self._own_front and not self._front.closed:
-            await self._front.close()
+        await self._router.close()
 
     async def __aenter__(self) -> "RlzServer":
         if self._server is None:
@@ -219,175 +321,308 @@ class RlzServer:
         handler.add_done_callback(self._connections.discard)
         handler.add_done_callback(self._busy.discard)
         handler.add_done_callback(lambda t: self._conn_stats.pop(t, None))
-
-    async def _read_frame(
-        self, reader: asyncio.StreamReader, stats: ConnectionStats
-    ) -> tuple:
-        prefix = await reader.readexactly(4)
-        length = protocol.frame_length(prefix, self._spec.max_frame_bytes)
-        body = await reader.readexactly(length)
-        stats.bytes_in += 4 + length
-        return protocol.split_frame(body)
-
-    async def _write(
-        self,
-        writer: asyncio.StreamWriter,
-        frame: bytes,
-        stats: ConnectionStats,
-    ) -> None:
-        writer.write(frame)
-        stats.bytes_out += len(frame)
-        await writer.drain()
+        handler.add_done_callback(lambda t: self._conn_objects.pop(t, None))
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        peername = writer.get_extra_info("peername")
-        stats = ConnectionStats(peer=str(peername))
+        conn = _Connection(self, reader, writer)
         task = asyncio.current_task()
         if task is not None:
-            self._conn_stats[task] = stats
+            self._conn_stats[task] = conn.stats
+            self._conn_objects[task] = conn
         try:
-            await self._handshake(reader, writer, stats)
-            while not self._closing:
-                try:
-                    opcode, payload = await self._read_frame(reader, stats)
-                except asyncio.IncompleteReadError:
-                    return  # client hung up between requests: normal
-                stats.count(opcode)
-                self._requests += 1
-                # Mark the connection busy while a request is in flight so a
-                # graceful close drains it; idle connections (parked in the
-                # read above) are cancelled immediately instead.
-                if task is not None:
-                    self._busy.add(task)
-                try:
-                    async with self._gate:  # backpressure, all connections
-                        try:
-                            await self._dispatch(opcode, payload, writer, stats)
-                        except ProtocolError as exc:
-                            stats.errors += 1
-                            self._errors += 1
-                            await self._write(
-                                writer, protocol.error_to_frame(exc), stats
-                            )
-                            return  # framing no longer trustworthy
-                        except ReproError as exc:
-                            stats.errors += 1
-                            self._errors += 1
-                            await self._write(
-                                writer, protocol.error_to_frame(exc), stats
-                            )
-                        except (ConnectionError, asyncio.IncompleteReadError):
-                            return
-                        except Exception as exc:  # server bug: report, go on
-                            stats.errors += 1
-                            self._errors += 1
-                            await self._write(
-                                writer, protocol.error_to_frame(exc), stats
-                            )
-                finally:
-                    if task is not None:
-                        self._busy.discard(task)
-        except ProtocolError as exc:
-            stats.errors += 1
+            await self._handshake(conn)
+            if conn.version >= 2:
+                await self._run_pipelined(conn, task)
+            else:
+                await self._run_sequential(conn, task)
+        except (ProtocolError, ReproError) as exc:
+            # Handshake failures (bad magic/version, unknown archive name)
+            # answer in v1 framing — nothing is negotiated yet.  After a
+            # v2 handshake, connection-level errors are v2-framed with the
+            # reserved request id 0 so a compliant client parses them.
+            conn.stats.errors += 1
             self._errors += 1
             try:
-                await self._write(writer, protocol.error_to_frame(exc), stats)
+                if conn.version >= 2:
+                    await conn.respond(
+                        Opcode.R_ERROR, protocol.pack_error_for(exc), 0
+                    )
+                else:
+                    await conn.write_frame(protocol.error_to_frame(exc))
             except (ConnectionError, OSError):
                 pass
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             pass
         finally:
+            for pending in conn.tasks:
+                pending.cancel()
+            if conn.tasks:
+                await asyncio.gather(*conn.tasks, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    async def _handshake(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        stats: ConnectionStats,
-    ) -> None:
-        opcode, payload = await self._read_frame(reader, stats)
+    async def _handshake(self, conn: _Connection) -> None:
+        opcode, payload = protocol.split_frame(await conn.read_body())
         if opcode != Opcode.HELLO:
             raise ProtocolError(
                 f"expected HELLO, got {protocol.describe_opcode(opcode)}"
             )
-        version = protocol.negotiate_version(protocol.unpack_hello(payload))
-        await self._write(
-            writer,
-            protocol.encode_frame(Opcode.R_HELLO, protocol.pack_hello_reply(version)),
-            stats,
+        client_version, archive_name = protocol.unpack_hello(payload)
+        version = protocol.negotiate_version(client_version)
+        conn.entry = await self._router.resolve(archive_name)
+        conn.version = version
+        conn.stats.version = version
+        conn.stats.archive = conn.entry.name
+        # The whole handshake speaks v1 framing; the negotiated framing
+        # starts with the first frame after R_HELLO.
+        await conn.write_frame(
+            protocol.encode_frame(Opcode.R_HELLO, protocol.pack_hello_reply(version))
         )
 
+    # ------------------------------------------------------------------
+    # v1: strict request/response
+    # ------------------------------------------------------------------
+    async def _run_sequential(
+        self, conn: _Connection, task: Optional[asyncio.Task]
+    ) -> None:
+        entry = conn.entry
+        while not self._closing:
+            try:
+                opcode, payload = protocol.split_frame(await conn.read_body())
+            except asyncio.IncompleteReadError:
+                return  # client hung up between requests: normal
+            conn.stats.count(opcode)
+            self._requests += 1
+            entry.requests += 1
+            # Mark the connection busy while a request is in flight so a
+            # graceful close drains it; idle connections (parked in the
+            # read above) are cancelled immediately instead.
+            if task is not None:
+                self._busy.add(task)
+            try:
+                entry.waiting += 1
+                try:
+                    await entry.gate.acquire()
+                finally:
+                    entry.waiting -= 1
+                try:
+                    await self._dispatch(conn, opcode, payload, None)
+                finally:
+                    entry.gate.release()
+            except ProtocolError as exc:
+                self._count_error(conn)
+                await conn.write_frame(protocol.error_to_frame(exc))
+                return  # framing no longer trustworthy
+            except ReproError as exc:
+                self._count_error(conn)
+                await conn.write_frame(protocol.error_to_frame(exc))
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            except Exception as exc:  # server bug: report, go on
+                self._count_error(conn)
+                await conn.write_frame(protocol.error_to_frame(exc))
+            finally:
+                if task is not None:
+                    self._busy.discard(task)
+
+    # ------------------------------------------------------------------
+    # v2: pipelined, out-of-order replies
+    # ------------------------------------------------------------------
+    async def _run_pipelined(
+        self, conn: _Connection, task: Optional[asyncio.Task]
+    ) -> None:
+        window = asyncio.Semaphore(self._spec.max_pipeline)
+        while not self._closing:
+            # Stop reading frames while the pipeline window is full: the
+            # kernel buffer fills and the client blocks — backpressure
+            # without bookkeeping.
+            await window.acquire()
+            try:
+                body = await conn.read_body()
+            except asyncio.IncompleteReadError:
+                window.release()
+                return  # client hung up between requests: normal
+            opcode, request_id, payload = protocol.split_frame2(body)
+            if request_id in conn.inflight_ids:
+                # A duplicate id would make two replies indistinguishable:
+                # the connection's correlation state is untrustworthy.
+                exc = ProtocolError(
+                    f"duplicate request id {request_id} is already in flight"
+                )
+                self._count_error(conn)
+                await conn.respond(
+                    Opcode.R_ERROR, protocol.pack_error_for(exc), request_id
+                )
+                window.release()
+                return
+            conn.stats.count(opcode)
+            self._requests += 1
+            conn.entry.requests += 1
+            conn.inflight_ids.add(request_id)
+            if task is not None:
+                self._busy.add(task)
+            request = asyncio.ensure_future(
+                self._run_request(conn, opcode, request_id, payload)
+            )
+            conn.tasks.add(request)
+
+            def _done(done_task: asyncio.Task, request_id=request_id) -> None:
+                conn.tasks.discard(done_task)
+                conn.inflight_ids.discard(request_id)
+                window.release()
+                if not conn.tasks and task is not None:
+                    self._busy.discard(task)
+
+            request.add_done_callback(_done)
+        # Drain politely on server shutdown.
+        if conn.tasks:
+            await asyncio.gather(*conn.tasks, return_exceptions=True)
+
+    async def _run_request(
+        self, conn: _Connection, opcode: int, request_id: int, payload: bytes
+    ) -> None:
+        """One pipelined request: gate, dispatch, tagged reply."""
+        entry = conn.entry
+        try:
+            # Shed load once the gate queue is itself a full gate deep: a
+            # v2 client knows R_BUSY means "retry in a moment, elsewhere
+            # if you have a replica".
+            if entry.gate.locked() and entry.waiting >= entry.max_inflight:
+                entry.busy_rejections += 1
+                self._busy_rejections += 1
+                await conn.respond(Opcode.R_BUSY, b"", request_id)
+                return
+            entry.waiting += 1
+            try:
+                await entry.gate.acquire()
+            finally:
+                entry.waiting -= 1
+            try:
+                await self._dispatch(conn, opcode, payload, request_id)
+            finally:
+                entry.gate.release()
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            self._count_error(conn)
+            try:
+                await conn.respond(
+                    Opcode.R_ERROR, protocol.pack_error_for(exc), request_id
+                )
+            except (ConnectionError, OSError):
+                pass
+            # The peer sent something structurally wrong: close the
+            # transport, which unblocks the read loop and tears the
+            # connection down (matching the v1 close-on-ProtocolError).
+            conn.writer.close()
+        except ReproError as exc:
+            self._count_error(conn)
+            await conn.respond(Opcode.R_ERROR, protocol.pack_error_for(exc), request_id)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        except Exception as exc:  # server bug: report, go on
+            self._count_error(conn)
+            await conn.respond(Opcode.R_ERROR, protocol.pack_error_for(exc), request_id)
+
+    def _count_error(self, conn: _Connection) -> None:
+        conn.stats.errors += 1
+        self._errors += 1
+        if conn.entry is not None:
+            conn.entry.errors += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch (shared by both request loops)
+    # ------------------------------------------------------------------
     async def _dispatch(
         self,
+        conn: _Connection,
         opcode: int,
         payload: bytes,
-        writer: asyncio.StreamWriter,
-        stats: ConnectionStats,
+        request_id: Optional[int],
     ) -> None:
+        front = conn.entry.front
         if opcode == Opcode.PING:
-            await self._write(
-                writer, protocol.encode_frame(Opcode.R_PONG, payload), stats
-            )
+            await conn.respond(Opcode.R_PONG, payload, request_id)
         elif opcode == Opcode.GET:
-            document = await self._front.get(protocol.unpack_doc_id(payload))
-            await self._write(
-                writer, protocol.encode_frame(Opcode.R_DOC, document), stats
-            )
+            document = await front.get(protocol.unpack_doc_id(payload))
+            await conn.respond(Opcode.R_DOC, document, request_id)
         elif opcode == Opcode.GET_MANY:
-            documents = await self._front.get_many(protocol.unpack_doc_ids(payload))
-            await self._write(
-                writer,
-                protocol.encode_frame(Opcode.R_DOCS, protocol.pack_documents(documents)),
-                stats,
+            documents = await front.get_many(protocol.unpack_doc_ids(payload))
+            await conn.respond(
+                Opcode.R_DOCS, protocol.pack_documents(documents), request_id
             )
         elif opcode == Opcode.ITER:
             # Stream one document per frame (decodes go through the front,
             # so the cache tier and coalescing apply), then terminate.
-            for doc_id in self._front.archive.doc_ids():
-                document = await self._front.get(doc_id)
-                await self._write(
-                    writer,
-                    protocol.encode_frame(
-                        Opcode.R_ITEM, protocol.pack_item(doc_id, document)
-                    ),
-                    stats,
+            for doc_id in front.archive.doc_ids():
+                document = await front.get(doc_id)
+                await conn.respond(
+                    Opcode.R_ITEM, protocol.pack_item(doc_id, document), request_id
                 )
-            await self._write(writer, protocol.encode_frame(Opcode.R_END), stats)
+            await conn.respond(Opcode.R_END, b"", request_id)
+        elif opcode == Opcode.SCAN:
+            await self._dispatch_scan(conn, payload, request_id)
         elif opcode == Opcode.STATS:
-            await self._write(
-                writer,
-                protocol.encode_frame(Opcode.R_STATS, protocol.pack_stats(self.stats())),
-                stats,
+            await conn.respond(
+                Opcode.R_STATS, protocol.pack_stats(self.stats()), request_id
             )
         elif opcode == Opcode.DOC_IDS:
-            await self._write(
-                writer,
-                protocol.encode_frame(
-                    Opcode.R_DOC_IDS,
-                    protocol.pack_doc_ids(self._front.archive.doc_ids()),
-                ),
-                stats,
+            await conn.respond(
+                Opcode.R_DOC_IDS,
+                protocol.pack_doc_ids(front.archive.doc_ids()),
+                request_id,
             )
         else:
             raise ProtocolError(
                 f"unknown request opcode {protocol.describe_opcode(opcode)}"
             )
 
+    async def _dispatch_scan(
+        self, conn: _Connection, payload: bytes, request_id: Optional[int]
+    ) -> None:
+        """Bulk scan: batched container reads, many documents per frame.
+
+        Unlike ITER (one ``get`` and one frame per document), SCAN decodes
+        ``chunk_docs`` documents per batched ``get_many`` — one vectorized
+        pass over the container per chunk — and ships each batch as one
+        R_CHUNK frame.  An explicit doc-id list scans just that subset, in
+        the requested order (the cluster client uses this to scan only the
+        documents a shard owns).
+        """
+        front = conn.entry.front
+        chunk_docs, doc_ids = protocol.unpack_scan(payload)
+        if not doc_ids:
+            doc_ids = front.archive.doc_ids()
+        chunk = chunk_docs or DEFAULT_SCAN_CHUNK
+        for start in range(0, len(doc_ids), chunk):
+            batch = doc_ids[start : start + chunk]
+            documents = await front.get_many(batch)
+            await conn.respond(
+                Opcode.R_CHUNK,
+                protocol.pack_chunk(list(zip(batch, documents))),
+                request_id,
+            )
+        await conn.respond(Opcode.R_END, b"", request_id)
+
 
 class BackgroundServer:
     """Run an :class:`RlzServer` on its own event-loop thread.
 
     Synchronous code (tests, benchmarks, the quickstart example) uses this
-    to put an archive on a socket without restructuring around asyncio::
+    to put one archive — or a named map of archives — on a socket without
+    restructuring around asyncio::
 
         with BackgroundServer(path, config) as server:
             client = RlzClient(*server.address)
+            ...
+
+        with BackgroundServer({"gov": gov_path, "wiki": wiki_path}) as server:
+            client = RlzClient(*server.address, archive="wiki")
             ...
 
     ``stop()`` (or leaving the ``with`` block) performs the server's
@@ -396,13 +631,15 @@ class BackgroundServer:
 
     def __init__(
         self,
-        path: Union[str, Path],
+        source: Union[str, Path, Mapping[str, Union[str, Path]]],
         config: Optional[ArchiveConfig] = None,
         max_workers: Optional[int] = None,
+        default: Optional[str] = None,
     ) -> None:
-        self._path = Path(path)
+        self._source = source
         self._config = config or ArchiveConfig()
         self._max_workers = max_workers
+        self._default = default
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[RlzServer] = None
@@ -437,9 +674,17 @@ class BackgroundServer:
         self._thread.start()
 
         async def boot() -> RlzServer:
-            server = RlzServer.open(
-                self._path, self._config, max_workers=self._max_workers
-            )
+            if isinstance(self._source, Mapping):
+                server = RlzServer.open_many(
+                    self._source,
+                    self._config,
+                    default=self._default,
+                    max_workers=self._max_workers,
+                )
+            else:
+                server = RlzServer.open(
+                    self._source, self._config, max_workers=self._max_workers
+                )
             await server.start()
             return server
 

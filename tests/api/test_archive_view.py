@@ -1,10 +1,13 @@
-"""ArchiveView conformance: local archive and socket client, one battery.
+"""ArchiveView conformance: local, socket and cluster views, one battery.
 
-Every test in this module runs twice — once against a local
-:class:`RlzArchive` and once against an :class:`RlzClient` talking to a
-live server over a socket.  The point of the ``ArchiveView`` redesign is
-that the two are indistinguishable: byte-identical documents, identical
-ordering guarantees, identical error *types*.
+Every test in this module runs against each ``ArchiveView``
+implementation: a local :class:`RlzArchive`, an :class:`RlzClient`
+talking to a live server over a socket, a :class:`ClusterClient` fanning
+out over two replica servers — and that same cluster *degraded*, with one
+of its two shards killed before the battery runs (the failover path).
+The point of the ``ArchiveView`` design is that all of them are
+indistinguishable: byte-identical documents, identical ordering
+guarantees, identical error *types*.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from repro.api import (
     RlzArchive,
 )
 from repro.errors import StorageError, StoreClosedError
-from repro.serve import BackgroundServer, RlzClient
+from repro.serve import BackgroundServer, ClusterClient, RlzClient
 
 
 def _config() -> ArchiveConfig:
@@ -38,18 +41,45 @@ def view_archive(tmp_path_factory, gov_small):
     return path
 
 
-@pytest.fixture(scope="module", params=["local", "socket"])
+def _start_cluster(view_archive, replicas=2):
+    servers = [BackgroundServer(view_archive, _config()) for _ in range(replicas)]
+    endpoints = []
+    for server in servers:
+        host, port = server.start()
+        endpoints.append(f"{host}:{port}")
+    return servers, endpoints
+
+
+@pytest.fixture(
+    scope="module", params=["local", "socket", "cluster", "cluster-degraded"]
+)
 def view(request, view_archive):
-    """The same archive behind the two ArchiveView implementations."""
+    """The same archive behind every ArchiveView implementation."""
     if request.param == "local":
         archive = RlzArchive.open(view_archive, _config())
         yield archive
         archive.close()
-    else:
+    elif request.param == "socket":
         with BackgroundServer(view_archive, _config()) as server:
             client = RlzClient(*server.address)
             yield client
             client.close()
+    else:
+        servers, endpoints = _start_cluster(view_archive)
+        client = ClusterClient(
+            endpoints, retries=0, retry_delay=0.01, breaker_cooldown=0.2
+        )
+        if request.param == "cluster-degraded":
+            servers[1].stop()  # one shard dead: everything fails over
+        try:
+            yield client
+        finally:
+            client.close()
+            for server in servers:
+                try:
+                    server.stop()
+                except Exception:
+                    pass
 
 
 def test_implements_archive_view(view):
@@ -104,18 +134,25 @@ def test_stats_is_a_flat_numeric_mapping(view):
         assert isinstance(value, (int, float)), key
 
 
-@pytest.mark.parametrize("kind", ["local", "socket"])
+@pytest.mark.parametrize("kind", ["local", "socket", "cluster"])
 def test_close_is_idempotent_and_fences(view_archive, kind):
     """Run last with private fixtures: closing the shared view would poison
     the module-scoped battery above."""
     if kind == "local":
         target = RlzArchive.open(view_archive, _config())
         cleanup = lambda: None  # noqa: E731 - nothing outside the view
-    else:
+    elif kind == "socket":
         server = BackgroundServer(view_archive, _config())
         server.start()
         target = RlzClient(*server.address)
         cleanup = server.stop
+    else:
+        servers, endpoints = _start_cluster(view_archive)
+        target = ClusterClient(endpoints, retries=0, retry_delay=0.01)
+
+        def cleanup():
+            for background in servers:
+                background.stop()
     try:
         doc_id = target.doc_ids()[0]
         assert target.get(doc_id)

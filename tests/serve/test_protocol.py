@@ -47,8 +47,30 @@ def test_split_frame_rejects_empty():
 # Handshake
 # ----------------------------------------------------------------------
 def test_hello_roundtrip():
-    assert protocol.unpack_hello(protocol.pack_hello()) == protocol.PROTOCOL_VERSION
+    assert protocol.unpack_hello(protocol.pack_hello()) == (
+        protocol.PROTOCOL_VERSION,
+        "",
+    )
+    assert protocol.unpack_hello(protocol.pack_hello(archive="wiki")) == (
+        protocol.PROTOCOL_VERSION,
+        "wiki",
+    )
+    # A legacy v1 HELLO is exactly the 5 original bytes and decodes with
+    # an empty (= default) archive name.
+    legacy = protocol.pack_hello(protocol.PROTOCOL_V1)
+    assert len(legacy) == 5
+    assert protocol.unpack_hello(legacy) == (protocol.PROTOCOL_V1, "")
     assert protocol.unpack_hello_reply(protocol.pack_hello_reply(1)) == 1
+
+
+def test_hello_v1_cannot_name_an_archive():
+    with pytest.raises(ProtocolError, match="version 1"):
+        protocol.pack_hello(protocol.PROTOCOL_V1, archive="wiki")
+
+
+def test_hello_rejects_oversized_archive_name():
+    with pytest.raises(ProtocolError, match="too long"):
+        protocol.pack_hello(archive="x" * 300)
 
 
 def test_hello_rejects_bad_magic():
@@ -61,14 +83,67 @@ def test_hello_rejects_wrong_size():
         protocol.unpack_hello(b"RL")
 
 
+def test_hello_rejects_truncated_archive_name():
+    whole = protocol.pack_hello(archive="wiki")
+    with pytest.raises(ProtocolError, match="archive name"):
+        protocol.unpack_hello(whole[:-2])
+
+
 def test_version_negotiation():
     assert protocol.negotiate_version(protocol.PROTOCOL_VERSION) == (
         protocol.PROTOCOL_VERSION
     )
+    # A v1 client keeps speaking v1; a futuristic client negotiates down.
+    assert protocol.negotiate_version(protocol.PROTOCOL_V1) == protocol.PROTOCOL_V1
+    assert (
+        protocol.negotiate_version(protocol.PROTOCOL_VERSION + 7)
+        == protocol.PROTOCOL_VERSION
+    )
     with pytest.raises(ProtocolError, match="version mismatch"):
-        protocol.negotiate_version(protocol.PROTOCOL_VERSION + 1)
+        protocol.negotiate_version(0)
     with pytest.raises(ProtocolError, match="version mismatch"):
         protocol.checked_version(99)
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        protocol.checked_version(0)
+    assert protocol.checked_version(protocol.PROTOCOL_V1) == protocol.PROTOCOL_V1
+
+
+def test_v2_frame_roundtrip():
+    frame = protocol.encode_frame2(Opcode.GET, 0xDEADBEEF, b"payload")
+    length = protocol.frame_length(frame[:4])
+    assert length == len(frame) - 4
+    opcode, request_id, payload = protocol.split_frame2(frame[4:])
+    assert opcode == Opcode.GET
+    assert request_id == 0xDEADBEEF
+    assert payload == b"payload"
+
+
+def test_v2_frame_rejects_short_body():
+    with pytest.raises(ProtocolError, match="v2 frame"):
+        protocol.split_frame2(b"\x03\x00")
+
+
+def test_scan_roundtrip():
+    assert protocol.unpack_scan(protocol.pack_scan()) == (0, [])
+    assert protocol.unpack_scan(protocol.pack_scan(16, [3, 1, 2])) == (16, [3, 1, 2])
+    with pytest.raises(ProtocolError):
+        protocol.unpack_scan(b"\x00")
+
+
+def test_chunk_roundtrip_preserves_order_and_duplicates():
+    items = [(5, b"five"), (1, b""), (5, b"five"), (-2, b"neg")]
+    assert protocol.unpack_chunk(protocol.pack_chunk(items)) == items
+    assert protocol.unpack_chunk(protocol.pack_chunk([])) == []
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [b"", b"\x00\x00\x00\x01", b"\x00\x00\x00\x01" + b"\x00" * 11,
+     b"\x00\x00\x00\x00" + b"extra"],
+)
+def test_chunk_rejects_corrupt_payloads(corrupt):
+    with pytest.raises(ProtocolError):
+        protocol.unpack_chunk(corrupt)
 
 
 # ----------------------------------------------------------------------

@@ -35,11 +35,15 @@ def live_server(served_archive):
 
 
 def _raw_handshake(host: str, port: int) -> socket.socket:
+    """Handshake as a *version-1* client so the raw frames below stay in
+    the legacy framing (v2 edge cases live in test_protocol_v2.py)."""
     raw = socket.create_connection((host, port), timeout=10)
-    raw.sendall(protocol.encode_frame(Opcode.HELLO, protocol.pack_hello()))
+    raw.sendall(
+        protocol.encode_frame(Opcode.HELLO, protocol.pack_hello(protocol.PROTOCOL_V1))
+    )
     opcode, payload = _read_raw_frame(raw)
     assert opcode == Opcode.R_HELLO
-    assert protocol.unpack_hello_reply(payload) == protocol.PROTOCOL_VERSION
+    assert protocol.unpack_hello_reply(payload) == protocol.PROTOCOL_V1
     return raw
 
 
@@ -83,10 +87,12 @@ def test_server_rejects_oversized_frame(live_server):
 
 
 def test_server_rejects_version_mismatch(live_server):
+    # Version 0 is below the minimum; anything above PROTOCOL_VERSION
+    # negotiates *down* instead of failing (see test_protocol_v2.py).
     host, port = live_server.address
     raw = socket.create_connection((host, port), timeout=10)
     raw.sendall(
-        protocol.encode_frame(Opcode.HELLO, protocol.MAGIC + bytes([99]))
+        protocol.encode_frame(Opcode.HELLO, protocol.MAGIC + bytes([0]))
     )
     opcode, payload = _read_raw_frame(raw)
     assert opcode == Opcode.R_ERROR
@@ -243,10 +249,14 @@ class _FakeServer:
     def _serve(self) -> None:
         conn, _ = self._sock.accept()
         try:
-            _recv_exact(conn, 4 + 1 + 5)  # HELLO frame
+            # Read the HELLO frame (size depends on the client's version),
+            # then negotiate *down* to v1 so the scripts below stay in the
+            # legacy framing.
+            length = protocol.frame_length(_recv_exact(conn, 4))
+            _recv_exact(conn, length)
             conn.sendall(
                 protocol.encode_frame(
-                    Opcode.R_HELLO, protocol.pack_hello_reply()
+                    Opcode.R_HELLO, protocol.pack_hello_reply(protocol.PROTOCOL_V1)
                 )
             )
             # Wait for one request frame, then play the script.
@@ -306,7 +316,8 @@ def test_client_rejects_server_version_mismatch():
     def serve():
         conn, _ = sock.accept()
         try:
-            _recv_exact(conn, 4 + 1 + 5)
+            length = protocol.frame_length(_recv_exact(conn, 4))
+            _recv_exact(conn, length)
             conn.sendall(reply)
             time.sleep(0.1)
         finally:

@@ -99,3 +99,74 @@ def test_rejects_oversized_inputs_early():
 
     with pytest.raises(TypeError):
         CompactJumpIndex(_FakeKeys())
+
+
+# ----------------------------------------------------------------------
+# Probe cache (the hot-key fast path)
+# ----------------------------------------------------------------------
+def _small_index(probe_cache=16):
+    keys = np.sort(np.array([1, 1, 2, 5, 5, 5, 9], dtype=np.uint64))
+    return CompactJumpIndex(keys, probe_cache=probe_cache)
+
+
+def test_probe_cache_counts_hits_and_misses():
+    index = _small_index()
+    assert index.probe_cache_info() == {
+        "hits": 0, "misses": 0, "size": 0, "capacity": 16,
+    }
+    first = index.get(5)
+    assert first == (3, 5)
+    assert index.probe_cache_info()["misses"] == 1
+    assert index.probe_cache_info()["hits"] == 0
+    # The repeat answers from the cache, byte-identical.
+    assert index.get(5) == first
+    info = index.probe_cache_info()
+    assert info == {"hits": 1, "misses": 1, "size": 1, "capacity": 16}
+
+
+def test_probe_cache_remembers_absent_keys():
+    index = _small_index()
+    sentinel = object()
+    assert index.get(777) is None
+    assert index.get(777, sentinel) is sentinel  # cached miss honours default
+    info = index.probe_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    # A cached miss must not shadow a present key.
+    assert index.get(1) == (0, 1)
+
+
+def test_probe_cache_evicts_fifo_beyond_capacity():
+    index = _small_index(probe_cache=2)
+    index.get(1)
+    index.get(2)
+    assert index.probe_cache_info()["size"] == 2
+    index.get(9)  # evicts key 1
+    assert index.probe_cache_info()["size"] == 2
+    index.get(1)  # re-probe: a miss again
+    info = index.probe_cache_info()
+    assert info["hits"] == 0
+    assert info["misses"] == 4
+
+
+def test_probe_cache_disabled_keeps_counters_at_zero():
+    index = _small_index(probe_cache=0)
+    for _ in range(3):
+        assert index.get(5) == (3, 5)
+    assert index.probe_cache_info() == {
+        "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+    }
+    with pytest.raises(ValueError):
+        _small_index(probe_cache=-1)
+
+
+def test_probe_cache_results_match_uncached():
+    rng = random.Random(7)
+    keys = np.sort(
+        np.array([rng.randrange(0, 50) for _ in range(200)], dtype=np.uint64)
+    )
+    cached = CompactJumpIndex(keys, probe_cache=8)
+    uncached = CompactJumpIndex(keys, probe_cache=0)
+    for _ in range(500):
+        key = rng.randrange(0, 60)
+        assert cached.get(key) == uncached.get(key), key
+    assert cached.probe_cache_info()["hits"] > 0

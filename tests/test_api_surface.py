@@ -28,8 +28,11 @@ TOP_LEVEL_EXPORTS = {
     # network serving
     "AsyncRlzClient",
     "BackgroundServer",
+    "ClusterClient",
     "RlzClient",
+    "RlzRouter",
     "RlzServer",
+    "ShardMap",
     # cache tiers
     "CacheTier",
     "LruCache",
@@ -65,6 +68,7 @@ TOP_LEVEL_EXPORTS = {
     "ProtocolError",
     "ReproError",
     "SearchError",
+    "ServerBusyError",
     "StorageError",
     "StoreClosedError",
     # metadata
@@ -89,13 +93,18 @@ API_EXPORTS = {
 SERVE_EXPORTS = {
     "AsyncRlzClient",
     "BackgroundServer",
+    "CircuitBreaker",
+    "ClusterClient",
     "ConnectionStats",
     "ERROR_CODES",
     "MAGIC",
     "Opcode",
+    "PROTOCOL_V1",
     "PROTOCOL_VERSION",
     "RlzClient",
+    "RlzRouter",
     "RlzServer",
+    "ShardMap",
 }
 
 STORAGE_EXPORTS = {
