@@ -98,6 +98,26 @@ def test_fastpath_cluster(benchmark, results_path):
     assert "pipelined 1-conn speedup over v1 request/response:" in notes
 
 
+def test_fastpath_chaos(benchmark, results_path):
+    """Record the chaos comparison (one delay-faulted shard, hedging off
+    vs on) and verify every served byte across all four legs."""
+    from repro.bench.chaos import chaos_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        chaos_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "served bytes verified against corpus: True" in notes
+    assert "hedging" in notes
+
+
 def test_fastpath_large_dictionary(benchmark, results_path):
     """Verify the compact jump index is active (no silent fallback) for a
     dictionary above the old 1 MiB gate, with seed-identical streams."""

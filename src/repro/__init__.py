@@ -80,6 +80,8 @@ from .errors import (
     BenchmarkError,
     ConfigurationError,
     CorpusError,
+    CorruptArchiveError,
+    DeadlineExceededError,
     DecodingError,
     DictionaryError,
     EncodingError,
@@ -120,6 +122,8 @@ __all__ = [
     "CompressionReport",
     "ConfigurationError",
     "CorpusError",
+    "CorruptArchiveError",
+    "DeadlineExceededError",
     "DecodingError",
     "DictionaryConfig",
     "DictionaryError",

@@ -22,9 +22,11 @@ from .async_front import AsyncRlzArchive
 from .config import (
     ArchiveConfig,
     CacheSpec,
+    DeadlineSpec,
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
+    RetrySpec,
     ServeSpec,
 )
 from .view import ArchiveView, AsyncArchiveView
@@ -36,10 +38,12 @@ __all__ = [
     "AsyncArchiveView",
     "AsyncRlzArchive",
     "CacheSpec",
+    "DeadlineSpec",
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
     "RequestStats",
+    "RetrySpec",
     "RlzArchive",
     "ServeSpec",
 ]

@@ -1,0 +1,200 @@
+"""Chaos benchmark: what a slow shard costs, and what hedging buys back.
+
+The fault-tolerance PR's measurable claim: with one of two replicas
+behind a fault-injecting proxy that delays 10 % of its response chunks
+by 300 ms, tail latency explodes for a plain cluster client — and a
+hedged client (:class:`ClusterClient` with ``hedge_delay``) pulls the
+p99 back to roughly the hedge delay plus a clean round trip, while p50
+and byte-correctness are untouched.
+
+Four legs over the same shuffled query log and the same two-server
+topology (the proxy stays in the path for the clean legs, so only the
+fault plan differs): clean vs faulted, hedging off vs on.  Every served
+byte is verified against the corpus, and a JSON record
+(``"benchmark": "fastpath-chaos"``) is appended to the same history as
+the other fast-path experiments; the frozen seed baselines in
+:mod:`repro.bench.fastpath` are untouched.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..api import (
+    ArchiveConfig,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    ServeSpec,
+)
+from ..corpus.document import DocumentCollection
+from ..serve import BackgroundServer, ClusterClient
+from ..testing import FaultPlan, FaultProxy
+from .corpora import gov_collection
+from .fastpath import _append_json_record
+from .reporting import ResultTable
+from .scale import BenchScale, current_scale
+
+__all__ = ["chaos_benchmark"]
+
+
+def _percentile(sorted_values: List[float], quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(quantile * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def chaos_benchmark(
+    collection: Optional[DocumentCollection] = None,
+    scale: Optional[BenchScale] = None,
+    dictionary_label: str = "1.0",
+    scheme: str = "ZZ",
+    serving_repeats: int = 2,
+    cache_capacity: int = 128,
+    fault_delay_seconds: float = 0.3,
+    fault_probability: float = 0.1,
+    hedge_delay: float = 0.025,
+    output_json: Optional[str | Path] = None,
+) -> ResultTable:
+    """Measure cluster tail latency with a delay-faulted shard, ± hedging.
+
+    Builds one archive, serves it from two replica servers with a
+    :class:`~repro.testing.FaultProxy` in front of the first, and replays
+    the shuffled log as per-request ``get`` calls four ways: (clean,
+    faulted) × (hedging off, hedging on).  Reports p50/p99 per leg,
+    byte-verifies every response, and optionally appends a JSON record to
+    ``output_json``.
+    """
+    scale = scale or current_scale()
+    collection = collection if collection is not None else gov_collection(scale)
+    contents = {document.doc_id: document.content for document in collection}
+
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(
+            size=scale.dictionary_sizes[dictionary_label],
+            sample_size=scale.default_sample_size,
+        ),
+        encoding=EncodingSpec(scheme=scheme),
+        cache=CacheSpec(tier="lru", capacity=cache_capacity),
+        serve=ServeSpec(),
+    )
+
+    doc_ids = sorted(contents)
+    access_log = doc_ids * serving_repeats
+    random.Random(0).shuffle(access_log)
+    requests = len(access_log)
+
+    clean_plan = FaultPlan()
+    fault_plan = FaultPlan(
+        delay_seconds=fault_delay_seconds, delay_probability=fault_probability
+    )
+    legs = [
+        ("clean/unhedged", clean_plan, 0.0),
+        ("clean/hedged", clean_plan, hedge_delay),
+        ("faulted/unhedged", fault_plan, 0.0),
+        ("faulted/hedged", fault_plan, hedge_delay),
+    ]
+
+    verified: Dict[str, bool] = {}
+    leg_results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "chaos.rlz"
+        RlzArchive.build(collection, config, path).close()
+        with BackgroundServer(path, config) as slow, BackgroundServer(
+            path, config
+        ) as fast:
+            slow_host, slow_port = slow.address
+            fast_host, fast_port = fast.address
+            with FaultProxy(slow_host, slow_port, clean_plan, seed=1) as proxy:
+                endpoints = [proxy.address, f"{fast_host}:{fast_port}"]
+                for label, plan, leg_hedge in legs:
+                    proxy.plan = plan
+                    with ClusterClient(
+                        endpoints, hedge_delay=leg_hedge, timeout=30.0
+                    ) as cluster:
+                        latencies = []
+                        identical = True
+                        start = time.perf_counter()
+                        for doc_id in access_log:
+                            began = time.perf_counter()
+                            document = cluster.get(doc_id)
+                            latencies.append(time.perf_counter() - began)
+                            identical &= document == contents[doc_id]
+                        elapsed = time.perf_counter() - start
+                        verified[f"{label}_identical"] = identical
+                        latencies.sort()
+                        leg_results.append(
+                            {
+                                "leg": label,
+                                "faulted": plan is fault_plan,
+                                "hedged": leg_hedge > 0,
+                                "seconds": elapsed,
+                                "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+                                "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+                                "hedges": cluster.hedges,
+                                "hedge_wins": cluster.hedge_wins,
+                            }
+                        )
+                injected_delays = proxy.counters.snapshot()["delays"]
+
+    table = ResultTable(
+        title="Chaos serving: one delay-faulted shard, hedging off vs on",
+        headers=["Leg", "Seconds", "p50 ms", "p99 ms"],
+    )
+    for leg in leg_results:
+        table.add_row(leg["leg"], leg["seconds"], leg["p50_ms"], leg["p99_ms"])
+
+    all_ok = all(verified.values())
+    by_leg = {leg["leg"]: leg for leg in leg_results}
+    recovered = (
+        by_leg["faulted/unhedged"]["p99_ms"] / by_leg["faulted/hedged"]["p99_ms"]
+        if by_leg["faulted/hedged"]["p99_ms"] > 0
+        else 0.0
+    )
+    table.add_note(f"served bytes verified against corpus: {all_ok}")
+    table.add_note(
+        f"fault: {fault_probability:.0%} of one shard's response chunks "
+        f"delayed {fault_delay_seconds * 1000:.0f} ms "
+        f"({injected_delays} delays injected)"
+    )
+    table.add_note(
+        f"hedging (delay {hedge_delay * 1000:.0f} ms) cut the faulted p99 "
+        f"{recovered:.1f}x: {by_leg['faulted/unhedged']['p99_ms']:.1f} ms -> "
+        f"{by_leg['faulted/hedged']['p99_ms']:.1f} ms "
+        f"({by_leg['faulted/hedged']['hedges']} hedges, "
+        f"{by_leg['faulted/hedged']['hedge_wins']} backup wins)"
+    )
+    table.add_note(
+        f"query log: {requests} requests over {len(doc_ids)} documents "
+        f"(x{serving_repeats}) per leg"
+    )
+
+    if output_json is not None:
+        record = {
+            "benchmark": "fastpath-chaos",
+            "scale": scale.name,
+            "collection": collection.name,
+            "documents": len(doc_ids),
+            "requests": requests,
+            "serving_repeats": serving_repeats,
+            "scheme": scheme,
+            "cache_capacity": cache_capacity,
+            "fault": {
+                "delay_seconds": fault_delay_seconds,
+                "delay_probability": fault_probability,
+                "delays_injected": injected_delays,
+            },
+            "hedge_delay": hedge_delay,
+            "legs": leg_results,
+            "verified": verified,
+        }
+        json_path = _append_json_record(output_json, record)
+        table.add_note(f"JSON record appended to {json_path}")
+
+    return table

@@ -25,6 +25,7 @@ from .experiments import (
     sampling_policy_ablation_table,
 )
 from .fastpath import fastpath_benchmark, large_dictionary_benchmark
+from .chaos import chaos_benchmark
 from .cluster import cluster_benchmark
 from .network import network_benchmark
 from .reporting import ResultTable
@@ -128,6 +129,10 @@ def _fastpath_cluster() -> ResultTable:
     return cluster_benchmark()
 
 
+def _fastpath_chaos() -> ResultTable:
+    return chaos_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -149,6 +154,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "fastpath-serving": _fastpath_serving,
     "fastpath-network": _fastpath_network,
     "fastpath-cluster": _fastpath_cluster,
+    "fastpath-chaos": _fastpath_chaos,
 }
 
 

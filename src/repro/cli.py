@@ -19,6 +19,11 @@ loop) and can append its record to the fast-path JSON history.
 (:class:`repro.serve.RlzServer`); ``repro get`` retrieves documents from
 either a local archive path or — with ``--connect host:port`` — a running
 server, through the same :class:`repro.api.ArchiveView` code path.
+
+``repro verify PATH`` scans a container end-to-end against its embedded
+CRC32 checksum table (:func:`repro.storage.verify_container`) and exits
+non-zero if any section or payload extent fails — a single flipped byte
+anywhere in a checksummed extent is detected.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ __all__ = [
     "serve_bench_main",
     "serve_main",
     "get_main",
+    "verify_main",
     "main",
 ]
 
@@ -549,6 +555,52 @@ def get_main(argv: Optional[Sequence[str]] = None) -> int:
     return status
 
 
+def verify_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Scan container files against their embedded checksum tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description=(
+            "Verify the integrity of container files written by repro "
+            "compress: every header section and payload extent is checked "
+            "against the CRC32 table embedded at build time.  Exits 1 on "
+            "the first corrupt file."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH", help="container file(s) to verify"
+    )
+    args = parser.parse_args(argv)
+
+    from .errors import CorruptArchiveError, StorageError
+    from .storage import verify_container
+
+    status = 0
+    for path in args.paths:
+        try:
+            report = verify_container(path)
+        except CorruptArchiveError as exc:
+            print(f"repro verify: CORRUPT: {exc}", file=sys.stderr)
+            status = 1
+        except (StorageError, OSError) as exc:
+            print(f"repro verify: cannot verify {path!r}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            if report["verifiable"]:
+                print(
+                    f"{path}: OK ({report['store_type']} store, "
+                    f"{report['documents']} documents, "
+                    f"{report['extents_checked']} extents, "
+                    f"{report['bytes_checked']:,} payload bytes verified)"
+                )
+            else:
+                print(
+                    f"{path}: legacy {report['format']} container has no "
+                    f"checksums; rebuild with this version to enable "
+                    f"verification"
+                )
+    return status
+
+
 _SUBCOMMANDS = {
     "corpus": corpus_main,
     "compress": compress_main,
@@ -556,6 +608,7 @@ _SUBCOMMANDS = {
     "serve-bench": serve_bench_main,
     "serve": serve_main,
     "get": get_main,
+    "verify": verify_main,
 }
 
 

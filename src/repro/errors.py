@@ -41,6 +41,17 @@ class StoreClosedError(StorageError):
     """
 
 
+class CorruptArchiveError(StorageError):
+    """Raised when stored bytes fail their recorded CRC-32 checksum.
+
+    Subclasses :class:`StorageError` (corruption is a storage failure),
+    but the dedicated type separates "the disk lied" from "the request
+    was wrong": a flipped bit in a container block or dictionary raises
+    this instead of silently decoding wrong bytes.  ``repro verify``
+    scans a whole archive for it.
+    """
+
+
 class ConfigurationError(ReproError):
     """Raised when an :class:`repro.api.ArchiveConfig` (or one of its spec
     dataclasses) is inconsistent or names an unknown tier/scheme/policy."""
@@ -53,6 +64,18 @@ class ProtocolError(ReproError):
     protocol versions, oversized or truncated frames, and responses that
     do not parse.  A connection that raised it cannot be trusted further
     and is closed by whichever side detected the problem.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a request's deadline passed before its result arrived.
+
+    Deadlines propagate on the wire (protocol v3 tags every request with
+    a millisecond budget), so this is raised on *both* sides: the server
+    answers ``R_TIMEOUT`` for work whose deadline expired while queueing
+    (instead of decoding a document nobody is waiting for), and clients
+    raise it locally once the budget is spent — including time lost to
+    dial retries and backoff sleeps.  The connection itself is fine.
     """
 
 

@@ -26,7 +26,14 @@ machine boundary:
 * :class:`ClusterClient` — one ``ArchiveView`` over N endpoints:
   consistent-hash routing (:class:`ShardMap`), per-endpoint
   :class:`CircuitBreaker`\\ s, ordered ``get_many`` fan-out/fan-in and
-  failover that keeps results byte-identical when a shard dies.
+  failover that keeps results byte-identical when a shard dies;
+* :mod:`repro.serve.retry` — the fault-tolerance primitives: protocol v3
+  propagates per-request **deadlines** (:class:`Deadline`) on the wire so
+  servers drop expired work, every client retry draws from a shared
+  token-bucket :class:`RetryBudget` so brownouts are not amplified, and
+  ``R_BUSY`` replies carry queue depth + a retry-after hint honoured with
+  jittered backoff.  ``ClusterClient`` can additionally *hedge* reads
+  (``hedge_delay``) to cut the tail of one slow shard.
 
 Configuration lives in :class:`repro.api.ServeSpec` (the ``serve`` section
 of :class:`repro.api.ArchiveConfig`); the CLI front ends are ``repro
@@ -36,7 +43,16 @@ separated endpoints fan out through a :class:`ClusterClient`).
 
 from .client import AsyncRlzClient, RlzClient
 from .cluster import CircuitBreaker, ClusterClient, ShardMap
-from .protocol import ERROR_CODES, MAGIC, PROTOCOL_V1, PROTOCOL_VERSION, Opcode
+from .protocol import (
+    ERROR_CODES,
+    MAGIC,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    PROTOCOL_V3,
+    PROTOCOL_VERSION,
+    Opcode,
+)
+from .retry import Deadline, RetryBudget
 from .router import RlzRouter
 from .server import BackgroundServer, ConnectionStats, RlzServer
 
@@ -46,11 +62,15 @@ __all__ = [
     "CircuitBreaker",
     "ClusterClient",
     "ConnectionStats",
+    "Deadline",
     "ERROR_CODES",
     "MAGIC",
     "Opcode",
     "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_V3",
     "PROTOCOL_VERSION",
+    "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",

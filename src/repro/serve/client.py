@@ -28,6 +28,18 @@ version-2 server every request carries a request id, which buys:
   queueing server-side, and surfaces to the cluster layer so it can
   re-route to a replica.
 
+Against a version-3 server both clients also speak the fault-tolerance
+extensions: every request frame carries the call's remaining **deadline**
+(the server drops work whose deadline expired while queueing and answers
+``R_TIMEOUT``, which surfaces here as
+:class:`~repro.errors.DeadlineExceededError`), ``R_BUSY`` payloads carry
+the server's queue depth and a **retry-after hint** that replaces blind
+exponential backoff, and ``health()`` exposes the per-archive load
+snapshot.  All retries — dials, dead connections, busy backoff — draw
+from a shared token-bucket :class:`~repro.serve.retry.RetryBudget`, so a
+browned-out server sees retry traffic capped at the budget's refill rate
+instead of multiplied by it.
+
 Against a version-1 server every path falls back to PR 4's strict
 request/response behaviour — the negotiation keeps old servers working.
 
@@ -51,9 +63,15 @@ import time
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ProtocolError, ServerBusyError, StoreClosedError
+from ..errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServerBusyError,
+    StoreClosedError,
+)
 from . import protocol
 from .protocol import Opcode
+from .retry import Deadline, RetryBudget, full_jitter, hinted_backoff
 
 __all__ = ["AsyncRlzClient", "RlzClient"]
 
@@ -120,6 +138,16 @@ class RlzClient:
     protocol_version:
         Highest protocol version to announce (the server negotiates
         down).  Pass ``1`` to force the legacy request/response protocol.
+    deadline_ms:
+        Default per-request deadline in milliseconds (0 = none).  The
+        remaining budget rides on every protocol-v3 request frame and
+        bounds the client's own dials, retries and socket waits; per-call
+        ``deadline_ms=`` arguments override it.
+    retry_budget:
+        The token-bucket :class:`~repro.serve.retry.RetryBudget` every
+        retry draws from.  Pass a shared instance to cap retry volume
+        across many clients (the cluster does); ``None`` creates a
+        private default bucket.
     """
 
     def __init__(
@@ -134,6 +162,8 @@ class RlzClient:
         pool_size: int = 2,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         protocol_version: int = protocol.PROTOCOL_VERSION,
+        deadline_ms: int = 0,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if retries < 0:
             raise ProtocolError("retries must be non-negative")
@@ -156,6 +186,10 @@ class RlzClient:
         self._pool_size = pool_size
         self._max_frame_bytes = max_frame_bytes
         self._protocol_version = protocol_version
+        if deadline_ms < 0:
+            raise ProtocolError("deadline_ms must be non-negative")
+        self._deadline_ms = deadline_ms
+        self._budget = retry_budget if retry_budget is not None else RetryBudget()
         self._pool: List[_SyncConnection] = []
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -196,23 +230,52 @@ class RlzClient:
             sock.close()
             raise
 
-    def _dial(self) -> _SyncConnection:
+    def _dial(self, deadline: Optional[Deadline] = None) -> _SyncConnection:
+        # Full-jittered exponential backoff: after a server restart every
+        # waiting client recomputes the same exponential delay, and
+        # sleeping uniform(0, delay) spreads the reconnect herd instead of
+        # slamming the fresh listener in lockstep.
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
             try:
                 return self._dial_once()
             except (ConnectionError, socket.timeout, OSError):
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                time.sleep(delay)
+                if deadline is not None:
+                    deadline.check("dial")
+                time.sleep(full_jitter(delay))
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _checkout(self) -> _SyncConnection:
+    def _deadline_for(self, deadline_ms: Optional[int]) -> Optional[Deadline]:
+        """The call's deadline: explicit per-call, else the client default."""
+        if deadline_ms is None:
+            deadline_ms = self._deadline_ms
+        if deadline_ms < 0:
+            raise ProtocolError("deadline_ms must be non-negative")
+        return Deadline.from_ms(deadline_ms)
+
+    @staticmethod
+    def _encode_request(
+        conn: _SyncConnection,
+        opcode: int,
+        request_id: int,
+        payload: bytes,
+        deadline: Optional[Deadline],
+    ) -> bytes:
+        """A request frame in the connection's negotiated framing (v3
+        frames carry the call's remaining deadline budget)."""
+        if conn.version >= protocol.PROTOCOL_V3:
+            wire_ms = deadline.wire_ms() if deadline is not None else 0
+            return protocol.encode_frame3(opcode, request_id, wire_ms, payload)
+        return protocol.encode_frame2(opcode, request_id, payload)
+
+    def _checkout(self, deadline: Optional[Deadline] = None) -> _SyncConnection:
         with self._pool_lock:
             if self._pool:
                 return self._pool.pop()
-        return self._dial()
+        return self._dial(deadline)
 
     def _checkin(self, conn: _SyncConnection) -> None:
         with self._pool_lock:
@@ -230,10 +293,15 @@ class RlzClient:
         length = protocol.frame_length(prefix, self._max_frame_bytes)
         return protocol.split_frame(_recv_exact(sock, length))
 
-    def _read_frame2(self, sock: socket.socket) -> Tuple[int, int, bytes]:
-        prefix = _recv_exact(sock, 4)
+    def _read_frame2(self, conn: "_SyncConnection") -> Tuple[int, int, bytes]:
+        """One reply frame in the connection's negotiated framing (v3
+        replies carry — and are verified against — a trailing CRC32)."""
+        prefix = _recv_exact(conn.sock, 4)
         length = protocol.frame_length(prefix, self._max_frame_bytes)
-        return protocol.split_frame2(_recv_exact(sock, length))
+        body = _recv_exact(conn.sock, length)
+        if conn.version >= protocol.PROTOCOL_V3:
+            return protocol.split_reply3(body)
+        return protocol.split_frame2(body)
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -245,13 +313,19 @@ class RlzClient:
     # Request/response core
     # ------------------------------------------------------------------
     def _exchange(
-        self, conn: _SyncConnection, opcode: int, payload: bytes, expect: int
+        self,
+        conn: _SyncConnection,
+        opcode: int,
+        payload: bytes,
+        expect: int,
+        deadline: Optional[Deadline] = None,
     ) -> bytes:
         """One exchange on an already-negotiated connection.
 
         Raises the transported error for ``R_ERROR`` replies; retries
-        ``R_BUSY`` with backoff.  Connection-level failures propagate for
-        the caller's retry loop.
+        ``R_BUSY`` with backoff (honouring the server's retry-after hint
+        and spending the retry budget).  Connection-level failures
+        propagate for the caller's retry loop.
         """
         if conn.version < 2:
             self._send(conn.sock, protocol.encode_frame(opcode, payload))
@@ -259,9 +333,26 @@ class RlzClient:
             return self._check_reply(reply, body, expect)
         delay = self._retry_delay
         for busy in range(self._busy_retries + 1):
+            if deadline is not None:
+                deadline.check()
+                # Never wait on the socket past the call's deadline.
+                conn.sock.settimeout(min(self._timeout, deadline.remaining()))
             request_id = conn.next_request_id()
-            self._send(conn.sock, protocol.encode_frame2(opcode, request_id, payload))
-            reply, reply_id, body = self._read_frame2(conn.sock)
+            try:
+                self._send(
+                    conn.sock,
+                    self._encode_request(conn, opcode, request_id, payload, deadline),
+                )
+                reply, reply_id, body = self._read_frame2(conn)
+            except socket.timeout:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        "request deadline exceeded waiting for the server"
+                    ) from None
+                raise
+            finally:
+                if deadline is not None:
+                    conn.sock.settimeout(self._timeout)
             if reply == Opcode.R_ERROR and reply_id == 0:
                 # Request id 0 is reserved: a connection-level error (the
                 # server could not attribute it to any single request).
@@ -271,13 +362,22 @@ class RlzClient:
                     f"response correlation broke: sent request {request_id}, "
                     f"got a reply for {reply_id}"
                 )
+            if reply == Opcode.R_TIMEOUT:
+                raise DeadlineExceededError(
+                    body.decode("utf-8", "replace") or "request deadline exceeded"
+                )
             if reply == Opcode.R_BUSY:
                 self._busy_seen += 1
+                retry_after_ms, _depth = protocol.unpack_busy(body)
                 if busy == self._busy_retries:
                     raise ServerBusyError(
                         f"server still busy after {self._busy_retries} retries"
                     )
-                time.sleep(delay)
+                if not self._budget.spend():
+                    raise ServerBusyError(
+                        "server busy and the client retry budget is exhausted"
+                    )
+                time.sleep(hinted_backoff(retry_after_ms / 1000.0, delay))
                 delay *= 2
                 continue
             return self._check_reply(reply, body, expect)
@@ -294,25 +394,40 @@ class RlzClient:
             )
         return body
 
-    def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
+    def _request(
+        self,
+        opcode: int,
+        payload: bytes,
+        expect: int,
+        deadline_ms: Optional[int] = None,
+    ) -> bytes:
         """One request/response exchange, retried on connection failure.
 
         Every request opcode is idempotent (pure reads), so a connection
         that dies before the response completes is safely retried on a
         fresh one.  Structured error frames re-raise the server-side
-        error; they are never retried.
+        error; they are never retried.  The whole loop — dial, retries,
+        backoff sleeps — runs inside the call's deadline.
         """
         self._ensure_open()
+        deadline = self._deadline_for(deadline_ms)
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
-            conn = self._checkout()
+            conn = self._checkout(deadline)
             try:
-                body = self._exchange(conn, opcode, payload, expect)
+                body = self._exchange(conn, opcode, payload, expect, deadline)
+            except DeadlineExceededError:
+                # A reply (the server's R_TIMEOUT or our own local check)
+                # may still be in flight on the wire: never pool it.
+                conn.close()
+                raise
             except (ConnectionError, socket.timeout, OSError):
                 conn.close()
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                time.sleep(delay)
+                if deadline is not None:
+                    deadline.check()
+                time.sleep(full_jitter(delay))
                 delay *= 2
                 continue
             except ProtocolError:
@@ -332,7 +447,12 @@ class RlzClient:
     # ------------------------------------------------------------------
     # Pipelining
     # ------------------------------------------------------------------
-    def pipelined_get(self, doc_ids: Sequence[int], window: int = 32) -> List[bytes]:
+    def pipelined_get(
+        self,
+        doc_ids: Sequence[int],
+        window: int = 32,
+        deadline_ms: Optional[int] = None,
+    ) -> List[bytes]:
         """Batch retrieval over *one* connection with requests in flight.
 
         Keeps up to ``window`` GET requests outstanding and correlates
@@ -348,22 +468,28 @@ class RlzClient:
         if window < 1:
             raise ProtocolError("window must be at least 1")
         self._ensure_open()
+        deadline = self._deadline_for(deadline_ms)
         doc_ids = list(doc_ids)
         results: List = [_UNSET] * len(doc_ids)
         if not doc_ids:
             return []
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
-            conn = self._checkout()
+            conn = self._checkout(deadline)
             if conn.version < 2:
                 return self._sequential_get(conn, doc_ids, results)
             try:
-                self._pipeline_on(conn, doc_ids, results, window)
+                self._pipeline_on(conn, doc_ids, results, window, deadline)
+            except DeadlineExceededError:
+                conn.close()
+                raise
             except (ConnectionError, socket.timeout, OSError):
                 conn.close()
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                time.sleep(delay)
+                if deadline is not None:
+                    deadline.check()
+                time.sleep(full_jitter(delay))
                 delay *= 2
                 continue
             except ProtocolError:
@@ -399,6 +525,7 @@ class RlzClient:
         doc_ids: Sequence[int],
         results: List,
         window: int,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Run the pipelined window on one v2 connection, filling ``results``.
 
@@ -411,17 +538,34 @@ class RlzClient:
         pending: Dict[int, int] = {}
         busy_budget = self._busy_retries * max(1, len(to_send))
         while to_send or pending:
+            if deadline is not None:
+                deadline.check()
+                conn.sock.settimeout(min(self._timeout, deadline.remaining()))
             while to_send and len(pending) < window:
                 index = to_send.popleft()
                 request_id = conn.next_request_id()
                 pending[request_id] = index
                 self._send(
                     conn.sock,
-                    protocol.encode_frame2(
-                        Opcode.GET, request_id, protocol.pack_doc_id(doc_ids[index])
+                    self._encode_request(
+                        conn,
+                        Opcode.GET,
+                        request_id,
+                        protocol.pack_doc_id(doc_ids[index]),
+                        deadline,
                     ),
                 )
-            reply, reply_id, body = self._read_frame2(conn.sock)
+            try:
+                reply, reply_id, body = self._read_frame2(conn)
+            except socket.timeout:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        "pipelined get deadline exceeded"
+                    ) from None
+                raise
+            finally:
+                if deadline is not None:
+                    conn.sock.settimeout(self._timeout)
             if reply == Opcode.R_ERROR and reply_id == 0:
                 protocol.raise_error_frame(body)  # connection-level error
             index = pending.pop(reply_id, None)
@@ -432,14 +576,25 @@ class RlzClient:
                 )
             if reply == Opcode.R_DOC:
                 results[index] = body
+            elif reply == Opcode.R_TIMEOUT:
+                raise DeadlineExceededError(
+                    body.decode("utf-8", "replace") or "request deadline exceeded"
+                )
             elif reply == Opcode.R_BUSY:
                 self._busy_seen += 1
+                retry_after_ms, _depth = protocol.unpack_busy(body)
                 busy_budget -= 1
                 if busy_budget < 0:
                     raise ServerBusyError(
                         "server still busy after the pipelined retry budget"
                     )
-                time.sleep(self._retry_delay)
+                if not self._budget.spend():
+                    raise ServerBusyError(
+                        "server busy and the client retry budget is exhausted"
+                    )
+                time.sleep(
+                    hinted_backoff(retry_after_ms / 1000.0, self._retry_delay)
+                )
                 to_send.append(index)
             elif reply == Opcode.R_ERROR:
                 protocol.raise_error_frame(body)
@@ -451,15 +606,19 @@ class RlzClient:
     # ------------------------------------------------------------------
     # ArchiveView
     # ------------------------------------------------------------------
-    def get(self, doc_id: int) -> bytes:
+    def get(self, doc_id: int, deadline_ms: Optional[int] = None) -> bytes:
         """One decoded document from the remote archive."""
-        return self._request(Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC)
+        return self._request(
+            Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC, deadline_ms
+        )
 
-    def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+    def get_many(
+        self, doc_ids: Sequence[int], deadline_ms: Optional[int] = None
+    ) -> List[bytes]:
         """Batch retrieval; the reply preserves request order."""
         doc_ids = list(doc_ids)
         body = self._request(
-            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS
+            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS, deadline_ms
         )
         documents = protocol.unpack_documents(body)
         if len(documents) != len(doc_ids):
@@ -507,13 +666,15 @@ class RlzClient:
                 request_id = conn.next_request_id()
                 self._send(
                     conn.sock,
-                    protocol.encode_frame2(
+                    self._encode_request(
+                        conn,
                         Opcode.SCAN,
                         request_id,
                         protocol.pack_scan(chunk_docs, doc_ids),
+                        None,
                     ),
                 )
-                reply, reply_id, body = self._read_frame2(conn.sock)
+                reply, reply_id, body = self._read_frame2(conn)
                 if reply == Opcode.R_ERROR and reply_id == 0:
                     protocol.raise_error_frame(body)  # connection-level error
                 if reply_id != request_id:
@@ -523,11 +684,16 @@ class RlzClient:
                     )
                 if reply == Opcode.R_BUSY and not started:
                     self._busy_seen += 1
+                    retry_after_ms, _depth = protocol.unpack_busy(body)
                     if busy == self._busy_retries:
                         raise ServerBusyError(
                             f"server still busy after {self._busy_retries} retries"
                         )
-                    time.sleep(delay)
+                    if not self._budget.spend():
+                        raise ServerBusyError(
+                            "server busy and the client retry budget is exhausted"
+                        )
+                    time.sleep(hinted_backoff(retry_after_ms / 1000.0, delay))
                     delay *= 2
                     continue
                 while True:
@@ -544,7 +710,7 @@ class RlzClient:
                     started = True
                     for item in protocol.unpack_chunk(body):
                         yield item
-                    reply, reply_id, body = self._read_frame2(conn.sock)
+                    reply, reply_id, body = self._read_frame2(conn)
                     if reply == Opcode.R_ERROR and reply_id == 0:
                         protocol.raise_error_frame(body)  # connection-level
                     if reply_id != request_id:
@@ -616,6 +782,16 @@ class RlzClient:
             self._request(Opcode.STATS, b"", Opcode.R_STATS)
         )
 
+    def health(self) -> Dict[str, Dict[str, float]]:
+        """Per-archive readiness/load from the server's HEALTH opcode.
+
+        Served without queueing at the inflight gate, so it answers even
+        while the server is saturated (requires a protocol-v3 server).
+        """
+        return protocol.unpack_health(
+            self._request(Opcode.HEALTH, b"", Opcode.R_HEALTH)
+        )
+
     def ping(self) -> float:
         """Round-trip time of an empty request, in seconds."""
         start = time.perf_counter()
@@ -642,6 +818,11 @@ class RlzClient:
     def busy_hints(self) -> int:
         """How many R_BUSY backpressure hints this client has absorbed."""
         return self._busy_seen
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        """The token bucket this client's retries draw from."""
+        return self._budget
 
     def close(self) -> None:
         """Close every pooled connection (idempotent)."""
@@ -733,6 +914,8 @@ class AsyncRlzClient:
         pool_size: int = 2,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         protocol_version: int = protocol.PROTOCOL_VERSION,
+        deadline_ms: int = 0,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if retries < 0:
             raise ProtocolError("retries must be non-negative")
@@ -745,6 +928,8 @@ class AsyncRlzClient:
                 f"protocol_version must be in "
                 f"[{protocol.PROTOCOL_V1}, {protocol.PROTOCOL_VERSION}]"
             )
+        if deadline_ms < 0:
+            raise ProtocolError("deadline_ms must be non-negative")
         self._host = host
         self._port = port
         self._archive = archive
@@ -755,6 +940,8 @@ class AsyncRlzClient:
         self._pool_size = pool_size
         self._max_frame_bytes = max_frame_bytes
         self._protocol_version = protocol_version
+        self._deadline_ms = deadline_ms
+        self._budget = retry_budget if retry_budget is not None else RetryBudget()
         self._pool: List[_AsyncConnection] = []
         self._mux: Optional[_AsyncConnection] = None
         # Created lazily inside a coroutine: asyncio primitives must bind
@@ -830,7 +1017,10 @@ class AsyncRlzClient:
                 prefix = await conn.reader.readexactly(4)
                 length = protocol.frame_length(prefix, self._max_frame_bytes)
                 body = await conn.reader.readexactly(length)
-                opcode, request_id, payload = protocol.split_frame2(body)
+                if conn.version >= protocol.PROTOCOL_V3:
+                    opcode, request_id, payload = protocol.split_reply3(body)
+                else:
+                    opcode, request_id, payload = protocol.split_frame2(body)
                 if opcode == Opcode.R_ERROR and request_id == 0:
                     # Connection-level error: fail every in-flight request
                     # with the server's actual complaint.
@@ -858,14 +1048,16 @@ class AsyncRlzClient:
         return await self._dial()
 
     async def _dial(self) -> _AsyncConnection:
+        # Full-jittered exponential backoff — same herd-spreading argument
+        # as the synchronous client's _dial.
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
             try:
                 return await self._dial_once()
             except (ConnectionError, asyncio.TimeoutError, OSError):
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                await asyncio.sleep(delay)
+                await asyncio.sleep(full_jitter(delay))
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -894,8 +1086,23 @@ class AsyncRlzClient:
     # ------------------------------------------------------------------
     # Request/response core
     # ------------------------------------------------------------------
-    async def _request(self, opcode: int, payload: bytes, expect: int) -> bytes:
+    def _deadline_for(self, deadline_ms: Optional[int]) -> Optional[Deadline]:
+        """The call's deadline: explicit per-call, else the client default."""
+        if deadline_ms is None:
+            deadline_ms = self._deadline_ms
+        if deadline_ms < 0:
+            raise ProtocolError("deadline_ms must be non-negative")
+        return Deadline.from_ms(deadline_ms)
+
+    async def _request(
+        self,
+        opcode: int,
+        payload: bytes,
+        expect: int,
+        deadline_ms: Optional[int] = None,
+    ) -> bytes:
         self._ensure_open()
+        deadline = self._deadline_for(deadline_ms)
         delay = self._retry_delay
         for attempt in range(self._retries + 1):
             try:
@@ -911,19 +1118,25 @@ class AsyncRlzClient:
                 else:
                     conn = await self._mux_connection()
             except (ConnectionError, asyncio.TimeoutError, OSError):
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                await asyncio.sleep(delay)
+                if deadline is not None:
+                    deadline.check()
+                await asyncio.sleep(full_jitter(delay))
                 delay *= 2
                 continue
             if conn.version >= 2:
                 try:
-                    reply, body = await self._mux_exchange(conn, opcode, payload)
+                    reply, body = await self._mux_exchange(
+                        conn, opcode, payload, deadline
+                    )
                 except (ConnectionError, asyncio.TimeoutError, OSError):
                     conn.kill()
-                    if attempt == self._retries:
+                    if attempt == self._retries or not self._budget.spend():
                         raise
-                    await asyncio.sleep(delay)
+                    if deadline is not None:
+                        deadline.check()
+                    await asyncio.sleep(full_jitter(delay))
                     delay *= 2
                     continue
                 return self._check_reply(reply, body, expect)
@@ -933,37 +1146,68 @@ class AsyncRlzClient:
                 body = await self._v1_exchange(conn, opcode, payload, expect)
             except (ConnectionError, asyncio.TimeoutError, OSError):
                 conn.writer.close()
-                if attempt == self._retries:
+                if attempt == self._retries or not self._budget.spend():
                     raise
-                await asyncio.sleep(delay)
+                if deadline is not None:
+                    deadline.check()
+                await asyncio.sleep(full_jitter(delay))
                 delay *= 2
                 continue
             return body
         raise AssertionError("unreachable")  # pragma: no cover
 
     async def _mux_exchange(
-        self, conn: _AsyncConnection, opcode: int, payload: bytes
+        self,
+        conn: _AsyncConnection,
+        opcode: int,
+        payload: bytes,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[int, bytes]:
         """One tagged exchange over the shared connection, R_BUSY retried."""
         loop = asyncio.get_running_loop()
         delay = self._retry_delay
         for busy in range(self._busy_retries + 1):
+            if deadline is not None:
+                deadline.check()
+            wait = self._timeout
+            if deadline is not None:
+                wait = min(wait, deadline.remaining())
             request_id = conn.next_request_id()
             future: "asyncio.Future[Tuple[int, bytes]]" = loop.create_future()
             conn.futures[request_id] = future
             try:
-                conn.writer.write(protocol.encode_frame2(opcode, request_id, payload))
+                if conn.version >= protocol.PROTOCOL_V3:
+                    wire_ms = deadline.wire_ms() if deadline is not None else 0
+                    frame = protocol.encode_frame3(opcode, request_id, wire_ms, payload)
+                else:
+                    frame = protocol.encode_frame2(opcode, request_id, payload)
+                conn.writer.write(frame)
                 await conn.writer.drain()
-                reply, body = await asyncio.wait_for(future, self._timeout)
+                reply, body = await asyncio.wait_for(future, wait)
+            except asyncio.TimeoutError:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        "request deadline exceeded waiting for the server"
+                    ) from None
+                raise
             finally:
                 conn.futures.pop(request_id, None)
+            if reply == Opcode.R_TIMEOUT:
+                raise DeadlineExceededError(
+                    body.decode("utf-8", "replace") or "request deadline exceeded"
+                )
             if reply == Opcode.R_BUSY:
                 self._busy_seen += 1
+                retry_after_ms, _depth = protocol.unpack_busy(body)
                 if busy == self._busy_retries:
                     raise ServerBusyError(
                         f"server still busy after {self._busy_retries} retries"
                     )
-                await asyncio.sleep(delay)
+                if not self._budget.spend():
+                    raise ServerBusyError(
+                        "server busy and the client retry budget is exhausted"
+                    )
+                await asyncio.sleep(hinted_backoff(retry_after_ms / 1000.0, delay))
                 delay *= 2
                 continue
             return reply, body
@@ -1007,15 +1251,17 @@ class AsyncRlzClient:
     # ------------------------------------------------------------------
     # AsyncArchiveView
     # ------------------------------------------------------------------
-    async def get(self, doc_id: int) -> bytes:
+    async def get(self, doc_id: int, deadline_ms: Optional[int] = None) -> bytes:
         return await self._request(
-            Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC
+            Opcode.GET, protocol.pack_doc_id(doc_id), Opcode.R_DOC, deadline_ms
         )
 
-    async def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
+    async def get_many(
+        self, doc_ids: Sequence[int], deadline_ms: Optional[int] = None
+    ) -> List[bytes]:
         doc_ids = list(doc_ids)
         body = await self._request(
-            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS
+            Opcode.GET_MANY, protocol.pack_doc_ids(doc_ids), Opcode.R_DOCS, deadline_ms
         )
         documents = protocol.unpack_documents(body)
         if len(documents) != len(doc_ids):
@@ -1044,6 +1290,12 @@ class AsyncRlzClient:
             await self._request(Opcode.STATS, b"", Opcode.R_STATS)
         )
 
+    async def health(self) -> Dict[str, Dict[str, float]]:
+        """Per-archive readiness/load from the server's HEALTH opcode."""
+        return protocol.unpack_health(
+            await self._request(Opcode.HEALTH, b"", Opcode.R_HEALTH)
+        )
+
     async def ping(self) -> float:
         start = time.perf_counter()
         await self._request(Opcode.PING, b"", Opcode.R_PONG)
@@ -1069,6 +1321,11 @@ class AsyncRlzClient:
     def busy_hints(self) -> int:
         """How many R_BUSY backpressure hints this client has absorbed."""
         return self._busy_seen
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        """The token bucket this client's retries draw from."""
+        return self._budget
 
     async def close(self) -> None:
         async with self._pool_lock:

@@ -36,6 +36,7 @@ benchmarks — runs unchanged over a whole fleet.
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from bisect import bisect_left
@@ -48,6 +49,7 @@ from ..errors import (
     StoreClosedError,
 )
 from .client import RlzClient
+from .retry import RetryBudget
 
 __all__ = ["CircuitBreaker", "ClusterClient", "ShardMap"]
 
@@ -147,12 +149,16 @@ class CircuitBreaker:
 
     Closed: requests flow and failures count.  After ``threshold``
     consecutive failures the breaker *opens*: :meth:`allow` answers False
-    until ``cooldown`` seconds pass, at which point trial requests are
-    let through (half-open); a success closes the breaker, a failure
-    re-opens it for another cooldown.  :meth:`allow` is a pure query — it
-    never changes state, so routing layers may call it freely to *order*
-    candidates without burning the half-open trial (only
-    ``record_success``/``record_failure`` move the state).  Thread-safe.
+    until ``cooldown`` seconds pass, at which point a *single* trial
+    request is let through (half-open); a success closes the breaker, a
+    failure re-opens it for another cooldown.  :meth:`allow` is a pure
+    query — it never changes state, so routing layers may call it freely
+    to *order* candidates without burning the half-open trial.
+    :meth:`try_trial` is the admission check: in half-open it grants the
+    probe to exactly one caller (concurrent callers are refused until the
+    probe resolves), so a recovering endpoint sees one request, not a
+    thundering herd of them arriving the instant the cooldown lapses.
+    Thread-safe.
     """
 
     def __init__(
@@ -170,6 +176,7 @@ class CircuitBreaker:
         self._clock = clock
         self._failures = 0
         self._opened_at: Optional[float] = None
+        self._trial_inflight = False
         self._lock = threading.Lock()
         self.trips = 0
 
@@ -189,13 +196,41 @@ class CircuitBreaker:
                 return True
             return self._clock() - self._opened_at >= self._cooldown
 
+    def try_trial(self) -> bool:
+        """Admit one request: always when closed, exactly once in half-open.
+
+        A ``True`` from a non-closed breaker claims the half-open probe;
+        the caller owes the breaker a ``record_success``,
+        ``record_failure`` or ``release_trial`` to resolve it.  While the
+        probe is unresolved every other caller is refused — two threads
+        both probing a barely-recovered endpoint is how half-open states
+        re-kill it.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._clock() - self._opened_at < self._cooldown:
+                return False
+            if self._trial_inflight:
+                return False
+            self._trial_inflight = True
+            return True
+
+    def release_trial(self) -> None:
+        """Give the half-open probe back without deciding the outcome
+        (e.g. the trial was answered R_BUSY: alive, but proof of nothing)."""
+        with self._lock:
+            self._trial_inflight = False
+
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
             self._opened_at = None
+            self._trial_inflight = False
 
     def record_failure(self) -> None:
         with self._lock:
+            self._trial_inflight = False
             self._failures += 1
             if self._failures >= self._threshold:
                 if self._opened_at is None:
@@ -206,6 +241,24 @@ class CircuitBreaker:
 #: Connection-level failures that trigger failover (archive-level errors —
 #: a missing document, say — are answers, not failures).
 _FAILOVER_ERRORS = (ConnectionError, TimeoutError, OSError)
+
+
+class _Success:
+    """A failover attempt's result (may legitimately be any value)."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result) -> None:
+        self.result = result
+
+
+class _Failure:
+    """A failover attempt's connection-level error."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
 
 
 class ClusterClient:
@@ -225,6 +278,20 @@ class ClusterClient:
     pipeline_window:
         In-flight request window per endpoint for ``get_many`` /
         ``pipelined_get`` fan-out.
+    deadline_ms:
+        Default per-request deadline propagated to every shard client
+        (0 = none); per-call ``deadline_ms=`` arguments override it.
+    hedge_delay:
+        Seconds to wait for a primary shard before firing a backup
+        request at the next replica (0 = hedging off).  The first reply
+        wins; the loser is abandoned.  Set near the fleet's p99 so hedges
+        stay rare — hedging trades a little extra load for cutting the
+        latency tail of one slow shard.
+    retry_budget:
+        One token-bucket :class:`~repro.serve.retry.RetryBudget` shared
+        by *every* shard client, so total cluster retry volume during a
+        brownout is capped at the bucket's refill rate (``None`` creates
+        a default shared bucket).
     client_options:
         Extra keyword arguments for every underlying :class:`RlzClient`
         (``timeout``, ``retries``, ``protocol_version``, ...).
@@ -238,12 +305,21 @@ class ClusterClient:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 1.0,
         pipeline_window: int = 32,
+        deadline_ms: int = 0,
+        hedge_delay: float = 0.0,
+        retry_budget: Optional[RetryBudget] = None,
         **client_options,
     ) -> None:
+        if hedge_delay < 0:
+            raise ConfigurationError("hedge_delay must be non-negative")
         labels = [self._normalize(endpoint) for endpoint in endpoints]
         self._shard_map = ShardMap(labels, virtual_nodes=virtual_nodes)
         self._archive = archive
         self._pipeline_window = pipeline_window
+        self._hedge_delay = hedge_delay
+        self._budget = retry_budget if retry_budget is not None else RetryBudget()
+        client_options.setdefault("deadline_ms", deadline_ms)
+        client_options.setdefault("retry_budget", self._budget)
         self._clients: Dict[str, RlzClient] = {}
         for label in labels:
             host, _, port_text = label.rpartition(":")
@@ -257,6 +333,8 @@ class ClusterClient:
         self._closed = False
         self._doc_ids: Optional[List[int]] = None
         self._failovers = 0
+        self._hedges = 0
+        self._hedge_wins = 0
         self._lock = threading.Lock()
 
     @staticmethod
@@ -292,6 +370,21 @@ class ClusterClient:
         """How many times a request was re-routed off its primary."""
         return self._failovers
 
+    @property
+    def hedges(self) -> int:
+        """How many backup requests hedged ``get`` has fired."""
+        return self._hedges
+
+    @property
+    def hedge_wins(self) -> int:
+        """How many hedged ``get``\\ s the backup leg won."""
+        return self._hedge_wins
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        """The token bucket shared by every shard client's retries."""
+        return self._budget
+
     def breaker(self, endpoint: str) -> CircuitBreaker:
         """The circuit breaker guarding ``endpoint``."""
         return self._breakers[endpoint]
@@ -322,39 +415,159 @@ class ClusterClient:
         Connection-level failures trip the breaker; a sustained ``R_BUSY``
         (:class:`~repro.errors.ServerBusyError`) re-routes *without*
         tripping it — the endpoint is alive, just saturated, and should
-        come straight back into rotation.
+        come straight back into rotation.  Endpoints whose breaker
+        refuses admission (open, or half-open with the probe already
+        claimed) are skipped in the first pass; if *nothing* admitted the
+        request, a forced second pass tries them anyway so an all-open
+        cluster fails with the real connection error.
         """
         self._ensure_open()
         last_error: Optional[BaseException] = None
         candidates = self._candidates(doc_id)
+        skipped: List[Tuple[int, str]] = []
         for position, label in enumerate(candidates):
-            breaker = self._breakers[label]
-            try:
-                result = call(self._clients[label])
-            except ServerBusyError as exc:
-                last_error = exc
+            if not self._breakers[label].try_trial():
+                skipped.append((position, label))
                 continue
-            except _FAILOVER_ERRORS as exc:
-                breaker.record_failure()
-                last_error = exc
-                continue
-            breaker.record_success()
-            if position:
-                with self._lock:
-                    self._failovers += 1
-            return result
+            outcome = self._one_attempt(label, position, call)
+            if not isinstance(outcome, _Failure):
+                return outcome.result
+            last_error = outcome.error
+        for position, label in skipped:
+            outcome = self._one_attempt(label, position, call)
+            if not isinstance(outcome, _Failure):
+                return outcome.result
+            last_error = outcome.error
         assert last_error is not None
         raise last_error
+
+    def _one_attempt(
+        self, label: str, position: int, call: Callable[[RlzClient], object]
+    ):
+        """One failover attempt with breaker bookkeeping; archive errors
+        (answers about the data, not the endpoint) propagate."""
+        breaker = self._breakers[label]
+        try:
+            result = call(self._clients[label])
+        except ServerBusyError as exc:
+            breaker.release_trial()
+            return _Failure(exc)
+        except _FAILOVER_ERRORS as exc:
+            breaker.record_failure()
+            return _Failure(exc)
+        except BaseException:
+            breaker.release_trial()
+            raise
+        breaker.record_success()
+        if position:
+            with self._lock:
+                self._failovers += 1
+        return _Success(result)
 
     # ------------------------------------------------------------------
     # ArchiveView
     # ------------------------------------------------------------------
-    def get(self, doc_id: int) -> bytes:
-        """One document from its primary shard (failover down the ring)."""
-        return self._with_failover(doc_id, lambda client: client.get(doc_id))
+    def get(self, doc_id: int, deadline_ms: Optional[int] = None) -> bytes:
+        """One document from its primary shard (failover down the ring).
+
+        With ``hedge_delay`` set, a primary that has not answered within
+        the delay gets a backup request fired at the next replica and the
+        first reply wins — one slow shard then costs roughly the hedge
+        delay instead of the shard's full stall.
+        """
+        if self._hedge_delay > 0 and len(self.endpoints) > 1:
+            return self._hedged_get(doc_id, deadline_ms)
+        return self._with_failover(
+            doc_id, lambda client: client.get(doc_id, deadline_ms)
+        )
+
+    def _hedged_get(self, doc_id: int, deadline_ms: Optional[int]) -> bytes:
+        """Primary + delayed-backup race; sequential failover as backstop.
+
+        Each leg runs in its own thread and reports into one queue; the
+        first successful reply wins.  The losing leg cannot be cancelled
+        mid-socket-read (synchronous sockets), so it is abandoned: its
+        thread finishes in the background and its result is discarded —
+        bounded by the leg client's own timeout/deadline.
+        """
+        candidates = self._candidates(doc_id)
+        replies: "queue.Queue[Tuple[str, object]]" = queue.Queue()
+
+        def leg(label: str) -> None:
+            breaker = self._breakers[label]
+            try:
+                result = self._clients[label].get(doc_id, deadline_ms)
+            except ServerBusyError as exc:
+                breaker.release_trial()
+                replies.put((label, _Failure(exc)))
+            except _FAILOVER_ERRORS as exc:
+                breaker.record_failure()
+                replies.put((label, _Failure(exc)))
+            except BaseException as exc:
+                breaker.release_trial()
+                replies.put((label, exc))
+            else:
+                breaker.record_success()
+                replies.put((label, _Success(result)))
+
+        def fire(label: str) -> None:
+            threading.Thread(
+                target=leg, args=(label,), name=f"rlz-hedge-{label}", daemon=True
+            ).start()
+
+        primary = candidates[0]
+        fire(primary)
+        fired = [primary]
+        hedged = False
+        last_error: Optional[BaseException] = None
+        outstanding = 1
+        while outstanding:
+            try:
+                timeout = None if hedged else self._hedge_delay
+                label, outcome = replies.get(timeout=timeout)
+            except queue.Empty:
+                # The primary is slow: fire the backup leg.
+                hedged = True
+                with self._lock:
+                    self._hedges += 1
+                backup = next(
+                    (c for c in candidates if c not in fired), None
+                )
+                if backup is None:  # pragma: no cover - len(endpoints) > 1
+                    continue
+                fire(backup)
+                fired.append(backup)
+                outstanding += 1
+                continue
+            outstanding -= 1
+            if isinstance(outcome, _Success):
+                if label != primary:
+                    with self._lock:
+                        self._hedge_wins += 1
+                        self._failovers += 1
+                return outcome.result
+            if isinstance(outcome, _Failure):
+                last_error = outcome.error
+                continue
+            raise outcome  # archive-level error: an answer, not a failure
+        # Both legs failed: walk the rest of the ring sequentially.
+        for position, label in enumerate(candidates):
+            if label in fired:
+                continue
+            outcome = self._one_attempt(
+                label, position, lambda client: client.get(doc_id, deadline_ms)
+            )
+            if not isinstance(outcome, _Failure):
+                return outcome.result
+            last_error = outcome.error
+        assert last_error is not None
+        raise last_error
 
     def get_many(
-        self, doc_ids: Sequence[int], window: Optional[int] = None
+        self,
+        doc_ids: Sequence[int],
+        window: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
     ) -> List[bytes]:
         """Fan out by shard, fan in preserving input order exactly.
 
@@ -396,6 +609,7 @@ class ClusterClient:
                     documents = client.pipelined_get(
                         [doc_ids[index] for index in indices],
                         window=pipeline_window,
+                        deadline_ms=deadline_ms,
                     )
                 except ServerBusyError as exc:
                     # The endpoint is alive but saturated: re-route this
@@ -445,11 +659,14 @@ class ClusterClient:
         return results
 
     def pipelined_get(
-        self, doc_ids: Sequence[int], window: Optional[int] = None
+        self,
+        doc_ids: Sequence[int],
+        window: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
     ) -> List[bytes]:
         """Alias of :meth:`get_many` (the cluster always pipelines);
         ``window`` overrides the per-shard in-flight window for this call."""
-        return self.get_many(doc_ids, window=window)
+        return self.get_many(doc_ids, window=window, deadline_ms=deadline_ms)
 
     def iter_documents(self) -> Iterator[Tuple[int, bytes]]:
         """Stream every document in store order via per-shard SCANs.
@@ -580,6 +797,10 @@ class ClusterClient:
             "cluster_endpoints": len(self.endpoints),
             "cluster_failovers": self._failovers,
             "cluster_virtual_nodes": self._shard_map.virtual_nodes,
+            "cluster_hedges": self._hedges,
+            "cluster_hedge_wins": self._hedge_wins,
+            "cluster_retry_budget_spent": self._budget.spent,
+            "cluster_retry_budget_denied": self._budget.denied,
         }
         for index, label in enumerate(self.endpoints):
             breaker = self._breakers[label]

@@ -21,8 +21,27 @@ before its id was read)::
     | length (u32 BE)| opcode | request id (u32) |   payload ...   |
     +----------------+--------+------------------+-----------------+
 
+Version 3 adds a **u32 deadline** (milliseconds of budget remaining when
+the frame was sent; 0 = no deadline) to every *request* frame, so the
+server can drop work whose deadline already passed instead of decoding
+documents nobody is waiting for (``R_TIMEOUT``), and a trailing **u32
+CRC32** over the frame body to *every* frame in both directions, so a
+flipped bit on the wire surfaces as a :class:`~repro.errors.ProtocolError`
+instead of silently wrong document bytes.  Responses carry the checksum
+but not the deadline::
+
+    request:
+    +----------------+--------+------------------+----------------+---------+-------------+
+    | length (u32 BE)| opcode | request id (u32) | deadline (u32) | payload | crc32 (u32) |
+    +----------------+--------+------------------+----------------+---------+-------------+
+
+    response:
+    +----------------+--------+------------------+-----------------+-------------+
+    | length (u32 BE)| opcode | request id (u32) |   payload ...   | crc32 (u32) |
+    +----------------+--------+------------------+-----------------+-------------+
+
 ``length`` counts everything after the prefix, so a frame occupies
-``4 + length`` bytes in both versions.  Frames larger than the negotiated
+``4 + length`` bytes in every version.  Frames larger than the negotiated
 ``max_frame_bytes`` are rejected with :class:`~repro.errors.ProtocolError`
 *before* the payload is read, on both sides.
 
@@ -43,7 +62,12 @@ stream frame carries the request id of the originating request, so stream
 frames and ordinary replies can interleave on one connection).  ``R_BUSY``
 is the backpressure hint: the server's ``max_inflight`` gate is saturated
 and the client should retry the request after a short delay (every request
-opcode is idempotent).
+opcode is idempotent).  From version 3 the R_BUSY payload carries the
+server-observed queue depth and a suggested retry-after (see
+:func:`pack_busy`) so client backoff is proportional instead of blind,
+``HEALTH`` reports per-archive readiness/load without competing for the
+inflight gate, and ``R_TIMEOUT`` answers a request whose deadline expired
+server-side (decoding work for it never starts).
 
 Errors travel as structured ``R_ERROR`` frames carrying a numeric code
 from :data:`ERROR_CODES` plus the message, so the client re-raises the
@@ -58,6 +82,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .. import errors
@@ -66,6 +91,8 @@ from ..errors import ProtocolError
 __all__ = [
     "MAGIC",
     "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_V3",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
     "MAX_ARCHIVE_NAME_BYTES",
@@ -73,9 +100,17 @@ __all__ = [
     "ERROR_CODES",
     "encode_frame",
     "encode_frame2",
+    "encode_frame3",
+    "encode_reply3",
     "split_frame",
     "split_frame2",
+    "split_frame3",
+    "split_reply3",
     "frame_length",
+    "pack_busy",
+    "unpack_busy",
+    "pack_health",
+    "unpack_health",
     "pack_hello",
     "unpack_hello",
     "pack_hello_reply",
@@ -104,11 +139,17 @@ MAGIC = b"RLZN"
 #: The legacy request/response protocol (PR 4): no request ids, one
 #: archive per server, strictly in-order replies.
 PROTOCOL_V1 = 1
-#: The current protocol: request ids, out-of-order replies, named
-#: archives, SCAN and R_BUSY.
-PROTOCOL_VERSION = 2
+#: The pipelined protocol (PR 5): request ids, out-of-order replies,
+#: named archives, SCAN and R_BUSY.
+PROTOCOL_V2 = 2
+#: The fault-tolerant protocol: request frames carry a deadline field,
+#: R_BUSY payloads carry queue depth + retry-after, HEALTH/R_TIMEOUT.
+PROTOCOL_V3 = 3
+PROTOCOL_VERSION = PROTOCOL_V3
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 MAX_ARCHIVE_NAME_BYTES = 255
+#: Largest deadline expressible on the wire (u32 milliseconds).
+MAX_DEADLINE_MS = 0xFFFFFFFF
 
 _LEN = struct.Struct("!I")
 _U8 = struct.Struct("!B")
@@ -117,6 +158,8 @@ _U32 = struct.Struct("!I")
 _I64 = struct.Struct("!q")
 _HELLO = struct.Struct("!4sB")
 _OP_REQ = struct.Struct("!BI")
+_OP_REQ_DL = struct.Struct("!BII")
+_BUSY = struct.Struct("!II")
 
 
 class Opcode:
@@ -134,6 +177,7 @@ class Opcode:
     STATS = 0x06
     DOC_IDS = 0x07
     SCAN = 0x08
+    HEALTH = 0x09
 
     R_HELLO = 0x81
     R_PONG = 0x82
@@ -145,6 +189,8 @@ class Opcode:
     R_DOC_IDS = 0x88
     R_BUSY = 0x89
     R_CHUNK = 0x8A
+    R_HEALTH = 0x8B
+    R_TIMEOUT = 0x8C
     R_ERROR = 0xFF
 
 
@@ -165,6 +211,8 @@ ERROR_CODES: Dict[Type[BaseException], int] = {
     errors.BenchmarkError: 11,
     errors.ProtocolError: 12,
     errors.ServerBusyError: 13,
+    errors.DeadlineExceededError: 14,
+    errors.CorruptArchiveError: 15,
 }
 
 _CODE_TO_ERROR: Dict[int, Type[BaseException]] = {
@@ -183,6 +231,41 @@ def encode_frame(opcode: int, payload: bytes = b"") -> bytes:
 def encode_frame2(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
     """One version-2 wire frame: length prefix, opcode, request id, payload."""
     return _LEN.pack(5 + len(payload)) + _OP_REQ.pack(opcode, request_id) + payload
+
+
+def encode_frame3(
+    opcode: int, request_id: int, deadline_ms: int, payload: bytes = b""
+) -> bytes:
+    """One version-3 *request* frame: adds a u32 deadline (ms; 0 = none)
+    and a trailing CRC32 over the frame body.
+
+    Version-3 *responses* drop the deadline field but keep the checksum
+    (:func:`encode_reply3` / :func:`split_reply3`).
+    """
+    if not 0 <= deadline_ms <= MAX_DEADLINE_MS:
+        raise ProtocolError(
+            f"deadline must be in [0, {MAX_DEADLINE_MS}] ms, got {deadline_ms}"
+        )
+    body = _OP_REQ_DL.pack(opcode, request_id, deadline_ms) + payload
+    return _LEN.pack(len(body) + _U32.size) + body + _U32.pack(zlib.crc32(body))
+
+
+def encode_reply3(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One version-3 *response* frame: the v2 layout plus a trailing CRC32."""
+    body = _OP_REQ.pack(opcode, request_id) + payload
+    return _LEN.pack(len(body) + _U32.size) + body + _U32.pack(zlib.crc32(body))
+
+
+def _strip_crc3(body: bytes) -> bytes:
+    """Verify and remove the trailing CRC32 of a version-3 frame body."""
+    if len(body) < _U32.size:
+        raise ProtocolError(f"malformed v3 frame: {len(body)} bytes (no checksum)")
+    content, trailer = body[: -_U32.size], body[-_U32.size :]
+    if zlib.crc32(content) != _U32.unpack(trailer)[0]:
+        raise ProtocolError(
+            "corrupt frame: body failed its CRC32 check (bytes damaged in transit)"
+        )
+    return content
 
 
 def frame_length(prefix: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> int:
@@ -220,6 +303,31 @@ def split_frame2(body: bytes) -> Tuple[int, int, bytes]:
         )
     opcode, request_id = _OP_REQ.unpack_from(body)
     return opcode, request_id, body[_OP_REQ.size :]
+
+
+def split_frame3(body: bytes) -> Tuple[int, int, int, bytes]:
+    """Split (and CRC-verify) a version-3 request body into
+    ``(opcode, request_id, deadline_ms, payload)``."""
+    content = _strip_crc3(body)
+    if len(content) < _OP_REQ_DL.size:
+        raise ProtocolError(
+            f"malformed v3 frame: {len(content)} bytes "
+            f"(need opcode + request id + deadline)"
+        )
+    opcode, request_id, deadline_ms = _OP_REQ_DL.unpack_from(content)
+    return opcode, request_id, deadline_ms, content[_OP_REQ_DL.size :]
+
+
+def split_reply3(body: bytes) -> Tuple[int, int, bytes]:
+    """Split (and CRC-verify) a version-3 response body into
+    ``(opcode, request_id, payload)``."""
+    content = _strip_crc3(body)
+    if len(content) < _OP_REQ.size:
+        raise ProtocolError(
+            f"malformed v3 frame: {len(content)} bytes (need opcode + request id)"
+        )
+    opcode, request_id = _OP_REQ.unpack_from(content)
+    return opcode, request_id, content[_OP_REQ.size :]
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +501,47 @@ def unpack_item(payload: bytes) -> Tuple[int, bytes]:
     if len(payload) < _I64.size:
         raise ProtocolError(f"malformed stream item: {len(payload)} bytes")
     return _I64.unpack_from(payload)[0], payload[_I64.size :]
+
+
+def pack_busy(retry_after_ms: int = 0, queue_depth: int = 0) -> bytes:
+    """An R_BUSY payload: suggested retry-after (ms) + observed queue depth.
+
+    ``retry_after_ms=0`` means "no hint, use your own backoff".  Servers
+    that predate the hint send an empty payload, which
+    :func:`unpack_busy` decodes as ``(0, 0)`` — the formats coexist.
+    """
+    return _BUSY.pack(
+        min(max(0, retry_after_ms), MAX_DEADLINE_MS), min(max(0, queue_depth), MAX_DEADLINE_MS)
+    )
+
+
+def unpack_busy(payload: bytes) -> Tuple[int, int]:
+    """Decode an R_BUSY payload to ``(retry_after_ms, queue_depth)``.
+
+    Tolerates the legacy empty payload (no hint) for compatibility with
+    protocol-v2 servers.
+    """
+    if not payload:
+        return 0, 0
+    if len(payload) < _BUSY.size:
+        raise ProtocolError(f"malformed busy payload: {len(payload)} bytes")
+    retry_after_ms, queue_depth = _BUSY.unpack_from(payload)
+    return retry_after_ms, queue_depth
+
+
+def pack_health(health: Dict[str, float]) -> bytes:
+    """An R_HEALTH payload: the server's readiness/load snapshot (JSON)."""
+    return json.dumps(health, sort_keys=True).encode("utf-8")
+
+
+def unpack_health(payload: bytes) -> Dict[str, float]:
+    try:
+        health = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed health payload: {exc}") from exc
+    if not isinstance(health, dict):
+        raise ProtocolError("malformed health payload: not an object")
+    return health
 
 
 def pack_stats(stats: Dict[str, float]) -> bytes:

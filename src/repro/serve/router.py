@@ -60,13 +60,57 @@ class ArchiveEntry:
         #: Requests parked behind a saturated gate right now; once this
         #: reaches ``max_inflight`` the server sheds load with R_BUSY.
         self.waiting = 0
+        #: Requests currently holding a gate slot (decoding).
+        self.active = 0
         self.requests = 0
         self.errors = 0
         self.busy_rejections = 0
+        #: Requests dropped because their wire deadline expired before or
+        #: while they queued — no decode work was done for these.
+        self.deadline_rejections = 0
+        #: Exponential moving average of per-request service seconds;
+        #: seeds the retry-after hint R_BUSY carries.
+        self.ewma_seconds = 0.0
 
     @property
     def max_inflight(self) -> int:
         return self.config.serve.max_inflight
+
+    def observe(self, elapsed: float) -> None:
+        """Fold one request's service time into the EWMA."""
+        if self.ewma_seconds:
+            self.ewma_seconds = 0.9 * self.ewma_seconds + 0.1 * elapsed
+        else:
+            self.ewma_seconds = elapsed
+
+    def retry_after_ms(self) -> int:
+        """A retry-after hint (ms) for a client shed with R_BUSY.
+
+        The backlog ahead of a returning client is roughly ``waiting + 1``
+        requests draining through ``max_inflight`` lanes at the observed
+        EWMA service time; before any request has completed, fall back to
+        a small fixed delay.  Capped so a stats glitch never tells clients
+        to go away for minutes.
+        """
+        per_request = self.ewma_seconds or 0.010
+        estimate = per_request * (self.waiting + 1) / max(1, self.max_inflight)
+        return max(1, min(5000, int(estimate * 1000)))
+
+    def health(self) -> Dict[str, float]:
+        """This archive's readiness/load snapshot (the HEALTH payload)."""
+        return {
+            "open": int(self.front is not None),
+            "max_inflight": self.max_inflight,
+            "active": self.active,
+            "waiting": self.waiting,
+            "saturated": int(self.waiting >= self.max_inflight),
+            "ewma_ms": round(self.ewma_seconds * 1000, 3),
+            "retry_after_ms": self.retry_after_ms(),
+            "requests": self.requests,
+            "errors": self.errors,
+            "busy_rejections": self.busy_rejections,
+            "deadline_rejections": self.deadline_rejections,
+        }
 
     def stats_into(self, snapshot: Dict[str, float]) -> None:
         """Per-archive counters (and front stats once opened)."""
@@ -74,6 +118,10 @@ class ArchiveEntry:
         snapshot[f"{prefix}_requests"] = self.requests
         snapshot[f"{prefix}_errors"] = self.errors
         snapshot[f"{prefix}_busy_rejections"] = self.busy_rejections
+        snapshot[f"{prefix}_deadline_rejections"] = self.deadline_rejections
+        snapshot[f"{prefix}_active"] = self.active
+        snapshot[f"{prefix}_waiting"] = self.waiting
+        snapshot[f"{prefix}_ewma_ms"] = round(self.ewma_seconds * 1000, 3)
         snapshot[f"{prefix}_open"] = int(self.front is not None)
 
 
@@ -236,6 +284,17 @@ class RlzRouter:
         if default is not None and default.front is not None and not default.front.closed:
             snapshot.update(default.front.stats())
         return snapshot
+
+    def health(self) -> Dict[str, Dict[str, float]]:
+        """Readiness/load per archive (the HEALTH response payload).
+
+        Pure bookkeeping — never opens a front or touches the gate, so it
+        stays answerable even when every archive is saturated.
+        """
+        return {
+            (entry.name or "default"): entry.health()
+            for entry in self._entries.values()
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -22,7 +22,14 @@ the archive it talks to.
   served at once across *all* connections (``max_inflight``); excess
   requests wait in order at the gate, and once the queue is a full gate
   deep, v2 requests are shed with an ``R_BUSY`` hint instead of queueing
-  (v1 clients, which cannot parse it, keep queueing);
+  (v1 clients, which cannot parse it, keep queueing).  The R_BUSY payload
+  carries the queue depth and a retry-after estimate from the archive's
+  service-time EWMA, so shed clients back off proportionally;
+* protocol-**v3** request frames carry a millisecond **deadline**; a
+  request whose deadline expired while it queued is answered with
+  ``R_TIMEOUT`` and never touches the archive — decoding a document
+  nobody is waiting for only deepens a brownout.  ``HEALTH`` requests
+  bypass the gate entirely so load can be observed *during* saturation;
 * archive failures travel back as structured error frames carrying the
   concrete :mod:`repro.errors` class, and the connection keeps serving;
   protocol violations (bad magic, oversized or truncated frames,
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Set, Union
@@ -115,6 +123,8 @@ class _Connection:
         """One reply frame in the connection's negotiated framing."""
         if request_id is None:
             await self.write_frame(protocol.encode_frame(opcode, payload))
+        elif self.version >= protocol.PROTOCOL_V3:
+            await self.write_frame(protocol.encode_reply3(opcode, request_id, payload))
         else:
             await self.write_frame(protocol.encode_frame2(opcode, request_id, payload))
 
@@ -159,6 +169,7 @@ class RlzServer:
         self._requests = 0
         self._errors = 0
         self._busy_rejections = 0
+        self._deadline_rejections = 0
 
     @classmethod
     def open(
@@ -231,6 +242,7 @@ class RlzServer:
         snapshot["server_requests"] = self._requests
         snapshot["server_errors"] = self._errors
         snapshot["server_busy_rejections"] = self._busy_rejections
+        snapshot["server_deadline_rejections"] = self._deadline_rejections
         snapshot["server_inflight_capacity"] = self._spec.max_inflight
         return snapshot
 
@@ -405,14 +417,25 @@ class RlzServer:
             if task is not None:
                 self._busy.add(task)
             try:
+                # HEALTH is pure bookkeeping and must stay answerable while
+                # the gate is saturated — serve it without queueing.
+                if opcode == Opcode.HEALTH:
+                    await conn.respond(
+                        Opcode.R_HEALTH, protocol.pack_health(self._router.health())
+                    )
+                    continue
                 entry.waiting += 1
                 try:
                     await entry.gate.acquire()
                 finally:
                     entry.waiting -= 1
+                entry.active += 1
+                started = time.monotonic()
                 try:
                     await self._dispatch(conn, opcode, payload, None)
                 finally:
+                    entry.active -= 1
+                    entry.observe(time.monotonic() - started)
                     entry.gate.release()
             except ProtocolError as exc:
                 self._count_error(conn)
@@ -447,7 +470,18 @@ class RlzServer:
             except asyncio.IncompleteReadError:
                 window.release()
                 return  # client hung up between requests: normal
-            opcode, request_id, payload = protocol.split_frame2(body)
+            # v3 request frames carry a millisecond deadline after the
+            # request id; v2 frames have none.  Responses use v2 framing
+            # either way.  The deadline is pinned to the monotonic clock
+            # *now*, at frame-read time — queueing counts against it.
+            if conn.version >= protocol.PROTOCOL_V3:
+                opcode, request_id, deadline_ms, payload = protocol.split_frame3(body)
+            else:
+                opcode, request_id, payload = protocol.split_frame2(body)
+                deadline_ms = 0
+            deadline_at = (
+                time.monotonic() + deadline_ms / 1000.0 if deadline_ms else None
+            )
             if request_id in conn.inflight_ids:
                 # A duplicate id would make two replies indistinguishable:
                 # the connection's correlation state is untrustworthy.
@@ -467,7 +501,7 @@ class RlzServer:
             if task is not None:
                 self._busy.add(task)
             request = asyncio.ensure_future(
-                self._run_request(conn, opcode, request_id, payload)
+                self._run_request(conn, opcode, request_id, payload, deadline_at)
             )
             conn.tasks.add(request)
 
@@ -484,18 +518,40 @@ class RlzServer:
             await asyncio.gather(*conn.tasks, return_exceptions=True)
 
     async def _run_request(
-        self, conn: _Connection, opcode: int, request_id: int, payload: bytes
+        self,
+        conn: _Connection,
+        opcode: int,
+        request_id: int,
+        payload: bytes,
+        deadline_at: Optional[float] = None,
     ) -> None:
-        """One pipelined request: gate, dispatch, tagged reply."""
+        """One pipelined request: deadline check, gate, dispatch, reply."""
         entry = conn.entry
         try:
+            # HEALTH is pure bookkeeping and must stay answerable while
+            # the gate is saturated — serve it without queueing.
+            if opcode == Opcode.HEALTH:
+                await conn.respond(
+                    Opcode.R_HEALTH,
+                    protocol.pack_health(self._router.health()),
+                    request_id,
+                )
+                return
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                await self._reject_expired(conn, entry, request_id)
+                return
             # Shed load once the gate queue is itself a full gate deep: a
             # v2 client knows R_BUSY means "retry in a moment, elsewhere
-            # if you have a replica".
+            # if you have a replica".  The payload tells it *when*: queue
+            # depth plus a retry-after estimate from the service EWMA.
             if entry.gate.locked() and entry.waiting >= entry.max_inflight:
                 entry.busy_rejections += 1
                 self._busy_rejections += 1
-                await conn.respond(Opcode.R_BUSY, b"", request_id)
+                await conn.respond(
+                    Opcode.R_BUSY,
+                    protocol.pack_busy(entry.retry_after_ms(), entry.waiting),
+                    request_id,
+                )
                 return
             entry.waiting += 1
             try:
@@ -503,7 +559,19 @@ class RlzServer:
             finally:
                 entry.waiting -= 1
             try:
-                await self._dispatch(conn, opcode, payload, request_id)
+                # Re-check after the queue wait: a request whose deadline
+                # expired at the gate is dead — decoding it would only
+                # steal a slot from a request someone still wants.
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    await self._reject_expired(conn, entry, request_id)
+                    return
+                entry.active += 1
+                started = time.monotonic()
+                try:
+                    await self._dispatch(conn, opcode, payload, request_id)
+                finally:
+                    entry.active -= 1
+                    entry.observe(time.monotonic() - started)
             finally:
                 entry.gate.release()
         except asyncio.CancelledError:
@@ -528,6 +596,18 @@ class RlzServer:
         except Exception as exc:  # server bug: report, go on
             self._count_error(conn)
             await conn.respond(Opcode.R_ERROR, protocol.pack_error_for(exc), request_id)
+
+    async def _reject_expired(
+        self, conn: _Connection, entry: ArchiveEntry, request_id: int
+    ) -> None:
+        """Answer R_TIMEOUT for a request whose wire deadline has passed."""
+        entry.deadline_rejections += 1
+        self._deadline_rejections += 1
+        await conn.respond(
+            Opcode.R_TIMEOUT,
+            b"request deadline expired before the server could serve it",
+            request_id,
+        )
 
     def _count_error(self, conn: _Connection) -> None:
         conn.stats.errors += 1

@@ -10,11 +10,20 @@ Three store types implement the systems compared in the paper's evaluation:
 
 All stores charge their reads to a :class:`DiskModel`, which reproduces the
 disk-bound retrieval regime of the paper's experiments at laptop scale.
+
+Containers are written atomically (temp + fsync + rename) and carry CRC32
+checksums over every section and payload extent; stores verify them on
+read, and :func:`verify_container` (``repro verify``) scans a file offline.
 """
 
 from .blocked import BlockedStore, BlockedStoreConfig
 from .cache import CacheTier, LruCache, NullCache, SharedMemoryCache
-from .container import ContainerHeader, read_container_header, write_container
+from .container import (
+    ContainerHeader,
+    read_container_header,
+    verify_container,
+    write_container,
+)
 from .disk_model import DiskAccounting, DiskModel
 from .document_map import DocumentEntry, DocumentMap
 from .raw_store import RawStore
@@ -35,5 +44,6 @@ __all__ = [
     "RlzStore",
     "SharedMemoryCache",
     "read_container_header",
+    "verify_container",
     "write_container",
 ]

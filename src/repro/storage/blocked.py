@@ -155,7 +155,15 @@ class BlockedStore:
             "original_size": collection.total_size,
             "blocks": blocks,
         }
-        write_container(path, cls.store_type, metadata, document_map, b"", bytes(payload))
+        write_container(
+            path,
+            cls.store_type,
+            metadata,
+            document_map,
+            b"",
+            bytes(payload),
+            checksum_extents=blocks,
+        )
         return path
 
     @classmethod
@@ -215,6 +223,7 @@ class BlockedStore:
         data = self._handle.read(length)
         if len(data) != length:
             raise StorageError("payload truncated while reading block")
+        self._header.check_extent(offset, length, data)
         return self._decompress(data)
 
     def get(self, doc_id: int) -> bytes:

@@ -1,33 +1,66 @@
 """On-disk container format shared by all stores.
 
-A container file holds four sections behind a short header::
+A container file holds five sections behind a short header::
 
-    magic          b"RPRC1\\n"
+    magic          b"RPRC2\\n"
     store type     vbyte length + ASCII name ("rlz", "blocked", "raw")
     metadata       u64 length + UTF-8 JSON (store-specific parameters)
     document map   u64 length + DocumentMap.to_bytes()
     dictionary     u64 length + raw bytes (empty for non-RLZ stores)
+    checksums      u64 length + CRC32 table (see below)
     payload        the remainder of the file
 
 Offsets recorded in the document map are relative to the start of the
 payload section, so the header can change size (e.g. when metadata grows)
 without invalidating them.
+
+The checksum section makes corruption *detectable* instead of silent:
+
+* one CRC32 over every header byte before the checksum section (magic,
+  store type, metadata, document map, dictionary — lengths included),
+  verified when the header is parsed and *before* anything is decoded —
+  a flipped byte anywhere in the header fails the open with
+  :class:`repro.errors.CorruptArchiveError`;
+* a table of ``(offset, length, crc32)`` entries covering every payload
+  extent a reader will ever fetch (per document for ``rlz``/``raw``, per
+  compressed block for ``blocked``).  Stores check the CRC on every
+  positioned read, and :func:`verify_container` scans the whole table
+  offline (``repro verify``).
+
+Containers written by earlier versions start with ``b"RPRC1\\n"`` and have
+no checksum section; they still open and read (``checksums`` is ``None``)
+but cannot be verified.
+
+Writes are atomic: the container is built in a same-directory temporary
+file, fsync'd, then :func:`os.replace`\\ d into place — a build killed
+mid-write leaves no openable partial archive, only a stray ``*.tmp``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, BinaryIO, Dict
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Tuple
 
-from ..errors import StorageError
+from ..errors import CorruptArchiveError, StorageError
 from .document_map import DocumentMap
 
-__all__ = ["ContainerHeader", "write_container", "read_container_header", "open_payload"]
+__all__ = [
+    "ContainerHeader",
+    "write_container",
+    "read_container_header",
+    "open_payload",
+    "verify_container",
+]
 
-_MAGIC = b"RPRC1\n"
+_MAGIC = b"RPRC2\n"
+_MAGIC_V1 = b"RPRC1\n"
+_CHECKSUM_HEAD = struct.Struct("<II")  # header crc, extent count
+_CHECKSUM_EXTENT = struct.Struct("<QQI")  # payload offset, length, crc
 
 
 @dataclass
@@ -40,6 +73,40 @@ class ContainerHeader:
     dictionary: bytes
     payload_offset: int
     path: Path
+    #: ``(offset, length) -> crc32`` over payload extents; ``None`` for
+    #: legacy RPRC1 containers that carry no checksum section.
+    checksums: Optional[Dict[Tuple[int, int], int]] = field(default=None)
+
+    def expected_crc(self, offset: int, length: int) -> Optional[int]:
+        """CRC recorded for the payload extent, or ``None`` if unknown."""
+        if not self.checksums:
+            return None
+        return self.checksums.get((offset, length))
+
+    def check_extent(self, offset: int, length: int, data: bytes) -> None:
+        """Verify one payload read against the checksum table.
+
+        No-op when the container predates checksums or the extent is not
+        in the table; raises :class:`CorruptArchiveError` on mismatch.
+        """
+        expected = self.expected_crc(offset, length)
+        if expected is not None and zlib.crc32(data) != expected:
+            raise CorruptArchiveError(
+                f"{self.path}: payload extent at offset {offset} "
+                f"({length} bytes) failed its CRC32 check"
+            )
+
+
+def _derive_extents(document_map: DocumentMap) -> List[Tuple[int, int]]:
+    extents: List[Tuple[int, int]] = []
+    for entry in document_map:
+        if entry.block_index != -1:
+            raise StorageError(
+                "blocked document maps record within-block offsets; pass the "
+                "block extents to write_container(checksum_extents=...) explicitly"
+            )
+        extents.append((entry.offset, entry.length))
+    return extents
 
 
 def write_container(
@@ -49,42 +116,149 @@ def write_container(
     document_map: DocumentMap,
     dictionary: bytes,
     payload: bytes,
+    checksum_extents: Optional[Iterable[Tuple[int, int]]] = None,
 ) -> int:
-    """Write a complete container file; returns total bytes written."""
+    """Write a complete container file atomically; returns bytes written.
+
+    ``checksum_extents`` names the payload extents to checksum (what the
+    store's read path will fetch).  By default they are taken from the
+    document map — correct for stores whose entries are direct payload
+    extents (``rlz``, ``raw``); blocked stores must pass their block table.
+
+    The file appears at ``path`` only after the full container (including
+    checksums) has been written and fsync'd to a same-directory temporary,
+    so readers never observe a torn write.
+    """
     path = Path(path)
     encoded_type = store_type.encode("ascii")
     metadata_bytes = json.dumps(metadata, sort_keys=True).encode("utf-8")
     map_bytes = document_map.to_bytes()
-    with path.open("wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack("<H", len(encoded_type)))
-        handle.write(encoded_type)
-        handle.write(struct.pack("<Q", len(metadata_bytes)))
-        handle.write(metadata_bytes)
-        handle.write(struct.pack("<Q", len(map_bytes)))
-        handle.write(map_bytes)
-        handle.write(struct.pack("<Q", len(dictionary)))
-        handle.write(dictionary)
-        handle.write(payload)
-        return handle.tell()
+
+    if checksum_extents is None:
+        extents = _derive_extents(document_map)
+    else:
+        extents = [(int(offset), int(length)) for offset, length in checksum_extents]
+
+    header = b"".join(
+        (
+            _MAGIC,
+            struct.pack("<H", len(encoded_type)),
+            encoded_type,
+            struct.pack("<Q", len(metadata_bytes)),
+            metadata_bytes,
+            struct.pack("<Q", len(map_bytes)),
+            map_bytes,
+            struct.pack("<Q", len(dictionary)),
+            dictionary,
+        )
+    )
+    table = bytearray(_CHECKSUM_HEAD.pack(zlib.crc32(header), len(extents)))
+    for offset, length in extents:
+        if offset < 0 or length < 0 or offset + length > len(payload):
+            raise StorageError(
+                f"checksum extent ({offset}, {length}) is outside the payload"
+            )
+        table += _CHECKSUM_EXTENT.pack(
+            offset, length, zlib.crc32(payload[offset : offset + length])
+        )
+
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(header)
+            handle.write(struct.pack("<Q", len(table)))
+            handle.write(bytes(table))
+            handle.write(payload)
+            total = handle.tell()
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return total
+
+
+def _parse_checksums(table: bytes, path: Path, header_bytes: bytes) -> Dict[Tuple[int, int], int]:
+    if len(table) < _CHECKSUM_HEAD.size:
+        raise StorageError(f"{path}: checksum section truncated")
+    header_crc, count = _CHECKSUM_HEAD.unpack_from(table, 0)
+    if zlib.crc32(header_bytes) != header_crc:
+        raise CorruptArchiveError(
+            f"{path}: container header failed its CRC32 check"
+        )
+    expected_size = _CHECKSUM_HEAD.size + count * _CHECKSUM_EXTENT.size
+    if len(table) != expected_size:
+        raise StorageError(f"{path}: checksum section truncated")
+    checksums: Dict[Tuple[int, int], int] = {}
+    position = _CHECKSUM_HEAD.size
+    for _ in range(count):
+        offset, length, crc = _CHECKSUM_EXTENT.unpack_from(table, position)
+        position += _CHECKSUM_EXTENT.size
+        checksums[(offset, length)] = crc
+    return checksums
 
 
 def read_container_header(path: str | Path) -> ContainerHeader:
-    """Read and parse the header sections of a container file."""
+    """Read and parse the header sections of a container file.
+
+    For RPRC2 containers the whole header (every byte before the checksum
+    section) is CRC-verified *before* the metadata or document map is
+    parsed, so a flipped header byte raises :class:`CorruptArchiveError`
+    instead of producing a parse error — or worse, a quietly wrong
+    archive.
+    """
     path = Path(path)
     with path.open("rb") as handle:
         magic = handle.read(len(_MAGIC))
-        if magic != _MAGIC:
+        if magic not in (_MAGIC, _MAGIC_V1):
             raise StorageError(f"{path} is not a repro container (bad magic {magic!r})")
-        (type_length,) = struct.unpack("<H", _read_exact(handle, 2))
-        store_type = _read_exact(handle, type_length).decode("ascii")
-        (metadata_length,) = struct.unpack("<Q", _read_exact(handle, 8))
-        metadata = json.loads(_read_exact(handle, metadata_length).decode("utf-8"))
-        (map_length,) = struct.unpack("<Q", _read_exact(handle, 8))
-        document_map = DocumentMap.from_bytes(_read_exact(handle, map_length))
-        (dictionary_length,) = struct.unpack("<Q", _read_exact(handle, 8))
+        # Read the header sections raw first; parsing waits until the
+        # header CRC has vouched for the bytes.
+        type_length_raw = _read_exact(handle, 2)
+        (type_length,) = struct.unpack("<H", type_length_raw)
+        type_bytes = _read_exact(handle, type_length)
+        metadata_length_raw = _read_exact(handle, 8)
+        (metadata_length,) = struct.unpack("<Q", metadata_length_raw)
+        metadata_bytes = _read_exact(handle, metadata_length)
+        map_length_raw = _read_exact(handle, 8)
+        (map_length,) = struct.unpack("<Q", map_length_raw)
+        map_bytes = _read_exact(handle, map_length)
+        dictionary_length_raw = _read_exact(handle, 8)
+        (dictionary_length,) = struct.unpack("<Q", dictionary_length_raw)
         dictionary = _read_exact(handle, dictionary_length)
+        checksums: Optional[Dict[Tuple[int, int], int]] = None
+        if magic == _MAGIC:
+            header_bytes = b"".join(
+                (
+                    magic,
+                    type_length_raw,
+                    type_bytes,
+                    metadata_length_raw,
+                    metadata_bytes,
+                    map_length_raw,
+                    map_bytes,
+                    dictionary_length_raw,
+                    dictionary,
+                )
+            )
+            (table_length,) = struct.unpack("<Q", _read_exact(handle, 8))
+            table = _read_exact(handle, table_length)
+            checksums = _parse_checksums(table, path, header_bytes)
         payload_offset = handle.tell()
+    try:
+        store_type = type_bytes.decode("ascii")
+        metadata = json.loads(metadata_bytes.decode("utf-8"))
+        document_map = DocumentMap.from_bytes(map_bytes)
+    except CorruptArchiveError:
+        raise
+    except Exception as exc:
+        # Unverifiable (legacy) containers can still present damaged
+        # sections; surface one typed error instead of a parser traceback.
+        raise StorageError(f"{path}: container header does not parse: {exc}") from exc
     return ContainerHeader(
         store_type=store_type,
         metadata=metadata,
@@ -92,7 +266,58 @@ def read_container_header(path: str | Path) -> ContainerHeader:
         dictionary=dictionary,
         payload_offset=payload_offset,
         path=path,
+        checksums=checksums,
     )
+
+
+def verify_container(path: str | Path) -> Dict[str, Any]:
+    """Scan a container end-to-end against its checksum table.
+
+    Parses the header (which CRC-verifies the metadata, document-map and
+    dictionary sections), then reads every checksummed payload extent and
+    recomputes its CRC32.  A single flipped byte anywhere in a covered
+    extent raises :class:`CorruptArchiveError`; structural damage
+    (truncation, bad magic) raises :class:`StorageError`.
+
+    Returns a report::
+
+        {"path", "store_type", "format", "documents",
+         "extents_checked", "bytes_checked", "verifiable"}
+
+    Legacy RPRC1 containers parse but carry no checksums; they come back
+    with ``verifiable=False`` and nothing checked.
+    """
+    path = Path(path)
+    header = read_container_header(path)
+    report: Dict[str, Any] = {
+        "path": str(path),
+        "store_type": header.store_type,
+        "format": "RPRC2" if header.checksums is not None else "RPRC1",
+        "documents": len(header.document_map),
+        "extents_checked": 0,
+        "bytes_checked": 0,
+        "verifiable": header.checksums is not None,
+    }
+    if header.checksums is None:
+        return report
+    file_size = path.stat().st_size
+    with path.open("rb") as handle:
+        for (offset, length), crc in header.checksums.items():
+            if header.payload_offset + offset + length > file_size:
+                raise StorageError(
+                    f"{path}: payload truncated (extent at offset {offset} "
+                    f"extends past end of file)"
+                )
+            handle.seek(header.payload_offset + offset)
+            data = _read_exact(handle, length)
+            if zlib.crc32(data) != crc:
+                raise CorruptArchiveError(
+                    f"{path}: payload extent at offset {offset} "
+                    f"({length} bytes) failed its CRC32 check"
+                )
+            report["extents_checked"] += 1
+            report["bytes_checked"] += length
+    return report
 
 
 def open_payload(header: ContainerHeader) -> BinaryIO:

@@ -92,6 +92,7 @@ class RawStore:
         data = self._handle.read(entry.length)
         if len(data) != entry.length:
             raise StorageError("payload truncated while reading document")
+        self._header.check_extent(entry.offset, entry.length, data)
         return data
 
     def iter_documents(self) -> Iterator[Tuple[int, bytes]]:

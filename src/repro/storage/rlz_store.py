@@ -226,6 +226,7 @@ class RlzStore:
             blob = self._handle.read(entry.length)
         if len(blob) != entry.length:
             raise StorageError("payload truncated while reading document")
+        self._header.check_extent(entry.offset, entry.length, blob)
         return blob
 
     @property

@@ -1,0 +1,24 @@
+"""Test-support tooling shipped with the library.
+
+:mod:`repro.testing.faults` is the chaos-injection harness: a TCP proxy
+that sits between a client and an :class:`repro.serve.RlzServer` and
+misbehaves on purpose (delays, resets, truncated frames, corrupted bytes,
+blackholes), plus byte-level file corruptors for exercising the container
+checksum machinery.  The serving stack's fault-tolerance tests
+(``tests/serve/test_chaos.py``) are built on it, and downstream users can
+point the same proxy at their own deployments.
+"""
+
+from .faults import (
+    FaultPlan,
+    FaultProxy,
+    corrupt_file_byte,
+    truncate_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultProxy",
+    "corrupt_file_byte",
+    "truncate_file",
+]

@@ -1,0 +1,377 @@
+"""Fault injection for the serving stack: a misbehaving TCP proxy.
+
+Chaos testing the paper's serving story needs a network that fails in
+every way real networks do — slowly, loudly, and mid-frame.  Rather than
+mock sockets, :class:`FaultProxy` is a real in-process TCP proxy that
+forwards between a client and a live server while injecting faults
+according to a :class:`FaultPlan`:
+
+* **delay** — hold a forwarded chunk for a fixed time (brownout / slow
+  shard; deadline and hedging tests);
+* **drop** — silently discard a chunk (data loss without a close: the
+  stream desynchronizes and the client must fail by framing error or
+  timeout, never by returning wrong bytes);
+* **reset** — hard TCP reset (``SO_LINGER`` 0) so the peer sees
+  ``ECONNRESET`` instead of a clean EOF;
+* **truncate** — forward only the first N bytes of the server's response
+  stream, then close mid-frame;
+* **corrupt** — XOR a byte inside a forwarded chunk (the wire-level
+  analogue of the container corruptors below);
+* **blackhole** — accept the connection and then forward nothing in
+  either direction, forever (the pure-hang case deadlines exist for).
+
+Every fault draws from a seeded RNG, so a given schedule is reproducible;
+``proxy.plan`` may be swapped at runtime to phase faults in and out of a
+running test.  Counters record what was actually injected.
+
+The module also ships byte-level *file* corruptors
+(:func:`corrupt_file_byte`, :func:`truncate_file`) used to exercise the
+container checksum machinery (``repro verify``).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["FaultPlan", "FaultProxy", "corrupt_file_byte", "truncate_file"]
+
+
+@dataclass
+class FaultPlan:
+    """What :class:`FaultProxy` does to forwarded traffic.
+
+    All probabilities are per forwarded chunk, evaluated independently;
+    ``0.0`` disables the fault, ``1.0`` fires every time.  Faults apply to
+    the server→client direction (responses) unless ``upstream`` is set —
+    that is the direction where a byte flip or truncation can silently
+    change what a client believes it read, which is the failure mode
+    under test.
+
+    Attributes
+    ----------
+    delay_seconds / delay_probability:
+        Sleep before forwarding a chunk (added tail latency).
+    drop_probability:
+        Discard a chunk without closing (stream desynchronization).
+    reset_probability:
+        Hard-reset both sockets (``ECONNRESET`` at the peer).
+    corrupt_probability / corrupt_xor:
+        XOR one byte of the chunk with ``corrupt_xor``.
+    truncate_after_bytes:
+        Forward only this many response bytes per connection, then close
+        abruptly (mid-frame truncation).  ``None`` disables.
+    blackhole:
+        Accept, then forward nothing in either direction.
+    upstream:
+        Apply the chunk faults to client→server traffic too.
+    """
+
+    delay_seconds: float = 0.0
+    delay_probability: float = 1.0
+    drop_probability: float = 0.0
+    reset_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    corrupt_xor: int = 0xFF
+    truncate_after_bytes: Optional[int] = None
+    blackhole: bool = False
+    upstream: bool = False
+
+
+class _Counters:
+    """Thread-safe tallies of the faults actually injected."""
+
+    _FIELDS = (
+        "connections",
+        "forwarded_bytes",
+        "delays",
+        "drops",
+        "resets",
+        "corruptions",
+        "truncations",
+        "blackholed",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+
+class FaultProxy:
+    """An in-process TCP proxy that injects faults per a :class:`FaultPlan`.
+
+    ::
+
+        with FaultProxy("127.0.0.1", server.port, FaultPlan(reset_probability=0.2)) as proxy:
+            client = RlzClient("127.0.0.1", proxy.port, ...)
+
+    The proxy listens on an ephemeral port (:attr:`port`), forwards every
+    accepted connection to ``target_host:target_port``, and applies the
+    current :attr:`plan` to each chunk.  ``plan`` is read per chunk, so a
+    test can swap it mid-run (e.g. fault a shard for a while, then heal
+    it).  Faults draw from one seeded RNG; the same seed and traffic give
+    the same schedule.
+    """
+
+    _CHUNK = 16 * 1024
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        plan: Optional[FaultPlan] = None,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.plan = plan if plan is not None else FaultPlan()
+        self.counters = _Counters()
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._closed = False
+        self._conns_lock = threading.Lock()
+        self._conns: list = []
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting and tear down every live connection."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns, self._conns = self._conns[:], []
+        for sock in conns:
+            _hard_close(sock)
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client_sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.counters.bump("connections")
+            threading.Thread(
+                target=self._serve_connection,
+                args=(client_sock,),
+                name="fault-proxy-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, client_sock: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(
+                (self.target_host, self.target_port), timeout=5.0
+            )
+        except OSError:
+            _hard_close(client_sock)
+            return
+        with self._conns_lock:
+            if self._closed:
+                _hard_close(client_sock)
+                _hard_close(upstream)
+                return
+            self._conns.extend((client_sock, upstream))
+        state = {"response_bytes": 0}
+        down = threading.Thread(
+            target=self._pump,
+            args=(upstream, client_sock, True, state),
+            daemon=True,
+        )
+        down.start()
+        self._pump(client_sock, upstream, False, state)
+        down.join(timeout=5.0)
+
+    def _chance(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        with self._rng_lock:
+            return self._rng.random() < probability
+
+    def _pump(
+        self,
+        source: socket.socket,
+        sink: socket.socket,
+        is_response: bool,
+        state: dict,
+    ) -> None:
+        """Forward source→sink applying the current plan; close both at EOF."""
+        try:
+            while True:
+                try:
+                    chunk = source.recv(self._CHUNK)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                plan = self.plan  # re-read every chunk: tests swap it live
+                if plan.blackhole:
+                    self.counters.bump("blackholed", len(chunk))
+                    continue
+                faulted = is_response or plan.upstream
+                if faulted and plan.reset_probability and self._chance(plan.reset_probability):
+                    self.counters.bump("resets")
+                    _hard_close(sink)
+                    _hard_close(source)
+                    return
+                if (
+                    faulted
+                    and plan.delay_seconds > 0
+                    and self._chance(plan.delay_probability)
+                ):
+                    self.counters.bump("delays")
+                    _interruptible_sleep(plan.delay_seconds, lambda: self._closed)
+                if faulted and self._chance(plan.drop_probability):
+                    self.counters.bump("drops")
+                    continue
+                if faulted and self._chance(plan.corrupt_probability):
+                    with self._rng_lock:
+                        index = self._rng.randrange(len(chunk))
+                    mutable = bytearray(chunk)
+                    mutable[index] ^= plan.corrupt_xor & 0xFF
+                    chunk = bytes(mutable)
+                    self.counters.bump("corruptions")
+                if is_response and plan.truncate_after_bytes is not None:
+                    budget = plan.truncate_after_bytes - state["response_bytes"]
+                    if budget <= 0:
+                        self.counters.bump("truncations")
+                        _hard_close(sink)
+                        _hard_close(source)
+                        return
+                    if len(chunk) > budget:
+                        chunk = chunk[:budget]
+                        state["response_bytes"] += len(chunk)
+                        try:
+                            sink.sendall(chunk)
+                        except OSError:
+                            pass
+                        self.counters.bump("forwarded_bytes", len(chunk))
+                        self.counters.bump("truncations")
+                        _hard_close(sink)
+                        _hard_close(source)
+                        return
+                    state["response_bytes"] += len(chunk)
+                try:
+                    sink.sendall(chunk)
+                except OSError:
+                    break
+                self.counters.bump("forwarded_bytes", len(chunk))
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Close with a zero linger so the peer sees a TCP reset, not EOF."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _interruptible_sleep(seconds: float, cancelled) -> None:
+    deadline = seconds
+    step = 0.05
+    while deadline > 0 and not cancelled():
+        slice_ = min(step, deadline)
+        threading.Event().wait(slice_)
+        deadline -= slice_
+
+
+# ----------------------------------------------------------------------
+# File corruptors (for the container checksum machinery)
+# ----------------------------------------------------------------------
+def corrupt_file_byte(
+    path: str | Path,
+    offset: Optional[int] = None,
+    xor: int = 0xFF,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """XOR one byte of ``path`` in place; returns the offset corrupted.
+
+    ``offset=None`` picks a uniformly random position (seeded via
+    ``rng``).  ``xor`` must not be 0 — that would be a no-op disguised as
+    corruption.
+    """
+    if xor & 0xFF == 0:
+        raise ValueError("xor=0 would not change the byte")
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    if offset is None:
+        offset = (rng or random).randrange(size)
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with path.open("r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (xor & 0xFF)]))
+    return offset
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Chop the tail off ``path`` in place; returns the new size."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with path.open("r+b") as handle:
+        handle.truncate(keep)
+    return keep

@@ -158,6 +158,49 @@ def test_breaker_validation():
         CircuitBreaker(cooldown=-1)
 
 
+def test_breaker_half_open_admits_exactly_one_trial_under_contention():
+    """Many threads racing try_trial() on a half-open breaker: one wins.
+
+    Two concurrent probes hitting a barely-recovered endpoint is how
+    half-open states re-kill it, so the exactly-one guarantee has to hold
+    under real contention, not just sequentially.
+    """
+    import threading
+
+    clock = [0.0]
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=lambda: clock[0])
+    breaker.record_failure()
+    clock[0] = 2.0  # cooldown elapsed: half-open
+    assert breaker.state == "half-open"
+
+    barrier = threading.Barrier(16)
+    admitted = []
+    admitted_lock = threading.Lock()
+
+    def probe():
+        barrier.wait()
+        if breaker.try_trial():
+            with admitted_lock:
+                admitted.append(threading.get_ident())
+
+    threads = [threading.Thread(target=probe) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert len(admitted) == 1
+
+    # While the probe is unresolved, everyone else keeps being refused...
+    assert not breaker.try_trial()
+    # ...an inconclusive outcome hands the slot to the next prober...
+    breaker.release_trial()
+    assert breaker.try_trial()
+    # ...and a successful probe closes the breaker for all.
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.try_trial() and breaker.try_trial()
+
+
 # ----------------------------------------------------------------------
 # ClusterClient against live replicas
 # ----------------------------------------------------------------------
@@ -350,7 +393,7 @@ def test_sustained_busy_reroutes_without_tripping_the_breaker(cluster):
         saturated = endpoints[0]
         real = client._clients[saturated].pipelined_get
 
-        def always_busy(doc_ids, window=32):
+        def always_busy(doc_ids, window=32, deadline_ms=None):
             raise ServerBusyError("server still busy after 8 retries")
 
         client._clients[saturated].pipelined_get = always_busy
@@ -365,8 +408,10 @@ def test_sustained_busy_reroutes_without_tripping_the_breaker(cluster):
         owned = [d for d in ids if client.shard_map.primary(d) == saturated]
         if owned:
             real_get = client._clients[saturated].get
-            client._clients[saturated].get = lambda doc_id: (_ for _ in ()).throw(
-                ServerBusyError("busy")
+            client._clients[saturated].get = (
+                lambda doc_id, deadline_ms=None: (_ for _ in ()).throw(
+                    ServerBusyError("busy")
+                )
             )
             try:
                 assert client.get(owned[0]) == expected[owned[0]]

@@ -33,16 +33,20 @@ def live_server(served_archive):
 
 
 def _handshake_v2(host: str, port: int, archive: str = "") -> socket.socket:
+    # Pin the handshake to v2: these tests speak raw v2 frames, and a v3+
+    # server must keep serving v2 clients with v2 framing.
     raw = socket.create_connection((host, port), timeout=10)
     raw.sendall(
-        protocol.encode_frame(Opcode.HELLO, protocol.pack_hello(archive=archive))
+        protocol.encode_frame(
+            Opcode.HELLO, protocol.pack_hello(protocol.PROTOCOL_V2, archive)
+        )
     )
     opcode, payload = _read_v1_frame(raw)
     if opcode == Opcode.R_ERROR:
         raw.close()
         protocol.raise_error_frame(payload)
     assert opcode == Opcode.R_HELLO
-    assert protocol.unpack_hello_reply(payload) == protocol.PROTOCOL_VERSION
+    assert protocol.unpack_hello_reply(payload) == protocol.PROTOCOL_V2
     return raw
 
 

@@ -297,3 +297,49 @@ def test_shared_cache_is_visible_across_processes():
         assert seen == b"from-parent"
         assert child_hits == 1
         assert cache.get(2) == b"from-child"  # child's store visible here
+
+
+def _creator_then_exit(name: str, ready, release) -> None:
+    """Subprocess body: create the segment, publish a doc, wait, exit.
+
+    ``close()`` on exit unlinks the segment — exactly what a serving
+    worker's crash-or-restart does to the readers still attached.
+    """
+    cache = SharedMemoryCache(slots=4, slot_bytes=256, name=name)
+    try:
+        cache.put(1, b"creator-bytes")
+        ready.set()
+        release.wait(timeout=30)
+    finally:
+        cache.close()
+
+
+def test_shared_attacher_survives_creator_exit_mid_read():
+    """The creator process exiting (and unlinking the segment) must not
+    break an attacher mid-stream: its mapping stays valid, reads keep
+    returning the exact cached bytes, and its own close is clean."""
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    context = multiprocessing.get_context(method)
+    name = f"rlzc-{uuid.uuid4().hex[:12]}"
+    ready = context.Event()
+    release = context.Event()
+    process = context.Process(target=_creator_then_exit, args=(name, ready, release))
+    process.start()
+    assert ready.wait(timeout=30)
+    attacher = SharedMemoryCache(name=name)
+    try:
+        assert not attacher.owner
+        assert attacher.get(1) == b"creator-bytes"  # read while creator lives
+        release.set()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        # Creator is gone and the segment is unlinked; the attacher's
+        # mapping must keep serving byte-identical content...
+        assert attacher.get(1) == b"creator-bytes"
+        # ...and keep accepting new work.
+        attacher.put(2, b"post-exit")
+        assert attacher.get(2) == b"post-exit"
+        info = attacher.cache_info()
+        assert info["hits"] == 3 and info["stores"] == 1
+    finally:
+        attacher.close()  # non-owner: plain close, no double-unlink blowup

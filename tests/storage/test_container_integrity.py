@@ -1,0 +1,187 @@
+"""Corruption-safety tests for the RPRC2 container format.
+
+The acceptance bar: a single flipped byte anywhere in a container is
+*detected* (typed error, never silently wrong bytes), and a build killed
+mid-write leaves no openable partial archive.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DictionaryConfig, RlzCompressor
+from repro.errors import CorruptArchiveError, StorageError
+from repro.storage import (
+    BlockedStore,
+    BlockedStoreConfig,
+    DocumentEntry,
+    DocumentMap,
+    RawStore,
+    RlzStore,
+    read_container_header,
+    verify_container,
+)
+from repro.storage import container as container_module
+
+
+@pytest.fixture(scope="module")
+def small_collection(gov_small):
+    return gov_small
+
+
+@pytest.fixture()
+def rlz_path(tmp_path, small_collection):
+    compressor = RlzCompressor(
+        dictionary_config=DictionaryConfig(size=16 * 1024, sample_size=512), scheme="ZZ"
+    )
+    path = tmp_path / "a.rlz"
+    RlzStore.write(compressor.compress(small_collection), path)
+    return path
+
+
+def test_verify_fresh_containers_report_ok(tmp_path, small_collection, rlz_path):
+    blocked = tmp_path / "a.blocked"
+    BlockedStore.build(
+        small_collection, blocked, BlockedStoreConfig("zlib", block_size=16 * 1024)
+    )
+    raw = tmp_path / "a.raw"
+    RawStore.build(small_collection, raw)
+    for path in (rlz_path, blocked, raw):
+        report = verify_container(path)
+        assert report["verifiable"] is True
+        assert report["format"] == "RPRC2"
+        assert report["extents_checked"] > 0
+        assert report["bytes_checked"] > 0
+        assert report["documents"] == len(small_collection)
+
+
+def test_single_flipped_byte_anywhere_is_detected(rlz_path):
+    """Sweep flip positions across the whole file: every one must raise."""
+    original = rlz_path.read_bytes()
+    size = len(original)
+    header = read_container_header(rlz_path)
+    # A prime stride samples every region (magic, store type, lengths,
+    # metadata, map, dictionary, checksum table, payload) without taking
+    # minutes; the section boundaries are hit explicitly.
+    offsets = set(range(0, size, 211))
+    offsets.update((0, 5, 7, size - 1, header.payload_offset, header.payload_offset - 5))
+    for offset in sorted(offsets):
+        mutated = bytearray(original)
+        mutated[offset] ^= 0xFF
+        rlz_path.write_bytes(bytes(mutated))
+        with pytest.raises((CorruptArchiveError, StorageError)):
+            verify_container(rlz_path)
+    rlz_path.write_bytes(original)
+    assert verify_container(rlz_path)["verifiable"] is True
+
+
+@pytest.mark.parametrize("store_kind", ["rlz", "blocked", "raw"])
+def test_payload_flip_raises_corrupt_archive_on_read(
+    tmp_path, small_collection, store_kind
+):
+    """The serving read path itself (not just offline verify) checks CRCs."""
+    path = tmp_path / f"a.{store_kind}"
+    if store_kind == "rlz":
+        compressor = RlzCompressor(
+            dictionary_config=DictionaryConfig(size=16 * 1024, sample_size=512),
+            scheme="ZZ",
+        )
+        RlzStore.write(compressor.compress(small_collection), path)
+        opener = RlzStore.open
+    elif store_kind == "blocked":
+        BlockedStore.build(
+            small_collection, path, BlockedStoreConfig("zlib", block_size=16 * 1024)
+        )
+        opener = BlockedStore.open
+    else:
+        RawStore.build(small_collection, path)
+        opener = RawStore.open
+    header = read_container_header(path)
+    data = bytearray(path.read_bytes())
+    data[header.payload_offset + 3] ^= 0x40
+    path.write_bytes(bytes(data))
+    with opener(path) as store:
+        corrupt = 0
+        for doc_id in store.doc_ids():
+            try:
+                store.get(doc_id)
+            except CorruptArchiveError:
+                corrupt += 1
+        assert corrupt >= 1  # the flipped extent is never served silently
+
+
+def test_interrupted_build_leaves_no_partial_archive(tmp_path, monkeypatch):
+    """A crash during the container write must not leave an openable file."""
+    document_map = DocumentMap()
+    document_map.add(DocumentEntry(doc_id=1, offset=0, length=4))
+    target = tmp_path / "killed.repro"
+
+    def dying_fsync(fd):
+        raise OSError("simulated power loss")
+
+    monkeypatch.setattr(container_module.os, "fsync", dying_fsync)
+    with pytest.raises(OSError):
+        container_module.write_container(
+            target, "raw", {"original_size": 4}, document_map, b"", b"abcd"
+        )
+    assert not target.exists()
+    assert list(tmp_path.iterdir()) == []  # no stray temp file either
+
+
+def test_interrupted_rebuild_preserves_the_old_archive(tmp_path, monkeypatch):
+    document_map = DocumentMap()
+    document_map.add(DocumentEntry(doc_id=1, offset=0, length=4))
+    target = tmp_path / "stable.repro"
+    container_module.write_container(
+        target, "raw", {"original_size": 4}, document_map, b"", b"abcd"
+    )
+    good = target.read_bytes()
+
+    real_fsync = os.fsync
+
+    def dying_fsync(fd):
+        raise OSError("simulated power loss")
+
+    monkeypatch.setattr(container_module.os, "fsync", dying_fsync)
+    with pytest.raises(OSError):
+        container_module.write_container(
+            target, "raw", {"original_size": 8}, document_map, b"", b"abcdefgh"
+        )
+    monkeypatch.setattr(container_module.os, "fsync", real_fsync)
+    assert target.read_bytes() == good
+    assert verify_container(target)["verifiable"] is True
+
+
+def test_legacy_rprc1_container_still_opens(tmp_path, small_collection):
+    """Old archives (no checksum section) read fine but report unverifiable."""
+    import struct as structlib
+
+    document_map = DocumentMap()
+    payload = bytearray()
+    for document in small_collection:
+        document_map.add(
+            DocumentEntry(
+                doc_id=document.doc_id, offset=len(payload), length=document.size
+            )
+        )
+        payload += document.content
+    metadata = b'{"collection": "legacy", "original_size": %d}' % small_collection.total_size
+    map_bytes = document_map.to_bytes()
+    path = tmp_path / "legacy.repro"
+    with path.open("wb") as handle:
+        handle.write(b"RPRC1\n")
+        handle.write(structlib.pack("<H", 3) + b"raw")
+        handle.write(structlib.pack("<Q", len(metadata)) + metadata)
+        handle.write(structlib.pack("<Q", len(map_bytes)) + map_bytes)
+        handle.write(structlib.pack("<Q", 0))
+        handle.write(bytes(payload))
+
+    with RawStore.open(path) as store:
+        first = small_collection[0]
+        assert store.get(first.doc_id) == first.content
+    report = verify_container(path)
+    assert report["verifiable"] is False
+    assert report["format"] == "RPRC1"
+    assert report["extents_checked"] == 0

@@ -61,6 +61,8 @@ TOP_LEVEL_EXPORTS = {
     "BenchmarkError",
     "ConfigurationError",
     "CorpusError",
+    "CorruptArchiveError",
+    "DeadlineExceededError",
     "DecodingError",
     "DictionaryError",
     "EncodingError",
@@ -82,10 +84,12 @@ API_EXPORTS = {
     "AsyncArchiveView",
     "AsyncRlzArchive",
     "CacheSpec",
+    "DeadlineSpec",
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
     "RequestStats",
+    "RetrySpec",
     "RlzArchive",
     "ServeSpec",
 }
@@ -96,11 +100,15 @@ SERVE_EXPORTS = {
     "CircuitBreaker",
     "ClusterClient",
     "ConnectionStats",
+    "Deadline",
     "ERROR_CODES",
     "MAGIC",
     "Opcode",
     "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_V3",
     "PROTOCOL_VERSION",
+    "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",
@@ -122,6 +130,7 @@ STORAGE_EXPORTS = {
     "RlzStore",
     "SharedMemoryCache",
     "read_container_header",
+    "verify_container",
     "write_container",
 }
 

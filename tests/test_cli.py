@@ -15,6 +15,7 @@ from repro.cli import (
     get_main,
     main,
     serve_bench_main,
+    verify_main,
 )
 
 
@@ -201,6 +202,28 @@ def test_get_requires_exactly_one_target(built_container, capsys):
 def test_get_reports_missing_document(built_container, capsys):
     assert get_main([str(built_container), "99999"]) == 1
     assert "repro get:" in capsys.readouterr().err
+
+
+def test_verify_reports_ok_then_catches_a_flipped_byte(built_container, capsys):
+    assert verify_main([str(built_container)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "verified" in out
+    # One flipped payload byte must flip the verdict (and the exit code).
+    data = bytearray(built_container.read_bytes())
+    data[-3] ^= 0x01
+    built_container.write_bytes(bytes(data))
+    assert verify_main([str(built_container)]) == 1
+    assert "CORRUPT" in capsys.readouterr().err
+
+
+def test_verify_handles_missing_and_mixed_paths(built_container, capsys):
+    # A good file plus a missing one: the good one still reports, exit is 1.
+    assert verify_main([str(built_container), "no-such-file.repro"]) == 1
+    captured = capsys.readouterr()
+    assert "OK" in captured.out
+    assert "cannot verify" in captured.err
+    assert main(["verify", str(built_container)]) == 0  # dispatcher wiring
+    capsys.readouterr()
 
 
 def test_serve_and_get_connect_end_to_end(built_container, tmp_path):
