@@ -118,6 +118,27 @@ def test_fastpath_chaos(benchmark, results_path):
     assert "hedging" in notes
 
 
+def test_fastpath_partition(benchmark, results_path):
+    """Record the partitioned-serving comparison (2-replica fleet vs 2- and
+    4-way shard-owned partitions: stored footprint + get/get_many/sweep
+    throughput) and verify every served byte across all fleets."""
+    from repro.bench.partition import partition_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        partition_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "served bytes verified against corpus: True" in notes
+    assert "JSON record appended to" in notes
+
+
 def test_fastpath_large_dictionary(benchmark, results_path):
     """Verify the compact jump index is active (no silent fallback) for a
     dictionary above the old 1 MiB gate, with seed-identical streams."""

@@ -1,0 +1,133 @@
+"""Quickstart, partitioned: shards that own their arc, rebalanced live.
+
+The storage-scale variant of ``examples/quickstart_cluster.py``: instead
+of every server replicating the whole archive, ``repro partition`` deals
+the collection out across shards by consistent hashing — each shard's
+container holds *only* the doc ids its arc of the ring owns, so the
+fleet stores each document once no matter how many servers serve it.
+
+1. split one collection into two per-shard containers
+   (:func:`repro.serve.build_partitioned_archives` /
+   ``repro partition``) and start one server per shard,
+2. connect a :class:`repro.ClusterClient` with ``ringid@host:port``
+   serving labels — it bootstraps the shard map (epoch 1) from any
+   member over the wire and routes every read to the owner,
+3. add a third, empty *joining* shard
+   (:func:`repro.serve.write_spare_shard`) and live-rebalance its arc
+   onto it (:func:`repro.serve.rebalance` / ``repro rebalance``) while
+   the fleet keeps serving,
+4. read through the old client again: the donors' ``R_WRONG_SHARD``
+   replies push the new epoch, the client refreshes its map, learns the
+   recipient's address from it, and retries — byte-identical, no
+   restart.
+
+Run with ``python examples/quickstart_partitioned.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ArchiveConfig,
+    BackgroundServer,
+    ClusterClient,
+    DictionarySpec,
+    EncodingSpec,
+    PartitionSpec,
+    generate_gov_collection,
+)
+from repro.serve import build_partitioned_archives, rebalance, write_spare_shard
+from repro.storage import RlzStore
+
+
+def main() -> None:
+    collection = generate_gov_collection(num_documents=120, seed=7)
+    expected = {document.doc_id: document.content for document in collection}
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(size=64 * 1024),
+        encoding=EncodingSpec(scheme="ZV"),
+        partition=PartitionSpec(shards=2),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        # One collection in, one container per shard out — each holds
+        # only the doc ids its arc of the consistent-hash ring owns.
+        shard_paths = build_partitioned_archives(collection, config, tmp_path)
+        for ring_id, path in shard_paths.items():
+            held = len(RlzStore.open(path).document_map)
+            print(f"built {ring_id}: {held} of {len(expected)} documents")
+
+        servers, endpoints = [], []
+        try:
+            for ring_id, path in shard_paths.items():
+                server = BackgroundServer(path, config)
+                host, port = server.start()
+                servers.append(server)
+                endpoints.append(f"{ring_id}@{host}:{port}")
+            print(f"fleet up: {', '.join(endpoints)}")
+
+            with ClusterClient(endpoints, retry_delay=0.02) as cluster:
+                doc_ids = cluster.doc_ids()  # global order, from any shard
+                batch = list(reversed(doc_ids)) + doc_ids[:5]
+                documents = cluster.get_many(batch)
+                assert documents == [expected[doc_id] for doc_id in batch]
+                assert dict(cluster.iter_documents()) == expected
+                print(
+                    f"epoch {cluster.epoch}: {len(batch)} documents "
+                    f"byte-identical through the partitioned fleet"
+                )
+
+                # A third shard joins: empty container cloned from the
+                # fleet (same dictionary + doc order, owns nothing yet).
+                spare_path = write_spare_shard(
+                    next(iter(shard_paths.values())),
+                    tmp_path / "shard2.rlz",
+                    "shard2",
+                )
+                spare = BackgroundServer(spare_path, config)
+                spare_host, spare_port = spare.start()
+                servers.append(spare)
+
+                # Live rebalance: stream the joining shard's arc over,
+                # then install epoch 2 — recipient first, donors after,
+                # so reads never fail in between.
+                report = rebalance(
+                    endpoints,
+                    to=f"shard2@{spare_host}:{spare_port}",
+                    batch_docs=16,
+                )
+                print(f"rebalance: {report.describe()}")
+
+                # Same client, no restart: donors refuse the moved arc
+                # with the new epoch, the client refreshes its map and
+                # retries against the new owner.
+                assert cluster.get_many(batch) == documents
+                assert cluster.epoch == report.epoch
+                stats = cluster.stats()
+                print(
+                    f"cutover: epoch {cluster.epoch}, "
+                    f"{int(stats['cluster_epoch_refreshes'])} map refreshes, "
+                    f"{int(stats['cluster_wrong_shard_retries'])} redirected "
+                    f"reads, bytes identical"
+                )
+
+                # On disk each container again holds only its own arc.
+                for ring_id in ("shard0", "shard1"):
+                    held = len(RlzStore.open(shard_paths[ring_id]).document_map)
+                    print(f"{ring_id} now holds {held} documents")
+                moved = len(RlzStore.open(spare_path).document_map)
+                print(f"shard2 now holds {moved} documents")
+        finally:
+            for server in servers:
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+    print("partitioned quickstart finished")
+
+
+if __name__ == "__main__":
+    main()

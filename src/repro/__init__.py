@@ -54,6 +54,7 @@ from .api import (
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
+    PartitionSpec,
     RlzArchive,
     ServeSpec,
 )
@@ -92,8 +93,10 @@ from .errors import (
     ServerBusyError,
     StorageError,
     StoreClosedError,
+    WrongShardError,
 )
 from .serve import (
+    AsyncClusterClient,
     AsyncRlzClient,
     BackgroundServer,
     ClusterClient,
@@ -111,6 +114,7 @@ __all__ = [
     "ArchiveConfig",
     "ArchiveView",
     "AsyncArchiveView",
+    "AsyncClusterClient",
     "AsyncRlzArchive",
     "AsyncRlzClient",
     "BackgroundServer",
@@ -139,6 +143,7 @@ __all__ = [
     "NullCache",
     "PairEncoder",
     "ParallelSpec",
+    "PartitionSpec",
     "ProtocolError",
     "ReproError",
     "RlzArchive",
@@ -157,6 +162,7 @@ __all__ = [
     "StorageError",
     "StoreClosedError",
     "SuffixArray",
+    "WrongShardError",
     "build_dictionary",
     "generate_gov_collection",
     "generate_wikipedia_collection",

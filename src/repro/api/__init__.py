@@ -26,6 +26,7 @@ from .config import (
     DictionarySpec,
     EncodingSpec,
     ParallelSpec,
+    PartitionSpec,
     RetrySpec,
     ServeSpec,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
+    "PartitionSpec",
     "RequestStats",
     "RetrySpec",
     "RlzArchive",

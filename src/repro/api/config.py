@@ -11,7 +11,10 @@ dataclasses, one per concern:
 * :class:`CacheSpec` — the serving-time decode-cache tier;
 * :class:`ServeSpec` — the network front (``repro serve`` / RlzServer),
   carrying a :class:`DeadlineSpec` (request deadlines + hedging) and a
-  :class:`RetrySpec` (retry counts, backoff, token-bucket retry budget).
+  :class:`RetrySpec` (retry counts, backoff, token-bucket retry budget);
+* :class:`PartitionSpec` — how a ``repro partition`` build splits the
+  collection into per-shard stores (shard count, ring geometry, shared
+  vs per-shard dictionary, starting epoch).
 
 Everything has a sensible default, so ``ArchiveConfig()`` is a valid
 paper-faithful configuration; ``dataclasses.replace`` (or keyword
@@ -34,6 +37,7 @@ __all__ = [
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
+    "PartitionSpec",
     "RetrySpec",
     "ServeSpec",
 ]
@@ -350,6 +354,38 @@ class ServeSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Partitioned-build configuration (``repro partition``).
+
+    ``shards`` is how many per-shard stores a partitioned build writes;
+    each shard's container holds only the doc ids its arc of the
+    consistent-hash ring owns.  ``virtual_nodes`` must match the ring the
+    serving fleet uses (it determines the arcs).  ``shared_dictionary``
+    selects between one dictionary sampled from the whole collection and
+    embedded in every shard (cross-shard compression stays paper-faithful,
+    the default) and a per-shard dictionary sampled from each shard's own
+    documents (smaller build memory, shard-local tuning).  ``epoch`` seeds
+    the shard-map epoch recorded in every shard manifest; rebalances bump
+    it from there.
+    """
+
+    shards: int = 1
+    virtual_nodes: int = 64
+    shared_dictionary: bool = True
+    epoch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ConfigurationError(f"shards must be positive; got {self.shards}")
+        if self.virtual_nodes <= 0:
+            raise ConfigurationError(
+                f"virtual_nodes must be positive; got {self.virtual_nodes}"
+            )
+        if self.epoch <= 0:
+            raise ConfigurationError(f"epoch must be positive; got {self.epoch}")
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """The single way to configure building and serving an archive."""
 
@@ -358,6 +394,7 @@ class ArchiveConfig:
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     cache: CacheSpec = field(default_factory=CacheSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
+    partition: PartitionSpec = field(default_factory=PartitionSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.dictionary, DictionarySpec):
@@ -370,6 +407,8 @@ class ArchiveConfig:
             raise ConfigurationError("cache must be a CacheSpec")
         if not isinstance(self.serve, ServeSpec):
             raise ConfigurationError("serve must be a ServeSpec")
+        if not isinstance(self.partition, PartitionSpec):
+            raise ConfigurationError("partition must be a PartitionSpec")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -387,6 +426,7 @@ class ArchiveConfig:
             "parallel": ParallelSpec,
             "cache": CacheSpec,
             "serve": ServeSpec,
+            "partition": PartitionSpec,
         }
         unknown = set(data) - set(specs)
         if unknown:

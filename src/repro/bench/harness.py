@@ -27,6 +27,7 @@ from .experiments import (
 from .fastpath import fastpath_benchmark, large_dictionary_benchmark
 from .chaos import chaos_benchmark
 from .cluster import cluster_benchmark
+from .partition import partition_benchmark
 from .network import network_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
@@ -133,6 +134,10 @@ def _fastpath_chaos() -> ResultTable:
     return chaos_benchmark()
 
 
+def _fastpath_partition() -> ResultTable:
+    return partition_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -155,6 +160,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "fastpath-network": _fastpath_network,
     "fastpath-cluster": _fastpath_cluster,
     "fastpath-chaos": _fastpath_chaos,
+    "fastpath-partition": _fastpath_partition,
 }
 
 

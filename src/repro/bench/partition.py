@@ -1,0 +1,250 @@
+"""Partitioned-serving benchmark: shards that own their arc vs replicas.
+
+PR 5's cluster fans out over *replicas*: every server stores the whole
+container, so a fleet of N costs N times the disk/page-cache footprint.
+A *partitioned* fleet (``repro partition``) stores each document exactly
+once — each shard's container holds only the doc ids its arc of the
+consistent-hash ring owns — so the fleet footprint stays ~1x no matter
+how many shards serve it.
+
+This experiment measures what that trade buys and costs on one box:
+
+* **footprint** — total container bytes a 2-replica fleet stores vs a
+  2-way and a 4-way partition of the same collection;
+* **throughput** — the same shuffled repeated-access query log replayed
+  through a :class:`ClusterClient` over each fleet (``get_many`` batch
+  fan-out), plus a sequential ``get`` loop and a full ``iter_documents``
+  sweep (per-shard SCAN merge) per fleet.
+
+Every pipeline is byte-verified against the corpus and a JSON record
+(``"benchmark": "fastpath-partition"``) is appended to the same history
+as the other fast-path experiments; the frozen seed baselines in
+:mod:`repro.bench.fastpath` are untouched.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..api import (
+    ArchiveConfig,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    PartitionSpec,
+    RlzArchive,
+)
+from ..corpus.document import DocumentCollection
+from ..serve import BackgroundServer, ClusterClient, build_partitioned_archives
+from .corpora import gov_collection
+from .fastpath import _append_json_record
+from .reporting import ResultTable
+from .scale import BenchScale, current_scale
+
+__all__ = ["partition_benchmark"]
+
+
+def _base_config(scale: BenchScale, dictionary_label: str, scheme: str, cache: int):
+    return dict(
+        dictionary=DictionarySpec(
+            size=scale.dictionary_sizes[dictionary_label],
+            sample_size=scale.default_sample_size,
+        ),
+        encoding=EncodingSpec(scheme=scheme),
+        cache=CacheSpec(tier="lru", capacity=cache),
+    )
+
+
+def partition_benchmark(
+    collection: Optional[DocumentCollection] = None,
+    scale: Optional[BenchScale] = None,
+    dictionary_label: str = "1.0",
+    scheme: str = "ZZ",
+    partition_ways: Sequence[int] = (2, 4),
+    replica_count: int = 2,
+    serving_repeats: int = 2,
+    cache_capacity: int = 128,
+    pipeline_window: int = 32,
+    output_json: Optional[str | Path] = None,
+) -> ResultTable:
+    """Replica fleet vs 2/4-way partitioned fleets: footprint + throughput.
+
+    Builds one full container and 2/4-way partitions of the same
+    collection in a temporary directory, serves each fleet with one
+    :class:`BackgroundServer` per container, replays the same shuffled
+    query log through a :class:`ClusterClient` over each, and
+    byte-verifies every pipeline.  Optionally appends a machine-readable
+    record to ``output_json``.
+    """
+    scale = scale or current_scale()
+    collection = collection if collection is not None else gov_collection(scale)
+    contents = {document.doc_id: document.content for document in collection}
+
+    base = _base_config(scale, dictionary_label, scheme, cache_capacity)
+    doc_ids = sorted(contents)
+    access_log = doc_ids * serving_repeats
+    random.Random(0).shuffle(access_log)
+    requests = len(access_log)
+    serving_bytes = sum(len(contents[doc_id]) for doc_id in access_log)
+    expected_batch = [contents[doc_id] for doc_id in access_log]
+    expected_sweep = [(doc_id, contents[doc_id]) for doc_id in doc_ids]
+    # The sequential-get leg is a sample, not the whole log: one socket
+    # round trip per request is the slow shape the batch path replaces.
+    get_sample = access_log[: max(1, min(len(access_log), 64))]
+    verified: Dict[str, bool] = {}
+
+    def rate(elapsed: float) -> float:
+        return requests / elapsed if elapsed > 0 else 0.0
+
+    def run_fleet(name: str, paths: List[Path], labels: List[str]):
+        """Serve one container per path and replay the log; return timings."""
+        servers = [BackgroundServer(path, ArchiveConfig(**base)) for path in paths]
+        try:
+            endpoints = []
+            for label, background in zip(labels, servers):
+                host, port = background.start()
+                prefix = f"{label}@" if label else ""
+                endpoints.append(f"{prefix}{host}:{port}")
+            with ClusterClient(
+                endpoints, pipeline_window=pipeline_window
+            ) as cluster:
+                start = time.perf_counter()
+                served = cluster.get_many(access_log)
+                batch_elapsed = time.perf_counter() - start
+                verified[f"{name}_batch_identical"] = served == expected_batch
+
+                start = time.perf_counter()
+                sampled = [cluster.get(doc_id) for doc_id in get_sample]
+                get_elapsed = time.perf_counter() - start
+                verified[f"{name}_get_identical"] = sampled == [
+                    contents[doc_id] for doc_id in get_sample
+                ]
+
+                start = time.perf_counter()
+                swept = list(cluster.iter_documents())
+                sweep_elapsed = time.perf_counter() - start
+                verified[f"{name}_sweep_identical"] = swept == expected_sweep
+            return batch_elapsed, get_elapsed, sweep_elapsed
+        finally:
+            for background in servers:
+                try:
+                    background.stop()
+                except Exception:
+                    pass
+
+    fleets = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        full = tmp_path / "full.rlz"
+        RlzArchive.build(collection, ArchiveConfig(**base), full).close()
+        full_bytes = full.stat().st_size
+
+        # -- replica fleet: every server stores the whole container -------
+        replica_paths = [full] * replica_count
+        fleets.append(
+            (
+                f"replicas-{replica_count}",
+                full_bytes * replica_count,
+                [""] * replica_count,
+                replica_paths,
+            )
+        )
+
+        # -- partitioned fleets: each shard stores only its arc -----------
+        for ways in partition_ways:
+            config = ArchiveConfig(**base, partition=PartitionSpec(shards=ways))
+            shard_paths = build_partitioned_archives(
+                collection, config, tmp_path / f"part{ways}"
+            )
+            stored = sum(path.stat().st_size for path in shard_paths.values())
+            fleets.append(
+                (
+                    f"partitioned-{ways}",
+                    stored,
+                    list(shard_paths),
+                    list(shard_paths.values()),
+                )
+            )
+
+        runs = []
+        for name, stored, labels, paths in fleets:
+            batch_elapsed, get_elapsed, sweep_elapsed = run_fleet(
+                name, paths, labels
+            )
+            runs.append((name, stored, batch_elapsed, get_elapsed, sweep_elapsed))
+
+    table = ResultTable(
+        title="Partitioned serving: shard-owned arcs vs full replicas",
+        headers=[
+            "Fleet",
+            "Stored MiB",
+            "Footprint vs 1x",
+            "get_many s",
+            "Requests/s",
+            "Sweep s",
+        ],
+    )
+    runs_json = []
+    for name, stored, batch_elapsed, get_elapsed, sweep_elapsed in runs:
+        table.add_row(
+            f"serve/{name}",
+            stored / (1024 * 1024),
+            stored / full_bytes,
+            batch_elapsed,
+            rate(batch_elapsed),
+            sweep_elapsed,
+        )
+        runs_json.append(
+            {
+                "fleet": name,
+                "stored_bytes": stored,
+                "footprint_vs_single": stored / full_bytes,
+                "get_many_seconds": batch_elapsed,
+                "get_many_requests_per_s": rate(batch_elapsed),
+                "sequential_get_seconds": get_elapsed,
+                "sequential_get_requests": len(get_sample),
+                "sweep_seconds": sweep_elapsed,
+            }
+        )
+
+    all_ok = all(verified.values())
+    replica_stored = runs[0][1]
+    partition_stored = {name: stored for name, stored, *_ in runs[1:]}
+    table.add_note(f"served bytes verified against corpus: {all_ok}")
+    for name, stored in partition_stored.items():
+        table.add_note(
+            f"{name} stores {stored / replica_stored:.2f}x the "
+            f"{runs[0][0]} fleet's bytes "
+            f"({stored / full_bytes:.2f}x one container)"
+        )
+    table.add_note(
+        f"query log: {requests} requests over {len(doc_ids)} documents "
+        f"(x{serving_repeats}), {serving_bytes:,} bytes served per fleet"
+    )
+
+    if output_json is not None:
+        record = {
+            "benchmark": "fastpath-partition",
+            "scale": scale.name,
+            "collection": collection.name,
+            "documents": len(doc_ids),
+            "requests": requests,
+            "serving_repeats": serving_repeats,
+            "bytes_served": serving_bytes,
+            "scheme": scheme,
+            "cache_capacity": cache_capacity,
+            "pipeline_window": pipeline_window,
+            "replica_count": replica_count,
+            "partition_ways": list(partition_ways),
+            "single_container_bytes": full_bytes,
+            "fleets": runs_json,
+            "verified": verified,
+        }
+        json_path = _append_json_record(output_json, record)
+        table.add_note(f"JSON record appended to {json_path}")
+
+    return table

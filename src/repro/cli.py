@@ -24,6 +24,14 @@ server, through the same :class:`repro.api.ArchiveView` code path.
 CRC32 checksum table (:func:`repro.storage.verify_container`) and exits
 non-zero if any section or payload extent fails — a single flipped byte
 anywhere in a checksummed extent is detected.
+
+``repro partition`` builds a partitioned fleet (one collection in, N
+per-shard containers out, each holding only the doc ids its arc of the
+consistent-hash ring owns); ``repro rebalance`` live-streams a joining
+shard's arc onto it and bumps the fleet's map epoch with zero failed
+reads; ``repro stats --connect host:port [--watch N]`` tails a running
+server's HEALTH snapshot (queue depth, service-time EWMA, deadline
+rejections, shard-map epoch).
 """
 
 from __future__ import annotations
@@ -58,6 +66,9 @@ __all__ = [
     "serve_main",
     "get_main",
     "verify_main",
+    "partition_main",
+    "rebalance_main",
+    "stats_main",
     "main",
 ]
 
@@ -601,6 +612,217 @@ def verify_main(argv: Optional[Sequence[str]] = None) -> int:
     return status
 
 
+def partition_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Split a collection into per-shard partitioned containers."""
+    parser = argparse.ArgumentParser(
+        prog="repro partition",
+        description=(
+            "Build a partitioned archive: one REPRO-WARC collection in, N "
+            "per-shard container files out, each holding only the doc ids "
+            "its arc of the consistent-hash ring owns.  Serve each shard "
+            "with `repro serve <shard>.rlz` and read the fleet with "
+            "ClusterClient(['shard0@host:port', ...])."
+        ),
+    )
+    parser.add_argument("input", help="REPRO-WARC file produced by repro-corpus")
+    parser.add_argument("outdir", help="directory to write the shard containers in")
+    parser.add_argument("--shards", type=int, default=2, help="number of shards")
+    parser.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=64,
+        help="consistent-hash points per shard (must match the serving ring)",
+    )
+    parser.add_argument(
+        "--per-shard-dictionary",
+        action="store_true",
+        help="sample one dictionary per shard from its own documents instead "
+        "of one shared dictionary from the whole collection",
+    )
+    parser.add_argument("--scheme", default="ZZ", help="rlz pair-coding scheme (e.g. ZV)")
+    parser.add_argument(
+        "--dictionary-size", type=int, default=1024 * 1024, help="rlz dictionary bytes"
+    )
+    parser.add_argument("--sample-size", type=int, default=1024, help="rlz sample bytes")
+    parser.add_argument(
+        "--labels",
+        default=None,
+        metavar="LABEL,LABEL,...",
+        help="explicit shard labels (default shard0..shardN-1); bare ring ids "
+        "or ringid@host:port serving labels",
+    )
+    args = parser.parse_args(argv)
+    if args.shards <= 0:
+        parser.error(f"--shards must be positive, got {args.shards}")
+
+    from .api import DictionarySpec, EncodingSpec, PartitionSpec
+    from .serve.partition import build_partitioned_archives
+
+    labels = None
+    if args.labels is not None:
+        labels = [text.strip() for text in args.labels.split(",") if text.strip()]
+        if len(labels) != args.shards:
+            parser.error(
+                f"--labels names {len(labels)} shards but --shards is {args.shards}"
+            )
+    collection = read_warc(args.input)
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(
+            size=args.dictionary_size, sample_size=args.sample_size
+        ),
+        encoding=EncodingSpec(scheme=args.scheme),
+        partition=PartitionSpec(
+            shards=args.shards,
+            virtual_nodes=args.virtual_nodes,
+            shared_dictionary=not args.per_shard_dictionary,
+        ),
+    )
+    try:
+        paths = build_partitioned_archives(collection, config, args.outdir, labels)
+    except (ReproError, OSError) as exc:
+        print(f"repro partition: {exc}", file=sys.stderr)
+        return 1
+    for label, path in paths.items():
+        documents = len(RlzStore.open(path).document_map)
+        print(f"{label}: {documents} documents -> {path}")
+    print(
+        f"partitioned {len(collection)} documents across {len(paths)} shards "
+        f"(epoch 1, {args.virtual_nodes} virtual nodes)"
+    )
+    return 0
+
+
+def rebalance_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Stream a new shard's arc onto it and bump the fleet's map epoch."""
+    parser = argparse.ArgumentParser(
+        prog="repro rebalance",
+        description=(
+            "Live-rebalance a running partitioned fleet: add the shard at "
+            "--to (serving an empty joining container from "
+            "write_spare_shard) by streaming its arc over from the current "
+            "owners and installing the bumped epoch everywhere — recipient "
+            "first, donors after, so reads never fail.  Resumable: re-run "
+            "after a crash and already-acked documents are skipped."
+        ),
+    )
+    parser.add_argument(
+        "--endpoints",
+        required=True,
+        metavar="RING@HOST:PORT,...",
+        help="comma-separated serving labels of every current fleet member",
+    )
+    parser.add_argument(
+        "--to",
+        required=True,
+        metavar="RING@HOST:PORT",
+        help="serving label of the joining shard",
+    )
+    parser.add_argument(
+        "--batch-docs", type=int, default=32, help="documents staged per INGEST batch"
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=0,
+        help="per-batch deadline in milliseconds (0 = none)",
+    )
+    parser.add_argument(
+        "--archive",
+        dest="archive_name",
+        default="",
+        metavar="NAME",
+        help="archive name on multi-archive servers",
+    )
+    args = parser.parse_args(argv)
+
+    from .serve.rebalance import rebalance
+
+    endpoints = [text.strip() for text in args.endpoints.split(",") if text.strip()]
+    try:
+        report = rebalance(
+            endpoints,
+            to=args.to,
+            archive=args.archive_name,
+            batch_docs=args.batch_docs,
+            deadline_ms=args.deadline_ms,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"repro rebalance: {exc}", file=sys.stderr)
+        return 1
+    print(f"rebalance complete: {report.describe()}")
+    return 0
+
+
+def stats_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Show a running server's load snapshot (HEALTH opcode)."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Print a running `repro serve` instance's per-archive load "
+            "snapshot — queue depth, service-time EWMA, deadline/busy "
+            "rejections, shard-map epoch — via the HEALTH opcode, which is "
+            "answered outside the backpressure gate so it works even while "
+            "the server is saturated.  --watch N refreshes every N seconds."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the running server",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="refresh every SECONDS until interrupted (0 = print once)",
+    )
+    args = parser.parse_args(argv)
+
+    import time as _time
+
+    from .serve import RlzClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    if args.watch < 0:
+        parser.error(f"--watch must be non-negative, got {args.watch}")
+
+    client = RlzClient(host, int(port_text))
+    try:
+        while True:
+            try:
+                health = client.health()
+            except (ReproError, OSError) as exc:
+                print(f"repro stats: {exc}", file=sys.stderr)
+                return 1
+            for name, snapshot in sorted(health.items()):
+                label = name or "(default)"
+                print(
+                    f"{args.connect} {label}: "
+                    f"open={int(snapshot.get('open', 0))} "
+                    f"epoch={int(snapshot.get('epoch', 0))} "
+                    f"active={int(snapshot.get('active', 0))} "
+                    f"waiting={int(snapshot.get('waiting', 0))} "
+                    f"ewma_ms={snapshot.get('ewma_ms', 0.0):.2f} "
+                    f"requests={int(snapshot.get('requests', 0))} "
+                    f"busy={int(snapshot.get('busy_rejections', 0))} "
+                    f"deadline={int(snapshot.get('deadline_rejections', 0))} "
+                    f"wrong_shard={int(snapshot.get('wrong_shard_rejections', 0))} "
+                    f"overlay={int(snapshot.get('overlay_documents', 0))}",
+                    flush=True,
+                )
+            if not args.watch:
+                return 0
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
 _SUBCOMMANDS = {
     "corpus": corpus_main,
     "compress": compress_main,
@@ -609,6 +831,9 @@ _SUBCOMMANDS = {
     "serve": serve_main,
     "get": get_main,
     "verify": verify_main,
+    "partition": partition_main,
+    "rebalance": rebalance_main,
+    "stats": stats_main,
 }
 
 

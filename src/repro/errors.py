@@ -89,6 +89,22 @@ class ServerBusyError(ProtocolError):
     """
 
 
+class WrongShardError(ReproError):
+    """Raised when a request reached a server that does not own the doc id.
+
+    Partitioned servers (protocol v4) answer ``R_WRONG_SHARD`` instead of
+    serving bytes for an arc they no longer own, carrying the epoch of
+    their current shard map.  Cluster clients treat it as "refresh the
+    shard map and retry against the owner", never as a data error: the
+    document exists, it just lives elsewhere.  ``epoch`` is the server's
+    shard-map epoch at refusal time (0 when unknown).
+    """
+
+    def __init__(self, message: str = "", epoch: int = 0):
+        super().__init__(message)
+        self.epoch = int(epoch)
+
+
 class CorpusError(ReproError):
     """Raised when a corpus cannot be generated, read, or written."""
 

@@ -33,7 +33,16 @@ machine boundary:
   token-bucket :class:`RetryBudget` so brownouts are not amplified, and
   ``R_BUSY`` replies carry queue depth + a retry-after hint honoured with
   jittered backoff.  ``ClusterClient`` can additionally *hedge* reads
-  (``hedge_delay``) to cut the tail of one slow shard.
+  (``hedge_delay``) to cut the tail of one slow shard;
+* partitioned archives (protocol v4): :func:`build_partitioned_archives`
+  splits one collection into per-shard stores that each hold *only* the
+  doc ids their arc of the ring owns, servers refuse unowned ids with
+  ``R_WRONG_SHARD`` (carrying the current map epoch) and answer
+  ``SHARD_MAP`` outside the backpressure gate, :func:`rebalance` streams
+  a joining shard's arc over live (resumable, epoch-bumping, zero failed
+  reads), and :class:`ClusterClient` / :class:`AsyncClusterClient`
+  bootstrap and refresh their :class:`ShardMap` from the fleet itself —
+  pushed epochs, no static map, no restart.
 
 Configuration lives in :class:`repro.api.ServeSpec` (the ``serve`` section
 of :class:`repro.api.ArchiveConfig`); the CLI front ends are ``repro
@@ -41,22 +50,27 @@ serve`` (``name=path`` archives) and ``repro get --connect`` (comma-
 separated endpoints fan out through a :class:`ClusterClient`).
 """
 
+from .async_cluster import AsyncClusterClient
 from .client import AsyncRlzClient, RlzClient
 from .cluster import CircuitBreaker, ClusterClient, ShardMap
+from .partition import build_partitioned_archives, write_spare_shard
 from .protocol import (
     ERROR_CODES,
     MAGIC,
     PROTOCOL_V1,
     PROTOCOL_V2,
     PROTOCOL_V3,
+    PROTOCOL_V4,
     PROTOCOL_VERSION,
     Opcode,
 )
+from .rebalance import RebalanceReport, rebalance
 from .retry import Deadline, RetryBudget
 from .router import RlzRouter
 from .server import BackgroundServer, ConnectionStats, RlzServer
 
 __all__ = [
+    "AsyncClusterClient",
     "AsyncRlzClient",
     "BackgroundServer",
     "CircuitBreaker",
@@ -69,10 +83,15 @@ __all__ = [
     "PROTOCOL_V1",
     "PROTOCOL_V2",
     "PROTOCOL_V3",
+    "PROTOCOL_V4",
     "PROTOCOL_VERSION",
+    "RebalanceReport",
     "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",
     "ShardMap",
+    "build_partitioned_archives",
+    "rebalance",
+    "write_spare_shard",
 ]

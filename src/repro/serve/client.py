@@ -68,6 +68,7 @@ from ..errors import (
     ProtocolError,
     ServerBusyError,
     StoreClosedError,
+    WrongShardError,
 )
 from . import protocol
 from .protocol import Opcode
@@ -91,6 +92,20 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def _raise_wrong_shard(body: bytes) -> None:
+    """Re-raise an ``R_WRONG_SHARD`` refusal as :class:`WrongShardError`.
+
+    The payload carries the epoch the server is at, so the cluster layer
+    can tell a genuinely newer map (refresh and retry) from a stale
+    refusal (give up).
+    """
+    epoch, doc_id = protocol.unpack_wrong_shard(body)
+    raise WrongShardError(
+        f"document {doc_id} is not owned by this shard (map epoch {epoch})",
+        epoch=epoch,
+    )
 
 
 class _SyncConnection:
@@ -387,6 +402,8 @@ class RlzClient:
     def _check_reply(reply: int, body: bytes, expect: int) -> bytes:
         if reply == Opcode.R_ERROR:
             protocol.raise_error_frame(body)
+        if reply == Opcode.R_WRONG_SHARD:
+            _raise_wrong_shard(body)
         if reply != expect:
             raise ProtocolError(
                 f"expected {protocol.describe_opcode(expect)}, "
@@ -596,6 +613,8 @@ class RlzClient:
                     hinted_backoff(retry_after_ms / 1000.0, self._retry_delay)
                 )
                 to_send.append(index)
+            elif reply == Opcode.R_WRONG_SHARD:
+                _raise_wrong_shard(body)
             elif reply == Opcode.R_ERROR:
                 protocol.raise_error_frame(body)
             else:
@@ -700,6 +719,12 @@ class RlzClient:
                     if reply == Opcode.R_END:
                         clean = True
                         return
+                    if reply == Opcode.R_WRONG_SHARD:
+                        # A rebalance shed part of the scan mid-stream.
+                        # R_WRONG_SHARD is the stream's terminal frame, so
+                        # the connection's framing is intact and poolable.
+                        clean = True
+                        _raise_wrong_shard(body)
                     if reply == Opcode.R_ERROR:
                         protocol.raise_error_frame(body)
                     if reply != Opcode.R_CHUNK:
@@ -797,6 +822,58 @@ class RlzClient:
         start = time.perf_counter()
         self._request(Opcode.PING, b"", Opcode.R_PONG)
         return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Partitioned fleets (protocol v4)
+    # ------------------------------------------------------------------
+    def shard_map(self) -> Tuple[int, List[str], int]:
+        """The server's current shard map: ``(epoch, labels, virtual_nodes)``.
+
+        Served without queueing at the inflight gate (like ``health()``),
+        so map refreshes work even against a saturated server.  An
+        unpartitioned archive answers epoch 0 with an empty label list.
+        """
+        body = self._request(Opcode.SHARD_MAP, b"", Opcode.R_SHARD_MAP)
+        return protocol.unpack_shard_map(body)
+
+    def ingest(
+        self,
+        items: Sequence[Tuple[int, bytes]],
+        deadline_ms: Optional[int] = None,
+    ) -> List[int]:
+        """Stage documents on a shard ahead of an epoch install.
+
+        The rebalance driver streams batches of ``(doc_id, content)``
+        through this; the reply lists *every* staged doc id, so an empty
+        ``items`` doubles as the resume probe after a crashed handoff.
+        Staging is idempotent — re-sending an acked document overwrites
+        it with identical bytes.
+        """
+        body = self._request(
+            Opcode.INGEST,
+            protocol.pack_chunk(list(items)),
+            Opcode.R_DOC_IDS,
+            deadline_ms,
+        )
+        return protocol.unpack_doc_ids(body)
+
+    def install_shard_map(
+        self, epoch: int, labels: Sequence[str], virtual_nodes: int
+    ) -> Tuple[int, List[str], int]:
+        """Commit a new shard map on the server (rebalance cutover).
+
+        The server rewrites its container to exactly the doc ids the new
+        map assigns it (staged documents in, shed documents out) and then
+        starts answering for the new epoch.  Installing an epoch at or
+        below the server's current one is an idempotent no-op; the reply
+        is always the map the server now serves.
+        """
+        body = self._request(
+            Opcode.INSTALL_MAP,
+            protocol.pack_shard_map(epoch, list(labels), virtual_nodes),
+            Opcode.R_SHARD_MAP,
+        )
+        return protocol.unpack_shard_map(body)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1241,6 +1318,8 @@ class AsyncRlzClient:
     def _check_reply(reply: int, body: bytes, expect: int) -> bytes:
         if reply == Opcode.R_ERROR:
             protocol.raise_error_frame(body)
+        if reply == Opcode.R_WRONG_SHARD:
+            _raise_wrong_shard(body)
         if reply != expect:
             raise ProtocolError(
                 f"expected {protocol.describe_opcode(expect)}, "
@@ -1300,6 +1379,39 @@ class AsyncRlzClient:
         start = time.perf_counter()
         await self._request(Opcode.PING, b"", Opcode.R_PONG)
         return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Partitioned fleets (protocol v4)
+    # ------------------------------------------------------------------
+    async def shard_map(self) -> Tuple[int, List[str], int]:
+        """The server's shard map ``(epoch, labels, virtual_nodes)``."""
+        body = await self._request(Opcode.SHARD_MAP, b"", Opcode.R_SHARD_MAP)
+        return protocol.unpack_shard_map(body)
+
+    async def ingest(
+        self,
+        items: Sequence[Tuple[int, bytes]],
+        deadline_ms: Optional[int] = None,
+    ) -> List[int]:
+        """Stage documents for a rebalance; see :meth:`RlzClient.ingest`."""
+        body = await self._request(
+            Opcode.INGEST,
+            protocol.pack_chunk(list(items)),
+            Opcode.R_DOC_IDS,
+            deadline_ms,
+        )
+        return protocol.unpack_doc_ids(body)
+
+    async def install_shard_map(
+        self, epoch: int, labels: Sequence[str], virtual_nodes: int
+    ) -> Tuple[int, List[str], int]:
+        """Commit a new shard map; see :meth:`RlzClient.install_shard_map`."""
+        body = await self._request(
+            Opcode.INSTALL_MAP,
+            protocol.pack_shard_map(epoch, list(labels), virtual_nodes),
+            Opcode.R_SHARD_MAP,
+        )
+        return protocol.unpack_shard_map(body)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -47,8 +47,10 @@ from ..errors import (
     ProtocolError,
     ServerBusyError,
     StoreClosedError,
+    WrongShardError,
 )
 from .client import RlzClient
+from .protocol import PROTOCOL_V4
 from .retry import RetryBudget
 
 __all__ = ["CircuitBreaker", "ClusterClient", "ShardMap"]
@@ -85,21 +87,43 @@ class ShardMap:
     endpoint *labels*, so two clients built from the same endpoint list —
     in any order — route identically, and removing an endpoint only
     remaps the documents it owned.
+
+    A label is either a plain ``host:port`` (replica clusters, where the
+    endpoint *is* the identity) or ``name@host:port`` for partitioned
+    fleets: the part before ``@`` is the **ring id** that placement
+    hashes, the part after is the transport address.  Splitting the two
+    lets an offline ``repro partition`` build decide placement with
+    logical shard names ("shard0", "shard1", ...) before any server has
+    an address, and lets a rebalance move a shard to a new address
+    without remapping a single document.
+
+    ``epoch`` versions the map: partitioned fleets bump it on every
+    rebalance, servers refuse doc ids they no longer own with the epoch
+    they are at, and clients adopt whichever map carries the highest
+    epoch.  Epoch 0 means "static/unversioned" (the PR-5 replica mode).
     """
 
-    def __init__(self, endpoints: Sequence[str], virtual_nodes: int = 64) -> None:
+    def __init__(
+        self, endpoints: Sequence[str], virtual_nodes: int = 64, epoch: int = 0
+    ) -> None:
         labels = [str(endpoint) for endpoint in endpoints]
         if not labels:
             raise ConfigurationError("ShardMap needs at least one endpoint")
         if len(set(labels)) != len(labels):
             raise ConfigurationError(f"duplicate endpoints: {labels}")
+        ring_ids = [self.ring_id(label) for label in labels]
+        if len(set(ring_ids)) != len(ring_ids):
+            raise ConfigurationError(f"duplicate shard ring ids: {ring_ids}")
         if virtual_nodes <= 0:
             raise ConfigurationError("virtual_nodes must be positive")
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
         self._endpoints = labels
         self._virtual_nodes = virtual_nodes
+        self._epoch = epoch
         points: List[Tuple[int, int]] = []
-        for index, label in enumerate(labels):
-            seed = _endpoint_seed(label)
+        for index, ring in enumerate(ring_ids):
+            seed = _endpoint_seed(ring)
             for vnode in range(virtual_nodes):
                 mixed = (seed ^ ((vnode * _VNODE_MIX) & _MASK_64)) & _MASK_64
                 points.append((_fib32(mixed), index))
@@ -109,6 +133,17 @@ class ShardMap:
         self._points = [point for point, _ in points]
         self._owners = [owner for _, owner in points]
 
+    @staticmethod
+    def ring_id(label: str) -> str:
+        """The placement identity of a label (the part before ``@``)."""
+        return label.partition("@")[0]
+
+    @staticmethod
+    def transport(label: str) -> str:
+        """The connection address of a label (after ``@``, or the whole)."""
+        _, separator, address = label.partition("@")
+        return address if separator else label
+
     @property
     def endpoints(self) -> List[str]:
         return list(self._endpoints)
@@ -116,6 +151,11 @@ class ShardMap:
     @property
     def virtual_nodes(self) -> int:
         return self._virtual_nodes
+
+    @property
+    def epoch(self) -> int:
+        """The map's version (0 = static, unversioned)."""
+        return self._epoch
 
     def route(self, doc_id: int) -> List[str]:
         """Every endpoint in preference order for ``doc_id`` (primary first)."""
@@ -320,21 +360,21 @@ class ClusterClient:
         self._budget = retry_budget if retry_budget is not None else RetryBudget()
         client_options.setdefault("deadline_ms", deadline_ms)
         client_options.setdefault("retry_budget", self._budget)
+        self._client_options = client_options
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
         self._clients: Dict[str, RlzClient] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         for label in labels:
-            host, _, port_text = label.rpartition(":")
-            self._clients[label] = RlzClient(
-                host, int(port_text), archive=archive, **client_options
-            )
-        self._breakers: Dict[str, CircuitBreaker] = {
-            label: CircuitBreaker(breaker_threshold, breaker_cooldown)
-            for label in labels
-        }
+            self._add_endpoint(label)
         self._closed = False
         self._doc_ids: Optional[List[int]] = None
         self._failovers = 0
         self._hedges = 0
         self._hedge_wins = 0
+        self._epoch_refreshes = 0
+        self._wrong_shard_retries = 0
+        self._bootstrapped = False
         self._lock = threading.Lock()
 
     @staticmethod
@@ -343,12 +383,25 @@ class ClusterClient:
             host, port = endpoint
             return f"{host}:{int(port)}"
         endpoint = str(endpoint).strip()
-        host, _, port_text = endpoint.rpartition(":")
+        host, _, port_text = ShardMap.transport(endpoint).rpartition(":")
         if not host or not port_text.isdigit():
             raise ConfigurationError(
-                f"endpoint must be host:port, got {endpoint!r}"
+                f"endpoint must be host:port (optionally shard@host:port), "
+                f"got {endpoint!r}"
             )
         return endpoint
+
+    def _add_endpoint(self, label: str) -> None:
+        """Create the client + breaker for a (possibly new) endpoint label."""
+        if label in self._clients:
+            return
+        host, _, port_text = ShardMap.transport(label).rpartition(":")
+        self._clients[label] = RlzClient(
+            host, int(port_text), archive=self._archive, **self._client_options
+        )
+        self._breakers[label] = CircuitBreaker(
+            self._breaker_threshold, self._breaker_cooldown
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -364,6 +417,16 @@ class ClusterClient:
     @property
     def archive_name(self) -> str:
         return self._archive
+
+    @property
+    def epoch(self) -> int:
+        """The epoch of the shard map currently routing requests."""
+        return self._shard_map.epoch
+
+    @property
+    def epoch_refreshes(self) -> int:
+        """How many times a newer shard map has been adopted."""
+        return self._epoch_refreshes
 
     @property
     def failovers(self) -> int:
@@ -388,6 +451,116 @@ class ClusterClient:
     def breaker(self, endpoint: str) -> CircuitBreaker:
         """The circuit breaker guarding ``endpoint``."""
         return self._breakers[endpoint]
+
+    # ------------------------------------------------------------------
+    # Shard-map epochs (partitioned fleets)
+    # ------------------------------------------------------------------
+    def _resolve_wire_labels(self, labels: Sequence[str]) -> Optional[List[str]]:
+        """Attach transports to ring-id-only labels from a wire shard map.
+
+        Servers whose map still comes from the build manifest announce
+        plain ring ids ("shard0"); this client already knows where those
+        shards live, so the transports are grafted from its own endpoint
+        table.  A ring id with no known transport makes the whole map
+        unusable (``None``) — adopting it would strand an arc.
+        """
+        known = {
+            ShardMap.ring_id(label): ShardMap.transport(label)
+            for label in self._clients
+        }
+        resolved: List[str] = []
+        for label in labels:
+            if "@" in label or ":" in label:
+                resolved.append(label)
+                continue
+            transport = known.get(ShardMap.ring_id(label))
+            if transport is None:
+                return None
+            resolved.append(f"{label}@{transport}")
+        return resolved
+
+    def _adopt(self, epoch: int, labels: Sequence[str], virtual_nodes: int) -> bool:
+        """Install a newer shard map (no-op unless ``epoch`` advances)."""
+        if not labels or epoch <= self._shard_map.epoch:
+            return False
+        resolved = self._resolve_wire_labels(labels)
+        if resolved is None:
+            return False
+        with self._lock:
+            if epoch <= self._shard_map.epoch:
+                return False
+            for label in resolved:
+                self._add_endpoint(label)
+            self._shard_map = ShardMap(
+                resolved, virtual_nodes=virtual_nodes, epoch=epoch
+            )
+            self._epoch_refreshes += 1
+            return True
+
+    def refresh_shard_map(self, prefer: Optional[str] = None) -> bool:
+        """Pull the shard map from the fleet; adopt it if its epoch is newer.
+
+        Queries ``prefer`` first (the endpoint that just refused a request
+        has the freshest view), then the rest of the fleet, and stops at
+        the first answer that advances the epoch.  Returns whether a newer
+        map was adopted.  Unreachable endpoints are skipped — refreshing
+        must never be harder than the read it is trying to save.
+        """
+        self._ensure_open()
+        ordering = [prefer] if prefer in self._clients else []
+        ordering += [label for label in self.endpoints if label not in ordering]
+        ordering += [label for label in self._clients if label not in ordering]
+        for label in ordering:
+            try:
+                epoch, labels, virtual_nodes = self._clients[label].shard_map()
+            except _FAILOVER_ERRORS + (ProtocolError,):
+                continue
+            if self._adopt(epoch, labels, virtual_nodes):
+                return True
+        return False
+
+    def _maybe_bootstrap(self) -> None:
+        """One-time lazy shard-map bootstrap from any reachable endpoint.
+
+        Partitioned servers announce an epoch ≥ 1; replica servers answer
+        epoch 0 and the static map stands.  Pre-v4 peers (or an entirely
+        unreachable fleet) leave the static map in place too — bootstrap
+        is an upgrade, never a precondition.
+        """
+        if self._bootstrapped:
+            return
+        self._bootstrapped = True
+        version = self._client_options.get("protocol_version", PROTOCOL_V4)
+        if version < PROTOCOL_V4:
+            return
+        try:
+            self.refresh_shard_map()
+        except StoreClosedError:
+            raise
+        except Exception:
+            pass
+
+    def _retry_wrong_shard(self, call: Callable[[], object]):
+        """Run ``call``; on :class:`WrongShardError` refresh the map and
+        retry against the new owner, spending the shared retry budget.
+
+        Bounded: each retry must either follow an adopted newer epoch or
+        spend a budget token; when neither is possible the error stands.
+        """
+        attempts = 0
+        while True:
+            try:
+                return call()
+            except WrongShardError as exc:
+                attempts += 1
+                refreshed = self.refresh_shard_map()
+                if attempts > max(2, len(self.endpoints)) or not self._budget.spend():
+                    raise
+                if not refreshed and attempts > 1:
+                    raise
+                with self._lock:
+                    self._wrong_shard_retries += 1
+                del exc
 
     # ------------------------------------------------------------------
     # Routing
@@ -475,6 +648,10 @@ class ClusterClient:
         first reply wins — one slow shard then costs roughly the hedge
         delay instead of the shard's full stall.
         """
+        self._maybe_bootstrap()
+        return self._retry_wrong_shard(lambda: self._get_once(doc_id, deadline_ms))
+
+    def _get_once(self, doc_id: int, deadline_ms: Optional[int]) -> bytes:
         if self._hedge_delay > 0 and len(self.endpoints) > 1:
             return self._hedged_get(doc_id, deadline_ms)
         return self._with_failover(
@@ -579,6 +756,7 @@ class ClusterClient:
         results.
         """
         self._ensure_open()
+        self._maybe_bootstrap()
         pipeline_window = window if window is not None else self._pipeline_window
         doc_ids = list(doc_ids)
         if not doc_ids:
@@ -590,6 +768,7 @@ class ClusterClient:
         #: immediately, independent of the breaker threshold (the breaker
         #: shields future calls; the dead-set shields this one).
         dead: set = set()
+        wrong_refreshes = 0
         while remaining:
             groups: Dict[str, List[int]] = {}
             for index in remaining:
@@ -600,6 +779,10 @@ class ClusterClient:
             if not groups:  # pragma: no cover - dead-set exhaustion raises below
                 raise ConnectionError("no cluster endpoint is reachable")
             failures: Dict[str, BaseException] = {}
+            #: Endpoints that refused a doc id with R_WRONG_SHARD: the
+            #: endpoint is healthy and the *map* is stale, so these feed a
+            #: shard-map refresh, never the dead-set or the breaker.
+            wrong_shard: Dict[str, WrongShardError] = {}
             hard_errors: List[BaseException] = []
 
             def fetch(label: str, indices: List[int]) -> None:
@@ -615,6 +798,10 @@ class ClusterClient:
                     # The endpoint is alive but saturated: re-route this
                     # batch to a replica without tripping the breaker.
                     failures[label] = exc
+                    return
+                except WrongShardError as exc:
+                    breaker.record_success()
+                    wrong_shard[label] = exc
                     return
                 except _FAILOVER_ERRORS as exc:
                     breaker.record_failure()
@@ -647,6 +834,19 @@ class ClusterClient:
             if hard_errors:
                 raise hard_errors[0]
             still = [index for index in remaining if not done[index]]
+            if still and wrong_shard:
+                # A stale map sent work to a shard that no longer owns it:
+                # adopt the fleet's newer map and re-group what's left.
+                wrong_refreshes += 1
+                exhausted = wrong_refreshes > max(2, len(self.endpoints))
+                if exhausted or not self._budget.spend():
+                    raise next(iter(wrong_shard.values()))
+                if not self.refresh_shard_map(prefer=next(iter(wrong_shard))):
+                    raise next(iter(wrong_shard.values()))
+                with self._lock:
+                    self._wrong_shard_retries += 1
+                remaining = still
+                continue
             if still:
                 if not failures:
                     raise ProtocolError("cluster get_many made no progress")
@@ -676,9 +876,39 @@ class ClusterClient:
         merge back into exact store order.  A shard that dies mid-scan
         has its remaining documents re-scanned from the next endpoint on
         their ring order.
+
+        On a partitioned fleet a mid-scan rebalance surfaces as a
+        ``R_WRONG_SHARD`` refusal: the scan then refreshes the shard map
+        and re-plans the remaining documents against the new owners, so
+        the stream stays in exact store order across the epoch bump.
         """
         self._ensure_open()
+        self._maybe_bootstrap()
         order = self.doc_ids()
+        offset = 0
+        replans = 0
+        while offset < len(order):
+            stream = self._iter_from(order[offset:])
+            try:
+                for doc_id, document in stream:
+                    yield doc_id, document
+                    offset += 1
+                return
+            except WrongShardError:
+                # The plan was drawn from a stale map: adopt the newer
+                # epoch and re-plan everything not yet yielded.
+                replans += 1
+                if replans > max(2, len(self.endpoints)):
+                    raise
+                if not self.refresh_shard_map():
+                    raise
+                with self._lock:
+                    self._wrong_shard_retries += 1
+            finally:
+                stream.close()
+
+    def _iter_from(self, order: List[int]) -> Iterator[Tuple[int, bytes]]:
+        """One scan-merge plan over ``order`` under the current shard map."""
         owners = {doc_id: self._candidates(doc_id)[0] for doc_id in order}
         per_shard: Dict[str, List[int]] = {}
         for doc_id in order:
@@ -688,34 +918,40 @@ class ClusterClient:
             for label, ids in per_shard.items()
         }
         consumed: Dict[str, int] = {label: 0 for label in per_shard}
-        for doc_id in order:
-            label = owners[doc_id]
-            while True:
-                try:
-                    got_id, document = next(streams[label])
-                except ServerBusyError:
-                    # Saturated, not dead: re-route the tail, breaker intact.
-                    label = self._rescan(
-                        per_shard, consumed, streams, owners, label, doc_id
-                    )
-                    continue
-                except _FAILOVER_ERRORS:
-                    self._breakers[label].record_failure()
-                    label = self._rescan(
-                        per_shard, consumed, streams, owners, label, doc_id
-                    )
-                    continue
-                except StopIteration:
-                    raise ProtocolError(
-                        f"shard {label} ended its scan early (at doc {doc_id})"
-                    ) from None
-                consumed[label] += 1
-                if got_id != doc_id:
-                    raise ProtocolError(
-                        f"scan order broke: expected doc {doc_id}, got {got_id}"
-                    )
-                yield doc_id, document
-                break
+        try:
+            for doc_id in order:
+                label = owners[doc_id]
+                while True:
+                    try:
+                        got_id, document = next(streams[label])
+                    except ServerBusyError:
+                        # Saturated, not dead: re-route the tail, breaker intact.
+                        label = self._rescan(
+                            per_shard, consumed, streams, owners, label, doc_id
+                        )
+                        continue
+                    except _FAILOVER_ERRORS:
+                        self._breakers[label].record_failure()
+                        label = self._rescan(
+                            per_shard, consumed, streams, owners, label, doc_id
+                        )
+                        continue
+                    except StopIteration:
+                        raise ProtocolError(
+                            f"shard {label} ended its scan early (at doc {doc_id})"
+                        ) from None
+                    consumed[label] += 1
+                    if got_id != doc_id:
+                        raise ProtocolError(
+                            f"scan order broke: expected doc {doc_id}, got {got_id}"
+                        )
+                    yield doc_id, document
+                    break
+        finally:
+            for stream in streams.values():
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
 
     def _rescan(
         self,
@@ -758,8 +994,15 @@ class ClusterClient:
         return merged_label
 
     def doc_ids(self) -> List[int]:
-        """Store-order doc ids (from the first healthy endpoint; cached)."""
+        """Store-order doc ids (from the first healthy endpoint; cached).
+
+        Partitioned servers answer DOC_IDS with the *global* collection
+        order recorded in their manifest (identical on every shard and
+        invariant across rebalances), so one endpoint's answer is the
+        whole fleet's answer in both deployments.
+        """
         self._ensure_open()
+        self._maybe_bootstrap()
         if self._doc_ids is None:
             last_error: Optional[BaseException] = None
             candidates = [
@@ -801,6 +1044,9 @@ class ClusterClient:
             "cluster_hedge_wins": self._hedge_wins,
             "cluster_retry_budget_spent": self._budget.spent,
             "cluster_retry_budget_denied": self._budget.denied,
+            "cluster_epoch": self._shard_map.epoch,
+            "cluster_epoch_refreshes": self._epoch_refreshes,
+            "cluster_wrong_shard_retries": self._wrong_shard_retries,
         }
         for index, label in enumerate(self.endpoints):
             breaker = self._breakers[label]

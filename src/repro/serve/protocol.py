@@ -69,6 +69,22 @@ server-observed queue depth and a suggested retry-after (see
 inflight gate, and ``R_TIMEOUT`` answers a request whose deadline expired
 server-side (decoding work for it never starts).
 
+Version 4 keeps the version-3 framing unchanged and adds the
+*partitioned-serving* opcodes.  ``SHARD_MAP`` asks a server for its
+current placement map — epoch, endpoint list and ``virtual_nodes`` — and
+is answered (``R_SHARD_MAP``) outside the backpressure gate like
+``HEALTH``, so clients can bootstrap and refresh routing even from a
+saturated server.  A partitioned server that receives a request for a doc
+id outside the arc it owns answers ``R_WRONG_SHARD`` carrying its current
+epoch instead of serving stale bytes; clients refresh their map and retry
+against the owner.  Two administrative opcodes drive live rebalancing:
+``INGEST`` hands a recipient a batch of ``(doc_id, bytes)`` items (the
+:func:`pack_chunk` layout; an empty batch is a resume probe) and is
+answered with ``R_DOC_IDS`` listing *every* doc id the recipient has
+staged so far, and ``INSTALL_MAP`` (payload = :func:`pack_shard_map`)
+commits a new map epoch — the server recomputes its owned arc, rewrites
+its store, and answers ``R_SHARD_MAP`` with the map it now serves.
+
 Errors travel as structured ``R_ERROR`` frames carrying a numeric code
 from :data:`ERROR_CODES` plus the message, so the client re-raises the
 *same* :mod:`repro.errors` class the server-side archive raised — a remote
@@ -93,6 +109,7 @@ __all__ = [
     "PROTOCOL_V1",
     "PROTOCOL_V2",
     "PROTOCOL_V3",
+    "PROTOCOL_V4",
     "PROTOCOL_VERSION",
     "DEFAULT_MAX_FRAME_BYTES",
     "MAX_ARCHIVE_NAME_BYTES",
@@ -129,6 +146,10 @@ __all__ = [
     "unpack_chunk",
     "pack_stats",
     "unpack_stats",
+    "pack_shard_map",
+    "unpack_shard_map",
+    "pack_wrong_shard",
+    "unpack_wrong_shard",
     "pack_error",
     "unpack_error",
     "error_to_frame",
@@ -145,7 +166,12 @@ PROTOCOL_V2 = 2
 #: The fault-tolerant protocol: request frames carry a deadline field,
 #: R_BUSY payloads carry queue depth + retry-after, HEALTH/R_TIMEOUT.
 PROTOCOL_V3 = 3
-PROTOCOL_VERSION = PROTOCOL_V3
+#: The partitioned protocol: SHARD_MAP/R_SHARD_MAP announce placement
+#: (epoch + endpoints + virtual_nodes) and R_WRONG_SHARD refuses doc ids
+#: the server no longer owns, carrying the current epoch.  Framing is
+#: unchanged from version 3.
+PROTOCOL_V4 = 4
+PROTOCOL_VERSION = PROTOCOL_V4
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 MAX_ARCHIVE_NAME_BYTES = 255
 #: Largest deadline expressible on the wire (u32 milliseconds).
@@ -160,6 +186,8 @@ _HELLO = struct.Struct("!4sB")
 _OP_REQ = struct.Struct("!BI")
 _OP_REQ_DL = struct.Struct("!BII")
 _BUSY = struct.Struct("!II")
+_U64 = struct.Struct("!Q")
+_SHARD_MAP_HEAD = struct.Struct("!QIH")  # epoch, virtual nodes, endpoint count
 
 
 class Opcode:
@@ -178,6 +206,9 @@ class Opcode:
     DOC_IDS = 0x07
     SCAN = 0x08
     HEALTH = 0x09
+    SHARD_MAP = 0x0A
+    INGEST = 0x0B
+    INSTALL_MAP = 0x0C
 
     R_HELLO = 0x81
     R_PONG = 0x82
@@ -191,6 +222,8 @@ class Opcode:
     R_CHUNK = 0x8A
     R_HEALTH = 0x8B
     R_TIMEOUT = 0x8C
+    R_SHARD_MAP = 0x8D
+    R_WRONG_SHARD = 0x8E
     R_ERROR = 0xFF
 
 
@@ -213,6 +246,7 @@ ERROR_CODES: Dict[Type[BaseException], int] = {
     errors.ServerBusyError: 13,
     errors.DeadlineExceededError: 14,
     errors.CorruptArchiveError: 15,
+    errors.WrongShardError: 16,
 }
 
 _CODE_TO_ERROR: Dict[int, Type[BaseException]] = {
@@ -556,6 +590,67 @@ def unpack_stats(payload: bytes) -> Dict[str, float]:
     if not isinstance(stats, dict):
         raise ProtocolError("malformed stats payload: not an object")
     return stats
+
+
+def pack_shard_map(epoch: int, endpoints: Sequence[str], virtual_nodes: int) -> bytes:
+    """An R_SHARD_MAP payload: epoch, virtual-node count, endpoint labels.
+
+    Layout: u64 epoch, u32 virtual_nodes, u16 endpoint count, then each
+    endpoint as a u16 length + UTF-8 ``host:port`` label.  Endpoint order
+    is part of the map (hash-ring tie-breaks are positional), so it is
+    preserved exactly.
+    """
+    if epoch < 0 or epoch > 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"shard-map epoch out of range: {epoch}")
+    if virtual_nodes < 1 or virtual_nodes > 0xFFFFFFFF:
+        raise ProtocolError(f"shard-map virtual_nodes out of range: {virtual_nodes}")
+    if len(endpoints) > 0xFFFF:
+        raise ProtocolError(f"shard map too large: {len(endpoints)} endpoints")
+    parts = [_SHARD_MAP_HEAD.pack(epoch, virtual_nodes, len(endpoints))]
+    for endpoint in endpoints:
+        label = endpoint.encode("utf-8")
+        if len(label) > 0xFFFF:
+            raise ProtocolError(f"endpoint label too long: {len(label)} bytes")
+        parts.append(_U16.pack(len(label)))
+        parts.append(label)
+    return b"".join(parts)
+
+
+def unpack_shard_map(payload: bytes) -> Tuple[int, List[str], int]:
+    """Decode an R_SHARD_MAP payload to ``(epoch, endpoints, virtual_nodes)``."""
+    if len(payload) < _SHARD_MAP_HEAD.size:
+        raise ProtocolError(f"malformed shard map: {len(payload)} bytes")
+    epoch, virtual_nodes, count = _SHARD_MAP_HEAD.unpack_from(payload)
+    endpoints: List[str] = []
+    offset = _SHARD_MAP_HEAD.size
+    for _ in range(count):
+        if len(payload) < offset + _U16.size:
+            raise ProtocolError("malformed shard map: truncated endpoint length")
+        (length,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        if len(payload) < offset + length:
+            raise ProtocolError("malformed shard map: truncated endpoint label")
+        endpoints.append(payload[offset : offset + length].decode("utf-8"))
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("malformed shard map: trailing bytes")
+    return epoch, endpoints, virtual_nodes
+
+
+def pack_wrong_shard(epoch: int, doc_id: int) -> bytes:
+    """An R_WRONG_SHARD payload: the refusing server's epoch + the doc id."""
+    if epoch < 0 or epoch > 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"shard-map epoch out of range: {epoch}")
+    return _U64.pack(epoch) + _I64.pack(doc_id)
+
+
+def unpack_wrong_shard(payload: bytes) -> Tuple[int, int]:
+    """Decode an R_WRONG_SHARD payload to ``(epoch, doc_id)``."""
+    if len(payload) != _U64.size + _I64.size:
+        raise ProtocolError(f"malformed wrong-shard payload: {len(payload)} bytes")
+    (epoch,) = _U64.unpack_from(payload)
+    (doc_id,) = _I64.unpack_from(payload, _U64.size)
+    return epoch, doc_id
 
 
 # ----------------------------------------------------------------------

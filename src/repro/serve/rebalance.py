@@ -1,0 +1,224 @@
+"""Live rebalancing: stream a joining shard's arc over, then bump the epoch.
+
+``repro rebalance`` (and :func:`rebalance` behind it) adds a new shard to
+a running partitioned fleet with **zero failed reads**:
+
+1. Any fleet member is asked for the current map (``SHARD_MAP``: epoch
+   *E*, labels, virtual nodes) and the global doc order (``DOC_IDS``).
+2. The new map — the old labels plus the recipient — is hashed locally;
+   the documents whose primary arc moves to the recipient are grouped by
+   their current owner (every existing shard can donate, not just one).
+3. The recipient is probed with an empty ``INGEST``: the reply lists
+   every doc id already staged in its rebalance sidecar, so a driver
+   restarted after a crash (its own or a donor's) resumes from the last
+   acked document instead of re-streaming the arc.
+4. Each donor's moving documents are streamed out over the existing
+   chunked ``SCAN`` opcode and staged on the recipient in bounded
+   ``INGEST`` batches (``batch_docs`` documents or ~8 MiB, whichever
+   comes first), each batch deadline-bounded and acked before the next.
+5. The new map (epoch *E+1*) is installed on the **recipient first** —
+   from that moment it owns and serves the moving arc from its staged
+   copy — and then on every donor, each of which rewrites its container
+   to shed the moved documents and starts refusing them with
+   ``R_WRONG_SHARD``.  Between those installs both sides answer for the
+   moving arc (the bytes are identical — documents are immutable), so a
+   read can never land nowhere.
+
+Clients cut over without a restart: the first ``R_WRONG_SHARD`` from a
+donor carries the new epoch, the client refreshes its map from any
+member, learns the recipient's ``ringid@host:port`` label, and retries
+against the new owner (see :class:`~repro.serve.cluster.ClusterClient`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from .client import RlzClient
+from .cluster import ShardMap
+
+__all__ = ["RebalanceReport", "rebalance"]
+
+#: Soft cap on the bytes staged per INGEST batch.
+_BATCH_BYTES = 8 << 20
+
+
+@dataclass
+class RebalanceReport:
+    """What one :func:`rebalance` run did."""
+
+    epoch: int
+    shards: Tuple[str, ...]
+    virtual_nodes: int
+    moved: int
+    resumed: int
+    donors: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        donors = ", ".join(
+            f"{label}: {count}" for label, count in sorted(self.donors.items())
+        )
+        return (
+            f"epoch {self.epoch}: moved {self.moved} documents "
+            f"({self.resumed} already staged) from [{donors}] "
+            f"across {len(self.shards)} shards"
+        )
+
+
+def _parse_endpoint(label: str) -> Tuple[str, str, int]:
+    """``ringid@host:port`` → ``(ring_id, host, port)``."""
+    ring_id = ShardMap.ring_id(label)
+    transport = ShardMap.transport(label)
+    host, _, port_text = transport.rpartition(":")
+    if not host or not port_text:
+        raise ProtocolError(
+            f"endpoint {label!r} must look like ringid@host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ProtocolError(f"endpoint {label!r} has a bad port") from exc
+    return ring_id, host, port
+
+
+def rebalance(
+    endpoints: Sequence[str],
+    to: str,
+    archive: str = "",
+    batch_docs: int = 32,
+    deadline_ms: int = 0,
+    timeout: float = 30.0,
+) -> RebalanceReport:
+    """Move the joining shard ``to``'s arc onto it and bump the map epoch.
+
+    ``endpoints`` are the current fleet members as ``ringid@host:port``
+    serving labels (the ring ids must match the fleet's manifests); ``to``
+    is the recipient in the same form, already serving an empty *joining*
+    container (:func:`~repro.serve.partition.write_spare_shard`).  The
+    call is resumable: crash it anywhere and run it again — documents the
+    recipient already acked are skipped, and an epoch that was already
+    installed is an idempotent no-op server-side.
+    """
+    if not endpoints:
+        raise ProtocolError("rebalance needs at least one existing endpoint")
+    if batch_docs < 1:
+        raise ProtocolError("batch_docs must be at least 1")
+    transports: Dict[str, Tuple[str, int]] = {}
+    for label in endpoints:
+        ring_id, host, port = _parse_endpoint(label)
+        transports[ring_id] = (host, port)
+    to_ring, to_host, to_port = _parse_endpoint(to)
+    if to_ring in transports:
+        raise ProtocolError(f"recipient ring id {to_ring!r} is already in the fleet")
+
+    clients: Dict[str, RlzClient] = {}
+
+    def client_for(ring_id: str, host: str, port: int) -> RlzClient:
+        if ring_id not in clients:
+            clients[ring_id] = RlzClient(
+                host, port, archive=archive, timeout=timeout
+            )
+        return clients[ring_id]
+
+    try:
+        first_ring = next(iter(transports))
+        seed = client_for(first_ring, *transports[first_ring])
+        epoch, labels, virtual_nodes = seed.shard_map()
+        if not labels:
+            raise ProtocolError(
+                "the fleet is not partitioned (SHARD_MAP answered an empty map)"
+            )
+        old_ids = [ShardMap.ring_id(label) for label in labels]
+        unknown = sorted(set(old_ids) - set(transports))
+        if unknown:
+            raise ProtocolError(
+                f"no endpoint given for shards {unknown} in the current map"
+            )
+        # Serving labels for the *new* map: manifest order with transports
+        # grafted on, recipient appended.  Installing qualified labels is
+        # what lets clients learn the recipient's address from the map.
+        qualified = [
+            f"{ring_id}@{transports[ring_id][0]}:{transports[ring_id][1]}"
+            for ring_id in old_ids
+        ]
+        new_labels = qualified + [f"{to_ring}@{to_host}:{to_port}"]
+        new_epoch = epoch + 1
+
+        order = seed.doc_ids()
+        old_ring = ShardMap(old_ids, virtual_nodes=virtual_nodes, epoch=epoch)
+        new_ring = ShardMap(
+            [ShardMap.ring_id(label) for label in new_labels],
+            virtual_nodes=virtual_nodes,
+            epoch=new_epoch,
+        )
+        moving_by_donor: Dict[str, List[int]] = {}
+        for doc_id in order:
+            if ShardMap.ring_id(new_ring.primary(doc_id)) != to_ring:
+                continue
+            donor = ShardMap.ring_id(old_ring.primary(doc_id))
+            moving_by_donor.setdefault(donor, []).append(doc_id)
+        moving_total = sum(len(ids) for ids in moving_by_donor.values())
+
+        recipient = client_for(to_ring, to_host, to_port)
+        acked = set(recipient.ingest([], deadline_ms=deadline_ms or None))
+        resumed = sum(
+            1
+            for ids in moving_by_donor.values()
+            for doc_id in ids
+            if doc_id in acked
+        )
+
+        donors: Dict[str, int] = {}
+        for donor, ids in sorted(moving_by_donor.items()):
+            pending = [doc_id for doc_id in ids if doc_id not in acked]
+            donors[donor] = len(pending)
+            if not pending:
+                continue
+            source = client_for(donor, *transports[donor])
+            batch: List[Tuple[int, bytes]] = []
+            batch_bytes = 0
+            for doc_id, content in source.scan(pending, chunk_docs=batch_docs):
+                batch.append((doc_id, content))
+                batch_bytes += len(content)
+                if len(batch) >= batch_docs or batch_bytes >= _BATCH_BYTES:
+                    acked.update(
+                        recipient.ingest(batch, deadline_ms=deadline_ms or None)
+                    )
+                    batch, batch_bytes = [], 0
+            if batch:
+                acked.update(
+                    recipient.ingest(batch, deadline_ms=deadline_ms or None)
+                )
+
+        still_missing = sorted(
+            doc_id
+            for ids in moving_by_donor.values()
+            for doc_id in ids
+            if doc_id not in acked
+        )
+        if still_missing:
+            raise ProtocolError(
+                f"recipient never acked documents {still_missing[:5]}"
+                f"{'...' if len(still_missing) > 5 else ''}"
+            )
+
+        # Commit order: recipient first (it starts owning and serving the
+        # arc from its staged copy), then each donor (which sheds it).
+        recipient.install_shard_map(new_epoch, new_labels, virtual_nodes)
+        for ring_id in old_ids:
+            client_for(ring_id, *transports[ring_id]).install_shard_map(
+                new_epoch, new_labels, virtual_nodes
+            )
+        return RebalanceReport(
+            epoch=new_epoch,
+            shards=tuple(new_labels),
+            virtual_nodes=virtual_nodes,
+            moved=moving_total,
+            resumed=resumed,
+            donors=donors,
+        )
+    finally:
+        for client in clients.values():
+            client.close()

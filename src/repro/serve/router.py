@@ -28,13 +28,48 @@ from __future__ import annotations
 
 import asyncio
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api.async_front import AsyncRlzArchive
 from ..api.config import ArchiveConfig, ServeSpec
 from ..errors import ConfigurationError, ProtocolError
+from ..storage.partition import (
+    PartitionManifest,
+    clear_overlay,
+    read_manifest,
+    read_overlay,
+    rewrite_partition_store,
+    write_overlay,
+)
+from .cluster import ShardMap
 
-__all__ = ["ArchiveEntry", "RlzRouter"]
+__all__ = ["ArchiveEntry", "PartitionState", "RlzRouter"]
+
+
+class PartitionState:
+    """A partitioned archive's live placement view: manifest + hash ring.
+
+    Immutable — installing a new epoch builds a *new* state and swaps it
+    in, so a request that grabbed the old state keeps a consistent
+    (manifest, ring) pair for its whole lifetime.
+    """
+
+    def __init__(self, manifest: PartitionManifest) -> None:
+        self.manifest = manifest
+        self.ring = ShardMap(
+            list(manifest.shards),
+            virtual_nodes=manifest.virtual_nodes,
+            epoch=manifest.epoch,
+        )
+        self.ring_id = ShardMap.ring_id(manifest.shard)
+
+    @property
+    def epoch(self) -> int:
+        return self.manifest.epoch
+
+    def owns(self, doc_id: int) -> bool:
+        """Whether this shard's arc covers ``doc_id`` under the manifest map."""
+        return ShardMap.ring_id(self.ring.primary(doc_id)) == self.ring_id
 
 
 class ArchiveEntry:
@@ -71,6 +106,39 @@ class ArchiveEntry:
         #: Exponential moving average of per-request service seconds;
         #: seeds the retry-after hint R_BUSY carries.
         self.ewma_seconds = 0.0
+        #: Partition placement (``None`` = unpartitioned: serve everything).
+        self.partition: Optional[PartitionState] = None
+        #: Documents staged by INGEST during a live rebalance, served from
+        #: memory alongside the front until the next INSTALL_MAP commits
+        #: them into the store (mirrored to the on-disk sidecar).
+        self.overlay: Dict[int, bytes] = {}
+        #: Whether the partition manifest/sidecar have been loaded.
+        self.partition_loaded = False
+        #: Requests refused with R_WRONG_SHARD (stale-map clients).
+        self.wrong_shard_rejections = 0
+
+    def owns(self, doc_id: int) -> bool:
+        """Whether this entry may serve ``doc_id`` right now.
+
+        Unpartitioned archives own everything.  A partitioned archive owns
+        its manifest arc *plus* anything staged in the overlay — the
+        "plus" is what lets donor and recipient both answer for a moving
+        arc during a live rebalance, so reads never fail mid-handoff.
+        """
+        if self.partition is None:
+            return True
+        return doc_id in self.overlay or self.partition.owns(doc_id)
+
+    def shard_map_reply(self) -> Tuple[int, List[str], int]:
+        """The (epoch, labels, virtual_nodes) this archive announces.
+
+        Unpartitioned archives answer the static sentinel (epoch 0, no
+        labels): clients keep whatever map they were configured with.
+        """
+        if self.partition is None:
+            return 0, [], 1
+        manifest = self.partition.manifest
+        return manifest.epoch, list(manifest.shards), manifest.virtual_nodes
 
     @property
     def max_inflight(self) -> int:
@@ -110,6 +178,9 @@ class ArchiveEntry:
             "errors": self.errors,
             "busy_rejections": self.busy_rejections,
             "deadline_rejections": self.deadline_rejections,
+            "epoch": self.partition.epoch if self.partition is not None else 0,
+            "overlay_documents": len(self.overlay),
+            "wrong_shard_rejections": self.wrong_shard_rejections,
         }
 
     def stats_into(self, snapshot: Dict[str, float]) -> None:
@@ -157,6 +228,9 @@ class RlzRouter:
         self._entries: Dict[str, ArchiveEntry] = {}
         self._default: Optional[str] = None
         self._closed = False
+        #: Fronts replaced by an epoch install; kept open until the router
+        #: closes so reads that entered them before the swap finish clean.
+        self._retired: List[AsyncRlzArchive] = []
         for name, path in (archives or {}).items():
             self.add(name, path)
         if default is not None:
@@ -180,7 +254,10 @@ class RlzRouter:
         router = cls(config=config)
         entry = ArchiveEntry(
             name=name,
-            path=None,
+            # Keep the container path even though the front is pre-opened:
+            # resolve() still needs it to load the partition manifest and
+            # any rebalance sidecar.
+            path=Path(front.archive.path),
             config=config or ArchiveConfig(),
             front=front,
             owned=owned,
@@ -258,12 +335,12 @@ class RlzRouter:
         entry = self.entry(name)
         if entry.gate is None:
             entry.gate = asyncio.Semaphore(entry.max_inflight)
-        if entry.front is None:
-            if entry.open_lock is None:
-                entry.open_lock = asyncio.Lock()
+        if entry.open_lock is None:
+            entry.open_lock = asyncio.Lock()
+        if entry.front is None or not entry.partition_loaded:
             async with entry.open_lock:
+                loop = asyncio.get_running_loop()
                 if entry.front is None and not self._closed:
-                    loop = asyncio.get_running_loop()
                     path, config, workers = entry.path, entry.config, self._max_workers
                     entry.front = await loop.run_in_executor(
                         None,
@@ -271,9 +348,126 @@ class RlzRouter:
                             path, config, max_workers=workers
                         ),
                     )
+                if not entry.partition_loaded:
+                    if entry.path is not None:
+                        manifest = await loop.run_in_executor(
+                            None, read_manifest, entry.path
+                        )
+                        if manifest is not None:
+                            entry.partition = PartitionState(manifest)
+                            # Crash recovery: a rebalance interrupted after
+                            # sidecar writes but before the epoch commit
+                            # resumes with its staged documents intact.
+                            entry.overlay.update(
+                                await loop.run_in_executor(
+                                    None, read_overlay, entry.path
+                                )
+                            )
+                    entry.partition_loaded = True
         if entry.front is None:
             raise ProtocolError("router is closed")
         return entry
+
+    # ------------------------------------------------------------------
+    # Partitioned serving: staging + epoch installs
+    # ------------------------------------------------------------------
+    async def ingest(
+        self, entry: ArchiveEntry, items: Sequence[Tuple[int, bytes]]
+    ) -> List[int]:
+        """Stage rebalance documents on ``entry``; return all staged ids.
+
+        Items land in the in-memory overlay (served immediately — this is
+        what makes the moving arc dual-homed during a handoff) and the
+        whole overlay is mirrored to the on-disk sidecar before the ack,
+        so a crashed recipient resumes from its last acked batch.  An
+        empty ``items`` is the resume probe: pure read of the staged set.
+        """
+        if entry.partition is None:
+            raise ProtocolError(
+                f"archive {entry.name or 'default'!r} is not partitioned"
+            )
+        assert entry.open_lock is not None
+        async with entry.open_lock:
+            if items:
+                for doc_id, data in items:
+                    entry.overlay[int(doc_id)] = bytes(data)
+                snapshot = dict(entry.overlay)
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(
+                    None, write_overlay, entry.path, snapshot
+                )
+            return sorted(entry.overlay)
+
+    async def install_map(
+        self,
+        entry: ArchiveEntry,
+        epoch: int,
+        labels: Sequence[str],
+        virtual_nodes: int,
+    ) -> Tuple[int, List[str], int]:
+        """Commit a new shard-map epoch on ``entry``; return the map served.
+
+        Idempotent: an epoch at or below the current one changes nothing
+        and answers the current map.  A newer epoch recomputes the owned
+        arc over store ∪ overlay, rewrites the container (kept blobs
+        verbatim, staged documents encoded in, shed documents dropped) and
+        swaps state in an order that never fails a concurrent read:
+
+        1. the new :class:`PartitionState` goes live (requests for shed
+           documents start refusing with the *new* epoch, requests for
+           kept/staged documents keep succeeding via overlay or old front);
+        2. a front over the rewritten container replaces the old front —
+           which is *retired*, not closed, so reads that already entered
+           it finish against the old (complete) file;
+        3. the overlay and its sidecar are cleared (their documents are in
+           the store now).
+        """
+        if entry.partition is None:
+            raise ProtocolError(
+                f"archive {entry.name or 'default'!r} is not partitioned"
+            )
+        assert entry.open_lock is not None
+        async with entry.open_lock:
+            state = entry.partition
+            current = state.manifest
+            if epoch <= current.epoch:
+                return current.epoch, list(current.shards), current.virtual_nodes
+            new_manifest = current.with_map(epoch, labels, virtual_nodes)
+            new_state = PartitionState(new_manifest)
+            front = entry.front
+            if front is None:
+                raise ProtocolError("archive front is not open")
+            stored = set(front.archive.doc_ids())
+            owned = {
+                doc_id
+                for doc_id in stored | set(entry.overlay)
+                if new_state.owns(doc_id)
+            }
+            keep = sorted(owned & stored)
+            add_docs = {
+                doc_id: entry.overlay[doc_id]
+                for doc_id in owned
+                if doc_id in entry.overlay
+            }
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None,
+                lambda: rewrite_partition_store(
+                    entry.path, keep, add_docs, new_manifest
+                ),
+            )
+            path, config, workers = entry.path, entry.config, self._max_workers
+            new_front = await loop.run_in_executor(
+                None,
+                lambda: AsyncRlzArchive.open(path, config, max_workers=workers),
+            )
+            entry.partition = new_state
+            old_front, entry.front = entry.front, new_front
+            if old_front is not None and entry.owned:
+                self._retired.append(old_front)
+            entry.overlay.clear()
+            await loop.run_in_executor(None, clear_overlay, entry.path)
+            return epoch, list(new_manifest.shards), virtual_nodes
 
     def stats(self) -> Dict[str, float]:
         """Per-archive counters plus the default front's archive stats."""
@@ -308,3 +502,7 @@ class RlzRouter:
             front = entry.front
             if front is not None and entry.owned and not front.closed:
                 await front.close()
+        for front in self._retired:
+            if not front.closed:
+                await front.close()
+        self._retired.clear()

@@ -55,7 +55,7 @@ from typing import Dict, Mapping, Optional, Set, Union
 
 from ..api.async_front import AsyncRlzArchive
 from ..api.config import ArchiveConfig, ServeSpec
-from ..errors import ProtocolError, ReproError
+from ..errors import ProtocolError, ReproError, StorageError
 from . import protocol
 from .protocol import Opcode
 from .router import ArchiveEntry, RlzRouter
@@ -64,6 +64,19 @@ __all__ = ["BackgroundServer", "ConnectionStats", "RlzServer"]
 
 #: Documents per R_CHUNK frame when a SCAN request does not say.
 DEFAULT_SCAN_CHUNK = 64
+
+
+class _WrongShard(Exception):
+    """Internal: a fetch crossed onto an arc this shard no longer owns.
+
+    Raised mid-dispatch (e.g. a concurrent epoch install shed the doc
+    between the ownership check and the store read) and translated into an
+    ``R_WRONG_SHARD`` reply — never propagated to the protocol layer.
+    """
+
+    def __init__(self, doc_id: int) -> None:
+        super().__init__(f"doc {doc_id} is not owned by this shard")
+        self.doc_id = doc_id
 
 
 @dataclass
@@ -417,12 +430,15 @@ class RlzServer:
             if task is not None:
                 self._busy.add(task)
             try:
-                # HEALTH is pure bookkeeping and must stay answerable while
-                # the gate is saturated — serve it without queueing.
+                # HEALTH and SHARD_MAP are pure bookkeeping and must stay
+                # answerable while the gate is saturated — no queueing.
                 if opcode == Opcode.HEALTH:
                     await conn.respond(
                         Opcode.R_HEALTH, protocol.pack_health(self._router.health())
                     )
+                    continue
+                if opcode == Opcode.SHARD_MAP:
+                    await self._answer_shard_map(conn, None)
                     continue
                 entry.waiting += 1
                 try:
@@ -528,14 +544,17 @@ class RlzServer:
         """One pipelined request: deadline check, gate, dispatch, reply."""
         entry = conn.entry
         try:
-            # HEALTH is pure bookkeeping and must stay answerable while
-            # the gate is saturated — serve it without queueing.
+            # HEALTH and SHARD_MAP are pure bookkeeping and must stay
+            # answerable while the gate is saturated — no queueing.
             if opcode == Opcode.HEALTH:
                 await conn.respond(
                     Opcode.R_HEALTH,
                     protocol.pack_health(self._router.health()),
                     request_id,
                 )
+                return
+            if opcode == Opcode.SHARD_MAP:
+                await self._answer_shard_map(conn, request_id)
                 return
             if deadline_at is not None and time.monotonic() >= deadline_at:
                 await self._reject_expired(conn, entry, request_id)
@@ -616,6 +635,115 @@ class RlzServer:
             conn.entry.errors += 1
 
     # ------------------------------------------------------------------
+    # Partitioned serving helpers
+    # ------------------------------------------------------------------
+    async def _answer_shard_map(
+        self, conn: _Connection, request_id: Optional[int]
+    ) -> None:
+        """R_SHARD_MAP with the archive's current placement (pre-gate)."""
+        epoch, labels, virtual_nodes = conn.entry.shard_map_reply()
+        await conn.respond(
+            Opcode.R_SHARD_MAP,
+            protocol.pack_shard_map(epoch, labels, virtual_nodes),
+            request_id,
+        )
+
+    async def _refuse_wrong_shard(
+        self, conn: _Connection, doc_id: int, request_id: Optional[int]
+    ) -> None:
+        """R_WRONG_SHARD carrying the epoch this shard currently serves."""
+        entry = conn.entry
+        entry.wrong_shard_rejections += 1
+        epoch = entry.partition.epoch if entry.partition is not None else 0
+        await conn.respond(
+            Opcode.R_WRONG_SHARD,
+            protocol.pack_wrong_shard(epoch, doc_id),
+            request_id,
+        )
+
+    def _first_unowned(self, entry: ArchiveEntry, doc_ids) -> Optional[int]:
+        """The first doc id this shard does not own, or ``None``."""
+        if entry.partition is None:
+            return None
+        for doc_id in doc_ids:
+            if not entry.owns(doc_id):
+                return doc_id
+        return None
+
+    async def _get_document(
+        self, conn: _Connection, front: AsyncRlzArchive, doc_id: int
+    ) -> bytes:
+        """One owned document: overlay first, then the store.
+
+        A store miss is re-judged against the *current* partition state —
+        a concurrent epoch install may have shed the doc (refuse it as
+        wrong-shard, not as a storage error) or committed it into a new
+        front (retry there).
+        """
+        document = conn.entry.overlay.get(doc_id)
+        if document is not None:
+            return document
+        try:
+            return await front.get(doc_id)
+        except StorageError:
+            entry = conn.entry
+            if not entry.owns(doc_id):
+                raise _WrongShard(doc_id) from None
+            if entry.front is not None and entry.front is not front:
+                return await entry.front.get(doc_id)
+            raise
+
+    async def _get_batch(
+        self, conn: _Connection, front: AsyncRlzArchive, doc_ids
+    ) -> list:
+        """A batch of owned documents, mixing overlay and store reads."""
+        entry = conn.entry
+        overlay_hits = {
+            doc_id: entry.overlay[doc_id]
+            for doc_id in doc_ids
+            if doc_id in entry.overlay
+        }
+        misses = [doc_id for doc_id in doc_ids if doc_id not in overlay_hits]
+        fetched: Dict[int, bytes] = {}
+        if misses:
+            try:
+                documents = await front.get_many(misses)
+            except StorageError:
+                entry = conn.entry
+                unowned = self._first_unowned(entry, misses)
+                if unowned is not None:
+                    raise _WrongShard(unowned) from None
+                if entry.front is not None and entry.front is not front:
+                    documents = await entry.front.get_many(misses)
+                else:
+                    raise
+            fetched = dict(zip(misses, documents))
+        return [
+            overlay_hits[doc_id] if doc_id in overlay_hits else fetched[doc_id]
+            for doc_id in doc_ids
+        ]
+
+    def _served_ids(self, entry: ArchiveEntry) -> list:
+        """Every doc id this entry can serve right now, in store order.
+
+        Store docs plus staged overlay docs; on a partitioned entry the
+        order follows the manifest's global ``doc_order`` so a handoff
+        does not reorder streams.
+        """
+        front_ids = entry.front.archive.doc_ids()
+        extra = [doc_id for doc_id in entry.overlay if doc_id not in set(front_ids)]
+        if not extra:
+            return front_ids
+        served = set(front_ids) | set(extra)
+        if entry.partition is not None:
+            return [
+                doc_id
+                for doc_id in entry.partition.manifest.doc_order
+                if doc_id in served
+            ]
+        return front_ids + sorted(extra)
+
+    # ------------------------------------------------------------------
     # Dispatch (shared by both request loops)
     # ------------------------------------------------------------------
     async def _dispatch(
@@ -625,22 +753,42 @@ class RlzServer:
         payload: bytes,
         request_id: Optional[int],
     ) -> None:
-        front = conn.entry.front
+        try:
+            await self._dispatch_inner(conn, opcode, payload, request_id)
+        except _WrongShard as exc:
+            await self._refuse_wrong_shard(conn, exc.doc_id, request_id)
+
+    async def _dispatch_inner(
+        self,
+        conn: _Connection,
+        opcode: int,
+        payload: bytes,
+        request_id: Optional[int],
+    ) -> None:
+        entry = conn.entry
+        front = entry.front
         if opcode == Opcode.PING:
             await conn.respond(Opcode.R_PONG, payload, request_id)
         elif opcode == Opcode.GET:
-            document = await front.get(protocol.unpack_doc_id(payload))
+            doc_id = protocol.unpack_doc_id(payload)
+            if not entry.owns(doc_id):
+                raise _WrongShard(doc_id)
+            document = await self._get_document(conn, front, doc_id)
             await conn.respond(Opcode.R_DOC, document, request_id)
         elif opcode == Opcode.GET_MANY:
-            documents = await front.get_many(protocol.unpack_doc_ids(payload))
+            doc_ids = protocol.unpack_doc_ids(payload)
+            unowned = self._first_unowned(entry, doc_ids)
+            if unowned is not None:
+                raise _WrongShard(unowned)
+            documents = await self._get_batch(conn, front, doc_ids)
             await conn.respond(
                 Opcode.R_DOCS, protocol.pack_documents(documents), request_id
             )
         elif opcode == Opcode.ITER:
             # Stream one document per frame (decodes go through the front,
             # so the cache tier and coalescing apply), then terminate.
-            for doc_id in front.archive.doc_ids():
-                document = await front.get(doc_id)
+            for doc_id in self._served_ids(entry):
+                document = await self._get_document(conn, front, doc_id)
                 await conn.respond(
                     Opcode.R_ITEM, protocol.pack_item(doc_id, document), request_id
                 )
@@ -652,9 +800,33 @@ class RlzServer:
                 Opcode.R_STATS, protocol.pack_stats(self.stats()), request_id
             )
         elif opcode == Opcode.DOC_IDS:
+            if entry.partition is not None:
+                doc_ids = list(entry.partition.manifest.doc_order)
+            else:
+                doc_ids = front.archive.doc_ids()
             await conn.respond(
                 Opcode.R_DOC_IDS,
-                protocol.pack_doc_ids(front.archive.doc_ids()),
+                protocol.pack_doc_ids(doc_ids),
+                request_id,
+            )
+        elif opcode == Opcode.SHARD_MAP:
+            # Normally answered pre-gate; kept here so a direct dispatch
+            # (or a future loop refactor) cannot drop the opcode.
+            await self._answer_shard_map(conn, request_id)
+        elif opcode == Opcode.INGEST:
+            items = protocol.unpack_chunk(payload)
+            staged = await self._router.ingest(entry, items)
+            await conn.respond(
+                Opcode.R_DOC_IDS, protocol.pack_doc_ids(staged), request_id
+            )
+        elif opcode == Opcode.INSTALL_MAP:
+            epoch, labels, virtual_nodes = protocol.unpack_shard_map(payload)
+            epoch, labels, virtual_nodes = await self._router.install_map(
+                entry, epoch, labels, virtual_nodes
+            )
+            await conn.respond(
+                Opcode.R_SHARD_MAP,
+                protocol.pack_shard_map(epoch, labels, virtual_nodes),
                 request_id,
             )
         else:
@@ -673,15 +845,24 @@ class RlzServer:
         R_CHUNK frame.  An explicit doc-id list scans just that subset, in
         the requested order (the cluster client uses this to scan only the
         documents a shard owns).
+
+        Ownership is re-checked per chunk on a partitioned archive: a
+        rebalance that sheds part of the requested set mid-stream turns
+        into an ``R_WRONG_SHARD`` (the client re-plans from the moved
+        document) instead of stale bytes.
         """
-        front = conn.entry.front
+        entry = conn.entry
+        front = entry.front
         chunk_docs, doc_ids = protocol.unpack_scan(payload)
         if not doc_ids:
-            doc_ids = front.archive.doc_ids()
+            doc_ids = self._served_ids(entry)
         chunk = chunk_docs or DEFAULT_SCAN_CHUNK
         for start in range(0, len(doc_ids), chunk):
             batch = doc_ids[start : start + chunk]
-            documents = await front.get_many(batch)
+            unowned = self._first_unowned(entry, batch)
+            if unowned is not None:
+                raise _WrongShard(unowned)
+            documents = await self._get_batch(conn, front, batch)
             await conn.respond(
                 Opcode.R_CHUNK,
                 protocol.pack_chunk(list(zip(batch, documents))),

@@ -26,6 +26,7 @@ from .container import (
 )
 from .disk_model import DiskAccounting, DiskModel
 from .document_map import DocumentEntry, DocumentMap
+from .partition import PartitionManifest
 from .raw_store import RawStore
 from .rlz_store import RlzStore
 
@@ -40,6 +41,7 @@ __all__ = [
     "DocumentMap",
     "LruCache",
     "NullCache",
+    "PartitionManifest",
     "RawStore",
     "RlzStore",
     "SharedMemoryCache",

@@ -1,0 +1,298 @@
+"""Partition manifests and the rebalance sidecar for partitioned stores.
+
+A *partitioned* archive splits one collection across N per-shard RPRC2
+containers: each shard's container holds only the documents whose
+consistent-hash arc it owns.  Everything a server (or an offline tool)
+needs to know about the split rides in the container's metadata JSON under
+the :data:`PARTITION_KEY` key, as a :class:`PartitionManifest`:
+
+``epoch``
+    The version of the shard map the container was written under.  Every
+    rebalance bumps it; servers refuse doc ids they no longer own with
+    the epoch they are at, and clients adopt whichever map carries the
+    highest epoch.
+``shard``
+    This container's own *ring id* — the logical shard name whose hash
+    arc it owns (e.g. ``"shard2"``).
+``shards``
+    Every ring label in the map, in order (order is part of the map:
+    hash-ring tie-breaks are positional).  Labels are either bare ring
+    ids or ``ringid@host:port`` once transports are known.
+``virtual_nodes``
+    Consistent-hash points per shard.
+``doc_order``
+    The *global* collection doc-id order.  It is identical in every
+    shard and invariant across rebalances (rebalancing moves documents,
+    it never adds or removes them), so any one shard can answer
+    ``DOC_IDS`` for the whole fleet and scan-merges stay in exact store
+    order.
+
+During a live rebalance the recipient stages incoming documents in a
+*sidecar* container next to its store (``<store>.rebalance``, a ``raw``
+container rewritten atomically per batch), so a crashed handoff resumes
+from the last acked document instead of restarting.  Committing a new
+epoch rewrites the store itself via :func:`rewrite_partition_store`:
+surviving documents' encoded blobs are copied verbatim (the dictionary is
+shared, so bytes are identical), staged documents are encoded in, shed
+documents are dropped, and the new manifest is recorded — all behind the
+container writer's atomic temp + fsync + rename.
+
+This module deliberately knows nothing about hash rings or servers: the
+caller decides *which* doc ids to keep and add; this module makes the
+on-disk state match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..core.dictionary import RlzDictionary
+from ..core.encoder import PairEncoder
+from ..core.factorizer import RlzFactorizer
+from ..errors import StorageError
+from .container import read_container_header, write_container
+from .document_map import DocumentEntry, DocumentMap
+
+__all__ = [
+    "PARTITION_KEY",
+    "PartitionManifest",
+    "read_manifest",
+    "overlay_path",
+    "write_overlay",
+    "read_overlay",
+    "clear_overlay",
+    "rewrite_partition_store",
+]
+
+#: Container-metadata key the manifest is stored under.
+PARTITION_KEY = "partition"
+
+
+def _ring_id(label: str) -> str:
+    """The placement identity of a shard label (the part before ``@``)."""
+    return label.partition("@")[0]
+
+
+@dataclass(frozen=True)
+class PartitionManifest:
+    """The partition facts recorded in a shard container's metadata."""
+
+    epoch: int
+    shard: str
+    shards: Tuple[str, ...]
+    virtual_nodes: int
+    doc_order: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise StorageError(f"partition epoch must be >= 1, got {self.epoch}")
+        if self.virtual_nodes < 1:
+            raise StorageError(
+                f"partition virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        ring_ids = [_ring_id(label) for label in self.shards]
+        if len(set(ring_ids)) != len(ring_ids):
+            raise StorageError(f"duplicate shard ring ids: {ring_ids}")
+        # ``shard`` may be absent from ``shards``: that is a *joining*
+        # shard (a rebalance recipient written by write_spare_shard) —
+        # under the recorded map it owns nothing and serves only staged
+        # overlay documents until an INSTALL_MAP adds it to the ring.
+
+    def to_metadata(self) -> Dict[str, Any]:
+        """The JSON-safe dict stored under :data:`PARTITION_KEY`."""
+        return {
+            "epoch": self.epoch,
+            "shard": self.shard,
+            "shards": list(self.shards),
+            "virtual_nodes": self.virtual_nodes,
+            "doc_order": list(self.doc_order),
+        }
+
+    @classmethod
+    def from_metadata(cls, metadata: Dict[str, Any]) -> Optional["PartitionManifest"]:
+        """Parse a container-metadata dict; ``None`` if not partitioned."""
+        raw = metadata.get(PARTITION_KEY)
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise StorageError(f"malformed partition manifest: {type(raw).__name__}")
+        try:
+            return cls(
+                epoch=int(raw["epoch"]),
+                shard=str(raw["shard"]),
+                shards=tuple(str(label) for label in raw["shards"]),
+                virtual_nodes=int(raw["virtual_nodes"]),
+                doc_order=tuple(int(doc_id) for doc_id in raw["doc_order"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed partition manifest: {exc}") from exc
+
+    def with_map(
+        self, epoch: int, shards: Iterable[str], virtual_nodes: int
+    ) -> "PartitionManifest":
+        """This shard's manifest under a new map (doc order is invariant)."""
+        return PartitionManifest(
+            epoch=epoch,
+            shard=self.shard,
+            shards=tuple(shards),
+            virtual_nodes=virtual_nodes,
+            doc_order=self.doc_order,
+        )
+
+
+def read_manifest(path: str | Path) -> Optional[PartitionManifest]:
+    """The partition manifest of a container (``None`` if not partitioned)."""
+    return PartitionManifest.from_metadata(read_container_header(Path(path)).metadata)
+
+
+# ----------------------------------------------------------------------
+# Rebalance sidecar (staged documents on the recipient)
+# ----------------------------------------------------------------------
+def overlay_path(store_path: str | Path) -> Path:
+    """Where a store's rebalance sidecar lives."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.name + ".rebalance")
+
+
+def write_overlay(store_path: str | Path, documents: Dict[int, bytes]) -> Path:
+    """Persist the staged documents next to the store (atomic rewrite).
+
+    The sidecar is a ``raw`` container: dumb, checksummed, and rewritten
+    whole on every batch — at rebalance batch sizes the rewrite is cheap
+    and buys crash-safe resume for free.
+    """
+    path = overlay_path(store_path)
+    document_map = DocumentMap()
+    payload = bytearray()
+    for doc_id in sorted(documents):
+        data = documents[doc_id]
+        document_map.add(
+            DocumentEntry(doc_id=doc_id, offset=len(payload), length=len(data))
+        )
+        payload += data
+    write_container(
+        path,
+        "raw",
+        {"kind": "rebalance-overlay", "store": Path(store_path).name},
+        document_map,
+        b"",
+        bytes(payload),
+    )
+    return path
+
+
+def read_overlay(store_path: str | Path) -> Dict[int, bytes]:
+    """Load the staged documents from a store's sidecar (empty if none)."""
+    path = overlay_path(store_path)
+    if not path.exists():
+        return {}
+    header = read_container_header(path)
+    documents: Dict[int, bytes] = {}
+    with path.open("rb") as handle:
+        for entry in header.document_map:
+            handle.seek(header.payload_offset + entry.offset)
+            data = handle.read(entry.length)
+            if len(data) != entry.length:
+                raise StorageError(f"{path}: overlay payload truncated")
+            header.check_extent(entry.offset, entry.length, data)
+            documents[entry.doc_id] = data
+    return documents
+
+
+def clear_overlay(store_path: str | Path) -> None:
+    """Remove the sidecar once its documents are committed to the store."""
+    try:
+        overlay_path(store_path).unlink()
+    except FileNotFoundError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Epoch commit: rewrite a shard store to its new owned set
+# ----------------------------------------------------------------------
+def rewrite_partition_store(
+    path: str | Path,
+    keep_ids: Iterable[int],
+    add_docs: Dict[int, bytes],
+    manifest: PartitionManifest,
+) -> Path:
+    """Rewrite a shard container so it holds exactly ``keep ∪ add``.
+
+    ``keep_ids`` are documents already in the store whose encoded blobs
+    are copied *verbatim* (the dictionary does not change, so the bytes
+    cannot either); ``add_docs`` maps doc ids to raw document bytes that
+    are encoded against the store's dictionary; everything else currently
+    in the store is dropped.  ``original_size`` is adjusted exactly:
+    dropped documents are decoded once to learn their length, added
+    documents contribute ``len(bytes)``.  Store order follows the
+    manifest's global ``doc_order``.  The rewrite is atomic (temp +
+    fsync + rename), so a reader holding the old file handle keeps
+    reading the old, complete container.
+    """
+    path = Path(path)
+    header = read_container_header(path)
+    if header.store_type != "rlz":
+        raise StorageError(
+            f"cannot rewrite a {header.store_type!r} container as a partition shard"
+        )
+    dictionary = RlzDictionary(header.dictionary)
+    encoder = PairEncoder(header.metadata["scheme"])
+
+    keep = set(keep_ids)
+    present = set(header.document_map.doc_ids())
+    missing = sorted(keep - present - set(add_docs))
+    if missing:
+        raise StorageError(f"cannot keep documents absent from the store: {missing}")
+
+    blobs: Dict[int, bytes] = {}
+    original_size = int(header.metadata["original_size"])
+    with path.open("rb") as handle:
+        for entry in header.document_map:
+            handle.seek(header.payload_offset + entry.offset)
+            blob = handle.read(entry.length)
+            if len(blob) != entry.length:
+                raise StorageError(f"{path}: payload truncated during rewrite")
+            header.check_extent(entry.offset, entry.length, blob)
+            if entry.doc_id in keep and entry.doc_id not in add_docs:
+                blobs[entry.doc_id] = blob
+            else:
+                # Dropped (or superseded by a staged copy): read its factor
+                # lengths once so original_size stays the exact sum of
+                # stored documents (length-0 factors are 1-byte literals).
+                _, lengths = encoder.decode_streams(blob)
+                original_size -= sum(length if length else 1 for length in lengths)
+
+    factorizer = RlzFactorizer(dictionary) if add_docs else None
+    for doc_id in sorted(add_docs):
+        data = add_docs[doc_id]
+        blobs[doc_id] = encoder.encode(factorizer.factorize(data))
+        original_size += len(data)
+
+    order = [doc_id for doc_id in manifest.doc_order if doc_id in blobs]
+    stray = sorted(set(blobs) - set(order))
+    if stray:
+        raise StorageError(f"documents outside the manifest doc order: {stray}")
+
+    document_map = DocumentMap()
+    payload = bytearray()
+    for doc_id in order:
+        blob = blobs[doc_id]
+        document_map.add(
+            DocumentEntry(doc_id=doc_id, offset=len(payload), length=len(blob))
+        )
+        payload += blob
+
+    metadata = dict(header.metadata)
+    metadata["original_size"] = original_size
+    metadata[PARTITION_KEY] = manifest.to_metadata()
+    write_container(
+        path,
+        header.store_type,
+        metadata,
+        document_map,
+        header.dictionary,
+        bytes(payload),
+    )
+    return path

@@ -97,8 +97,19 @@ class RlzStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def write(cls, compressed: CompressedCollection, path: str | Path) -> Path:
-        """Persist a compressed collection to ``path`` and return the path."""
+    def write(
+        cls,
+        compressed: CompressedCollection,
+        path: str | Path,
+        extra_metadata: Optional[Dict] = None,
+    ) -> Path:
+        """Persist a compressed collection to ``path`` and return the path.
+
+        ``extra_metadata`` entries are merged into the container's metadata
+        dict (the partition manifest rides here); they must not collide
+        with the store's own keys and are ignored by readers that do not
+        know them.
+        """
         path = Path(path)
         document_map = DocumentMap()
         payload = bytearray()
@@ -116,6 +127,11 @@ class RlzStore:
             "collection": compressed.collection_name,
             "original_size": compressed.original_size,
         }
+        if extra_metadata:
+            overlap = sorted(metadata.keys() & extra_metadata.keys())
+            if overlap:
+                raise StorageError(f"extra_metadata collides with store keys: {overlap}")
+            metadata.update(extra_metadata)
         write_container(
             path,
             cls.store_type,

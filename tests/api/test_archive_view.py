@@ -3,14 +3,19 @@
 Every test in this module runs against each ``ArchiveView``
 implementation: a local :class:`RlzArchive`, an :class:`RlzClient`
 talking to a live server over a socket, a :class:`ClusterClient` fanning
-out over two replica servers — and that same cluster *degraded*, with one
-of its two shards killed before the battery runs (the failover path).
-The point of the ``ArchiveView`` design is that all of them are
-indistinguishable: byte-identical documents, identical ordering
-guarantees, identical error *types*.
+out over two replica servers — that same cluster *degraded*, with one of
+its two shards killed before the battery runs (the failover path) — a
+*partitioned* four-shard fleet where each server holds only its arc of
+doc-id space — and an :class:`AsyncClusterClient` over that same fleet,
+driven through a thread bridge.  The point of the ``ArchiveView`` design
+is that all of them are indistinguishable: byte-identical documents,
+identical ordering guarantees, identical error *types*.
 """
 
 from __future__ import annotations
+
+import asyncio
+import threading
 
 import pytest
 
@@ -23,14 +28,23 @@ from repro.api import (
     RlzArchive,
 )
 from repro.errors import StorageError, StoreClosedError
-from repro.serve import BackgroundServer, ClusterClient, RlzClient
+from repro.serve import (
+    AsyncClusterClient,
+    BackgroundServer,
+    ClusterClient,
+    RlzClient,
+    build_partitioned_archives,
+)
 
 
-def _config() -> ArchiveConfig:
+def _config(shards: int = 1) -> ArchiveConfig:
+    from repro.api import PartitionSpec
+
     return ArchiveConfig(
         dictionary=DictionarySpec(size=32 * 1024, sample_size=512),
         encoding=EncodingSpec(scheme="ZV"),
         cache=CacheSpec(tier="lru", capacity=16),
+        partition=PartitionSpec(shards=shards),
     )
 
 
@@ -39,6 +53,13 @@ def view_archive(tmp_path_factory, gov_small):
     path = tmp_path_factory.mktemp("views") / "conformance.rlz"
     RlzArchive.build(gov_small, _config(), path).close()
     return path
+
+
+@pytest.fixture(scope="module")
+def partitioned_shards(tmp_path_factory, gov_small):
+    """The same collection split 4 ways: each container holds only its arc."""
+    directory = tmp_path_factory.mktemp("views-partitioned")
+    return build_partitioned_archives(gov_small, _config(shards=4), directory)
 
 
 def _start_cluster(view_archive, replicas=2):
@@ -50,10 +71,86 @@ def _start_cluster(view_archive, replicas=2):
     return servers, endpoints
 
 
+def _start_partitioned(partitioned_shards):
+    """One server per shard container; ``ringid@host:port`` serving labels."""
+    servers, endpoints = [], []
+    for ring_id, path in partitioned_shards.items():
+        server = BackgroundServer(path, _config())
+        host, port = server.start()
+        servers.append(server)
+        endpoints.append(f"{ring_id}@{host}:{port}")
+    return servers, endpoints
+
+
+class _AsyncViewBridge:
+    """Drive an :class:`AsyncClusterClient` from the synchronous battery.
+
+    A dedicated event-loop thread owns the client; every view method
+    submits one coroutine with ``run_coroutine_threadsafe`` and blocks on
+    the result, so exceptions (``StorageError``, ``StoreClosedError``)
+    surface with their real types, exactly as the sync views raise them.
+    """
+
+    def __init__(self, endpoints):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="async-view-bridge", daemon=True
+        )
+        self._thread.start()
+        self._client = AsyncClusterClient(endpoints, retries=0, retry_delay=0.01)
+        self._stopped = False
+
+    def _run(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(30)
+
+    def get(self, doc_id):
+        return self._run(self._client.get(doc_id))
+
+    def get_many(self, doc_ids):
+        return self._run(self._client.get_many(doc_ids))
+
+    def iter_documents(self):
+        iterator = self._client.iter_documents()  # async generator: no await
+        while True:
+            try:
+                yield self._run(iterator.__anext__())
+            except StopAsyncIteration:
+                return
+
+    def doc_ids(self):
+        return self._run(self._client.doc_ids())
+
+    def __len__(self):
+        return len(self.doc_ids())
+
+    def stats(self):
+        return self._run(self._client.stats())
+
+    @property
+    def closed(self):
+        return self._client.closed
+
+    def close(self):
+        if not self._stopped:
+            self._run(self._client.close())
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+            self._stopped = True
+
+
 @pytest.fixture(
-    scope="module", params=["local", "socket", "cluster", "cluster-degraded"]
+    scope="module",
+    params=[
+        "local",
+        "socket",
+        "cluster",
+        "cluster-degraded",
+        "partitioned",
+        "async-cluster",
+    ],
 )
-def view(request, view_archive):
+def view(request, view_archive, partitioned_shards):
     """The same archive behind every ArchiveView implementation."""
     if request.param == "local":
         archive = RlzArchive.open(view_archive, _config())
@@ -64,6 +161,21 @@ def view(request, view_archive):
             client = RlzClient(*server.address)
             yield client
             client.close()
+    elif request.param in ("partitioned", "async-cluster"):
+        servers, endpoints = _start_partitioned(partitioned_shards)
+        if request.param == "partitioned":
+            client = ClusterClient(endpoints, retries=0, retry_delay=0.01)
+        else:
+            client = _AsyncViewBridge(endpoints)
+        try:
+            yield client
+        finally:
+            client.close()
+            for server in servers:
+                try:
+                    server.stop()
+                except Exception:
+                    pass
     else:
         servers, endpoints = _start_cluster(view_archive)
         client = ClusterClient(

@@ -23,9 +23,11 @@ TOP_LEVEL_EXPORTS = {
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
+    "PartitionSpec",
     "RlzArchive",
     "ServeSpec",
     # network serving
+    "AsyncClusterClient",
     "AsyncRlzClient",
     "BackgroundServer",
     "ClusterClient",
@@ -73,6 +75,7 @@ TOP_LEVEL_EXPORTS = {
     "ServerBusyError",
     "StorageError",
     "StoreClosedError",
+    "WrongShardError",
     # metadata
     "__version__",
 }
@@ -88,6 +91,7 @@ API_EXPORTS = {
     "DictionarySpec",
     "EncodingSpec",
     "ParallelSpec",
+    "PartitionSpec",
     "RequestStats",
     "RetrySpec",
     "RlzArchive",
@@ -95,6 +99,7 @@ API_EXPORTS = {
 }
 
 SERVE_EXPORTS = {
+    "AsyncClusterClient",
     "AsyncRlzClient",
     "BackgroundServer",
     "CircuitBreaker",
@@ -107,12 +112,17 @@ SERVE_EXPORTS = {
     "PROTOCOL_V1",
     "PROTOCOL_V2",
     "PROTOCOL_V3",
+    "PROTOCOL_V4",
     "PROTOCOL_VERSION",
+    "RebalanceReport",
     "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",
     "ShardMap",
+    "build_partitioned_archives",
+    "rebalance",
+    "write_spare_shard",
 }
 
 STORAGE_EXPORTS = {
@@ -126,6 +136,7 @@ STORAGE_EXPORTS = {
     "DocumentMap",
     "LruCache",
     "NullCache",
+    "PartitionManifest",
     "RawStore",
     "RlzStore",
     "SharedMemoryCache",
