@@ -139,6 +139,30 @@ def test_fastpath_partition(benchmark, results_path):
     assert "JSON record appended to" in notes
 
 
+def test_fastpath_search(benchmark, results_path):
+    """Record the search-serving comparison (in-memory index vs persistent
+    postings vs served SEARCH vs 4-way sharded fan-out), verify every
+    ranking hit-for-hit against the local index, and measure the windowed
+    snippet decode against whole-document decode."""
+    from repro.bench.search import search_benchmark
+
+    json_path = RESULTS_DIR / "fastpath.json"
+    table = benchmark.pedantic(
+        search_benchmark,
+        kwargs={"output_json": json_path},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    table.print()
+    table.save(results_path)
+    notes = "\n".join(table.notes)
+    assert "sharded ranking identical to local index: True" in notes
+    assert "snippet windows verified against corpus: True" in notes
+    assert "windowed decode cheaper than full decode: True" in notes
+    assert "JSON record appended to" in notes
+
+
 def test_fastpath_large_dictionary(benchmark, results_path):
     """Verify the compact jump index is active (no silent fallback) for a
     dictionary above the old 1 MiB gate, with seed-identical streams."""

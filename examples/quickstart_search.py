@@ -1,0 +1,107 @@
+"""Quickstart, search: rank queries over a served compressed archive.
+
+The search-serving variant of ``examples/quickstart_networked.py``: the
+archive is built with ``SearchSpec(enabled=True)``, which writes a
+persistent posting-list index (``<archive>.idx``) next to the container.
+A server then answers the ``SEARCH`` opcode from that sidecar — BM25
+top-k plus query-biased snippets decoded through the store's windowed
+partial-decode path — so ranked retrieval never leaves the compressed
+representation.
+
+1. build an archive with its search sidecar
+   (``repro compress crawl.warc crawl.rlz --search-index`` from a shell),
+2. serve it and rank queries over the socket with
+   :meth:`repro.serve.RlzClient.search`
+   (``repro search QUERY --connect host:port`` is the CLI equivalent),
+3. check the served ranking equals a local in-memory
+   :class:`repro.search.InvertedIndex` score for score,
+4. read the stats-exchange leg a sharded fan-out is built from
+   (see ``examples/quickstart_partitioned.py`` for the fleet itself;
+   :meth:`repro.serve.ClusterClient.search` merges per-shard top-k into
+   the exact global ranking).
+
+Run with ``python examples/quickstart_search.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ArchiveConfig,
+    BackgroundServer,
+    DictionarySpec,
+    EncodingSpec,
+    RlzArchive,
+    RlzClient,
+    generate_gov_collection,
+)
+from repro.api import SearchSpec
+from repro.search import InvertedIndex, generate_queries, index_sidecar_path
+
+
+def main() -> None:
+    collection = generate_gov_collection(
+        num_documents=60, target_document_size=8 * 1024, seed=17
+    )
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(size=64 * 1024, sample_size=1024),
+        encoding=EncodingSpec(scheme="ZV"),
+        search=SearchSpec(enabled=True),
+    )
+    queries = generate_queries(collection, num_queries=8, seed=3)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "crawl.rlz"
+        RlzArchive.build(collection, config, path).close()
+        sidecar = index_sidecar_path(path)
+        print(
+            f"archive: {path.stat().st_size / 1e6:.2f} MB, "
+            f"search index: {sidecar.stat().st_size / 1e3:.1f} KB"
+        )
+
+        reference = InvertedIndex.build(collection)
+
+        with BackgroundServer(path, config) as server:
+            host, port = server.address
+            print(f"serving on {host}:{port}\n")
+
+            with RlzClient(host, port) as client:
+                # Ranked search over the wire, snippets included.
+                query = queries[0]
+                for rank, hit in enumerate(
+                    client.search(query, top_k=3, snippet_chars=100), start=1
+                ):
+                    snippet = hit.snippet.decode("utf-8", errors="replace")
+                    snippet = " ".join(snippet.split())
+                    print(
+                        f"{rank}. doc {hit.doc_id}  score {hit.score:.4f}\n"
+                        f"   …{snippet}…"
+                    )
+
+                # The served ranking is exactly the local in-memory one.
+                for query in queries:
+                    local = reference.search(query, top_k=10)
+                    remote = client.search(query, top_k=10)
+                    assert [h.doc_id for h in remote] == [r.doc_id for r in local]
+                    assert [h.score for h in remote] == [r.score for r in local]
+                print(
+                    f"\nserved == local ranking on {len(queries)} queries "
+                    "(ids, scores and order)"
+                )
+
+                # The stats leg a ClusterClient uses to make sharded scores
+                # collection-exact: shard-local df / doc counts, summed
+                # across the fleet into GlobalStats.
+                num_documents, total_length, frequencies = client.search_stats(
+                    queries[0]
+                )
+                print(
+                    f"stats leg: {num_documents} docs, "
+                    f"{total_length} terms total, df={frequencies}"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,20 @@
 This is the workload the paper's introduction motivates: a retrieval system
 stores its crawl compressed, answers queries from an inverted index, and must
 fetch the matching documents quickly to build query-biased snippets.  The
-script serves that access pattern through the :class:`repro.api.RlzArchive`
-facade — including the asyncio front, where concurrent queries asking for
-the same popular documents are coalesced into single decodes — and compares
-it against a blocked-zlib store.
+script walks that access pattern through both generations of the stack:
+
+* the **legacy in-memory leg** — an :class:`repro.search.InvertedIndex`
+  ranks locally, whole documents are fetched through the
+  :class:`repro.api.RlzArchive` facade (compared against a blocked-zlib
+  store, and through the asyncio front where concurrent queries asking for
+  the same popular documents coalesce into single decodes), and snippets
+  are cut from the full decoded page;
+* the **served leg** — the archive is built with
+  ``SearchSpec(enabled=True)``, so a persistent posting-list sidecar rides
+  next to the container; a server ranks the same queries over the wire
+  (the ``SEARCH`` opcode) and builds its snippets by *windowed partial
+  decode* (:meth:`repro.storage.RlzStore.get_window`), materialising only
+  the bytes around each hit instead of whole pages.
 
 Run with ``python examples/web_archive_snippets.py``.
 """
@@ -24,11 +34,15 @@ from repro import (
     DictionarySpec,
     EncodingSpec,
     RlzArchive,
+    RlzClient,
+    RlzStore,
     generate_gov_collection,
 )
+from repro.api import SearchSpec
 from repro.baselines import build_blocked_baseline
 from repro.bench import measure_retrieval
 from repro.search import InvertedIndex, generate_queries, strip_markup
+from repro.serve import BackgroundServer
 from repro.storage import BlockedStore
 
 
@@ -57,14 +71,18 @@ def main() -> None:
     )
     print(f"crawl: {len(collection)} pages, {collection.total_size / 1e6:.1f} MB")
 
-    # Index the crawl and prepare a small query load.
+    # Index the crawl in memory and prepare a small query load.
     index = InvertedIndex.build(collection)
     queries = generate_queries(collection, num_queries=25, seed=7)
 
+    # search=SearchSpec(enabled=True) makes the build also emit the
+    # persistent posting-list sidecar the served leg ranks against
+    # (`repro compress --search-index` from a shell).
     config = ArchiveConfig(
         dictionary=DictionarySpec(size=collection.total_size // 50, sample_size=1024),
         encoding=EncodingSpec(scheme="ZV"),
         cache=CacheSpec(tier="lru", capacity=64),
+        search=SearchSpec(enabled=True),
     )
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -110,14 +128,58 @@ def main() -> None:
             f"{stats['cache_hits']:.0f} cache hits"
         )
 
-        # Show a couple of query-biased snippets fetched from the archive.
+        # Legacy in-memory leg: rank locally, fetch the whole page, cut the
+        # snippet client-side.
+        print("\n-- legacy leg: local ranking, whole-document snippets --")
         with RlzArchive.open(rlz_path, config) as archive:
             for query in queries[:3]:
                 results = index.search(query, top_k=1)
                 if not results:
                     continue
                 page = archive.get(results[0].doc_id).decode("utf-8", errors="replace")
-                print(f"\nquery: {query!r}\n  {make_snippet(page, query)}")
+                print(f"query: {query!r}\n  {make_snippet(page, query)}")
+
+        # Served leg: the server ranks against the sidecar index and builds
+        # query-biased snippets by windowed partial decode — the client
+        # never fetches a whole page.
+        print("\n-- served leg: SEARCH opcode, windowed snippet decode --")
+        with BackgroundServer(rlz_path, config) as server:
+            with RlzClient(*server.address) as client:
+                for query in queries[:3]:
+                    hits = client.search(query, top_k=1, snippet_chars=160)
+                    if not hits:
+                        continue
+                    snippet = " ".join(
+                        strip_markup(
+                            hits[0].snippet.decode("utf-8", errors="replace")
+                        ).split()
+                    )
+                    print(f"query: {query!r}\n  …{snippet}…")
+                # The served ranking is the local ranking, score for score.
+                for query in queries:
+                    local = index.search(query, top_k=5)
+                    remote = client.search(query, top_k=5)
+                    assert [h.doc_id for h in remote] == [r.doc_id for r in local]
+                    assert [h.score for h in remote] == [r.score for r in local]
+                print(f"\nserved ranking == local ranking on all {len(queries)} queries")
+
+        # What the windowed decode saves: decode-bytes for one snippet
+        # window versus the whole page it comes from.
+        with RlzStore.open(rlz_path) as raw_store:
+            doc_id = query_hits[0][0]
+            before = raw_store.decoded_bytes
+            raw_store.get_window(doc_id, 0, 160)
+            window_cost = raw_store.decoded_bytes - before
+            before = raw_store.decoded_bytes
+            full = raw_store.get(doc_id)
+            full_cost = raw_store.decoded_bytes - before
+            print(
+                f"windowed decode: {window_cost:,} bytes materialised for a "
+                f"160-byte snippet vs {full_cost:,} for the whole page "
+                f"({full_cost / max(window_cost, 1):.0f}x less)"
+            )
+            assert window_cost < full_cost
+            assert full == collection.document_by_id(doc_id).content
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from .config import (
     ParallelSpec,
     PartitionSpec,
     RetrySpec,
+    SearchSpec,
     ServeSpec,
 )
 from .view import ArchiveView, AsyncArchiveView
@@ -47,5 +48,6 @@ __all__ = [
     "RequestStats",
     "RetrySpec",
     "RlzArchive",
+    "SearchSpec",
     "ServeSpec",
 ]

@@ -182,6 +182,13 @@ class RlzArchive:
         )
         compressed = compressor.compress(collection)
         RlzStore.write(compressed, path)
+        if config.search.enabled:
+            from ..search.serving import index_sidecar_path, write_postings
+
+            write_postings(
+                ((document.doc_id, document.content) for document in collection),
+                index_sidecar_path(path),
+            )
         return cls.open(path, config)
 
     @classmethod

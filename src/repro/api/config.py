@@ -14,7 +14,11 @@ dataclasses, one per concern:
   :class:`RetrySpec` (retry counts, backoff, token-bucket retry budget);
 * :class:`PartitionSpec` — how a ``repro partition`` build splits the
   collection into per-shard stores (shard count, ring geometry, shared
-  vs per-shard dictionary, starting epoch).
+  vs per-shard dictionary, starting epoch);
+* :class:`SearchSpec` — whether builds emit a sidecar
+  :class:`repro.search.serving.PostingsStore` next to each container,
+  plus the BM25 parameters and snippet window the SEARCH opcode serves
+  with.
 
 Everything has a sensible default, so ``ArchiveConfig()`` is a valid
 paper-faithful configuration; ``dataclasses.replace`` (or keyword
@@ -39,6 +43,7 @@ __all__ = [
     "ParallelSpec",
     "PartitionSpec",
     "RetrySpec",
+    "SearchSpec",
     "ServeSpec",
 ]
 
@@ -386,6 +391,37 @@ class PartitionSpec:
 
 
 @dataclass(frozen=True)
+class SearchSpec:
+    """Search-serving configuration (the SEARCH opcode and its index).
+
+    ``enabled`` makes builds (``RlzArchive.build``, ``repro partition``)
+    emit a :class:`repro.search.serving.PostingsStore` sidecar next to
+    each container — per-shard builds index only the documents the shard
+    owns.  ``k1``/``b`` are the Okapi BM25 parameters servers score with
+    (they must match whatever in-memory index results are compared
+    against; the defaults are the textbook values
+    :class:`repro.search.InvertedIndex` uses).  ``snippet_chars`` is the
+    default window, in bytes, of the query-biased snippet a SEARCH reply
+    carries when the client does not pick its own (0 = no snippets).
+    """
+
+    enabled: bool = False
+    k1: float = 1.2
+    b: float = 0.75
+    snippet_chars: int = 160
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ConfigurationError(f"BM25 k1 must be non-negative; got {self.k1}")
+        if not 0.0 <= self.b <= 1.0:
+            raise ConfigurationError(f"BM25 b must be in [0, 1]; got {self.b}")
+        if self.snippet_chars < 0:
+            raise ConfigurationError(
+                f"snippet_chars must be non-negative; got {self.snippet_chars}"
+            )
+
+
+@dataclass(frozen=True)
 class ArchiveConfig:
     """The single way to configure building and serving an archive."""
 
@@ -395,6 +431,7 @@ class ArchiveConfig:
     cache: CacheSpec = field(default_factory=CacheSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
     partition: PartitionSpec = field(default_factory=PartitionSpec)
+    search: SearchSpec = field(default_factory=SearchSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.dictionary, DictionarySpec):
@@ -409,6 +446,8 @@ class ArchiveConfig:
             raise ConfigurationError("serve must be a ServeSpec")
         if not isinstance(self.partition, PartitionSpec):
             raise ConfigurationError("partition must be a PartitionSpec")
+        if not isinstance(self.search, SearchSpec):
+            raise ConfigurationError("search must be a SearchSpec")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -427,6 +466,7 @@ class ArchiveConfig:
             "cache": CacheSpec,
             "serve": ServeSpec,
             "partition": PartitionSpec,
+            "search": SearchSpec,
         }
         unknown = set(data) - set(specs)
         if unknown:

@@ -29,6 +29,7 @@ from .chaos import chaos_benchmark
 from .cluster import cluster_benchmark
 from .partition import partition_benchmark
 from .network import network_benchmark
+from .search import search_benchmark
 from .reporting import ResultTable
 from .scale import current_scale
 from .serving import serving_benchmark
@@ -138,6 +139,10 @@ def _fastpath_partition() -> ResultTable:
     return partition_benchmark()
 
 
+def _fastpath_search() -> ResultTable:
+    return search_benchmark()
+
+
 #: Registry of experiment id -> function producing its result table.
 EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "table2": _table2,
@@ -161,6 +166,7 @@ EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
     "fastpath-cluster": _fastpath_cluster,
     "fastpath-chaos": _fastpath_chaos,
     "fastpath-partition": _fastpath_partition,
+    "fastpath-search": _fastpath_search,
 }
 
 

@@ -1,0 +1,290 @@
+"""Search-serving benchmark: ranked retrieval over the compressed archive.
+
+The paper's motivating workload is a retrieval system serving queries
+*from* its compressed crawl.  This experiment measures the whole serving
+chain introduced with the SEARCH opcode, against the in-memory index the
+repository has always had:
+
+* **search/local-memory** — :class:`repro.search.InvertedIndex` ranking
+  in-process (the baseline every other leg must agree with exactly);
+* **search/local-postings** — the persistent
+  :class:`repro.search.serving.PostingsStore` sidecar ranking in-process
+  (what a server loads from disk);
+* **search/served-1** — the same queries over a socket against one
+  server (``SEARCH`` opcode, no snippets);
+* **search/served-1-snippets** — served with query-biased snippet
+  windows, decoded via :meth:`repro.storage.RlzStore.get_window`;
+* **search/sharded-4** — a 4-way partitioned fleet behind a
+  :class:`ClusterClient`: stats-exchange leg, per-shard scoring against
+  global statistics, top-k merge.
+
+Every ranked leg is verified hit-for-hit (ids, scores, order) against
+the in-memory baseline — the sharded fan-out's exactness claim is
+checked, not assumed — and the snippet economics (bytes materialised by
+windowed decode vs whole-document decode) are measured with the store's
+``decoded_bytes`` counter.  A JSON record (``"benchmark":
+"fastpath-search"``) is appended to the same history as the other
+fast-path experiments; frozen seed baselines are untouched.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..api import (
+    ArchiveConfig,
+    CacheSpec,
+    DictionarySpec,
+    EncodingSpec,
+    PartitionSpec,
+    RlzArchive,
+    SearchSpec,
+)
+from ..corpus.document import DocumentCollection
+from ..search import InvertedIndex, PostingsStore, generate_queries, index_sidecar_path
+from ..serve import (
+    BackgroundServer,
+    ClusterClient,
+    RlzClient,
+    build_partitioned_archives,
+)
+from ..storage import RlzStore
+from .corpora import gov_collection
+from .fastpath import _append_json_record
+from .reporting import ResultTable
+from .scale import BenchScale, current_scale
+
+__all__ = ["search_benchmark"]
+
+
+def _ranking(hits) -> List[tuple]:
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+def search_benchmark(
+    collection: Optional[DocumentCollection] = None,
+    scale: Optional[BenchScale] = None,
+    dictionary_label: str = "1.0",
+    scheme: str = "ZV",
+    num_queries: Optional[int] = None,
+    top_k: int = 10,
+    snippet_chars: int = 160,
+    shards: int = 4,
+    query_repeats: int = 3,
+    output_json: Optional[str | Path] = None,
+) -> ResultTable:
+    """Measure ranked search across the serving stack; verify exactness.
+
+    Builds one search-indexed archive and a ``shards``-way partition of
+    the same collection, replays a synthetic query log ``query_repeats``
+    times through every leg, checks each leg's ranking equals the
+    in-memory baseline hit for hit, and measures windowed-vs-full decode
+    cost for snippets.  Optionally appends a machine-readable record to
+    ``output_json``.
+    """
+    scale = scale or current_scale()
+    collection = collection if collection is not None else gov_collection(scale)
+    contents = {document.doc_id: document.content for document in collection}
+    queries = generate_queries(
+        collection, num_queries=num_queries or max(8, scale.num_queries), seed=7
+    )
+    query_log = queries * query_repeats
+    requests = len(query_log)
+
+    base = dict(
+        dictionary=DictionarySpec(
+            size=scale.dictionary_sizes[dictionary_label],
+            sample_size=scale.default_sample_size,
+        ),
+        encoding=EncodingSpec(scheme=scheme),
+        cache=CacheSpec(tier="lru", capacity=64),
+        search=SearchSpec(enabled=True),
+    )
+
+    verified: Dict[str, bool] = {}
+
+    def rate(elapsed: float) -> float:
+        return requests / elapsed if elapsed > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Baseline: the in-memory index every other leg must agree with.
+    # ------------------------------------------------------------------
+    reference = InvertedIndex.build(collection)
+    expected = {
+        query: [(r.doc_id, r.score) for r in reference.search(query, top_k=top_k)]
+        for query in queries
+    }
+
+    start = time.perf_counter()
+    for query in query_log:
+        reference.search(query, top_k=top_k)
+    memory_elapsed = time.perf_counter() - start
+
+    legs = [("local-memory", memory_elapsed)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        full = tmp_path / "full.rlz"
+        RlzArchive.build(collection, ArchiveConfig(**base), full).close()
+        index_bytes = index_sidecar_path(full).stat().st_size
+
+        # -- the persistent sidecar, queried in-process ----------------
+        postings = PostingsStore.open(index_sidecar_path(full))
+        verified["postings_ranking_identical"] = all(
+            _ranking(postings.search(query, top_k=top_k)) == expected[query]
+            for query in queries
+        )
+        start = time.perf_counter()
+        for query in query_log:
+            postings.search(query, top_k=top_k)
+        legs.append(("local-postings", time.perf_counter() - start))
+
+        # -- one server over a socket, with and without snippets -------
+        with BackgroundServer(full, ArchiveConfig(**base)) as server:
+            with RlzClient(*server.address) as client:
+                verified["served_ranking_identical"] = all(
+                    _ranking(client.search(query, top_k=top_k)) == expected[query]
+                    for query in queries
+                )
+                start = time.perf_counter()
+                for query in query_log:
+                    client.search(query, top_k=top_k)
+                legs.append(("served-1", time.perf_counter() - start))
+
+                snippet_ok = True
+                for query in queries:
+                    for hit in client.search(
+                        query, top_k=top_k, snippet_chars=snippet_chars
+                    ):
+                        document = contents[hit.doc_id]
+                        window = document[
+                            hit.snippet_start : hit.snippet_start + len(hit.snippet)
+                        ]
+                        snippet_ok = snippet_ok and hit.snippet == window
+                verified["snippets_match_corpus"] = snippet_ok
+                start = time.perf_counter()
+                for query in query_log:
+                    client.search(query, top_k=top_k, snippet_chars=snippet_chars)
+                legs.append(("served-1-snippets", time.perf_counter() - start))
+
+        # -- sharded fan-out over a partitioned fleet ------------------
+        config = ArchiveConfig(**base, partition=PartitionSpec(shards=shards))
+        shard_paths = build_partitioned_archives(
+            collection, config, tmp_path / "shards"
+        )
+        servers = [
+            BackgroundServer(path, ArchiveConfig(**base))
+            for path in shard_paths.values()
+        ]
+        try:
+            endpoints = []
+            for label, background in zip(shard_paths, servers):
+                host, port = background.start()
+                endpoints.append(f"{label}@{host}:{port}")
+            with ClusterClient(endpoints) as cluster:
+                verified["sharded_ranking_identical"] = all(
+                    _ranking(cluster.search(query, top_k=top_k)) == expected[query]
+                    for query in queries
+                )
+                start = time.perf_counter()
+                for query in query_log:
+                    cluster.search(query, top_k=top_k)
+                legs.append((f"sharded-{shards}", time.perf_counter() - start))
+        finally:
+            for background in servers:
+                try:
+                    background.stop()
+                except Exception:
+                    pass
+
+        # -- snippet economics: windowed vs whole-document decode ------
+        sample = [
+            (hit.doc_id, hit.hit_offset)
+            for query in queries
+            for hit in postings.search(query, top_k=top_k)
+        ]
+        with RlzStore.open(full) as store:
+            before = store.decoded_bytes
+            for doc_id, offset in sample:
+                start_offset = max(0, offset - snippet_chars // 2)
+                store.get_window(doc_id, start_offset, snippet_chars)
+            window_decoded = store.decoded_bytes - before
+            before = store.decoded_bytes
+            for doc_id, _ in sample:
+                store.get(doc_id)
+            full_decoded = store.decoded_bytes - before
+        verified["windowed_decode_cheaper"] = window_decoded < full_decoded
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    table = ResultTable(
+        title="Search serving: ranked retrieval over the compressed archive",
+        headers=["Pipeline", "Seconds", "Queries/s", "vs local-memory"],
+    )
+    legs_json = []
+    for name, elapsed in legs:
+        table.add_row(
+            f"search/{name}",
+            elapsed,
+            rate(elapsed),
+            memory_elapsed / elapsed if elapsed > 0 else 0.0,
+        )
+        legs_json.append(
+            {"leg": name, "seconds": elapsed, "queries_per_s": rate(elapsed)}
+        )
+
+    all_exact = all(
+        verified[key]
+        for key in (
+            "postings_ranking_identical",
+            "served_ranking_identical",
+            "sharded_ranking_identical",
+        )
+    )
+    table.add_note(f"sharded ranking identical to local index: {all_exact}")
+    table.add_note(
+        f"snippet windows verified against corpus: {verified['snippets_match_corpus']}"
+    )
+    table.add_note(
+        f"windowed decode cheaper than full decode: "
+        f"{verified['windowed_decode_cheaper']} "
+        f"({window_decoded:,} vs {full_decoded:,} bytes for {len(sample)} snippets, "
+        f"{full_decoded / max(window_decoded, 1):.1f}x less)"
+    )
+    table.add_note(
+        f"query log: {requests} requests ({len(queries)} distinct queries "
+        f"x{query_repeats}), top_k={top_k}, {shards}-way fleet, "
+        f"postings sidecar {index_bytes:,} bytes"
+    )
+
+    if output_json is not None:
+        record = {
+            "benchmark": "fastpath-search",
+            "scale": scale.name,
+            "collection": collection.name,
+            "documents": len(contents),
+            "queries": len(queries),
+            "query_repeats": query_repeats,
+            "requests": requests,
+            "top_k": top_k,
+            "snippet_chars": snippet_chars,
+            "shards": shards,
+            "scheme": scheme,
+            "postings_index_bytes": index_bytes,
+            "legs": legs_json,
+            "snippet_decode": {
+                "snippets": len(sample),
+                "window_decoded_bytes": window_decoded,
+                "full_decoded_bytes": full_decoded,
+                "savings_ratio": full_decoded / max(window_decoded, 1),
+            },
+            "verified": verified,
+        }
+        json_path = _append_json_record(output_json, record)
+        table.add_note(f"JSON record appended to {json_path}")
+
+    return table

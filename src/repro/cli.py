@@ -32,6 +32,13 @@ shard's arc onto it and bumps the fleet's map epoch with zero failed
 reads; ``repro stats --connect host:port [--watch N]`` tails a running
 server's HEALTH snapshot (queue depth, service-time EWMA, deadline
 rejections, shard-map epoch).
+
+``repro search`` ranks documents with BM25 against the posting-list
+sidecar written by ``--search-index`` builds — locally against a container
+path, or over the wire (``--connect``) where a comma-separated endpoint
+list fans the query out across every shard and merges the per-shard top-k
+into exactly the single-index ranking, optionally with query-biased
+snippets decoded through the windowed partial-decode path.
 """
 
 from __future__ import annotations
@@ -68,6 +75,7 @@ __all__ = [
     "verify_main",
     "partition_main",
     "rebalance_main",
+    "search_main",
     "stats_main",
     "main",
 ]
@@ -191,12 +199,20 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
         help="jump-start index representation (auto: hash dict for small "
         "dictionaries, compact numpy index for multi-MB ones)",
     )
+    parser.add_argument(
+        "--search-index",
+        action="store_true",
+        help="also write the <output>.idx posting-list sidecar so the "
+        "archive can answer `repro search` / SEARCH requests (rlz only)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(
             "--workers must be None/1 (serial), 0 (all cores) or a positive "
             f"pool size, got {args.workers}"
         )
+    if args.search_index and args.method != "rlz":
+        parser.error("--search-index requires --method rlz")
 
     collection = read_warc(args.input)
     if args.method == "rlz":
@@ -212,6 +228,15 @@ def compress_main(argv: Optional[Sequence[str]] = None) -> int:
         )
         compressed = compressor.compress(collection)
         RlzStore.write(compressed, args.output)
+        if args.search_index:
+            from .search.serving import index_sidecar_path, write_postings
+
+            sidecar = index_sidecar_path(Path(args.output))
+            write_postings(
+                ((document.doc_id, document.content) for document in collection),
+                sidecar,
+            )
+            print(f"search index: {sidecar} ({sidecar.stat().st_size:,} bytes)")
         store = RlzStore.open(args.output)
         percent = store.compression_percent(include_dictionary=True)
     elif args.method == "ascii":
@@ -651,11 +676,18 @@ def partition_main(argv: Optional[Sequence[str]] = None) -> int:
         help="explicit shard labels (default shard0..shardN-1); bare ring ids "
         "or ringid@host:port serving labels",
     )
+    parser.add_argument(
+        "--search-index",
+        action="store_true",
+        help="also write a <shard>.rlz.idx posting-list sidecar per shard "
+        "(each covering only the documents that shard owns) so the fleet "
+        "answers `repro search` / SEARCH fan-out",
+    )
     args = parser.parse_args(argv)
     if args.shards <= 0:
         parser.error(f"--shards must be positive, got {args.shards}")
 
-    from .api import DictionarySpec, EncodingSpec, PartitionSpec
+    from .api import DictionarySpec, EncodingSpec, PartitionSpec, SearchSpec
     from .serve.partition import build_partitioned_archives
 
     labels = None
@@ -676,6 +708,7 @@ def partition_main(argv: Optional[Sequence[str]] = None) -> int:
             virtual_nodes=args.virtual_nodes,
             shared_dictionary=not args.per_shard_dictionary,
         ),
+        search=SearchSpec(enabled=args.search_index),
     )
     try:
         paths = build_partitioned_archives(collection, config, args.outdir, labels)
@@ -750,6 +783,143 @@ def rebalance_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro rebalance: {exc}", file=sys.stderr)
         return 1
     print(f"rebalance complete: {report.describe()}")
+    return 0
+
+
+def search_main(argv: Optional[Sequence[str]] = None) -> int:
+    """BM25 search over a local archive's index or a running fleet."""
+    parser = argparse.ArgumentParser(
+        prog="repro search",
+        description=(
+            "Rank documents with BM25 against the posting-list sidecar "
+            "written by `repro compress --search-index` / `repro partition "
+            "--search-index`.  Without --connect the first positional is a "
+            "local container path and ranking runs in-process; with "
+            "--connect the query fans out over the SEARCH opcode — a "
+            "comma-separated endpoint list queries every shard, exchanges "
+            "global corpus statistics, and merges the per-shard top-k into "
+            "exactly the single-index ranking."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="+",
+        metavar="ARCHIVE|QUERY",
+        help="without --connect: the local container file followed by the "
+        "query terms; with --connect: query terms only",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="search running repro serve instance(s); a comma-separated "
+        "list fans the query out across every shard",
+    )
+    parser.add_argument(
+        "--archive",
+        dest="archive_name",
+        default="",
+        metavar="NAME",
+        help="archive name on a multi-archive server (with --connect)",
+    )
+    parser.add_argument("--top-k", type=int, default=10, help="results to return")
+    parser.add_argument(
+        "--snippet-chars",
+        type=int,
+        default=0,
+        help="attach a query-biased snippet of this many bytes to every hit "
+        "(decoded through the store's windowed partial-decode path)",
+    )
+    args = parser.parse_intermixed_args(list(argv) if argv is not None else None)
+    if args.top_k <= 0:
+        parser.error(f"--top-k must be positive, got {args.top_k}")
+    if args.snippet_chars < 0:
+        parser.error(f"--snippet-chars must be non-negative, got {args.snippet_chars}")
+
+    if args.connect is not None:
+        query = " ".join(args.target)
+        if not query.strip():
+            parser.error("no query given")
+        from .serve import ClusterClient, RlzClient
+
+        endpoints = [text.strip() for text in args.connect.split(",") if text.strip()]
+        if not endpoints:
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        try:
+            if len(endpoints) == 1 and "@" not in endpoints[0]:
+                host, _, port_text = endpoints[0].rpartition(":")
+                if not host or not port_text.isdigit():
+                    parser.error(f"--connect expects HOST:PORT, got {endpoints[0]!r}")
+                client = RlzClient(host, int(port_text), archive=args.archive_name)
+            else:
+                client = ClusterClient(endpoints, archive=args.archive_name)
+            try:
+                hits = client.search(
+                    query, top_k=args.top_k, snippet_chars=args.snippet_chars
+                )
+            finally:
+                client.close()
+        except (ReproError, OSError) as exc:
+            print(f"repro search: {exc}", file=sys.stderr)
+            return 1
+        source = args.connect
+    else:
+        if args.archive_name:
+            parser.error("--archive only applies with --connect")
+        if len(args.target) < 2:
+            parser.error("local search needs an archive path and query terms")
+        archive_path, query = args.target[0], " ".join(args.target[1:])
+
+        from .search.serving import PostingsStore, index_sidecar_path
+        from .serve.protocol import SearchHit
+
+        sidecar = index_sidecar_path(Path(archive_path))
+        try:
+            index = PostingsStore.open(sidecar)
+        except (ReproError, OSError) as exc:
+            print(
+                f"repro search: cannot open search index {sidecar}: {exc} "
+                f"(build it with `repro compress --search-index`)",
+                file=sys.stderr,
+            )
+            return 1
+        scored = index.search(query, top_k=args.top_k)
+        hits = []
+        if args.snippet_chars > 0 and scored:
+            try:
+                archive = RlzArchive.open(archive_path)
+            except (ReproError, OSError) as exc:
+                print(f"repro search: cannot open {archive_path!r}: {exc}", file=sys.stderr)
+                return 1
+            try:
+                for hit in scored:
+                    start = max(0, hit.hit_offset - args.snippet_chars // 2)
+                    snippet = archive.store.get_window(
+                        hit.doc_id, start, args.snippet_chars
+                    )
+                    hits.append(
+                        SearchHit(
+                            doc_id=hit.doc_id,
+                            score=hit.score,
+                            snippet=snippet,
+                            snippet_start=start,
+                        )
+                    )
+            finally:
+                archive.close()
+        else:
+            hits = [SearchHit(doc_id=hit.doc_id, score=hit.score) for hit in scored]
+        source = archive_path
+
+    if not hits:
+        print(f"no results for {query!r} from {source}")
+        return 0
+    for rank, hit in enumerate(hits, start=1):
+        line = f"{rank:3d}. doc {hit.doc_id}  score {hit.score:.4f}"
+        if hit.snippet:
+            text = hit.snippet.decode("utf-8", "replace").replace("\n", " ")
+            line += f"  …{text}…"
+        print(line)
     return 0
 
 
@@ -833,6 +1003,7 @@ _SUBCOMMANDS = {
     "verify": verify_main,
     "partition": partition_main,
     "rebalance": rebalance_main,
+    "search": search_main,
     "stats": stats_main,
 }
 

@@ -5,23 +5,51 @@ Track topics only to produce a realistic "query log" document request
 pattern; this package provides a from-scratch equivalent (tokenizer,
 inverted index, BM25 ranking, synthetic query generation) plus the request
 list builders the retrieval benchmarks consume.
+
+:mod:`repro.search.serving` adds the serving-side substrate: the on-disk
+:class:`~repro.search.serving.PostingsStore` index the ``SEARCH`` wire
+opcode ranks against, built at archive-build time from the same tokenizer
+so local and remote searches agree term for term.
 """
 
 from .access_patterns import AccessPatterns, query_log_pattern, sequential_pattern
-from .inverted_index import InvertedIndex, Posting, SearchResult
+from .inverted_index import (
+    InvertedIndex,
+    Posting,
+    SearchResult,
+    bm25_idf,
+    rank_scores,
+)
 from .query_log import QueryLogBuilder, generate_queries
-from .tokenizer import STOPWORDS, strip_markup, tokenize_text
+from .serving import (
+    GlobalStats,
+    PostingsStore,
+    ScoredDoc,
+    build_postings,
+    index_sidecar_path,
+    write_postings,
+)
+from .tokenizer import STOPWORDS, strip_markup, tokenize_text, tokenize_with_offsets
 
 __all__ = [
     "AccessPatterns",
+    "GlobalStats",
     "InvertedIndex",
     "Posting",
+    "PostingsStore",
     "QueryLogBuilder",
     "STOPWORDS",
+    "ScoredDoc",
     "SearchResult",
+    "bm25_idf",
+    "build_postings",
     "generate_queries",
+    "index_sidecar_path",
     "query_log_pattern",
+    "rank_scores",
     "sequential_pattern",
     "strip_markup",
     "tokenize_text",
+    "tokenize_with_offsets",
+    "write_postings",
 ]

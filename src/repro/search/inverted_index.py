@@ -17,7 +17,35 @@ from ..corpus.document import DocumentCollection
 from ..errors import SearchError
 from .tokenizer import tokenize_text
 
-__all__ = ["Posting", "InvertedIndex", "SearchResult"]
+__all__ = ["Posting", "InvertedIndex", "SearchResult", "bm25_idf", "rank_scores"]
+
+
+def bm25_idf(num_documents: int, document_frequency: int) -> float:
+    """The BM25 inverse document frequency for one term.
+
+    Shared by the in-memory index and the serving-side
+    :class:`repro.search.serving.PostingsStore` scorer: when a sharded
+    fleet plugs *global* statistics into this same expression, per-shard
+    scores are bit-identical to a single-index run.
+    """
+    if document_frequency == 0:
+        return 0.0
+    return math.log(
+        1.0 + (num_documents - document_frequency + 0.5) / (document_frequency + 0.5)
+    )
+
+
+def rank_scores(scores: Dict[int, float], top_k: int) -> List[SearchResult]:
+    """Order accumulated BM25 scores into the final top-``top_k`` ranking.
+
+    The sort key is ``(-score, doc_id)``: equal-score documents rank by
+    ascending doc id, deterministically, regardless of accumulation order.
+    Every ranked read path (``search``, ``search_many``, the serving-side
+    scorer) funnels through this one function so tie-breaking can never
+    drift between them.
+    """
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [SearchResult(doc_id=doc_id, score=score) for doc_id, score in ranked[:top_k]]
 
 
 @dataclass(frozen=True)
@@ -111,11 +139,7 @@ class InvertedIndex:
     # Querying
     # ------------------------------------------------------------------
     def _idf(self, term: str) -> float:
-        df = self.document_frequency(term)
-        if df == 0:
-            return 0.0
-        n = self.num_documents
-        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        return bm25_idf(self.num_documents, self.document_frequency(term))
 
     def search(self, query: str, top_k: int = 20) -> List[SearchResult]:
         """Rank documents for ``query`` with BM25; return the top ``top_k``."""
@@ -139,8 +163,7 @@ class InvertedIndex:
                     / (posting.term_frequency + self._k1 * length_norm)
                 )
                 scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + idf * tf_component
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        return [SearchResult(doc_id=doc_id, score=score) for doc_id, score in ranked[:top_k]]
+        return rank_scores(scores, top_k)
 
     def search_many(self, queries: Iterable[str], top_k: int = 20) -> List[List[SearchResult]]:
         """Run a batch of queries."""

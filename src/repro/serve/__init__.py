@@ -34,6 +34,14 @@ machine boundary:
   ``R_BUSY`` replies carry queue depth + a retry-after hint honoured with
   jittered backoff.  ``ClusterClient`` can additionally *hedge* reads
   (``hedge_delay``) to cut the tail of one slow shard;
+* search serving (protocol v5): a ``SEARCH`` opcode ranks BM25 top-k
+  against each shard's persistent posting-list sidecar
+  (:class:`repro.search.serving.PostingsStore`), with optional
+  query-biased snippets decoded through the store's windowed
+  partial-decode path; :meth:`ClusterClient.search` /
+  :meth:`AsyncClusterClient.search` fan the query out to every shard,
+  exchange global corpus statistics so sharded scores equal a
+  single-index run exactly, and merge the per-shard top-k;
 * partitioned archives (protocol v4): :func:`build_partitioned_archives`
   splits one collection into per-shard stores that each hold *only* the
   doc ids their arc of the ring owns, servers refuse unowned ids with
@@ -61,8 +69,10 @@ from .protocol import (
     PROTOCOL_V2,
     PROTOCOL_V3,
     PROTOCOL_V4,
+    PROTOCOL_V5,
     PROTOCOL_VERSION,
     Opcode,
+    SearchHit,
 )
 from .rebalance import RebalanceReport, rebalance
 from .retry import Deadline, RetryBudget
@@ -84,12 +94,14 @@ __all__ = [
     "PROTOCOL_V2",
     "PROTOCOL_V3",
     "PROTOCOL_V4",
+    "PROTOCOL_V5",
     "PROTOCOL_VERSION",
     "RebalanceReport",
     "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",
+    "SearchHit",
     "ShardMap",
     "build_partitioned_archives",
     "rebalance",

@@ -30,7 +30,7 @@ from ..errors import (
 )
 from .client import AsyncRlzClient
 from .cluster import ShardMap, _FAILOVER_ERRORS
-from .protocol import PROTOCOL_V4
+from .protocol import PROTOCOL_V4, SearchHit
 from .retry import RetryBudget
 
 __all__ = ["AsyncClusterClient"]
@@ -349,6 +349,58 @@ class AsyncClusterClient:
             for key, value in shard_stats.items():
                 snapshot[f"shard{index}_{key}"] = value
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Search (protocol v5)
+    # ------------------------------------------------------------------
+    async def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        snippet_chars: int = 0,
+        deadline_ms: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """Exact global BM25 top-k across every shard.
+
+        The coroutine mirror of :meth:`ClusterClient.search`: one
+        ``asyncio.gather`` collects per-shard corpus statistics, their
+        sums become the global idf inputs, a second gather ranks every
+        shard with them, and the merged ``(-score, doc_id)`` order
+        reproduces a single-index run exactly.  No failover — a shard
+        that cannot answer fails the query (its documents exist nowhere
+        else).
+        """
+        self._ensure_open()
+        await self._maybe_bootstrap()
+        labels = self.endpoints
+        stats = await asyncio.gather(
+            *(
+                self._clients[label].search_stats(query, deadline_ms=deadline_ms)
+                for label in labels
+            )
+        )
+        num_documents = sum(shard[0] for shard in stats)
+        total_length = sum(shard[1] for shard in stats)
+        frequencies: Dict[str, int] = {}
+        for _, _, shard_df in stats:
+            for term, df in shard_df.items():
+                frequencies[term] = frequencies.get(term, 0) + df
+        global_stats = (num_documents, total_length, frequencies)
+        per_shard = await asyncio.gather(
+            *(
+                self._clients[label].search(
+                    query,
+                    top_k=top_k,
+                    snippet_chars=snippet_chars,
+                    global_stats=global_stats,
+                    deadline_ms=deadline_ms,
+                )
+                for label in labels
+            )
+        )
+        merged = [hit for hits in per_shard for hit in hits]
+        merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return merged[:top_k]
 
     async def ping(self) -> float:
         """Round-trip time to the slowest reachable endpoint."""

@@ -824,6 +824,57 @@ class RlzClient:
         return time.perf_counter() - start
 
     # ------------------------------------------------------------------
+    # Search (protocol v5)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        snippet_chars: int = 0,
+        global_stats: Optional[Tuple[int, int, Dict[str, int]]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> List[protocol.SearchHit]:
+        """BM25 top-k over the server's persistent posting lists.
+
+        ``snippet_chars > 0`` asks the server to attach a query-biased
+        snippet to every hit, materialized through the store's windowed
+        partial-decode path (never a whole-document decode).  The cluster
+        layer passes ``global_stats`` — ``(num_documents,
+        total_doc_length, {term: df})`` summed across every shard — so
+        each shard ranks with exact global idf; direct callers leave it
+        ``None`` and get shard-local statistics.
+        """
+        body = self._request(
+            Opcode.SEARCH,
+            protocol.pack_search(
+                query,
+                top_k=top_k,
+                snippet_chars=snippet_chars,
+                global_stats=global_stats,
+            ),
+            Opcode.R_SEARCH,
+            deadline_ms,
+        )
+        return protocol.unpack_search_results(body)
+
+    def search_stats(
+        self, query: str, deadline_ms: Optional[int] = None
+    ) -> Tuple[int, int, Dict[str, int]]:
+        """This shard's corpus statistics for ``query``'s terms.
+
+        Returns ``(num_documents, total_doc_length, {term: df})`` — the
+        stats leg of the two-phase sharded search: summing these across
+        shards yields the exact global idf inputs.
+        """
+        body = self._request(
+            Opcode.SEARCH,
+            protocol.pack_search(query, stats_only=True),
+            Opcode.R_SEARCH,
+            deadline_ms,
+        )
+        return protocol.unpack_search_stats(body)
+
+    # ------------------------------------------------------------------
     # Partitioned fleets (protocol v4)
     # ------------------------------------------------------------------
     def shard_map(self) -> Tuple[int, List[str], int]:
@@ -1379,6 +1430,43 @@ class AsyncRlzClient:
         start = time.perf_counter()
         await self._request(Opcode.PING, b"", Opcode.R_PONG)
         return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Search (protocol v5)
+    # ------------------------------------------------------------------
+    async def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        snippet_chars: int = 0,
+        global_stats: Optional[Tuple[int, int, Dict[str, int]]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> List[protocol.SearchHit]:
+        """BM25 top-k over the server's index; see :meth:`RlzClient.search`."""
+        body = await self._request(
+            Opcode.SEARCH,
+            protocol.pack_search(
+                query,
+                top_k=top_k,
+                snippet_chars=snippet_chars,
+                global_stats=global_stats,
+            ),
+            Opcode.R_SEARCH,
+            deadline_ms,
+        )
+        return protocol.unpack_search_results(body)
+
+    async def search_stats(
+        self, query: str, deadline_ms: Optional[int] = None
+    ) -> Tuple[int, int, Dict[str, int]]:
+        """This shard's per-term corpus stats; see :meth:`RlzClient.search_stats`."""
+        body = await self._request(
+            Opcode.SEARCH,
+            protocol.pack_search(query, stats_only=True),
+            Opcode.R_SEARCH,
+            deadline_ms,
+        )
+        return protocol.unpack_search_stats(body)
 
     # ------------------------------------------------------------------
     # Partitioned fleets (protocol v4)

@@ -50,7 +50,7 @@ from ..errors import (
     WrongShardError,
 )
 from .client import RlzClient
-from .protocol import PROTOCOL_V4
+from .protocol import PROTOCOL_V4, SearchHit
 from .retry import RetryBudget
 
 __all__ = ["CircuitBreaker", "ClusterClient", "ShardMap"]
@@ -1062,6 +1062,104 @@ class ClusterClient:
             for key, value in shard_stats.items():
                 snapshot[f"shard{index}_{key}"] = value
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Search (protocol v5)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        snippet_chars: int = 0,
+        deadline_ms: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """Exact global BM25 top-k across every shard.
+
+        Two concurrent fan-out legs: first every shard reports its corpus
+        statistics for the query's terms (document count, total document
+        length, per-term document frequency), which sum to the *global*
+        statistics because a partitioned fleet stores each document on
+        exactly one shard.  Then every shard ranks its own documents with
+        those global statistics and returns its local top-k; the union
+        necessarily contains the global top-k, so merging by
+        ``(-score, doc_id)`` and truncating reproduces a single-index run
+        exactly — same ids, same scores, same order.
+
+        Unlike ``get``, search has no failover: every shard holds results
+        no other shard can produce, so a shard that cannot answer fails
+        the query rather than silently dropping its documents.
+        """
+        self._ensure_open()
+        self._maybe_bootstrap()
+        stats = self._search_all(
+            lambda client: client.search_stats(query, deadline_ms=deadline_ms)
+        )
+        num_documents = sum(shard[0] for shard in stats.values())
+        total_length = sum(shard[1] for shard in stats.values())
+        frequencies: Dict[str, int] = {}
+        for _, _, shard_df in stats.values():
+            for term, df in shard_df.items():
+                frequencies[term] = frequencies.get(term, 0) + df
+        global_stats = (num_documents, total_length, frequencies)
+        per_shard = self._search_all(
+            lambda client: client.search(
+                query,
+                top_k=top_k,
+                snippet_chars=snippet_chars,
+                global_stats=global_stats,
+                deadline_ms=deadline_ms,
+            )
+        )
+        merged = [hit for hits in per_shard.values() for hit in hits]
+        merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return merged[:top_k]
+
+    def _search_all(self, call: Callable[[RlzClient], object]) -> Dict[str, object]:
+        """Run ``call`` on every endpoint concurrently; all must answer.
+
+        Breakers record connection outcomes as usual, but open breakers
+        are not skipped — correctness needs every shard, so the request
+        is the probe.  The first failure (in endpoint order, archive
+        errors preferred over connection errors as the more specific
+        diagnosis) propagates to the caller.
+        """
+        labels = self.endpoints
+        results: Dict[str, object] = {}
+        connection_errors: Dict[str, BaseException] = {}
+        archive_errors: Dict[str, BaseException] = {}
+
+        def run(label: str) -> None:
+            breaker = self._breakers[label]
+            try:
+                results[label] = call(self._clients[label])
+            except _FAILOVER_ERRORS as exc:
+                breaker.record_failure()
+                connection_errors[label] = exc
+            except BaseException as exc:
+                archive_errors[label] = exc
+            else:
+                breaker.record_success()
+
+        if len(labels) == 1:
+            run(labels[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=run, args=(label,), name=f"rlz-search-{label}"
+                )
+                for label in labels
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for label in labels:
+            if label in archive_errors:
+                raise archive_errors[label]
+        for label in labels:
+            if label in connection_errors:
+                raise connection_errors[label]
+        return results
 
     def ping(self) -> float:
         """Round-trip time to the slowest reachable endpoint."""

@@ -51,6 +51,7 @@ from ..corpus.document import DocumentCollection
 from ..errors import ConfigurationError, StorageError
 from ..storage.container import read_container_header, write_container
 from ..storage.document_map import DocumentMap
+from ..search.serving import index_sidecar_path, write_postings
 from ..storage.partition import PartitionManifest, read_manifest
 from ..storage.rlz_store import RlzStore
 from .cluster import ShardMap
@@ -168,6 +169,17 @@ def build_partitioned_archives(
             path,
             extra_metadata={"partition": manifest.to_metadata()},
         )
+        if config.search.enabled:
+            # Each shard indexes exactly the documents it owns: the
+            # SEARCH fan-out unions per-shard results, so one document
+            # indexed twice would be scored (and returned) twice.
+            write_postings(
+                (
+                    (document.doc_id, document.content)
+                    for document in owned[ring_id]
+                ),
+                index_sidecar_path(path),
+            )
         paths[label] = path
     return paths
 

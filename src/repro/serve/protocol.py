@@ -85,6 +85,21 @@ staged so far, and ``INSTALL_MAP`` (payload = :func:`pack_shard_map`)
 commits a new map epoch — the server recomputes its owned arc, rewrites
 its store, and answers ``R_SHARD_MAP`` with the map it now serves.
 
+Version 5 keeps the framing unchanged again and adds the *search-serving*
+opcode.  ``SEARCH`` carries a query string, the requested ``top_k``, a
+snippet window size in bytes and a flags byte; the server ranks its
+shard-local :class:`~repro.search.serving.PostingsStore` with
+doc-at-a-time BM25 and answers ``R_SEARCH`` with scored hits (plus a
+query-biased snippet decoded through the windowed partial-decode path
+when a window was requested).  Two flag bits drive sharded fan-out: a
+*stats-only* SEARCH returns the shard's local term statistics instead of
+results (the first leg of a cluster search), and a request carrying
+*global stats* (collection-wide doc count, total length and per-term
+document frequencies, summed by the client from every shard's stats
+reply) is scored against those, which makes per-shard scores identical to
+a single index over the whole collection — the merge step is then a pure
+``(-score, doc_id)`` sort.
+
 Errors travel as structured ``R_ERROR`` frames carrying a numeric code
 from :data:`ERROR_CODES` plus the message, so the client re-raises the
 *same* :mod:`repro.errors` class the server-side archive raised — a remote
@@ -99,6 +114,7 @@ from __future__ import annotations
 import json
 import struct
 import zlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .. import errors
@@ -110,7 +126,11 @@ __all__ = [
     "PROTOCOL_V2",
     "PROTOCOL_V3",
     "PROTOCOL_V4",
+    "PROTOCOL_V5",
     "PROTOCOL_VERSION",
+    "SEARCH_STATS_ONLY",
+    "SEARCH_GLOBAL_STATS",
+    "SearchHit",
     "DEFAULT_MAX_FRAME_BYTES",
     "MAX_ARCHIVE_NAME_BYTES",
     "Opcode",
@@ -146,6 +166,12 @@ __all__ = [
     "unpack_chunk",
     "pack_stats",
     "unpack_stats",
+    "pack_search",
+    "unpack_search",
+    "pack_search_results",
+    "unpack_search_results",
+    "pack_search_stats",
+    "unpack_search_stats",
     "pack_shard_map",
     "unpack_shard_map",
     "pack_wrong_shard",
@@ -171,7 +197,11 @@ PROTOCOL_V3 = 3
 #: the server no longer owns, carrying the current epoch.  Framing is
 #: unchanged from version 3.
 PROTOCOL_V4 = 4
-PROTOCOL_VERSION = PROTOCOL_V4
+#: The search-serving protocol: SEARCH/R_SEARCH rank the shard-local
+#: postings index (stats-only and global-stats flags drive the sharded
+#: two-leg fan-out).  Framing is unchanged from version 3.
+PROTOCOL_V5 = 5
+PROTOCOL_VERSION = PROTOCOL_V5
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 MAX_ARCHIVE_NAME_BYTES = 255
 #: Largest deadline expressible on the wire (u32 milliseconds).
@@ -187,7 +217,11 @@ _OP_REQ = struct.Struct("!BI")
 _OP_REQ_DL = struct.Struct("!BII")
 _BUSY = struct.Struct("!II")
 _U64 = struct.Struct("!Q")
+_F64 = struct.Struct("!d")
 _SHARD_MAP_HEAD = struct.Struct("!QIH")  # epoch, virtual nodes, endpoint count
+_SEARCH_HEAD = struct.Struct("!BII")  # flags, top_k, snippet window bytes
+_SEARCH_STATS_HEAD = struct.Struct("!QQH")  # docs, total length, term count
+_SEARCH_HIT_HEAD = struct.Struct("!qdII")  # doc id, score, snippet start/len
 
 
 class Opcode:
@@ -209,6 +243,7 @@ class Opcode:
     SHARD_MAP = 0x0A
     INGEST = 0x0B
     INSTALL_MAP = 0x0C
+    SEARCH = 0x0D
 
     R_HELLO = 0x81
     R_PONG = 0x82
@@ -224,6 +259,7 @@ class Opcode:
     R_TIMEOUT = 0x8C
     R_SHARD_MAP = 0x8D
     R_WRONG_SHARD = 0x8E
+    R_SEARCH = 0x8F
     R_ERROR = 0xFF
 
 
@@ -651,6 +687,223 @@ def unpack_wrong_shard(payload: bytes) -> Tuple[int, int]:
     (epoch,) = _U64.unpack_from(payload)
     (doc_id,) = _I64.unpack_from(payload, _U64.size)
     return epoch, doc_id
+
+
+# ----------------------------------------------------------------------
+# Search (protocol v5)
+# ----------------------------------------------------------------------
+#: SEARCH flag: return the shard's local term statistics (doc count,
+#: total doc length, per-term df) instead of ranked results — the first
+#: leg of a sharded fan-out.
+SEARCH_STATS_ONLY = 0x01
+#: SEARCH flag: the request carries collection-wide statistics to score
+#: against (the second leg); without it the server uses its own index's.
+SEARCH_GLOBAL_STATS = 0x02
+_SEARCH_FLAGS = SEARCH_STATS_ONLY | SEARCH_GLOBAL_STATS
+MAX_QUERY_BYTES = 0xFFFF
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked SEARCH result as it travels on the wire.
+
+    ``snippet`` is the server-decoded window around the first query-term
+    hit (empty when no window was requested) and ``snippet_start`` its
+    byte offset inside the document.
+    """
+
+    doc_id: int
+    score: float
+    snippet: bytes = b""
+    snippet_start: int = 0
+
+
+def _pack_term_frequencies(frequencies: Dict[str, int]) -> bytes:
+    if len(frequencies) > 0xFFFF:
+        raise ProtocolError(f"too many query terms: {len(frequencies)}")
+    parts = []
+    for term in sorted(frequencies):
+        encoded = term.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ProtocolError(f"query term too long: {len(encoded)} bytes")
+        parts.append(_U16.pack(len(encoded)))
+        parts.append(encoded)
+        parts.append(_U64.pack(frequencies[term]))
+    return b"".join(parts)
+
+
+def _unpack_term_frequencies(
+    payload: bytes, offset: int, count: int
+) -> Tuple[Dict[str, int], int]:
+    frequencies: Dict[str, int] = {}
+    for _ in range(count):
+        if len(payload) < offset + _U16.size:
+            raise ProtocolError("malformed term stats: truncated term length")
+        (length,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        if len(payload) < offset + length + _U64.size:
+            raise ProtocolError("malformed term stats: truncated term entry")
+        term = payload[offset : offset + length].decode("utf-8", errors="replace")
+        offset += length
+        (frequencies[term],) = _U64.unpack_from(payload, offset)
+        offset += _U64.size
+    return frequencies, offset
+
+
+def pack_search(
+    query: str,
+    top_k: int = 20,
+    snippet_chars: int = 0,
+    stats_only: bool = False,
+    global_stats: Optional[Tuple[int, int, Dict[str, int]]] = None,
+) -> bytes:
+    """A SEARCH request payload.
+
+    ``global_stats`` is ``(num_documents, total_doc_length, {term: df})``
+    for the whole collection; passing it makes the shard score against
+    collection-wide statistics.  ``stats_only`` asks for the shard's
+    local statistics instead of results (``global_stats`` is meaningless
+    then and rejected).
+    """
+    if stats_only and global_stats is not None:
+        raise ProtocolError("a stats-only SEARCH cannot carry global stats")
+    if top_k < 0 or top_k > 0xFFFFFFFF:
+        raise ProtocolError(f"top_k out of range: {top_k}")
+    if snippet_chars < 0 or snippet_chars > 0xFFFFFFFF:
+        raise ProtocolError(f"snippet_chars out of range: {snippet_chars}")
+    encoded = query.encode("utf-8")
+    if len(encoded) > MAX_QUERY_BYTES:
+        raise ProtocolError(f"query too long: {len(encoded)} bytes")
+    flags = 0
+    if stats_only:
+        flags |= SEARCH_STATS_ONLY
+    if global_stats is not None:
+        flags |= SEARCH_GLOBAL_STATS
+    payload = [
+        _SEARCH_HEAD.pack(flags, top_k, snippet_chars),
+        _U16.pack(len(encoded)),
+        encoded,
+    ]
+    if global_stats is not None:
+        num_documents, total_doc_length, frequencies = global_stats
+        payload.append(
+            _SEARCH_STATS_HEAD.pack(num_documents, total_doc_length, len(frequencies))
+        )
+        payload.append(_pack_term_frequencies(frequencies))
+    return b"".join(payload)
+
+
+def unpack_search(
+    payload: bytes,
+) -> Tuple[str, int, int, bool, Optional[Tuple[int, int, Dict[str, int]]]]:
+    """Decode a SEARCH payload to ``(query, top_k, snippet_chars,
+    stats_only, global_stats)``."""
+    if len(payload) < _SEARCH_HEAD.size + _U16.size:
+        raise ProtocolError(f"malformed SEARCH request: {len(payload)} bytes")
+    flags, top_k, snippet_chars = _SEARCH_HEAD.unpack_from(payload)
+    if flags & ~_SEARCH_FLAGS:
+        raise ProtocolError(f"malformed SEARCH request: unknown flags 0x{flags:02x}")
+    offset = _SEARCH_HEAD.size
+    (query_length,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    if len(payload) < offset + query_length:
+        raise ProtocolError("malformed SEARCH request: truncated query")
+    query = payload[offset : offset + query_length].decode("utf-8", errors="replace")
+    offset += query_length
+    stats_only = bool(flags & SEARCH_STATS_ONLY)
+    global_stats = None
+    if flags & SEARCH_GLOBAL_STATS:
+        if stats_only:
+            raise ProtocolError("malformed SEARCH request: stats-only with globals")
+        if len(payload) < offset + _SEARCH_STATS_HEAD.size:
+            raise ProtocolError("malformed SEARCH request: truncated global stats")
+        num_documents, total_doc_length, count = _SEARCH_STATS_HEAD.unpack_from(
+            payload, offset
+        )
+        offset += _SEARCH_STATS_HEAD.size
+        frequencies, offset = _unpack_term_frequencies(payload, offset, count)
+        global_stats = (num_documents, total_doc_length, frequencies)
+    if offset != len(payload):
+        raise ProtocolError("malformed SEARCH request: trailing bytes")
+    return query, top_k, snippet_chars, stats_only, global_stats
+
+
+_R_SEARCH_RESULTS = 0
+_R_SEARCH_STATS = 1
+
+
+def pack_search_results(hits: Sequence[SearchHit]) -> bytes:
+    """An R_SEARCH payload carrying ranked results (kind byte 0)."""
+    parts = [_U8.pack(_R_SEARCH_RESULTS), _U32.pack(len(hits))]
+    for hit in hits:
+        parts.append(
+            _SEARCH_HIT_HEAD.pack(
+                hit.doc_id, hit.score, hit.snippet_start, len(hit.snippet)
+            )
+        )
+        parts.append(hit.snippet)
+    return b"".join(parts)
+
+
+def pack_search_stats(
+    num_documents: int, total_doc_length: int, frequencies: Dict[str, int]
+) -> bytes:
+    """An R_SEARCH payload carrying shard-local term stats (kind byte 1)."""
+    return (
+        _U8.pack(_R_SEARCH_STATS)
+        + _SEARCH_STATS_HEAD.pack(num_documents, total_doc_length, len(frequencies))
+        + _pack_term_frequencies(frequencies)
+    )
+
+
+def _split_search_reply(payload: bytes, expected_kind: int, what: str) -> bytes:
+    if not payload:
+        raise ProtocolError("malformed search reply: empty payload")
+    if payload[0] != expected_kind:
+        raise ProtocolError(
+            f"malformed search reply: expected {what}, got kind {payload[0]}"
+        )
+    return payload[1:]
+
+
+def unpack_search_results(payload: bytes) -> List[SearchHit]:
+    """Decode a results-kind R_SEARCH payload."""
+    body = _split_search_reply(payload, _R_SEARCH_RESULTS, "results")
+    if len(body) < _U32.size:
+        raise ProtocolError("malformed search results: missing count")
+    (count,) = _U32.unpack_from(body)
+    offset = _U32.size
+    hits: List[SearchHit] = []
+    for _ in range(count):
+        if len(body) < offset + _SEARCH_HIT_HEAD.size:
+            raise ProtocolError("malformed search results: truncated hit header")
+        doc_id, score, snippet_start, snippet_length = _SEARCH_HIT_HEAD.unpack_from(
+            body, offset
+        )
+        offset += _SEARCH_HIT_HEAD.size
+        if len(body) < offset + snippet_length:
+            raise ProtocolError("malformed search results: truncated snippet")
+        snippet = body[offset : offset + snippet_length]
+        offset += snippet_length
+        hits.append(SearchHit(doc_id, score, snippet, snippet_start))
+    if offset != len(body):
+        raise ProtocolError("malformed search results: trailing bytes")
+    return hits
+
+
+def unpack_search_stats(payload: bytes) -> Tuple[int, int, Dict[str, int]]:
+    """Decode a stats-kind R_SEARCH payload to ``(num_documents,
+    total_doc_length, {term: df})``."""
+    body = _split_search_reply(payload, _R_SEARCH_STATS, "stats")
+    if len(body) < _SEARCH_STATS_HEAD.size:
+        raise ProtocolError(f"malformed search stats: {len(body)} bytes")
+    num_documents, total_doc_length, count = _SEARCH_STATS_HEAD.unpack_from(body)
+    frequencies, offset = _unpack_term_frequencies(
+        body, _SEARCH_STATS_HEAD.size, count
+    )
+    if offset != len(body):
+        raise ProtocolError("malformed search stats: trailing bytes")
+    return num_documents, total_doc_length, frequencies
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..api.async_front import AsyncRlzArchive
 from ..api.config import ArchiveConfig, ServeSpec
 from ..errors import ConfigurationError, ProtocolError
+from ..search.serving import PostingsStore, index_sidecar_path
 from ..storage.partition import (
     PartitionManifest,
     clear_overlay,
@@ -116,6 +117,13 @@ class ArchiveEntry:
         self.partition_loaded = False
         #: Requests refused with R_WRONG_SHARD (stale-map clients).
         self.wrong_shard_rejections = 0
+        #: The sidecar postings index, loaded with the front when the
+        #: ``<container>.idx`` file exists (``None`` = no search serving).
+        self.search_index: Optional["PostingsStore"] = None
+        #: Whether the sidecar load was attempted (one attempt per front).
+        self.search_loaded = False
+        #: SEARCH requests answered from the index.
+        self.search_requests = 0
 
     def owns(self, doc_id: int) -> bool:
         """Whether this entry may serve ``doc_id`` right now.
@@ -181,6 +189,8 @@ class ArchiveEntry:
             "epoch": self.partition.epoch if self.partition is not None else 0,
             "overlay_documents": len(self.overlay),
             "wrong_shard_rejections": self.wrong_shard_rejections,
+            "search_index": int(self.search_index is not None),
+            "search_requests": self.search_requests,
         }
 
     def stats_into(self, snapshot: Dict[str, float]) -> None:
@@ -337,7 +347,7 @@ class RlzRouter:
             entry.gate = asyncio.Semaphore(entry.max_inflight)
         if entry.open_lock is None:
             entry.open_lock = asyncio.Lock()
-        if entry.front is None or not entry.partition_loaded:
+        if entry.front is None or not entry.partition_loaded or not entry.search_loaded:
             async with entry.open_lock:
                 loop = asyncio.get_running_loop()
                 if entry.front is None and not self._closed:
@@ -364,6 +374,14 @@ class RlzRouter:
                                 )
                             )
                     entry.partition_loaded = True
+                if not entry.search_loaded:
+                    if entry.path is not None:
+                        sidecar = index_sidecar_path(entry.path)
+                        if await loop.run_in_executor(None, sidecar.exists):
+                            entry.search_index = await loop.run_in_executor(
+                                None, PostingsStore.open, sidecar
+                            )
+                    entry.search_loaded = True
         if entry.front is None:
             raise ProtocolError("router is closed")
         return entry
@@ -467,6 +485,23 @@ class RlzRouter:
                 self._retired.append(old_front)
             entry.overlay.clear()
             await loop.run_in_executor(None, clear_overlay, entry.path)
+            if entry.search_index is not None or (
+                entry.path is not None and index_sidecar_path(entry.path).exists()
+            ):
+                # The store's document set just changed: rebuild the
+                # postings sidecar over the rewritten store so SEARCH
+                # never ranks against a stale arc (and a restarted server
+                # never loads one).
+                sidecar = index_sidecar_path(entry.path)
+
+                def _reindex() -> PostingsStore:
+                    from ..search.serving import write_postings
+
+                    write_postings(new_front.archive.iter_documents(), sidecar)
+                    return PostingsStore.open(sidecar)
+
+                entry.search_index = await loop.run_in_executor(None, _reindex)
+                entry.search_loaded = True
             return epoch, list(new_manifest.shards), virtual_nodes
 
     def stats(self) -> Dict[str, float]:

@@ -55,7 +55,8 @@ from typing import Dict, Mapping, Optional, Set, Union
 
 from ..api.async_front import AsyncRlzArchive
 from ..api.config import ArchiveConfig, ServeSpec
-from ..errors import ProtocolError, ReproError, StorageError
+from ..errors import ProtocolError, ReproError, SearchError, StorageError
+from ..search.serving import GlobalStats
 from . import protocol
 from .protocol import Opcode
 from .router import ArchiveEntry, RlzRouter
@@ -819,6 +820,8 @@ class RlzServer:
             await conn.respond(
                 Opcode.R_DOC_IDS, protocol.pack_doc_ids(staged), request_id
             )
+        elif opcode == Opcode.SEARCH:
+            await self._dispatch_search(conn, payload, request_id)
         elif opcode == Opcode.INSTALL_MAP:
             epoch, labels, virtual_nodes = protocol.unpack_shard_map(payload)
             epoch, labels, virtual_nodes = await self._router.install_map(
@@ -833,6 +836,82 @@ class RlzServer:
             raise ProtocolError(
                 f"unknown request opcode {protocol.describe_opcode(opcode)}"
             )
+
+    async def _dispatch_search(
+        self, conn: _Connection, payload: bytes, request_id: Optional[int]
+    ) -> None:
+        """SEARCH: shard-local BM25 top-k over the persistent posting lists.
+
+        Two request shapes share the opcode (see :mod:`repro.serve.protocol`):
+        a *stats* leg (``stats_only``) returning this shard's corpus counts
+        so a fan-out client can assemble exact global idf, and a *scoring*
+        leg ranking with either shard-local statistics or the client's
+        exchanged global ones.  When the request asks for snippets, each
+        hit's window is materialized through the store's partial-decode
+        path (:meth:`RlzStore.get_window`) — never a whole-document decode.
+        """
+        entry = conn.entry
+        index = entry.search_index
+        query, top_k, snippet_chars, stats_only, global_stats = protocol.unpack_search(
+            payload
+        )
+        if index is None:
+            raise SearchError(
+                f"archive {entry.name!r} has no search index; build it with "
+                "SearchSpec(enabled=True) (repro partition --search-index)"
+            )
+        entry.search_requests += 1
+        loop = asyncio.get_running_loop()
+        if stats_only:
+            num_docs, total_length, frequencies = await loop.run_in_executor(
+                None, index.term_stats, query
+            )
+            await conn.respond(
+                Opcode.R_SEARCH,
+                protocol.pack_search_stats(num_docs, total_length, frequencies),
+                request_id,
+            )
+            return
+        spec = entry.config.search
+        stats_arg = (
+            GlobalStats(
+                num_documents=global_stats[0],
+                total_doc_length=global_stats[1],
+                document_frequencies=global_stats[2],
+            )
+            if global_stats is not None
+            else None
+        )
+
+        def _score():
+            return index.search(
+                query, top_k=top_k, k1=spec.k1, b=spec.b, global_stats=stats_arg
+            )
+
+        hits = await loop.run_in_executor(None, _score)
+        store = entry.front.archive.store
+        wire_hits = []
+        for hit in hits:
+            snippet = b""
+            snippet_start = 0
+            if snippet_chars > 0:
+                # Center the window on the first occurrence of a matched
+                # query term; decode only the covering factors.
+                snippet_start = max(0, hit.hit_offset - snippet_chars // 2)
+                snippet = await loop.run_in_executor(
+                    None, store.get_window, hit.doc_id, snippet_start, snippet_chars
+                )
+            wire_hits.append(
+                protocol.SearchHit(
+                    doc_id=hit.doc_id,
+                    score=hit.score,
+                    snippet=snippet,
+                    snippet_start=snippet_start,
+                )
+            )
+        await conn.respond(
+            Opcode.R_SEARCH, protocol.pack_search_results(wire_hits), request_id
+        )
 
     async def _dispatch_scan(
         self, conn: _Connection, payload: bytes, request_id: Optional[int]

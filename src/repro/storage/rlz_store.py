@@ -63,6 +63,10 @@ class RlzStore:
         self._cache = self._resolve_cache(cache, decode_cache_size)
         self._handle = header.path.open("rb")
         self._closed = False
+        # Bytes actually materialised by factor decoding (cache hits are
+        # free); get_window charges only the factors covering the window,
+        # which is how tests and benchmarks verify partial decode pays.
+        self._decoded_bytes = 0
         # get()/get_many() may be driven concurrently by the async front's
         # thread pool; the shared file handle's seek+read must be atomic.
         self._io_lock = threading.Lock()
@@ -250,6 +254,17 @@ class RlzStore:
         """Decoded-document cache counters (hits, misses, size, capacity)."""
         return self._cache.cache_info()
 
+    @property
+    def decoded_bytes(self) -> int:
+        """Cumulative bytes materialised by factor decoding.
+
+        Whole-document reads charge the document size; :meth:`get_window`
+        charges only the output of the factors intersecting the window.
+        Comparing deltas of this counter is how the snippet path proves it
+        decodes strictly less than a full-document decode.
+        """
+        return self._decoded_bytes
+
     def get(self, doc_id: int) -> bytes:
         """Random access: decode one document."""
         self._ensure_open()
@@ -260,8 +275,56 @@ class RlzStore:
         blob = self._read_blob(entry)
         positions, lengths = self._encoder.decode_streams(blob)
         document = decode_pairs(positions, lengths, self._dictionary)
+        self._decoded_bytes += len(document)
         self._cache.put(doc_id, document)
         return document
+
+    def get_window(self, doc_id: int, start: int, length: int) -> bytes:
+        """Partial decode: ``length`` bytes of one document from ``start``.
+
+        Only the factors whose output intersects ``[start, start+length)``
+        are materialised — the factor streams are decoded (cheap varint
+        headers), per-factor output lengths prefix-summed, and
+        :func:`repro.core.decode_pairs` runs on the covering sub-range,
+        with the partial head/tail factors trimmed afterwards.  The window
+        is clamped to the document, so over-long requests return what
+        exists; a window entirely past the end returns ``b""``.
+
+        This is the snippet-serving path: a SEARCH hit knows the byte
+        offset of its first matching term, and the server decodes a window
+        around it instead of the whole document.
+        """
+        self._ensure_open()
+        if start < 0 or length < 0:
+            raise StorageError(
+                f"get_window needs non-negative start/length, "
+                f"got start={start} length={length}"
+            )
+        entry = self._header.document_map.lookup(doc_id)
+        blob = self._read_blob(entry)
+        positions, lengths = self._encoder.decode_streams(blob)
+        # A literal factor (length 0) outputs exactly one byte.
+        total = sum(factor_length or 1 for factor_length in lengths)
+        end = min(start + length, total)
+        if start >= end:
+            return b""
+        first = last = None
+        skip = 0
+        running = 0
+        for index, factor_length in enumerate(lengths):
+            factor_end = running + (factor_length or 1)
+            if first is None and factor_end > start:
+                first = index
+                skip = start - running
+            if factor_end >= end:
+                last = index
+                break
+            running = factor_end
+        window = decode_pairs(
+            positions[first : last + 1], lengths[first : last + 1], self._dictionary
+        )
+        self._decoded_bytes += len(window)
+        return bytes(window[skip : skip + (end - start)])
 
     def get_many(self, doc_ids: Sequence[int]) -> List[bytes]:
         """Batch random access: decode several documents in one pass.
@@ -296,6 +359,7 @@ class RlzStore:
                 streams.append(self._encoder.decode_streams(blob))
             for doc_id, document in zip(to_decode, decode_many(streams, self._dictionary)):
                 decoded[doc_id] = document
+                self._decoded_bytes += len(document)
         # Pass 2 — replay the accesses in order with get's exact accounting.
         results: List[bytes] = []
         for doc_id in doc_ids:
@@ -313,6 +377,7 @@ class RlzStore:
                 positions, lengths = self._encoder.decode_streams(blob)
                 document = decode_pairs(positions, lengths, self._dictionary)
                 decoded[doc_id] = document
+                self._decoded_bytes += len(document)
             results.append(document)
             self._cache.put(doc_id, document)
         return results
@@ -323,7 +388,9 @@ class RlzStore:
         for entry in self._header.document_map:
             blob = self._read_blob(entry)
             positions, lengths = self._encoder.decode_streams(blob)
-            yield entry.doc_id, decode_pairs(positions, lengths, self._dictionary)
+            document = decode_pairs(positions, lengths, self._dictionary)
+            self._decoded_bytes += len(document)
+            yield entry.doc_id, document
 
     def close(self) -> None:
         """Close the file handle and the cache tier (idempotent)."""

@@ -1,0 +1,175 @@
+"""Wire frames for search serving (protocol v5).
+
+Round-trips for the SEARCH request in every flag combination, both
+R_SEARCH reply kinds (ranked results with snippets, shard-local term
+stats), and the malformed-payload battery: unknown flags, truncations,
+trailing bytes, contradictory flag combinations and oversized queries
+must all raise :class:`~repro.errors.ProtocolError`, never mis-decode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_QUERY_BYTES,
+    PROTOCOL_V5,
+    PROTOCOL_VERSION,
+    Opcode,
+    SearchHit,
+)
+
+
+def test_protocol_version_is_v5():
+    assert PROTOCOL_V5 == 5
+    assert PROTOCOL_VERSION == PROTOCOL_V5
+    assert Opcode.SEARCH == 0x0D
+    assert Opcode.R_SEARCH == 0x8F
+
+
+# ----------------------------------------------------------------------
+# SEARCH request round-trips
+# ----------------------------------------------------------------------
+def test_plain_search_round_trips():
+    payload = protocol.pack_search("compression ratio", top_k=7, snippet_chars=120)
+    assert protocol.unpack_search(payload) == (
+        "compression ratio",
+        7,
+        120,
+        False,
+        None,
+    )
+
+
+def test_stats_only_search_round_trips():
+    payload = protocol.pack_search("web archive", stats_only=True)
+    query, top_k, snippet_chars, stats_only, global_stats = protocol.unpack_search(
+        payload
+    )
+    assert (query, stats_only, global_stats) == ("web archive", True, None)
+
+
+def test_global_stats_search_round_trips():
+    stats = (1234, 567890, {"web": 100, "archive": 42, "zo/ne": 0})
+    payload = protocol.pack_search("web archive", top_k=3, global_stats=stats)
+    assert protocol.unpack_search(payload) == ("web archive", 3, 0, False, stats)
+
+
+def test_unicode_query_round_trips():
+    payload = protocol.pack_search("café économie")
+    assert protocol.unpack_search(payload)[0] == "café économie"
+
+
+def test_empty_query_round_trips():
+    assert protocol.unpack_search(protocol.pack_search(""))[0] == ""
+
+
+def test_stats_only_with_global_stats_is_rejected_at_pack():
+    with pytest.raises(ProtocolError):
+        protocol.pack_search("q", stats_only=True, global_stats=(1, 2, {}))
+
+
+def test_oversized_query_is_rejected():
+    with pytest.raises(ProtocolError):
+        protocol.pack_search("x" * (MAX_QUERY_BYTES + 1))
+
+
+def test_negative_top_k_is_rejected():
+    with pytest.raises(ProtocolError):
+        protocol.pack_search("q", top_k=-1)
+    with pytest.raises(ProtocolError):
+        protocol.pack_search("q", snippet_chars=-1)
+
+
+# ----------------------------------------------------------------------
+# Malformed SEARCH payloads
+# ----------------------------------------------------------------------
+def test_unknown_flags_are_rejected():
+    payload = bytearray(protocol.pack_search("q"))
+    payload[0] |= 0x80
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search(bytes(payload))
+
+
+def test_stats_only_with_globals_on_the_wire_is_rejected():
+    # A hand-crafted contradictory frame (both flags set) must not decode.
+    payload = bytearray(protocol.pack_search("q", global_stats=(1, 2, {})))
+    payload[0] |= protocol.SEARCH_STATS_ONLY
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search(bytes(payload))
+
+
+def test_truncated_search_payloads_are_rejected():
+    payload = protocol.pack_search("query terms", global_stats=(9, 99, {"a": 1}))
+    for cut in (0, 3, protocol._SEARCH_HEAD.size + 1, len(payload) - 1):
+        with pytest.raises(ProtocolError):
+            protocol.unpack_search(payload[:cut])
+
+
+def test_trailing_bytes_are_rejected():
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search(protocol.pack_search("q") + b"\x00")
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search(
+            protocol.pack_search("q", global_stats=(1, 2, {"a": 3})) + b"junk"
+        )
+
+
+# ----------------------------------------------------------------------
+# R_SEARCH replies
+# ----------------------------------------------------------------------
+def test_results_round_trip_with_snippets():
+    hits = [
+        SearchHit(3, 2.5, b"...budget report...", 140),
+        SearchHit(11, 2.5, b"", 0),
+        SearchHit(0, 0.25, bytes(range(256)), 7),
+    ]
+    assert protocol.unpack_search_results(protocol.pack_search_results(hits)) == hits
+
+
+def test_empty_results_round_trip():
+    assert protocol.unpack_search_results(protocol.pack_search_results([])) == []
+
+
+def test_stats_reply_round_trips():
+    stats = (24, 31337, {"web": 12, "archive": 7, "absent": 0})
+    assert protocol.unpack_search_stats(protocol.pack_search_stats(*stats)) == stats
+
+
+def test_stats_reply_with_no_terms_round_trips():
+    assert protocol.unpack_search_stats(protocol.pack_search_stats(5, 50, {})) == (
+        5,
+        50,
+        {},
+    )
+
+
+def test_reply_kinds_do_not_cross_decode():
+    results = protocol.pack_search_results([SearchHit(1, 1.0)])
+    stats = protocol.pack_search_stats(1, 10, {"a": 1})
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search_results(stats)
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search_stats(results)
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search_results(b"")
+
+
+def test_truncated_results_are_rejected():
+    payload = protocol.pack_search_results([SearchHit(1, 1.0, b"snippet", 3)])
+    for cut in (1, 4, len(payload) - 3):
+        with pytest.raises(ProtocolError):
+            protocol.unpack_search_results(payload[:cut])
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search_results(payload + b"\x00")
+
+
+def test_truncated_stats_are_rejected():
+    payload = protocol.pack_search_stats(2, 20, {"term": 2})
+    for cut in (1, 8, len(payload) - 1):
+        with pytest.raises(ProtocolError):
+            protocol.unpack_search_stats(payload[:cut])
+    with pytest.raises(ProtocolError):
+        protocol.unpack_search_stats(payload + b"\x00")

@@ -1,0 +1,243 @@
+"""SEARCH served over sockets: single archive, async, and sharded fan-out.
+
+The tentpole claim under test: a sharded SEARCH over a partitioned fleet
+returns *exactly* the ranking (ids, scores, order) a single in-memory
+:class:`repro.search.InvertedIndex` over the whole collection computes —
+the stats-exchange leg makes per-shard BM25 collection-exact, the merge
+is deterministic, and snippets come from windowed partial decode on the
+shard that owns the document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import (
+    ArchiveConfig,
+    DictionarySpec,
+    EncodingSpec,
+    PartitionSpec,
+    RlzArchive,
+    SearchSpec,
+)
+from repro.errors import SearchError
+from repro.search import InvertedIndex, index_sidecar_path, tokenize_text
+from repro.serve import (
+    AsyncClusterClient,
+    AsyncRlzClient,
+    BackgroundServer,
+    ClusterClient,
+    RlzClient,
+    build_partitioned_archives,
+)
+
+
+def _search_config(shards: int = 0) -> ArchiveConfig:
+    return ArchiveConfig(
+        dictionary=DictionarySpec(size=32 * 1024, sample_size=512),
+        encoding=EncodingSpec(scheme="ZV"),
+        partition=PartitionSpec(shards=shards) if shards else PartitionSpec(),
+        search=SearchSpec(enabled=True),
+    )
+
+
+def _queries(collection):
+    counts = {}
+    for document in collection:
+        for term in set(tokenize_text(document.text())):
+            counts[term] = counts.get(term, 0) + 1
+    common = sorted(counts, key=lambda term: (-counts[term], term))
+    rare = sorted(counts, key=lambda term: (counts[term], term))
+    return [common[0], " ".join(common[:3]), f"{common[0]} {rare[0]}", rare[0]]
+
+
+@pytest.fixture(scope="module")
+def indexed_archive(tmp_path_factory, gov_small):
+    """One unpartitioned archive built with its search sidecar."""
+    path = tmp_path_factory.mktemp("search-serve") / "indexed.rlz"
+    config = _search_config()
+    RlzArchive.build(gov_small, config, path).close()
+    assert index_sidecar_path(path).exists()
+    return path, config, gov_small
+
+
+@pytest.fixture(scope="module")
+def search_server(indexed_archive):
+    path, config, _ = indexed_archive
+    with BackgroundServer(path, config) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def reference(gov_small):
+    return InvertedIndex.build(gov_small)
+
+
+# ----------------------------------------------------------------------
+# Single archive over a socket
+# ----------------------------------------------------------------------
+def test_remote_search_equals_local_index(search_server, reference, gov_small):
+    with RlzClient(*search_server.address) as client:
+        for query in _queries(gov_small):
+            expected = reference.search(query, top_k=10)
+            hits = client.search(query, top_k=10)
+            assert [hit.doc_id for hit in hits] == [r.doc_id for r in expected]
+            assert [hit.score for hit in hits] == [r.score for r in expected]
+
+
+def test_snippets_come_from_the_document(search_server, gov_small):
+    query = _queries(gov_small)[0]
+    contents = {document.doc_id: document.content for document in gov_small}
+    with RlzClient(*search_server.address) as client:
+        hits = client.search(query, top_k=5, snippet_chars=120)
+        assert hits
+        for hit in hits:
+            assert 0 < len(hit.snippet) <= 120
+            # The window is a verbatim slice of the stored document,
+            # positioned where the server says it is.
+            document = contents[hit.doc_id]
+            assert (
+                document[hit.snippet_start : hit.snippet_start + len(hit.snippet)]
+                == hit.snippet
+            )
+            # Query-biased: the window contains a query term.
+            assert any(
+                term.encode() in hit.snippet.lower()
+                for term in tokenize_text(query)
+            )
+
+
+def test_no_snippets_by_default(search_server, gov_small):
+    with RlzClient(*search_server.address) as client:
+        hits = client.search(_queries(gov_small)[0], top_k=3)
+        assert hits and all(hit.snippet == b"" for hit in hits)
+
+
+def test_stats_leg_reports_local_statistics(search_server, reference, gov_small):
+    query = _queries(gov_small)[1]
+    with RlzClient(*search_server.address) as client:
+        num_documents, total_length, frequencies = client.search_stats(query)
+    assert num_documents == len(gov_small)
+    assert total_length > 0
+    assert frequencies == {
+        term: reference.document_frequency(term)
+        for term in set(tokenize_text(query))
+    }
+
+
+def test_no_results_for_unknown_terms(search_server):
+    with RlzClient(*search_server.address) as client:
+        assert client.search("zzz-never-indexed-zzz") == []
+
+
+def test_health_exposes_search_counters(search_server, gov_small):
+    with RlzClient(*search_server.address) as client:
+        client.search(_queries(gov_small)[0])
+        health = client.health()
+    (archive_health,) = health.values()
+    assert archive_health["search_index"] == 1
+    assert archive_health["search_requests"] >= 1
+
+
+def test_archive_without_index_raises_search_error(tmp_path, gov_small):
+    config = ArchiveConfig(
+        dictionary=DictionarySpec(size=32 * 1024, sample_size=512),
+        encoding=EncodingSpec(scheme="ZV"),
+    )
+    path = tmp_path / "noindex.rlz"
+    RlzArchive.build(gov_small, config, path).close()
+    assert not index_sidecar_path(path).exists()
+    with BackgroundServer(path, config) as server:
+        with RlzClient(*server.address) as client:
+            with pytest.raises(SearchError, match="no search index"):
+                client.search("anything at all")
+
+
+def test_async_client_search_parity(search_server, reference, gov_small):
+    queries = _queries(gov_small)
+
+    async def main():
+        async with AsyncRlzClient(*search_server.address) as client:
+            ranked = [await client.search(query, top_k=10) for query in queries]
+            stats = await client.search_stats(queries[0])
+        return ranked, stats
+
+    ranked, stats = asyncio.run(main())
+    for query, hits in zip(queries, ranked):
+        expected = reference.search(query, top_k=10)
+        assert [hit.doc_id for hit in hits] == [r.doc_id for r in expected]
+        assert [hit.score for hit in hits] == [r.score for r in expected]
+    assert stats[0] == len(gov_small)
+
+
+# ----------------------------------------------------------------------
+# Sharded fan-out over a partitioned fleet
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def search_fleet(tmp_path_factory, gov_small):
+    """A 4-way partitioned fleet, every shard carrying its own index."""
+    directory = tmp_path_factory.mktemp("search-fleet")
+    paths = build_partitioned_archives(gov_small, _search_config(shards=4), directory)
+    for path in paths.values():
+        assert index_sidecar_path(path).exists()
+    servers, endpoints = [], []
+    try:
+        for ring_id, path in paths.items():
+            server = BackgroundServer(path, _search_config())
+            host, port = server.start()
+            servers.append(server)
+            endpoints.append(f"{ring_id}@{host}:{port}")
+        yield endpoints
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def test_sharded_search_equals_single_local_index(
+    search_fleet, reference, gov_small
+):
+    """The acceptance criterion: identical ids, scores and order."""
+    with ClusterClient(search_fleet, retries=0, retry_delay=0.01) as client:
+        for query in _queries(gov_small):
+            expected = reference.search(query, top_k=10)
+            hits = client.search(query, top_k=10)
+            assert [hit.doc_id for hit in hits] == [r.doc_id for r in expected]
+            assert [hit.score for hit in hits] == [r.score for r in expected]
+
+
+def test_sharded_snippets_decode_on_the_owning_shard(search_fleet, gov_small):
+    query = _queries(gov_small)[0]
+    contents = {document.doc_id: document.content for document in gov_small}
+    with ClusterClient(search_fleet, retries=0, retry_delay=0.01) as client:
+        hits = client.search(query, top_k=6, snippet_chars=100)
+        assert hits
+        for hit in hits:
+            document = contents[hit.doc_id]
+            assert (
+                document[hit.snippet_start : hit.snippet_start + len(hit.snippet)]
+                == hit.snippet
+            )
+
+
+def test_sharded_search_respects_top_k(search_fleet, reference, gov_small):
+    query = _queries(gov_small)[1]
+    with ClusterClient(search_fleet, retries=0, retry_delay=0.01) as client:
+        hits = client.search(query, top_k=3)
+        assert len(hits) == min(3, len(reference.search(query, top_k=3)))
+
+
+def test_async_sharded_search_parity(search_fleet, reference, gov_small):
+    queries = _queries(gov_small)
+
+    async def main():
+        async with AsyncClusterClient(
+            search_fleet, retries=0, retry_delay=0.01
+        ) as client:
+            return [await client.search(query, top_k=10) for query in queries]
+
+    for query, hits in zip(queries, asyncio.run(main())):
+        expected = reference.search(query, top_k=10)
+        assert [hit.doc_id for hit in hits] == [r.doc_id for r in expected]
+        assert [hit.score for hit in hits] == [r.score for r in expected]

@@ -95,6 +95,7 @@ API_EXPORTS = {
     "RequestStats",
     "RetrySpec",
     "RlzArchive",
+    "SearchSpec",
     "ServeSpec",
 }
 
@@ -113,12 +114,14 @@ SERVE_EXPORTS = {
     "PROTOCOL_V2",
     "PROTOCOL_V3",
     "PROTOCOL_V4",
+    "PROTOCOL_V5",
     "PROTOCOL_VERSION",
     "RebalanceReport",
     "RetryBudget",
     "RlzClient",
     "RlzRouter",
     "RlzServer",
+    "SearchHit",
     "ShardMap",
     "build_partitioned_archives",
     "rebalance",
