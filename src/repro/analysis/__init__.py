@@ -1,0 +1,51 @@
+"""Project-invariant static analysis for the repro codebase.
+
+This package implements ``repro check``: an AST-based pass that walks the
+``repro`` source tree and verifies invariants that ordinary unit tests cannot
+see holistically — wire-protocol registry consistency, async purity of the
+serving layer, lock discipline around shared mutable state, and public
+API-surface drift.
+
+The moving parts:
+
+- :class:`~repro.analysis.core.Finding` — one diagnostic (check id,
+  file, line, severity, message).
+- :class:`~repro.analysis.core.Checker` — the protocol every checker
+  implements (``check_id``, ``description``, ``run(project)``).
+- :class:`~repro.analysis.core.Project` — the parsed source tree handed
+  to checkers (one ``ast.parse`` per file, shared by all checkers).
+- :func:`~repro.analysis.runner.run_checks` — loads the project, runs
+  the registered checkers, applies ``# repro: ignore[check-id]``
+  suppressions and the optional baseline file, and returns an
+  :class:`~repro.analysis.runner.AnalysisReport`.
+
+New checkers register themselves in ``repro.analysis.checks.ALL_CHECKERS``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    SourceModule,
+    load_baseline,
+    parse_suppressions,
+    write_baseline,
+)
+from repro.analysis.runner import AnalysisReport, run_checks
+from repro.analysis.checks import ALL_CHECKERS, default_checkers
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceModule",
+    "default_checkers",
+    "load_baseline",
+    "parse_suppressions",
+    "run_checks",
+    "write_baseline",
+]

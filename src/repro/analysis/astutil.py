@@ -1,0 +1,70 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "dotted_name",
+    "flatten_add",
+    "import_maps",
+    "iter_scope",
+]
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` for Name/Attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def flatten_add(node: ast.expr) -> List[ast.expr]:
+    """Flatten a ``a + b + c`` chain into its operand list."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return flatten_add(node.left) + flatten_add(node.right)
+    return [node]
+
+
+def iter_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Yield the nodes lexically inside ``func``'s own body, without
+    descending into nested ``def``/``async def``/``lambda`` scopes.
+
+    This is what makes executor thunks (``run_in_executor(None, lambda: ...)``
+    or a nested sync ``def`` handed to a thread pool) invisible to the
+    async-purity checker: their bodies run off the event loop.
+    """
+    stack: List[ast.AST] = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def import_maps(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Resolve local import aliases.
+
+    Returns ``(root_alias, from_map)``: ``import time as t`` yields
+    ``root_alias["t"] == "time"``; ``from time import sleep as s`` yields
+    ``from_map["s"] == "time.sleep"``.
+    """
+    root_alias: Dict[str, str] = {}
+    from_map: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                root_alias[local] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                from_map[local] = f"{node.module}.{alias.name}"
+    return root_alias, from_map

@@ -1,0 +1,37 @@
+"""Checker registry.
+
+Each checker lives in its own module and is instantiated once here.  To add
+a checker: implement the :class:`repro.analysis.core.Checker` protocol in a
+new module and append an instance to :data:`ALL_CHECKERS`; ``repro check
+--list`` and the runner pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Checker
+from repro.analysis.checks.api_surface import ApiSurfaceChecker
+from repro.analysis.checks.async_purity import AsyncPurityChecker
+from repro.analysis.checks.lock_discipline import LockDisciplineChecker
+from repro.analysis.checks.protocol_registry import ProtocolRegistryChecker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ApiSurfaceChecker",
+    "AsyncPurityChecker",
+    "LockDisciplineChecker",
+    "ProtocolRegistryChecker",
+    "default_checkers",
+]
+
+ALL_CHECKERS = (
+    ProtocolRegistryChecker(),
+    AsyncPurityChecker(),
+    LockDisciplineChecker(),
+    ApiSurfaceChecker(),
+)
+
+
+def default_checkers() -> List[Checker]:
+    return list(ALL_CHECKERS)

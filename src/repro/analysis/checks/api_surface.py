@@ -1,0 +1,165 @@
+"""Public API-surface drift.
+
+``tests/test_api_surface.py`` pins the intended public surface of the four
+exported packages as set literals.  At runtime that test catches drift only
+when it runs; this checker catches it statically, by parsing the ``__all__``
+list literals out of the package ``__init__`` files and diffing them against
+the snapshot sets — so ``repro check`` flags an undocumented export before
+the test suite is ever invoked, and with a file:line pointing at the
+``__all__`` that drifted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import Finding, Project
+
+__all__ = ["ApiSurfaceChecker"]
+
+CHECK_ID = "api-surface"
+
+#: package __init__ (relative to the repro package) -> snapshot set name in
+#: tests/test_api_surface.py.
+SURFACES: Tuple[Tuple[str, str], ...] = (
+    ("__init__.py", "TOP_LEVEL_EXPORTS"),
+    ("api/__init__.py", "API_EXPORTS"),
+    ("serve/__init__.py", "SERVE_EXPORTS"),
+    ("storage/__init__.py", "STORAGE_EXPORTS"),
+)
+
+
+class ApiSurfaceChecker:
+    check_id = CHECK_ID
+    description = (
+        "package __all__ lists match the public-surface snapshot in "
+        "tests/test_api_surface.py (no undocumented additions/removals)"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        snapshots = self._load_snapshots(project)
+        for relpath, snapshot_name in SURFACES:
+            module = project.module(relpath)
+            if module is None:
+                continue
+            parsed = _parse_all(module.tree)
+            if parsed is None:
+                findings.append(
+                    Finding(
+                        relpath,
+                        1,
+                        CHECK_ID,
+                        "__all__ is not a literal list of strings (cannot "
+                        "be audited statically)",
+                    )
+                )
+                continue
+            names, lineno = parsed
+            seen = set()
+            for name in names:
+                if name in seen:
+                    findings.append(
+                        Finding(
+                            relpath,
+                            lineno,
+                            CHECK_ID,
+                            f"__all__ lists {name!r} more than once",
+                        )
+                    )
+                seen.add(name)
+            if snapshots is None:
+                continue
+            snapshot = snapshots.get(snapshot_name)
+            if snapshot is None:
+                findings.append(
+                    Finding(
+                        relpath,
+                        lineno,
+                        CHECK_ID,
+                        f"snapshot set {snapshot_name} not found in "
+                        f"{project.snapshot_path}",
+                    )
+                )
+                continue
+            for name in sorted(seen - snapshot):
+                findings.append(
+                    Finding(
+                        relpath,
+                        lineno,
+                        CHECK_ID,
+                        f"export {name!r} is not in the {snapshot_name} snapshot "
+                        f"(update tests/test_api_surface.py deliberately)",
+                    )
+                )
+            for name in sorted(snapshot - seen):
+                findings.append(
+                    Finding(
+                        relpath,
+                        lineno,
+                        CHECK_ID,
+                        f"export {name!r} was removed but is still in the "
+                        f"{snapshot_name} snapshot",
+                    )
+                )
+        return findings
+
+    def _load_snapshots(self, project: Project) -> Optional[Dict[str, set]]:
+        """Parse the snapshot sets; None when no snapshot file is available
+        (e.g. running against an installed package without the test tree)."""
+        path = project.snapshot_path
+        if path is None or not path.exists():
+            return None
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            return {}
+        snapshots: Dict[str, set] = {}
+        for stmt in tree.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(stmt.value, ast.Set):
+                values = {
+                    elt.value
+                    for elt in stmt.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+                snapshots[target.id] = values
+        return snapshots
+
+
+def _parse_all(tree: ast.Module) -> Optional[Tuple[List[str], int]]:
+    """Collect the module's literal ``__all__`` (including ``+=`` extends)."""
+    names: List[str] = []
+    lineno: Optional[int] = None
+    for stmt in tree.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            value = stmt.value
+            names = []  # reassignment replaces
+        elif (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+            and isinstance(stmt.op, ast.Add)
+        ):
+            value = stmt.value
+        if value is None:
+            continue
+        if lineno is None:
+            lineno = stmt.lineno
+        if not isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            return None
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            names.append(elt.value)
+    if lineno is None:
+        return None
+    return names, lineno

@@ -1,0 +1,124 @@
+"""Async purity: no blocking calls lexically inside ``async def`` bodies.
+
+The serving layer's contract is that anything touching the disk, the
+network (other than asyncio primitives), or a sleep goes through
+``loop.run_in_executor`` / ``asyncio.to_thread``.  Executor thunks are
+nested sync ``def``s or lambdas, so the scan simply never descends into
+nested function scopes: a blocking name that appears there is fine, the
+same name directly in the coroutine body is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.astutil import dotted_name, import_maps, iter_scope
+from repro.analysis.core import Finding, Project
+
+__all__ = ["AsyncPurityChecker"]
+
+CHECK_ID = "async-purity"
+
+#: Directories (relative to the repro package) whose coroutines must be pure.
+SCOPE_PREFIXES = ("serve/", "api/")
+
+#: Fully-qualified calls that block the event loop.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.replace",
+    "os.rename",
+    "os.fsync",
+    "os.fdatasync",
+}
+
+#: Any call rooted at these modules blocks (socket.create_connection,
+#: subprocess.run, ...).
+BLOCKING_MODULES = {"socket", "subprocess"}
+
+#: ``<Class>.open(...)`` / ``<Class>.open_many(...)`` — synchronous archive
+#: and store constructors that read headers and dictionaries off disk.
+BLOCKING_OPENERS = {
+    "RlzStore",
+    "RlzArchive",
+    "AsyncRlzArchive",
+    "RlzServer",
+    "RawStore",
+    "BlockedStore",
+    "PostingsStore",
+}
+
+#: ``store.get(...)``-style synchronous reads; matched by the receiver's
+#: final name so ``dict.get`` / ``cache.get`` stay out of scope.
+STORE_RECEIVERS = {"store", "_store"}
+STORE_METHODS = {"get", "get_many", "get_window"}
+
+
+class AsyncPurityChecker:
+    check_id = CHECK_ID
+    description = (
+        "no blocking calls (sleep, socket, file/subprocess I/O, sync store "
+        "reads) directly inside async def bodies in serve/ and api/"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            if not module.relpath.startswith(SCOPE_PREFIXES):
+                continue
+            root_alias, from_map = import_maps(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    findings.extend(
+                        self._scan_coroutine(
+                            module.relpath, node, root_alias, from_map
+                        )
+                    )
+        return findings
+
+    def _scan_coroutine(self, relpath, func, root_alias, from_map):
+        for node in iter_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._blocking_label(node, root_alias, from_map)
+            if label is not None:
+                yield Finding(
+                    relpath,
+                    node.lineno,
+                    CHECK_ID,
+                    f"blocking call {label} inside 'async def {func.name}'; "
+                    f"route it through run_in_executor/to_thread",
+                )
+
+    def _blocking_label(self, call, root_alias, from_map):
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        # Resolve import aliases: `import time as t; t.sleep` and
+        # `from time import sleep; sleep` both normalise to time.sleep.
+        if len(parts) == 1:
+            resolved = from_map.get(parts[0], parts[0])
+        else:
+            root = root_alias.get(parts[0], parts[0])
+            resolved = ".".join([root] + parts[1:])
+        resolved_parts = resolved.split(".")
+        if resolved == "open":
+            return "open()"
+        if resolved in BLOCKING_CALLS:
+            return f"{resolved}()"
+        if len(resolved_parts) > 1 and resolved_parts[0] in BLOCKING_MODULES:
+            return f"{resolved}()"
+        if (
+            len(parts) >= 2
+            and parts[-1] in ("open", "open_many")
+            and parts[-2] in BLOCKING_OPENERS
+        ):
+            return f"{'.'.join(parts[-2:])}()"
+        if (
+            len(parts) >= 2
+            and parts[-1] in STORE_METHODS
+            and parts[-2] in STORE_RECEIVERS
+        ):
+            return f"{'.'.join(parts[-2:])}()"
+        return None

@@ -1,0 +1,305 @@
+"""Wire-protocol registry consistency.
+
+The protocol module is a bag of hand-maintained parallel registries: the
+``Opcode`` byte namespace, the ``ERROR_CODES`` map onto ``repro.errors``
+classes, and ``struct`` formats whose sizes are re-stated as integer
+literals in the framing helpers (``_LEN.pack(5 + len(payload)) + ...``).
+Each of those duplications is a place where an append-only edit can silently
+collide; this checker cross-references them all.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct as struct_mod
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.astutil import dotted_name, flatten_add
+from repro.analysis.core import Finding, Project
+
+__all__ = ["ProtocolRegistryChecker"]
+
+CHECK_ID = "protocol-registry"
+
+PROTOCOL_MODULE = "serve/protocol.py"
+ERRORS_MODULE = "errors.py"
+ERRORS_ROOT_CLASS = "ReproError"
+
+
+class ProtocolRegistryChecker:
+    check_id = CHECK_ID
+    description = (
+        "opcodes and wire error codes are unique, every repro.errors class "
+        "has exactly one wire code, and struct sizes match length literals"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        proto = project.module(PROTOCOL_MODULE)
+        if proto is None:
+            return findings
+        findings.extend(self._check_opcodes(proto.tree))
+        struct_sizes = self._collect_struct_sizes(proto.tree, findings)
+        findings.extend(self._check_length_literals(proto.tree, struct_sizes))
+        errors_mod = project.module(ERRORS_MODULE)
+        error_classes = (
+            self._error_classes(errors_mod.tree) if errors_mod is not None else None
+        )
+        findings.extend(self._check_error_codes(proto.tree, error_classes, errors_mod))
+        return findings
+
+    # -- opcodes ----------------------------------------------------------
+    def _check_opcodes(self, tree: ast.Module) -> Iterable[Finding]:
+        opcode_class = _find_class(tree, "Opcode")
+        if opcode_class is None:
+            yield Finding(PROTOCOL_MODULE, 1, CHECK_ID, "Opcode class not found")
+            return
+        seen: Dict[int, str] = {}
+        for stmt in opcode_class.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not (isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, int)):
+                continue
+            name, value = target.id, stmt.value.value
+            if not 0 <= value <= 0xFF:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    stmt.lineno,
+                    CHECK_ID,
+                    f"Opcode.{name} = {value:#x} does not fit in one wire byte",
+                )
+            if value in seen:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    stmt.lineno,
+                    CHECK_ID,
+                    f"Opcode.{name} reuses value {value:#04x} already assigned to "
+                    f"Opcode.{seen[value]}",
+                )
+            else:
+                seen[value] = name
+
+    # -- error codes ------------------------------------------------------
+    def _error_classes(self, errors_tree: ast.Module) -> Dict[str, int]:
+        """Classes in errors.py transitively derived from ReproError
+        (including the root), mapped to their definition line."""
+        bases: Dict[str, List[str]] = {}
+        lines: Dict[str, int] = {}
+        for stmt in errors_tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                bases[stmt.name] = [
+                    b.id for b in stmt.bases if isinstance(b, ast.Name)
+                ]
+                lines[stmt.name] = stmt.lineno
+        derived: Set[str] = {ERRORS_ROOT_CLASS} if ERRORS_ROOT_CLASS in bases else set()
+        changed = True
+        while changed:
+            changed = False
+            for name, base_names in bases.items():
+                if name not in derived and any(b in derived for b in base_names):
+                    derived.add(name)
+                    changed = True
+        return {name: lines[name] for name in derived}
+
+    def _check_error_codes(
+        self,
+        proto_tree: ast.Module,
+        error_classes: Optional[Dict[str, int]],
+        errors_mod,
+    ) -> Iterable[Finding]:
+        registry = _find_assign(proto_tree, "ERROR_CODES")
+        if registry is None or not isinstance(registry.value, ast.Dict):
+            yield Finding(
+                PROTOCOL_MODULE, 1, CHECK_ID, "ERROR_CODES dict literal not found"
+            )
+            return
+        codes: Dict[int, str] = {}
+        names: Dict[str, int] = {}
+        for key, value in zip(registry.value.keys, registry.value.values):
+            if key is None:
+                continue
+            key_name = dotted_name(key)
+            cls_name = key_name.split(".")[-1] if key_name else "<?>"
+            lineno = key.lineno
+            if cls_name in names:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    lineno,
+                    CHECK_ID,
+                    f"ERROR_CODES lists {cls_name} more than once",
+                )
+            names[cls_name] = lineno
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, int)):
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    lineno,
+                    CHECK_ID,
+                    f"ERROR_CODES[{cls_name}] is not an integer literal",
+                )
+                continue
+            code = value.value
+            if code in codes:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    lineno,
+                    CHECK_ID,
+                    f"wire code {code} assigned to both {codes[code]} and {cls_name}",
+                )
+            else:
+                codes[code] = cls_name
+        if error_classes is None:
+            return
+        for cls_name, lineno in sorted(error_classes.items(), key=lambda kv: kv[1]):
+            if cls_name not in names:
+                yield Finding(
+                    ERRORS_MODULE,
+                    lineno,
+                    CHECK_ID,
+                    f"exception class {cls_name} has no wire code in ERROR_CODES",
+                )
+        for cls_name, lineno in sorted(names.items(), key=lambda kv: kv[1]):
+            if cls_name not in error_classes:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    lineno,
+                    CHECK_ID,
+                    f"ERROR_CODES entry {cls_name} is not an exception class "
+                    f"defined in repro/errors.py",
+                )
+
+    # -- struct formats and length literals -------------------------------
+    def _collect_struct_sizes(
+        self, tree: ast.Module, findings: List[Finding]
+    ) -> Dict[str, int]:
+        sizes: Dict[str, int] = {}
+        for stmt in tree.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            call = stmt.value
+            if not (
+                isinstance(call, ast.Call)
+                and dotted_name(call.func) in ("struct.Struct", "Struct")
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                continue
+            fmt = call.args[0].value
+            try:
+                sizes[target.id] = struct_mod.calcsize(fmt)
+            except struct_mod.error as exc:
+                findings.append(
+                    Finding(
+                        PROTOCOL_MODULE,
+                        stmt.lineno,
+                        CHECK_ID,
+                        f"invalid struct format {fmt!r} for {target.id}: {exc}",
+                    )
+                )
+        return sizes
+
+    def _check_length_literals(
+        self, tree: ast.Module, struct_sizes: Dict[str, int]
+    ) -> Iterable[Finding]:
+        """Verify ``_LEN.pack(K + len(x)) + _Y.pack(...) + x`` chains.
+
+        The integer literal K restates the combined fixed size of the other
+        struct packs in the same concatenation; drifting one without the
+        other corrupts every frame on the wire.
+        """
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.Add):
+                continue  # only inspect maximal chains
+            operands = flatten_add(node)
+            literal = self._find_length_literal(operands, struct_sizes)
+            if literal is None:
+                continue
+            length_call, k = literal
+            expected = 0
+            for operand in operands:
+                if operand is length_call:
+                    continue
+                size = self._pack_size(operand, struct_sizes)
+                if size is not None:
+                    expected += size
+            if expected and expected != k:
+                yield Finding(
+                    PROTOCOL_MODULE,
+                    length_call.lineno,
+                    CHECK_ID,
+                    f"length literal {k} disagrees with the {expected}-byte fixed "
+                    f"header packed alongside it",
+                )
+
+    def _find_length_literal(self, operands, struct_sizes):
+        """A ``_X.pack(K + len(...))`` operand, if the chain has one."""
+        for operand in operands:
+            if not (isinstance(operand, ast.Call) and len(operand.args) == 1):
+                continue
+            name = dotted_name(operand.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            if parts[-1] != "pack" or parts[0] not in struct_sizes:
+                continue
+            arg_terms = flatten_add(operand.args[0])
+            consts = [
+                t.value
+                for t in arg_terms
+                if isinstance(t, ast.Constant) and isinstance(t.value, int)
+            ]
+            has_len = any(
+                isinstance(t, ast.Call)
+                and isinstance(t.func, ast.Name)
+                and t.func.id == "len"
+                for t in arg_terms
+            )
+            if len(consts) == 1 and has_len:
+                return operand, consts[0]
+        return None
+
+    def _pack_size(self, operand: ast.expr, struct_sizes: Dict[str, int]) -> Optional[int]:
+        if not isinstance(operand, ast.Call):
+            return None
+        name = dotted_name(operand.func)
+        if not name:
+            return None
+        parts = name.split(".")
+        if parts[-1] == "pack" and parts[0] in struct_sizes:
+            return struct_sizes[parts[0]]
+        return None
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _find_assign(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                # Normalise to the Assign shape the callers expect.
+                fake = ast.Assign(targets=[stmt.target], value=stmt.value)
+                fake.lineno = stmt.lineno
+                return fake if stmt.value is not None else None
+    return None

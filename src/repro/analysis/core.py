@@ -1,0 +1,208 @@
+"""Core datatypes for the static-analysis pass.
+
+Everything here is deliberately dependency-free: checkers operate on plain
+``ast`` trees and return :class:`Finding` values; the runner owns file
+walking, suppression filtering, and baseline bookkeeping.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple, runtime_checkable
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceModule",
+    "load_baseline",
+    "parse_suppressions",
+    "write_baseline",
+]
+
+#: Matches ``# repro: ignore`` and ``# repro: ignore[check-a, check-b]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a checker.
+
+    ``path`` is POSIX-style and relative to the analysis root (the ``repro``
+    package directory), so fingerprints are stable across machines.
+    """
+
+    path: str
+    line: int
+    check_id: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers are deliberately excluded so that
+        unrelated edits above a known finding do not un-baseline it."""
+        return (self.check_id, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check_id,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line -> set of suppressed check ids, or None meaning "all checks".
+    suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, check_id: str) -> bool:
+        ids = self.suppressions.get(line, _MISSING)
+        if ids is _MISSING:
+            return False
+        return ids is None or check_id in ids
+
+
+_MISSING: object = object()
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Extract ``# repro: ignore[...]`` comments, keyed by 1-based line.
+
+    A bare ``# repro: ignore`` suppresses every check on that line; the
+    bracketed form suppresses only the listed check ids.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group(1)
+        if ids is None:
+            out[lineno] = None
+        else:
+            parsed = {part.strip() for part in ids.split(",") if part.strip()}
+            out[lineno] = parsed or None
+    return out
+
+
+class Project:
+    """The parsed source tree handed to every checker.
+
+    Each ``*.py`` file under ``root`` is parsed exactly once; checkers share
+    the trees.  Files that fail to parse become ``parse-error`` findings
+    rather than aborting the run.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        modules: List[SourceModule],
+        snapshot_path: Optional[Path] = None,
+    ) -> None:
+        self.root = root
+        self.modules = modules
+        self.snapshot_path = snapshot_path
+        self.parse_failures: List[Finding] = []
+        self._by_relpath = {module.relpath: module for module in modules}
+
+    @classmethod
+    def load(cls, root: Path, snapshot_path: Optional[Path] = None) -> "Project":
+        root = Path(root)
+        modules: List[SourceModule] = []
+        failures: List[Finding] = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                failures.append(
+                    Finding(
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        check_id="parse-error",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            modules.append(
+                SourceModule(
+                    path=path,
+                    relpath=relpath,
+                    source=source,
+                    tree=tree,
+                    suppressions=parse_suppressions(source),
+                )
+            )
+        project = cls(root, modules, snapshot_path=snapshot_path)
+        project.parse_failures = failures
+        return project
+
+    def module(self, relpath: str) -> Optional[SourceModule]:
+        return self._by_relpath.get(relpath)
+
+    def iter_modules(self, prefix: str = "") -> Iterable[SourceModule]:
+        for module in self.modules:
+            if module.relpath.startswith(prefix):
+                yield module
+
+
+@runtime_checkable
+class Checker(Protocol):
+    """Every checker exposes an id, a one-line description, and ``run``."""
+
+    check_id: str
+    description: str
+
+    def run(self, project: Project) -> Iterable[Finding]: ...
+
+
+# ---------------------------------------------------------------------------
+# Baseline files
+# ---------------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """Read a baseline file; returns the recorded fingerprints.
+
+    Baselines identify findings by (check, path, message) — not line — so
+    they survive unrelated edits.  An unreadable or wrong-version file raises
+    ``ValueError`` so a stale baseline cannot silently mask findings.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file: {path}")
+    out: List[Tuple[str, str, str]] = []
+    for entry in data.get("findings", []):
+        out.append((str(entry["check"]), str(entry["path"]), str(entry["message"])))
+    return out
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    entries = [
+        {"check": f.check_id, "path": f.path, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

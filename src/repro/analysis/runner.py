@@ -1,0 +1,141 @@
+"""Run the registered checkers over a source tree and report.
+
+The runner owns everything around the checkers: loading/parsing the tree
+once, filtering ``# repro: ignore[...]`` suppressions, applying the
+baseline, and shaping the report the CLI renders (text or JSON).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import Checker, Finding, Project, load_baseline
+
+__all__ = ["AnalysisReport", "default_root", "default_snapshot_path", "run_checks"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run.
+
+    ``findings`` are the *new* findings (not suppressed, not baselined) —
+    the ones that should fail CI.
+    """
+
+    root: str
+    checkers: List[str]
+    findings: List[Finding]
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "root": self.root,
+            "checkers": list(self.checkers),
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "counts": {
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in sorted(self.findings):
+            lines.append(
+                f"{finding.location}: {finding.severity}: "
+                f"[{finding.check_id}] {finding.message}"
+            )
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        summary = f"{len(self.findings)} new {noun}"
+        extras = []
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def default_root() -> Path:
+    """The tree to analyse: ``src/repro`` when run from a checkout,
+    otherwise the installed package directory."""
+    checkout = Path("src") / "repro"
+    if checkout.is_dir():
+        return checkout
+    return Path(__file__).resolve().parent.parent
+
+
+def default_snapshot_path(root: Path) -> Optional[Path]:
+    """Locate ``tests/test_api_surface.py`` next to the analysed tree."""
+    candidates = (
+        Path("tests") / "test_api_surface.py",
+        Path(root).resolve().parent.parent / "tests" / "test_api_surface.py",
+    )
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run_checks(
+    root: Path,
+    checkers: Optional[Sequence[Checker]] = None,
+    baseline_path: Optional[Path] = None,
+    snapshot_path: Optional[Path] = None,
+) -> AnalysisReport:
+    if checkers is None:
+        from repro.analysis.checks import default_checkers
+
+        checkers = default_checkers()
+    root = Path(root)
+    if snapshot_path is None:
+        snapshot_path = default_snapshot_path(root)
+    project = Project.load(root, snapshot_path=snapshot_path)
+
+    raw: List[Finding] = list(project.parse_failures)
+    for checker in checkers:
+        raw.extend(checker.run(project))
+
+    suppressed = 0
+    visible: List[Finding] = []
+    for finding in raw:
+        module = project.module(finding.path)
+        if module is not None and module.is_suppressed(finding.line, finding.check_id):
+            suppressed += 1
+        else:
+            visible.append(finding)
+
+    baselined: List[Finding] = []
+    if baseline_path is not None and Path(baseline_path).is_file():
+        budget = Counter(load_baseline(Path(baseline_path)))
+        remaining: List[Finding] = []
+        for finding in visible:
+            key = finding.fingerprint()
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                remaining.append(finding)
+        visible = remaining
+
+    return AnalysisReport(
+        root=str(root),
+        checkers=[checker.check_id for checker in checkers],
+        findings=visible,
+        baselined=baselined,
+        suppressed=suppressed,
+    )

@@ -46,6 +46,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import json
 import signal
 import sys
 from pathlib import Path
@@ -77,6 +78,7 @@ __all__ = [
     "rebalance_main",
     "search_main",
     "stats_main",
+    "check_main",
     "main",
 ]
 
@@ -993,6 +995,98 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
         client.close()
 
 
+def check_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the project's static-analysis pass (see repro.analysis)."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Run the AST-based project-invariant checkers (protocol "
+            "registry, async purity, lock discipline, API-surface drift) "
+            "over the repro source tree.  Exits 1 when new findings exist; "
+            "findings recorded in --baseline or suppressed with a "
+            "'# repro: ignore[check-id]' comment do not fail the run."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        metavar="PATH",
+        help="source tree to analyse (default: src/repro, else the installed package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of known findings to mask (JSON)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated check ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered checkers and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from .analysis import default_checkers, run_checks, write_baseline
+    from .analysis.runner import default_root
+
+    checkers = default_checkers()
+    if args.list:
+        width = max(len(c.check_id) for c in checkers)
+        for checker in checkers:
+            print(f"{checker.check_id:<{width}}  {checker.description}")
+        return 0
+
+    if args.select is not None:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        known = {c.check_id for c in checkers}
+        unknown = wanted - known
+        if unknown:
+            parser.error(
+                f"unknown check ids: {', '.join(sorted(unknown))} "
+                f"(expected some of: {', '.join(sorted(known))})"
+            )
+        checkers = [c for c in checkers if c.check_id in wanted]
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline PATH")
+
+    root = Path(args.root) if args.root is not None else default_root()
+    if not root.is_dir():
+        print(f"repro check: no such source tree: {root}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        report = run_checks(root, checkers=checkers)
+        write_baseline(Path(args.baseline), report.findings)
+        noun = "finding" if len(report.findings) == 1 else "findings"
+        print(f"wrote {len(report.findings)} {noun} to {args.baseline}")
+        return 0
+
+    baseline = Path(args.baseline) if args.baseline is not None else None
+    report = run_checks(root, checkers=checkers, baseline_path=baseline)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 _SUBCOMMANDS = {
     "corpus": corpus_main,
     "compress": compress_main,
@@ -1005,6 +1099,7 @@ _SUBCOMMANDS = {
     "rebalance": rebalance_main,
     "search": search_main,
     "stats": stats_main,
+    "check": check_main,
 }
 
 

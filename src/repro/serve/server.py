@@ -1014,16 +1014,26 @@ class BackgroundServer:
         self._thread.start()
 
         async def boot() -> RlzServer:
+            # Archive opens read container headers and dictionaries off
+            # disk; keep them off the event loop so the loop stays
+            # responsive from its very first request.
+            loop = asyncio.get_running_loop()
             if isinstance(self._source, Mapping):
-                server = RlzServer.open_many(
-                    self._source,
-                    self._config,
-                    default=self._default,
-                    max_workers=self._max_workers,
+                server = await loop.run_in_executor(
+                    None,
+                    lambda: RlzServer.open_many(
+                        self._source,
+                        self._config,
+                        default=self._default,
+                        max_workers=self._max_workers,
+                    ),
                 )
             else:
-                server = RlzServer.open(
-                    self._source, self._config, max_workers=self._max_workers
+                server = await loop.run_in_executor(
+                    None,
+                    lambda: RlzServer.open(
+                        self._source, self._config, max_workers=self._max_workers
+                    ),
                 )
             await server.start()
             return server

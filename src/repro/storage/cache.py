@@ -592,10 +592,14 @@ class SharedMemoryCache:
 
     def close(self) -> None:
         """Release the mapping; the creator also unlinks the segment."""
-        if self._closed:
-            return
-        self._closed = True
-        self._release_views()
+        # The view arrays are mutated under self._lock by put()/clear();
+        # dropping them must hold the same lock or a concurrent writer can
+        # observe a half-released handle.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._release_views()
         release_segment(self._segment, unlink=self._owner)
 
     def __enter__(self) -> "SharedMemoryCache":

@@ -1,0 +1,29 @@
+"""Fixture helpers for the static-analysis battery.
+
+Checker tests run against miniature fake source trees written into
+``tmp_path`` with the same relative layout the real checkers key on
+(``serve/protocol.py``, ``errors.py``, ``storage/cache.py``, package
+``__init__`` files), so each fixture exercises exactly one invariant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+
+@pytest.fixture
+def fake_tree(tmp_path):
+    """Write ``{relpath: source}`` dicts as a fake repro package tree."""
+
+    def build(files: Dict[str, str]) -> Path:
+        root = tmp_path / "fakepkg"
+        for relpath, source in files.items():
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return root
+
+    return build

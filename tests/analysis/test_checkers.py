@@ -1,0 +1,497 @@
+"""True-positive and true-negative fixtures for each checker.
+
+Every checker gets at least one fixture that *only* passes because its
+detection logic exists (the true positives) and fixtures proving the
+escape hatches don't silence real code (the true negatives).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_checks
+from repro.analysis.checks import (
+    ApiSurfaceChecker,
+    AsyncPurityChecker,
+    LockDisciplineChecker,
+    ProtocolRegistryChecker,
+)
+
+
+def _run(fake_tree, files, checker, snapshot_path=None):
+    root = fake_tree({k: textwrap.dedent(v) for k, v in files.items()})
+    report = run_checks(root, checkers=[checker], snapshot_path=snapshot_path)
+    return report.findings
+
+
+# ---------------------------------------------------------------------------
+# protocol-registry
+# ---------------------------------------------------------------------------
+
+GOOD_ERRORS = """
+    class ReproError(Exception):
+        pass
+
+    class StorageError(ReproError):
+        pass
+"""
+
+GOOD_PROTOCOL = """
+    import struct
+    from typing import Dict, Type
+    from repro import errors
+
+    _LEN = struct.Struct("!I")
+    _U8 = struct.Struct("!B")
+    _OP_REQ = struct.Struct("!BI")
+
+    class Opcode:
+        HELLO = 0x01
+        R_HELLO = 0x81
+        R_ERROR = 0xFF
+
+    ERROR_CODES: Dict[Type[BaseException], int] = {
+        errors.ReproError: 1,
+        errors.StorageError: 2,
+    }
+
+    def encode_frame(opcode, payload=b""):
+        return _LEN.pack(1 + len(payload)) + _U8.pack(opcode) + payload
+
+    def encode_frame2(opcode, request_id, payload=b""):
+        return _LEN.pack(5 + len(payload)) + _OP_REQ.pack(opcode, request_id) + payload
+"""
+
+
+def test_protocol_clean_fixture_has_no_findings(fake_tree):
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": GOOD_PROTOCOL, "errors.py": GOOD_ERRORS},
+        ProtocolRegistryChecker(),
+    )
+    assert findings == []
+
+
+def test_protocol_duplicate_opcode_detected(fake_tree):
+    bad = GOOD_PROTOCOL.replace("R_HELLO = 0x81", "R_HELLO = 0x01")
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": bad, "errors.py": GOOD_ERRORS},
+        ProtocolRegistryChecker(),
+    )
+    assert any("reuses value 0x01" in f.message for f in findings)
+
+
+def test_protocol_duplicate_wire_code_detected(fake_tree):
+    bad = GOOD_PROTOCOL.replace("errors.StorageError: 2", "errors.StorageError: 1")
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": bad, "errors.py": GOOD_ERRORS},
+        ProtocolRegistryChecker(),
+    )
+    assert any(
+        "wire code 1 assigned to both ReproError and StorageError" in f.message
+        for f in findings
+    )
+
+
+def test_protocol_unregistered_error_class_detected(fake_tree):
+    errors_src = textwrap.dedent(GOOD_ERRORS) + "\n\nclass DecodingError(ReproError):\n    pass\n"
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": GOOD_PROTOCOL, "errors.py": errors_src},
+        ProtocolRegistryChecker(),
+    )
+    assert any(
+        "DecodingError has no wire code" in f.message and f.path == "errors.py"
+        for f in findings
+    )
+
+
+def test_protocol_stale_registry_entry_detected(fake_tree):
+    errors_src = GOOD_ERRORS.replace("class StorageError", "class RenamedError")
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": GOOD_PROTOCOL, "errors.py": errors_src},
+        ProtocolRegistryChecker(),
+    )
+    messages = [f.message for f in findings]
+    assert any("StorageError is not an exception class" in m for m in messages)
+    assert any("RenamedError has no wire code" in m for m in messages)
+
+
+def test_protocol_invalid_struct_format_detected(fake_tree):
+    bad = GOOD_PROTOCOL.replace('struct.Struct("!B")', 'struct.Struct("!Z")')
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": bad, "errors.py": GOOD_ERRORS},
+        ProtocolRegistryChecker(),
+    )
+    assert any("invalid struct format '!Z'" in f.message for f in findings)
+
+
+def test_protocol_length_literal_drift_detected(fake_tree):
+    # The classic append-a-field bug: the header grows but the literal in
+    # the length prefix doesn't.
+    bad = GOOD_PROTOCOL.replace("_LEN.pack(5 + len(payload))", "_LEN.pack(4 + len(payload))")
+    findings = _run(
+        fake_tree,
+        {"serve/protocol.py": bad, "errors.py": GOOD_ERRORS},
+        ProtocolRegistryChecker(),
+    )
+    assert any(
+        "length literal 4 disagrees with the 5-byte fixed header" in f.message
+        for f in findings
+    )
+
+
+# ---------------------------------------------------------------------------
+# async-purity
+# ---------------------------------------------------------------------------
+
+
+def test_async_blocking_sleep_detected(fake_tree):
+    src = """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+    """
+    findings = _run(fake_tree, {"serve/server.py": src}, AsyncPurityChecker())
+    assert [f.check_id for f in findings] == ["async-purity"]
+    assert "time.sleep()" in findings[0].message
+
+
+def test_async_blocking_detected_through_import_alias(fake_tree):
+    src = """
+        from time import sleep
+
+        async def handler():
+            sleep(0.1)
+    """
+    findings = _run(fake_tree, {"api/front.py": src}, AsyncPurityChecker())
+    assert len(findings) == 1 and "time.sleep()" in findings[0].message
+
+
+def test_async_store_read_and_open_detected(fake_tree):
+    src = """
+        class Server:
+            async def dispatch(self, doc_id):
+                archive = RlzArchive.open("/tmp/a")
+                return self._store.get(doc_id)
+    """
+    findings = _run(fake_tree, {"serve/server.py": src}, AsyncPurityChecker())
+    labels = sorted(f.message.split(" inside")[0] for f in findings)
+    assert labels == [
+        "blocking call RlzArchive.open()",
+        "blocking call _store.get()",
+    ]
+
+
+def test_async_builtin_open_and_subprocess_detected(fake_tree):
+    src = """
+        import subprocess
+
+        async def dump(path):
+            with open(path, "wb") as fh:
+                fh.write(b"x")
+            subprocess.run(["sync"])
+    """
+    findings = _run(fake_tree, {"serve/tool.py": src}, AsyncPurityChecker())
+    labels = {f.message.split(" inside")[0] for f in findings}
+    assert labels == {"blocking call open()", "blocking call subprocess.run()"}
+
+
+def test_async_executor_thunks_are_exempt(fake_tree):
+    # Blocking names inside a lambda or nested sync def run off-loop: the
+    # canonical run_in_executor shapes must stay clean.
+    src = """
+        import asyncio
+        import time
+
+        async def handler(loop, store, doc_id):
+            await loop.run_in_executor(None, lambda: time.sleep(0.1))
+            def _read():
+                with open("/tmp/x", "rb") as fh:
+                    return fh.read()
+            data = await loop.run_in_executor(None, _read)
+            return await loop.run_in_executor(None, store.get, doc_id)
+    """
+    findings = _run(fake_tree, {"serve/server.py": src}, AsyncPurityChecker())
+    assert findings == []
+
+
+def test_async_sync_functions_and_out_of_scope_files_exempt(fake_tree):
+    blocking_async = """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+    """
+    sync_src = """
+        import time
+
+        def handler():
+            time.sleep(0.1)
+    """
+    findings = _run(
+        fake_tree,
+        # Same blocking coroutine outside serve// api/ is out of contract.
+        {"bench/loop.py": blocking_async, "serve/sync.py": sync_src},
+        AsyncPurityChecker(),
+    )
+    assert findings == []
+
+
+def test_async_dict_get_not_confused_with_store_get(fake_tree):
+    src = """
+        async def handler(self, doc_id):
+            waiter = self._inflight.get(doc_id)
+            spec = {}.get("x")
+            return waiter, spec
+    """
+    findings = _run(fake_tree, {"serve/server.py": src}, AsyncPurityChecker())
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+LOCKED_CLASS = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._reset()
+
+        def _reset(self):
+            self._count = 0
+
+        def inc(self):
+            with self._lock:
+                self._count += 1
+                self._bump(1)
+
+        def also_inc(self):
+            with self._lock:
+                self._bump(1)
+
+        def _bump(self, amount):
+            # "caller holds the lock" helper
+            self._count += amount
+"""
+
+
+def test_lock_clean_class_with_lock_held_helper(fake_tree):
+    findings = _run(fake_tree, {"storage/cache.py": LOCKED_CLASS}, LockDisciplineChecker())
+    assert findings == []
+
+
+def test_lock_unguarded_mutation_detected(fake_tree):
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def inc(self):
+                with self._lock:
+                    self._count += 1
+
+            def clear(self):
+                self._count = 0
+    """
+    findings = _run(fake_tree, {"storage/cache.py": src}, LockDisciplineChecker())
+    assert len(findings) == 1
+    assert "Cache.clear mutates self._count without holding self._lock" in findings[0].message
+
+
+def test_lock_helper_with_one_unlocked_call_site_detected(fake_tree):
+    # The lock-held fixpoint must not excuse _bump if any call site lacks
+    # the lock.
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def inc(self):
+                with self._lock:
+                    self._count += 1
+                    self._bump(1)
+
+            def also_inc(self):
+                self._bump(1)
+
+            def _bump(self, amount):
+                self._count += amount
+    """
+    findings = _run(fake_tree, {"storage/cache.py": src}, LockDisciplineChecker())
+    assert len(findings) == 1
+    assert "_bump mutates self._count" in findings[0].message
+
+
+def test_lock_subscript_store_through_attribute_chain_detected(fake_tree):
+    src = """
+        import threading
+
+        class Ring:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._slots = bytearray(8)
+
+            def put(self, i, b):
+                with self._lock:
+                    self._slots[i] = b
+
+            def wipe(self):
+                self._slots[0] = 0
+    """
+    findings = _run(fake_tree, {"storage/cache.py": src}, LockDisciplineChecker())
+    assert len(findings) == 1 and "Ring.wipe" in findings[0].message
+
+
+def test_lock_unguarded_attrs_and_lockless_classes_exempt(fake_tree):
+    src = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._guarded = 0
+                self._free = 0
+
+            def tick(self):
+                with self._lock:
+                    self._guarded += 1
+                self._free += 1  # never guarded anywhere: not part of the contract
+
+        class NoLock:
+            def __init__(self):
+                self._n = 0
+
+            def bump(self):
+                self._n += 1
+    """
+    findings = _run(fake_tree, {"storage/cache.py": src}, LockDisciplineChecker())
+    assert findings == []
+
+
+def test_lock_checker_only_scans_target_modules(fake_tree):
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def inc(self):
+                with self._lock:
+                    self._count += 1
+
+            def clear(self):
+                self._count = 0
+    """
+    findings = _run(fake_tree, {"serve/cache.py": src}, LockDisciplineChecker())
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# api-surface
+# ---------------------------------------------------------------------------
+
+SNAPSHOT = """
+    TOP_LEVEL_EXPORTS = {
+        "Alpha",
+        "Beta",
+    }
+"""
+
+
+def _snapshot_file(tmp_path, source=SNAPSHOT):
+    path = tmp_path / "snapshot_test.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_api_surface_matching_snapshot_is_clean(fake_tree, tmp_path):
+    findings = _run(
+        fake_tree,
+        {"__init__.py": '__all__ = ["Alpha", "Beta"]\n'},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert findings == []
+
+
+def test_api_surface_undocumented_addition_detected(fake_tree, tmp_path):
+    findings = _run(
+        fake_tree,
+        {"__init__.py": '__all__ = ["Alpha", "Beta", "Gamma"]\n'},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert len(findings) == 1
+    assert "'Gamma' is not in the TOP_LEVEL_EXPORTS snapshot" in findings[0].message
+
+
+def test_api_surface_removal_detected(fake_tree, tmp_path):
+    findings = _run(
+        fake_tree,
+        {"__init__.py": '__all__ = ["Alpha"]\n'},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert len(findings) == 1
+    assert "'Beta' was removed" in findings[0].message
+
+
+def test_api_surface_duplicate_export_detected(fake_tree, tmp_path):
+    findings = _run(
+        fake_tree,
+        {"__init__.py": '__all__ = ["Alpha", "Alpha", "Beta"]\n'},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert len(findings) == 1 and "more than once" in findings[0].message
+
+
+def test_api_surface_augmented_all_is_followed(fake_tree, tmp_path):
+    src = '__all__ = ["Alpha"]\n__all__ += ["Beta"]\n'
+    findings = _run(
+        fake_tree,
+        {"__init__.py": src},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert findings == []
+
+
+def test_api_surface_non_literal_all_is_flagged(fake_tree, tmp_path):
+    src = "_names = [\"Alpha\"]\n__all__ = sorted(_names)\n"
+    findings = _run(
+        fake_tree,
+        {"__init__.py": src},
+        ApiSurfaceChecker(),
+        snapshot_path=_snapshot_file(tmp_path),
+    )
+    assert len(findings) == 1 and "not a literal list" in findings[0].message
+
+
+def test_api_surface_skipped_without_snapshot(fake_tree):
+    # Running against an installed package with no test tree: duplicates
+    # are still caught, drift is not (nothing to diff against).
+    from repro.analysis import Project
+
+    root = fake_tree({"__init__.py": '__all__ = ["Alpha", "Zeta", "Zeta"]\n'})
+    project = Project.load(root, snapshot_path=None)
+    findings = list(ApiSurfaceChecker().run(project))
+    assert len(findings) == 1 and "more than once" in findings[0].message

@@ -1,0 +1,97 @@
+"""The shipped tree passes its own static analysis (acceptance gate).
+
+This file is also the regression net for the true positives the pass
+surfaced when first run (blocking archive opens in BackgroundServer's boot
+coroutine; SharedMemoryCache.close releasing lock-guarded views without
+the lock): reintroducing either flips the corresponding test here red.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_checks
+from repro.analysis.checks import default_checkers
+from repro.analysis.runner import default_root, default_snapshot_path
+from repro.serve import BackgroundServer
+from repro.storage import SharedMemoryCache
+
+REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+
+def _root() -> Path:
+    return REPO_SRC if REPO_SRC.is_dir() else default_root()
+
+
+def test_tree_is_clean_with_no_baseline():
+    report = run_checks(_root(), snapshot_path=default_snapshot_path(_root()))
+    assert report.ok, "\n" + report.render_text()
+
+
+@pytest.mark.parametrize("checker", default_checkers(), ids=lambda c: c.check_id)
+def test_tree_is_clean_per_checker(checker):
+    report = run_checks(
+        _root(), checkers=[checker], snapshot_path=default_snapshot_path(_root())
+    )
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_background_server_opens_archives_off_the_event_loop(monkeypatch):
+    """Regression: boot() used to call RlzServer.open on the loop thread,
+    blocking the brand-new event loop on disk I/O."""
+    from repro.serve import server as server_mod
+
+    observed = {}
+
+    class _StubServer:
+        host, port = "127.0.0.1", 0
+
+        async def start(self):
+            pass
+
+        async def close(self):
+            pass
+
+        def stats(self):
+            return {}
+
+    def fake_open(*args, **kwargs):
+        try:
+            asyncio.get_running_loop()
+            observed["on_loop"] = True
+        except RuntimeError:
+            observed["on_loop"] = False
+        return _StubServer()
+
+    monkeypatch.setattr(server_mod.RlzServer, "open", staticmethod(fake_open))
+    server = BackgroundServer("/nonexistent/archive")
+    server.start()
+    try:
+        assert observed == {"on_loop": False}
+    finally:
+        server.stop()
+
+
+def test_shared_memory_cache_close_holds_the_lock():
+    """Regression: close() used to drop the lock-guarded view arrays
+    without taking self._lock, racing concurrent put()/clear()."""
+    cache = SharedMemoryCache(slots=2, slot_bytes=64)
+    real_lock = cache._lock
+    acquisitions = []
+
+    class _Probe:
+        def __enter__(self):
+            acquisitions.append(threading.current_thread().name)
+            return real_lock.__enter__()
+
+        def __exit__(self, *exc_info):
+            return real_lock.__exit__(*exc_info)
+
+    cache._lock = _Probe()
+    cache.close()
+    assert acquisitions, "close() must hold self._lock while releasing views"
+    cache.close()  # idempotent under the lock too

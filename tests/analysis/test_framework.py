@@ -1,0 +1,221 @@
+"""Framework behavior: suppressions, baselines, JSON schema, exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Project,
+    load_baseline,
+    parse_suppressions,
+    run_checks,
+    write_baseline,
+)
+from repro.analysis.checks import AsyncPurityChecker, default_checkers
+from repro.cli import check_main
+
+BLOCKING = """
+    import time
+
+    async def handler():
+        time.sleep(0.1)
+"""
+
+CLEAN = """
+    import asyncio
+
+    async def handler():
+        await asyncio.sleep(0.1)
+"""
+
+
+def _tree(fake_tree, source=BLOCKING, relpath="serve/server.py"):
+    return fake_tree({relpath: textwrap.dedent(source)})
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_parse_suppressions_forms():
+    source = (
+        "x = 1  # repro: ignore\n"
+        "y = 2  # repro: ignore[async-purity, lock-discipline]\n"
+        "z = 3  # unrelated comment\n"
+    )
+    parsed = parse_suppressions(source)
+    assert parsed == {1: None, 2: {"async-purity", "lock-discipline"}}
+
+
+def test_suppression_comment_masks_finding(fake_tree):
+    source = BLOCKING.replace(
+        "time.sleep(0.1)", "time.sleep(0.1)  # repro: ignore[async-purity]"
+    )
+    report = run_checks(_tree(fake_tree, source), checkers=[AsyncPurityChecker()])
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_bare_suppression_masks_all_checks(fake_tree):
+    source = BLOCKING.replace("time.sleep(0.1)", "time.sleep(0.1)  # repro: ignore")
+    report = run_checks(_tree(fake_tree, source), checkers=[AsyncPurityChecker()])
+    assert report.ok and report.suppressed == 1
+
+
+def test_suppression_for_other_check_does_not_mask(fake_tree):
+    source = BLOCKING.replace(
+        "time.sleep(0.1)", "time.sleep(0.1)  # repro: ignore[lock-discipline]"
+    )
+    report = run_checks(_tree(fake_tree, source), checkers=[AsyncPurityChecker()])
+    assert not report.ok
+    assert report.suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_masks_old_but_not_new_findings(fake_tree, tmp_path):
+    root = _tree(fake_tree)
+    baseline = tmp_path / "baseline.json"
+
+    first = run_checks(root, checkers=[AsyncPurityChecker()])
+    assert len(first.findings) == 1
+    write_baseline(baseline, first.findings)
+
+    # The recorded finding no longer fails the run...
+    second = run_checks(root, checkers=[AsyncPurityChecker()], baseline_path=baseline)
+    assert second.ok
+    assert [f.fingerprint() for f in second.baselined] == [
+        first.findings[0].fingerprint()
+    ]
+
+    # ...but a new blocking call in the same file still does.
+    source = textwrap.dedent(BLOCKING) + "\n\nasync def other():\n    time.sleep(0.2)\n"
+    (root / "serve" / "server.py").write_text(source, encoding="utf-8")
+    third = run_checks(root, checkers=[AsyncPurityChecker()], baseline_path=baseline)
+    assert len(third.findings) == 1
+    assert "async def other" in third.findings[0].message
+    assert len(third.baselined) == 1
+
+
+def test_baseline_survives_line_shift(fake_tree, tmp_path):
+    root = _tree(fake_tree)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_checks(root, checkers=[AsyncPurityChecker()]).findings)
+
+    # Prepend unrelated code: the finding moves but stays baselined.
+    shifted = "import os\n\nUNRELATED = 1\n" + textwrap.dedent(BLOCKING)
+    (root / "serve" / "server.py").write_text(shifted, encoding="utf-8")
+    report = run_checks(root, checkers=[AsyncPurityChecker()], baseline_path=baseline)
+    assert report.ok and len(report.baselined) == 1
+
+
+def test_baseline_round_trip_and_version_guard(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [Finding("a.py", 3, "async-purity", "blocking call x()")]
+    write_baseline(path, findings)
+    assert load_baseline(path) == [("async-purity", "a.py", "blocking call x()")]
+
+    path.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# Parse failures
+# ---------------------------------------------------------------------------
+
+
+def test_unparsable_file_becomes_finding(fake_tree):
+    root = fake_tree({"serve/broken.py": "def nope(:\n"})
+    report = run_checks(root, checkers=[AsyncPurityChecker()])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.check_id == "parse-error"
+    assert finding.path == "serve/broken.py"
+
+
+def test_project_skips_pycache(fake_tree):
+    root = fake_tree(
+        {"serve/ok.py": "x = 1\n", "serve/__pycache__/junk.py": "def nope(:\n"}
+    )
+    project = Project.load(root)
+    assert [m.relpath for m in project.modules] == ["serve/ok.py"]
+    assert project.parse_failures == []
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes, JSON schema, --list, --select, --update-baseline
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_tree(fake_tree, capsys):
+    root = _tree(fake_tree, CLEAN)
+    assert check_main([str(root)]) == 0
+    assert "0 new findings" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_dirty_tree(fake_tree, capsys):
+    root = _tree(fake_tree)
+    assert check_main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "serve/server.py:5" in out and "[async-purity]" in out
+
+
+def test_cli_exit_two_on_missing_tree(tmp_path, capsys):
+    assert check_main([str(tmp_path / "nope")]) == 2
+
+
+def test_cli_json_schema_stable(fake_tree, capsys):
+    root = _tree(fake_tree)
+    assert check_main([str(root), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"version", "root", "checkers", "findings", "counts"}
+    assert payload["version"] == 1
+    assert payload["checkers"] == [c.check_id for c in default_checkers()]
+    (finding,) = payload["findings"]
+    assert set(finding) == {"check", "path", "line", "severity", "message"}
+    assert finding["check"] == "async-purity"
+    assert finding["path"] == "serve/server.py"
+    assert finding["line"] == 5
+    assert finding["severity"] == "error"
+    assert payload["counts"] == {"new": 1, "baselined": 0, "suppressed": 0}
+
+
+def test_cli_list_enumerates_checkers(capsys):
+    assert check_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for checker in default_checkers():
+        assert checker.check_id in out
+        assert checker.description.split()[0] in out
+
+
+def test_cli_select_runs_subset(fake_tree, capsys):
+    root = _tree(fake_tree)
+    assert check_main([str(root), "--select", "lock-discipline", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checkers"] == ["lock-discipline"]
+
+
+def test_cli_select_rejects_unknown_id(fake_tree):
+    root = _tree(fake_tree)
+    with pytest.raises(SystemExit) as exc_info:
+        check_main([str(root), "--select", "made-up-check"])
+    assert exc_info.value.code == 2
+
+
+def test_cli_update_baseline_then_clean(fake_tree, tmp_path, capsys):
+    root = _tree(fake_tree)
+    baseline = tmp_path / "baseline.json"
+    assert check_main([str(root), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "wrote 1 finding" in capsys.readouterr().out
+    assert check_main([str(root), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "0 new findings (1 baselined)" in out

@@ -32,3 +32,49 @@ def test_library_raises_its_own_types_not_bare_exceptions():
 
     with pytest.raises(errors.DictionaryError):
         RlzDictionary(b"")
+
+
+def test_wire_codes_globally_unique_and_cover_every_error_class():
+    import inspect
+
+    from repro.serve.protocol import ERROR_CODES
+
+    codes = list(ERROR_CODES.values())
+    assert len(codes) == len(set(codes)), "duplicate wire codes in ERROR_CODES"
+    assert all(isinstance(code, int) and code > 0 for code in codes)
+
+    defined = {
+        obj
+        for obj in vars(errors).values()
+        if inspect.isclass(obj) and issubclass(obj, errors.ReproError)
+    }
+    assert defined == set(ERROR_CODES), (
+        "every repro.errors class needs exactly one wire code "
+        "(and no stale registry entries)"
+    )
+
+
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+def test_error_frames_round_trip_every_class_on_every_protocol_version(version):
+    from repro.serve import protocol
+
+    assert (protocol.PROTOCOL_V1, protocol.PROTOCOL_VERSION) == (1, 5)
+    for error_class in protocol.ERROR_CODES:
+        exc = error_class("boom goes the wire")
+        payload = protocol.pack_error_for(exc)
+        if version == protocol.PROTOCOL_V1:
+            frame = protocol.encode_frame(protocol.Opcode.R_ERROR, payload)
+            opcode, decoded = protocol.split_frame(frame[4:])
+        elif version == protocol.PROTOCOL_V2:
+            frame = protocol.encode_frame2(protocol.Opcode.R_ERROR, 7, payload)
+            opcode, request_id, decoded = protocol.split_frame2(frame[4:])
+            assert request_id == 7
+        else:  # v3+ replies: CRC-trailed framing
+            frame = protocol.encode_reply3(protocol.Opcode.R_ERROR, 7, payload)
+            opcode, request_id, decoded = protocol.split_reply3(frame[4:])
+            assert request_id == 7
+        assert opcode == protocol.Opcode.R_ERROR
+        with pytest.raises(error_class) as exc_info:
+            protocol.raise_error_frame(decoded)
+        assert type(exc_info.value) is error_class
+        assert "boom goes the wire" in str(exc_info.value)
