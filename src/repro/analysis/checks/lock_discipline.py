@@ -28,6 +28,7 @@ TARGET_MODULES = (
     "storage/cache.py",
     "core/shm.py",
     "suffix/jump_index.py",
+    "core/parallel.py",
 )
 
 LOCK_FACTORIES = {"threading.Lock", "threading.RLock", "Lock", "RLock"}

@@ -19,9 +19,10 @@ from .experiments import (
     rlz_retrieval_table,
     sampling_policy_ablation_table,
 )
-from .fastpath import fastpath_benchmark
+from .fastpath import fastpath_benchmark, vectorized_benchmark
 from .harness import EXPERIMENTS, run_all, run_experiment
 from .cluster import cluster_benchmark
+from .loadgen import LOAD_SCALES, LoadScale, load_benchmark, load_scale
 from .network import network_benchmark
 from .reporting import ResultTable
 from .retrieval import RetrievalMeasurement, measure_retrieval
@@ -31,6 +32,8 @@ from .serving import serving_benchmark
 __all__ = [
     "BenchScale",
     "EXPERIMENTS",
+    "LOAD_SCALES",
+    "LoadScale",
     "ResultTable",
     "RetrievalMeasurement",
     "acceleration_ablation_table",
@@ -43,6 +46,8 @@ __all__ = [
     "gov_collection",
     "gov_collection_url_sorted",
     "length_histogram_figure",
+    "load_benchmark",
+    "load_scale",
     "measure_retrieval",
     "cluster_benchmark",
     "network_benchmark",
@@ -52,5 +57,6 @@ __all__ = [
     "run_experiment",
     "sampling_policy_ablation_table",
     "serving_benchmark",
+    "vectorized_benchmark",
     "wiki_collection",
 ]

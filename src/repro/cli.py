@@ -71,6 +71,7 @@ __all__ = [
     "compress_main",
     "bench_main",
     "serve_bench_main",
+    "bench_load_main",
     "serve_main",
     "get_main",
     "verify_main",
@@ -346,6 +347,85 @@ def serve_bench_main(argv: Optional[Sequence[str]] = None) -> int:
     if "served bytes verified against corpus: True" not in "\n".join(table.notes):
         print("VERIFY FAILED: served bytes did not match the corpus", file=sys.stderr)
         return 1
+    return 0
+
+
+def bench_load_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the open-loop load harness against a live server."""
+    from .bench.loadgen import LOAD_SCALES, load_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-load",
+        description=(
+            "Drive a live RlzServer with an open-loop Poisson request "
+            "stream (arrivals scheduled up front, latency measured from "
+            "the scheduled arrival — coordinated-omission-free) and report "
+            "p50/p99/p99.9 latency plus achieved-vs-offered throughput.  "
+            "The corpus/archive are built at --scale and served from a "
+            "temporary directory on a loopback socket."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=sorted(LOAD_SCALES),
+        help="corpus size rung (tiny: CI smoke, small: ~100 MB, medium: ~1 GB)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, help="offered requests/second"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, help="total requests to offer"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="arrival/choice RNG seed")
+    parser.add_argument("--scheme", default="ZZ", help="rlz pair-coding scheme")
+    parser.add_argument(
+        "--output", default="bench_results.txt", help="file to append the table to"
+    )
+    parser.add_argument(
+        "--output-json",
+        default=None,
+        help="JSON history to append the record to "
+        "(e.g. benchmarks/results/fastpath.json)",
+    )
+    parser.add_argument(
+        "--p99-bound-ms",
+        type=float,
+        default=None,
+        help="exit non-zero when p99 latency exceeds this bound (CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.rate is not None and args.rate <= 0:
+        parser.error(f"--rate must be positive, got {args.rate}")
+    if args.requests is not None and args.requests <= 0:
+        parser.error(f"--requests must be positive, got {args.requests}")
+
+    table = load_benchmark(
+        scale=args.scale,
+        rate=args.rate,
+        requests=args.requests,
+        seed=args.seed,
+        scheme=args.scheme,
+        output_json=args.output_json,
+    )
+    table.print()
+    if args.output:
+        table.save(args.output)
+        print(f"\nresults appended to {args.output}")
+
+    record = table.record
+    if record["errors"]:
+        print(f"repro bench-load: {record['errors']} failed requests", file=sys.stderr)
+        return 1
+    if args.p99_bound_ms is not None:
+        p99 = record["latency_ms"]["p99"]
+        if p99 > args.p99_bound_ms:
+            print(
+                f"repro bench-load: p99 {p99:.2f} ms exceeds bound "
+                f"{args.p99_bound_ms:.2f} ms",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -925,6 +1005,47 @@ def search_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _archive_stats(path: str, exercise: int) -> int:
+    """``repro stats --archive``: suffix-array acceleration accounting.
+
+    Prints the dictionary suffix array's :meth:`acceleration_stats` and the
+    compact jump index's probe-cache counters.  Counters are process-local,
+    so ``--exercise N`` decodes and re-factorizes the first N stored
+    documents to generate representative probe traffic first.
+    """
+    from .api import RlzArchive
+    from .core import RlzFactorizer
+
+    try:
+        archive = RlzArchive.open(path)
+    except (ReproError, OSError) as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 1
+    try:
+        dictionary = archive.store.dictionary
+        suffix_array = dictionary.suffix_array
+        exercised = 0
+        if exercise:
+            factorizer = RlzFactorizer(dictionary)
+            for doc_id in archive.doc_ids()[:exercise]:
+                for _ in factorizer.iter_factors(archive.get(doc_id)):
+                    pass
+                exercised += 1
+        stats = suffix_array.acceleration_stats()
+        probe = suffix_array.probe_cache_info()
+    finally:
+        archive.close()
+    print(f"{path} suffix-array acceleration:")
+    for key in sorted(stats):
+        print(f"  {key}={stats[key]}")
+    print(f"{path} jump-index probe cache (process-local counters):")
+    for key in sorted(probe):
+        print(f"  {key}={probe[key]}")
+    if exercise:
+        print(f"  (after re-factorizing {exercised} documents)")
+    return 0
+
+
 def stats_main(argv: Optional[Sequence[str]] = None) -> int:
     """Show a running server's load snapshot (HEALTH opcode)."""
     parser = argparse.ArgumentParser(
@@ -939,9 +1060,23 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--connect",
-        required=True,
         metavar="HOST:PORT",
         help="address of the running server",
+    )
+    parser.add_argument(
+        "--archive",
+        metavar="PATH",
+        help="local mode: print the archive dictionary's suffix-array "
+        "acceleration stats and jump-index probe-cache counters instead "
+        "of a server snapshot",
+    )
+    parser.add_argument(
+        "--exercise",
+        type=int,
+        default=0,
+        metavar="DOCS",
+        help="with --archive: re-factorize the first DOCS stored documents "
+        "first, so the probe-cache counters reflect real traffic",
     )
     parser.add_argument(
         "--watch",
@@ -951,6 +1086,13 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
         help="refresh every SECONDS until interrupted (0 = print once)",
     )
     args = parser.parse_args(argv)
+    if (args.connect is None) == (args.archive is None):
+        parser.error("exactly one of --connect or --archive is required")
+    if args.exercise < 0:
+        parser.error(f"--exercise must be non-negative, got {args.exercise}")
+
+    if args.archive is not None:
+        return _archive_stats(args.archive, args.exercise)
 
     import time as _time
 
@@ -1092,6 +1234,7 @@ _SUBCOMMANDS = {
     "compress": compress_main,
     "bench": bench_main,
     "serve-bench": serve_bench_main,
+    "bench-load": bench_load_main,
     "serve": serve_main,
     "get": get_main,
     "verify": verify_main,

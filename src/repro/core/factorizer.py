@@ -59,20 +59,20 @@ class RlzFactorizer:
         return Factorization(list(self.iter_factors(bytes(text))))
 
     def iter_factors(self, text: bytes) -> Iterator[Factor]:
-        """Yield factors of ``text`` one at a time (streaming form of ``Encode``)."""
-        suffix_array = self._suffix_array
-        position = 0
-        n = len(text)
-        while position < n:
-            match_position, match_length = suffix_array.longest_match(text, position)
-            if match_length == 0:
-                # The character does not occur in the dictionary: emit a
-                # literal factor carrying the byte value.
-                yield Factor.literal(text[position])
-                position += 1
+        """Yield factors of ``text`` one at a time (streaming form of ``Encode``).
+
+        Runs on :meth:`repro.suffix.SuffixArray.match_stream`, the same
+        engine behind :meth:`factorize_streams`, so the streaming form pays
+        the per-document setup (query keys, jump probes) once instead of
+        once per factor.
+        """
+        for position, length in self._suffix_array.match_stream(text):
+            if length == 0:
+                # The character does not occur in the dictionary: the pair
+                # carries the byte value itself.
+                yield Factor.literal(position)
             else:
-                yield Factor.copy(match_position, match_length)
-                position += match_length
+                yield Factor.copy(position, length)
 
     def factorize_streams(self, text: bytes) -> Tuple[List[int], List[int]]:
         """The parse of ``text`` as parallel (positions, lengths) streams.

@@ -14,8 +14,13 @@ index, suffix-array list) is shared with the workers read-only:
   ``multiprocessing.shared_memory`` segments; each worker *attaches* to the
   segments and wraps the arrays with
   :meth:`repro.suffix.SuffixArray.from_precomputed` instead of re-running
-  the O(n log n) suffix-array construction per worker.  The segments are
-  closed and unlinked when the pool shuts down — including when pool
+  the O(n log n) suffix-array construction per worker.  By default the
+  published segments live in a process-wide *segment pool*
+  (``persistent_segments=True``) so repeated batch encodes against the
+  same dictionary reuse one publication; they are unlinked when the
+  dictionary is collected or the process exits.  With
+  ``persistent_segments=False`` each run publishes its own segments and
+  unlinks them when its pool shuts down — including when pool
   construction itself fails;
 * if shared memory is unavailable (or disabled with ``share_memory=False``)
   the ``spawn`` path falls back to shipping the dictionary bytes once per
@@ -29,8 +34,11 @@ time.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,7 +50,7 @@ from .encoder import PairEncoder
 from .factorizer import RlzFactorizer
 from .shm import attach_segment, release_segment
 
-__all__ = ["ParallelCompressor", "resolve_workers"]
+__all__ = ["ParallelCompressor", "resolve_workers", "segment_pool_stats"]
 
 #: Worker-process state: (factorizer, encoder), set by the pool initializer.
 _WORKER_STATE: Optional[Tuple[RlzFactorizer, PairEncoder]] = None
@@ -159,6 +167,108 @@ class _SharedDictionary:
         segments, self._segments = self._segments, []
         for segment in segments:
             release_segment(segment, unlink=True)
+
+
+class _SegmentPool:
+    """Process-wide cache of published shared-memory dictionaries.
+
+    Publishing a dictionary copies its bytes plus the prebuilt suffix-array
+    acceleration arrays into ``/dev/shm`` — for a paper-scale dictionary
+    that is hundreds of MB per :meth:`ParallelCompressor._run_pool` call.
+    Repeated batch encodes against the *same* dictionary object (the common
+    shape: one compressor, many document batches) can reuse the published
+    segments instead, so the pool keeps them alive across runs:
+
+    - entries are keyed by dictionary identity and evicted by a
+      ``weakref.finalize`` on the dictionary, so a collected dictionary
+      cannot leave segments behind (nor can a recycled ``id()`` alias a
+      stale entry);
+    - a process-exit hook clears whatever survives, matching the
+      one-publication-per-run cleanup guarantee of the non-pooled path;
+    - ``clear()`` releases everything eagerly (tests, long-lived servers
+      rotating dictionaries).
+
+    All bookkeeping is guarded by one lock; the expensive publish itself
+    runs outside it, with a second lookup resolving publish races (the
+    loser unlinks its duplicate).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[int, _SharedDictionary] = {}
+        self._finalizers: Dict[int, object] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def acquire(self, dictionary: RlzDictionary) -> _SharedDictionary:
+        """The pooled shared handle for ``dictionary``, publishing on miss."""
+        key = id(dictionary)
+        with self._lock:
+            shared = self._entries.get(key)
+            if shared is not None:
+                self._hits += 1
+                return shared
+        published = _SharedDictionary.publish(dictionary)
+        duplicate = None
+        with self._lock:
+            shared = self._entries.get(key)
+            if shared is not None:
+                # Lost a publish race: keep the first handle, drop ours.
+                self._hits += 1
+                duplicate = published
+            else:
+                self._misses += 1
+                self._entries[key] = published
+                self._finalizers[key] = weakref.finalize(
+                    dictionary, self._evict, key
+                )
+                shared = published
+        if duplicate is not None:
+            duplicate.cleanup()
+        return shared
+
+    def _evict(self, key: int) -> None:
+        with self._lock:
+            shared = self._entries.pop(key, None)
+            finalizer = self._finalizers.pop(key, None)
+        if finalizer is not None:
+            finalizer.detach()
+        if shared is not None:
+            shared.cleanup()
+
+    def clear(self) -> None:
+        """Unlink every pooled segment now (idempotent)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            finalizers = list(self._finalizers.values())
+            self._entries.clear()
+            self._finalizers.clear()
+        for finalizer in finalizers:
+            finalizer.detach()
+        for shared in entries:
+            shared.cleanup()
+
+    def stats(self) -> Dict[str, int]:
+        """Pool effectiveness counters (entries, segments, hits, misses)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "segments": sum(
+                    len(shared.segment_names) for shared in self._entries.values()
+                ),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+
+#: The process-wide pool behind ``persistent_segments=True`` pipelines.
+_SEGMENT_POOL = _SegmentPool()
+atexit.register(_SEGMENT_POOL.clear)
+
+
+def segment_pool_stats() -> Dict[str, int]:
+    """Counters of the persistent shared-memory segment pool."""
+    return _SEGMENT_POOL.stats()
 
 
 def _attach_segment(name: str):
@@ -290,6 +400,15 @@ class ParallelCompressor:
         (errors surface); ``False`` disables it (each worker rebuilds the
         suffix array from pickled bytes).  Ignored under ``fork``, where
         copy-on-write already shares everything.
+    persistent_segments:
+        Keep the published segments in the process-wide pool across runs
+        (default ``True``): repeated batch encodes against the same
+        dictionary object attach to the same segments instead of paying a
+        full publish per call.  Pooled segments are released when the
+        dictionary is garbage-collected, at process exit, or via
+        ``repro.core.parallel._SEGMENT_POOL.clear()``.  ``False`` restores
+        the publish-per-run behaviour (segments unlinked when the pool
+        shuts down).
     """
 
     def __init__(
@@ -300,6 +419,7 @@ class ParallelCompressor:
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         share_memory: Optional[bool] = None,
+        persistent_segments: bool = True,
     ) -> None:
         self._dictionary = dictionary
         self._scheme_name = scheme.upper()
@@ -312,6 +432,7 @@ class ParallelCompressor:
             start_method = "fork" if "fork" in methods else "spawn"
         self._start_method = start_method
         self._share_memory = share_memory
+        self._persistent_segments = bool(persistent_segments)
         self._last_segment_names: Tuple[str, ...] = ()
 
     @property
@@ -330,12 +451,18 @@ class ParallelCompressor:
         return self._start_method
 
     @property
+    def persistent_segments(self) -> bool:
+        """Whether published segments are pooled across runs."""
+        return self._persistent_segments
+
+    @property
     def last_segment_names(self) -> Tuple[str, ...]:
         """Shared-memory segment names of the most recent pool run.
 
-        Empty when the last run used fork/pickle sharing.  By the time a
-        run returns the segments are already unlinked — the names exist so
-        tests can verify exactly that.
+        Empty when the last run used fork/pickle sharing.  With
+        ``persistent_segments`` the named segments stay alive in the pool
+        after the run; otherwise they are already unlinked by the time a
+        run returns — the names exist so tests can verify either contract.
         """
         return self._last_segment_names
 
@@ -370,17 +497,27 @@ class ParallelCompressor:
         return chunk_function(documents, state)
 
     def _build_payload(self):
-        """Initializer payload for non-fork workers (and any shared handle)."""
+        """Initializer payload for non-fork workers.
+
+        Returns ``(payload, shared, owns_shared)``: ``owns_shared`` is True
+        only when this run published its own segments and must unlink them
+        on the way out; pooled segments stay alive for the next run.
+        """
         shared = None
+        owns_shared = False
         if self._share_memory is not False:
             try:
-                shared = _SharedDictionary.publish(self._dictionary)
+                if self._persistent_segments:
+                    shared = _SEGMENT_POOL.acquire(self._dictionary)
+                else:
+                    shared = _SharedDictionary.publish(self._dictionary)
+                    owns_shared = True
             except Exception:
                 if self._share_memory is True:
                     raise
                 shared = None  # auto mode: fall back to pickled bytes
         if shared is not None:
-            return ("shm", shared.descriptor, self._scheme_name), shared
+            return ("shm", shared.descriptor, self._scheme_name), shared, owns_shared
         payload = (
             "pickle",
             (
@@ -391,7 +528,7 @@ class ParallelCompressor:
             ),
             self._scheme_name,
         )
-        return payload, None
+        return payload, None, False
 
     def _run_pool(self, chunk_function, documents: List[bytes]) -> List:
         global _PARENT_STATE
@@ -403,11 +540,13 @@ class ParallelCompressor:
         ]
         context = multiprocessing.get_context(self._start_method)
         shared: Optional[_SharedDictionary] = None
+        owns_shared = False
         self._last_segment_names = ()
         # Everything from the parent-state handoff onward sits inside one
         # try/finally: if pool construction (or anything else) raises, the
-        # module-global dictionary reference and the shared-memory segments
-        # are still released — no leak outlives the call.
+        # module-global dictionary reference and any run-owned shared-memory
+        # segments are still released — no leak outlives the call.  Pooled
+        # segments are owned by _SEGMENT_POOL, not this run.
         try:
             if self._start_method == "fork":
                 # Build all acceleration state now so forked children share
@@ -416,7 +555,7 @@ class ParallelCompressor:
                 payload = None
                 _PARENT_STATE = (self._dictionary, self._scheme_name)
             else:
-                payload, shared = self._build_payload()
+                payload, shared, owns_shared = self._build_payload()
                 if shared is not None:
                     self._last_segment_names = shared.segment_names
             with context.Pool(
@@ -427,6 +566,6 @@ class ParallelCompressor:
                 chunk_results = pool.map(chunk_function, chunks)
         finally:
             _PARENT_STATE = None
-            if shared is not None:
+            if shared is not None and owns_shared:
                 shared.cleanup()
         return [result for chunk in chunk_results for result in chunk]

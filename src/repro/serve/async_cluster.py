@@ -20,6 +20,7 @@ map from the fleet and retry against the new owner, bounded by the shared
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import (
@@ -70,6 +71,11 @@ class AsyncClusterClient:
         self._epoch_refreshes = 0
         self._wrong_shard_retries = 0
         self._bootstrapped = False
+        self._stats_cache: "OrderedDict[str, Tuple[int, int, Dict[str, int]]]" = (
+            OrderedDict()
+        )
+        self._stats_cache_hits = 0
+        self._stats_cache_misses = 0
 
     @staticmethod
     def _normalize(endpoint: Union[str, Tuple[str, int]]) -> str:
@@ -163,6 +169,9 @@ class AsyncClusterClient:
             self._add_endpoint(label)
         self._shard_map = ShardMap(resolved, virtual_nodes=virtual_nodes, epoch=epoch)
         self._epoch_refreshes += 1
+        # A new epoch moves documents between shards; cached global corpus
+        # statistics summed under the old placement are stale.
+        self._stats_cache.clear()
         return True
 
     async def refresh_shard_map(self, prefer: Optional[str] = None) -> bool:
@@ -338,6 +347,8 @@ class AsyncClusterClient:
             "cluster_epoch": self._shard_map.epoch,
             "cluster_epoch_refreshes": self._epoch_refreshes,
             "cluster_wrong_shard_retries": self._wrong_shard_retries,
+            "cluster_search_stats_cache_hits": self._stats_cache_hits,
+            "cluster_search_stats_cache_misses": self._stats_cache_misses,
         }
         for index, label in enumerate(self.endpoints):
             try:
@@ -373,19 +384,7 @@ class AsyncClusterClient:
         self._ensure_open()
         await self._maybe_bootstrap()
         labels = self.endpoints
-        stats = await asyncio.gather(
-            *(
-                self._clients[label].search_stats(query, deadline_ms=deadline_ms)
-                for label in labels
-            )
-        )
-        num_documents = sum(shard[0] for shard in stats)
-        total_length = sum(shard[1] for shard in stats)
-        frequencies: Dict[str, int] = {}
-        for _, _, shard_df in stats:
-            for term, df in shard_df.items():
-                frequencies[term] = frequencies.get(term, 0) + df
-        global_stats = (num_documents, total_length, frequencies)
+        global_stats = await self._global_search_stats(query, deadline_ms)
         per_shard = await asyncio.gather(
             *(
                 self._clients[label].search(
@@ -401,6 +400,43 @@ class AsyncClusterClient:
         merged = [hit for hits in per_shard for hit in hits]
         merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
         return merged[:top_k]
+
+    #: Distinct queries whose global statistics are kept per epoch.
+    _STATS_CACHE_CAP = 256
+
+    async def _global_search_stats(
+        self, query: str, deadline_ms: Optional[int]
+    ) -> Tuple[int, int, Dict[str, int]]:
+        """Global corpus statistics for ``query``, cached per shard-map epoch.
+
+        The coroutine mirror of :meth:`ClusterClient._global_search_stats`:
+        one stats fan-out per (query, epoch); :meth:`_adopt` clears the
+        cache when a newer shard map moves documents between shards.
+        """
+        cached = self._stats_cache.get(query)
+        if cached is not None:
+            self._stats_cache.move_to_end(query)
+            self._stats_cache_hits += 1
+            return cached
+        stats = await asyncio.gather(
+            *(
+                self._clients[label].search_stats(query, deadline_ms=deadline_ms)
+                for label in self.endpoints
+            )
+        )
+        num_documents = sum(shard[0] for shard in stats)
+        total_length = sum(shard[1] for shard in stats)
+        frequencies: Dict[str, int] = {}
+        for _, _, shard_df in stats:
+            for term, df in shard_df.items():
+                frequencies[term] = frequencies.get(term, 0) + df
+        global_stats = (num_documents, total_length, frequencies)
+        self._stats_cache_misses += 1
+        self._stats_cache[query] = global_stats
+        self._stats_cache.move_to_end(query)
+        while len(self._stats_cache) > self._STATS_CACHE_CAP:
+            self._stats_cache.popitem(last=False)
+        return global_stats
 
     async def ping(self) -> float:
         """Round-trip time to the slowest reachable endpoint."""

@@ -40,6 +40,7 @@ import queue
 import threading
 import time
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import (
@@ -375,6 +376,11 @@ class ClusterClient:
         self._epoch_refreshes = 0
         self._wrong_shard_retries = 0
         self._bootstrapped = False
+        self._stats_cache: "OrderedDict[str, Tuple[int, int, Dict[str, int]]]" = (
+            OrderedDict()
+        )
+        self._stats_cache_hits = 0
+        self._stats_cache_misses = 0
         self._lock = threading.Lock()
 
     @staticmethod
@@ -495,6 +501,10 @@ class ClusterClient:
                 resolved, virtual_nodes=virtual_nodes, epoch=epoch
             )
             self._epoch_refreshes += 1
+            # A new epoch moves documents between shards: per-shard corpus
+            # statistics summed under the old placement are no longer the
+            # global truth.
+            self._stats_cache.clear()
             return True
 
     def refresh_shard_map(self, prefer: Optional[str] = None) -> bool:
@@ -1047,6 +1057,8 @@ class ClusterClient:
             "cluster_epoch": self._shard_map.epoch,
             "cluster_epoch_refreshes": self._epoch_refreshes,
             "cluster_wrong_shard_retries": self._wrong_shard_retries,
+            "cluster_search_stats_cache_hits": self._stats_cache_hits,
+            "cluster_search_stats_cache_misses": self._stats_cache_misses,
         }
         for index, label in enumerate(self.endpoints):
             breaker = self._breakers[label]
@@ -1091,16 +1103,7 @@ class ClusterClient:
         """
         self._ensure_open()
         self._maybe_bootstrap()
-        stats = self._search_all(
-            lambda client: client.search_stats(query, deadline_ms=deadline_ms)
-        )
-        num_documents = sum(shard[0] for shard in stats.values())
-        total_length = sum(shard[1] for shard in stats.values())
-        frequencies: Dict[str, int] = {}
-        for _, _, shard_df in stats.values():
-            for term, df in shard_df.items():
-                frequencies[term] = frequencies.get(term, 0) + df
-        global_stats = (num_documents, total_length, frequencies)
+        global_stats = self._global_search_stats(query, deadline_ms)
         per_shard = self._search_all(
             lambda client: client.search(
                 query,
@@ -1113,6 +1116,47 @@ class ClusterClient:
         merged = [hit for hits in per_shard.values() for hit in hits]
         merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
         return merged[:top_k]
+
+    #: Distinct queries whose global statistics are kept per epoch.
+    _STATS_CACHE_CAP = 256
+
+    def _global_search_stats(
+        self, query: str, deadline_ms: Optional[int]
+    ) -> Tuple[int, int, Dict[str, int]]:
+        """Global corpus statistics for ``query``, cached per shard-map epoch.
+
+        The stats leg of the search fan-out asks every shard for its
+        document count, total length and per-term document frequencies.
+        Those sums depend only on what each shard stores, which changes
+        placement only when a newer shard map is adopted — so the answer
+        for a query is reused until :meth:`_adopt` installs a new epoch
+        and clears the cache.  A bounded LRU keeps memory flat under many
+        distinct queries; repeated queries (the common interactive case)
+        pay one fan-out per epoch instead of one per call.
+        """
+        with self._lock:
+            cached = self._stats_cache.get(query)
+            if cached is not None:
+                self._stats_cache.move_to_end(query)
+                self._stats_cache_hits += 1
+                return cached
+        stats = self._search_all(
+            lambda client: client.search_stats(query, deadline_ms=deadline_ms)
+        )
+        num_documents = sum(shard[0] for shard in stats.values())
+        total_length = sum(shard[1] for shard in stats.values())
+        frequencies: Dict[str, int] = {}
+        for _, _, shard_df in stats.values():
+            for term, df in shard_df.items():
+                frequencies[term] = frequencies.get(term, 0) + df
+        global_stats = (num_documents, total_length, frequencies)
+        with self._lock:
+            self._stats_cache_misses += 1
+            self._stats_cache[query] = global_stats
+            self._stats_cache.move_to_end(query)
+            while len(self._stats_cache) > self._STATS_CACHE_CAP:
+                self._stats_cache.popitem(last=False)
+        return global_stats
 
     def _search_all(self, call: Callable[[RlzClient], object]) -> Dict[str, object]:
         """Run ``call`` on every endpoint concurrently; all must answer.

@@ -39,12 +39,19 @@ reads with no numpy scalar boxing.  ``get`` has the same signature and
 return convention as ``dict.get`` — the factorization loops accept either
 implementation unchanged.
 
-A small **probe cache** (bounded FIFO of the last ``probe_cache`` distinct
+A small **probe cache** (bounded map of the last ``probe_cache`` distinct
 keys, hits and misses both) sits in front of the table: web collections
 repeat boilerplate, so factor starts revisit the same leading k-grams, and
 a one-dict-get answer for a hot key shaves the ~0.5–1.5 µs
-memoryview-probe cost the ROADMAP flags.  ``probe_cache_info()`` exposes
-hit/miss counters; ``probe_cache=0`` disables the layer.
+memoryview-probe cost the ROADMAP flags.  Hits refresh a key's position in
+the eviction order, so repeatedly-probed keys are never the ones evicted.
+``probe_cache_info()`` exposes hit/miss counters; ``probe_cache=0``
+disables the layer.
+
+:meth:`get_batch` is the vectorized companion for the factorization fast
+path: it probes a whole block of query-offset keys per call with a few
+rounds of numpy gathers (one per linear-probe distance) instead of one
+memoryview walk per offset, and tallies its hits/misses separately.
 """
 
 from __future__ import annotations
@@ -99,6 +106,8 @@ class CompactJumpIndex:
         "_probe_cache_cap",
         "_probe_hits",
         "_probe_misses",
+        "_batch_hits",
+        "_batch_misses",
     )
 
     def __init__(
@@ -165,6 +174,8 @@ class CompactJumpIndex:
         self._probe_cache_cap = int(probe_cache)
         self._probe_hits = 0
         self._probe_misses = 0
+        self._batch_hits = 0
+        self._batch_misses = 0
 
     # ------------------------------------------------------------------
     # Lookup (the hot path)
@@ -180,6 +191,14 @@ class CompactJumpIndex:
             cached = cache.get(key)
             if cached is not None:
                 self._probe_hits += 1
+                # Refresh the key's FIFO position: without this, a hot key
+                # keeps its original insertion slot and is evicted as soon as
+                # ``capacity`` distinct colder keys pass through after it —
+                # repeated hits then stop protecting exactly the keys the
+                # cache exists for.  Moving it to the back on every hit makes
+                # eviction pick the least-recently-*used* key instead.
+                del cache[key]
+                cache[key] = cached
                 return default if cached is _ABSENT else cached
             self._probe_misses += 1
         table = self._table_view
@@ -200,11 +219,70 @@ class CompactJumpIndex:
             slot = (slot + 1) & mask
         if cache is not None:
             if len(cache) >= self._probe_cache_cap:
-                # FIFO eviction: pop the oldest insertion (dicts preserve
-                # insertion order), no per-hit bookkeeping on this path.
+                # Evict the front of the insertion order; hits re-append
+                # their key above, so this is the least-recently-used one.
                 cache.pop(next(iter(cache)))
             cache[key] = _ABSENT if result is None else result
         return default if result is None else result
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized probe of many (shifted) keys in one call.
+
+        Returns two ``int64`` arrays ``(lbs, rbs)`` aligned with ``keys``;
+        absent keys are marked ``-1`` in both.  The probe runs the same
+        Fibonacci-hash + linear-probe scheme as :meth:`get`, but one numpy
+        round per probe distance: every round gathers the table slot of all
+        still-unresolved keys at once, so a whole block of query offsets
+        costs a handful of vectorized passes instead of one memoryview walk
+        per offset.  Hits and misses are tallied separately from the scalar
+        path (see :meth:`probe_cache_info`); the front cache is bypassed —
+        batch callers read the results out of the returned arrays instead.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        count = len(keys)
+        lbs = np.full(count, -1, dtype=np.int64)
+        rbs = np.full(count, -1, dtype=np.int64)
+        if count == 0:
+            return lbs, rbs
+        if self._entries == 0:
+            self._batch_misses += count
+            return lbs, rbs
+        table = self._table
+        starts = self._starts
+        stored = self._keys
+        shift = np.uint64(self._shift)
+        slots = (
+            (keys * np.uint64(_FIB_MULTIPLIER)) >> np.uint64(self._hash_shift)
+        ).astype(np.int64)
+        pending = np.arange(count, dtype=np.int64)
+        hits = 0
+        while pending.size:
+            runs = table[slots[pending]]
+            occupied = runs >= 0
+            # Empty slot: the key is definitively absent (stays -1).
+            if not occupied.all():
+                pending = pending[occupied]
+                runs = runs[occupied]
+            if not pending.size:
+                break
+            run_lbs = starts[runs].astype(np.int64)
+            run_keys = stored[run_lbs]
+            if self._shift:
+                run_keys = run_keys >> shift
+            matched = run_keys == keys[pending]
+            if matched.any():
+                found = pending[matched]
+                found_runs = runs[matched]
+                lbs[found] = run_lbs[matched]
+                rbs[found] = starts[found_runs + 1].astype(np.int64) - 1
+                hits += len(found)
+                pending = pending[~matched]
+            # Collision: advance the survivors one slot and retry.
+            if pending.size:
+                slots[pending] = (slots[pending] + 1) & self._slot_mask
+        self._batch_hits += hits
+        self._batch_misses += count - hits
+        return lbs, rbs
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None
@@ -237,12 +315,19 @@ class CompactJumpIndex:
         return int(self._starts.nbytes + self._table.nbytes)
 
     def probe_cache_info(self) -> Dict[str, int]:
-        """Counters of the front probe cache (all zero when disabled)."""
+        """Counters of the probe layers (all zero when unused).
+
+        ``hits``/``misses`` count the scalar front cache; ``batch_hits``/
+        ``batch_misses`` count keys resolved through :meth:`get_batch`
+        (which bypasses the cache entirely).
+        """
         return {
             "hits": self._probe_hits,
             "misses": self._probe_misses,
             "size": len(self._probe_cache) if self._probe_cache is not None else 0,
             "capacity": self._probe_cache_cap,
+            "batch_hits": self._batch_hits,
+            "batch_misses": self._batch_misses,
         }
 
     def items(self):

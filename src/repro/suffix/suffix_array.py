@@ -47,6 +47,8 @@ over the full key array (the pre-PR-2 behaviour).  ``jump_start`` accepts
 
 from __future__ import annotations
 
+import os
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -170,6 +172,11 @@ class SuffixArray:
         self._byte_intervals: Optional[list] = None
         self._sa_list: Optional[list] = None
         self._level_key_lists: Optional[list] = None
+        # Scalar-array views backing the vectorized single-bisect match
+        # engine (built lazily by _ensure_match_arrays).
+        self._pk_scalar: Optional[array] = None
+        self._sa_scalar: Optional[array] = None
+        self._vectorize: Optional[bool] = None
 
     @classmethod
     def from_precomputed(
@@ -574,13 +581,38 @@ class SuffixArray:
         if self._level_key_lists is not None:
             for keys in self._level_key_lists:
                 list_nbytes += len(keys) * 40  # list slot + boxed uint64
+        scalar_nbytes = 0
+        for scalar in (self._pk_scalar, self._sa_scalar):
+            if scalar is not None:
+                scalar_nbytes += len(scalar) * scalar.itemsize
         return {
             "jump_index_kind": self._jump_index_kind,
             "jump_entries": jump_entries,
             "jump_nbytes": jump_nbytes,
             "numpy_nbytes": numpy_nbytes,
             "list_nbytes": list_nbytes,
+            "scalar_nbytes": scalar_nbytes,
+            "vectorize": self._vectorize_enabled() if self._accelerated else False,
             "text_bytes": self._n,
+        }
+
+    def probe_cache_info(self) -> Dict[str, int]:
+        """Probe-layer counters of the compact jump index.
+
+        All-zero when the dict-based index (small texts) or no jump index
+        is active — those paths have no probe cache to account for.
+        """
+        if self._accelerated:
+            self._ensure_keys()
+        if isinstance(self._jump_index, CompactJumpIndex):
+            return self._jump_index.probe_cache_info()
+        return {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": 0,
+            "batch_hits": 0,
+            "batch_misses": 0,
         }
 
     def _get_level_keys(self, level: int) -> np.ndarray:
@@ -750,6 +782,16 @@ class SuffixArray:
         if max_len <= 0 or self._n == 0:
             return (0, 0)
         if self._accelerated:
+            if max_len >= _KEY_WIDTH and self._vectorize_enabled():
+                # Share the single-bisect engine with match_stream /
+                # factorize_stream: build the query keys for just the
+                # window this call may touch, then resolve the factor in
+                # one lcp-aware binary search.  Streaming callers should
+                # prefer match_stream, which amortizes the key build over
+                # the whole document.
+                self._ensure_match_arrays()
+                qk = self._query_keys(query, start, start + max_len)
+                return self._match_factor(query, start, max_len, qk, start)
             return self._longest_match_accelerated(query, start, max_len)
         return self._longest_match_refine(query, start, max_len, 0, self._n - 1, 0)
 
@@ -957,6 +999,18 @@ class SuffixArray:
             return positions, lengths
 
         self._ensure_keys()
+        if self._vectorize_enabled():
+            # Vectorized path: per-document query keys built in one numpy
+            # pass, one lcp-aware bisect per factor (match_stream).  The
+            # scalar loop below remains the reference implementation and
+            # the default for small texts, where the C-level bisect over
+            # key lists is already faster than the engine's Python ints.
+            append_position = positions.append
+            append_length = lengths.append
+            for position, length in self.match_stream(query):
+                append_position(position)
+                append_length(length)
+            return positions, lengths
         from bisect import bisect_left, bisect_right
 
         text = self._text
@@ -1195,6 +1249,416 @@ class SuffixArray:
                 append_length(factor_length)
                 cursor += factor_length
         return positions, lengths
+
+    # ------------------------------------------------------------------
+    # Vectorized single-bisect match engine
+    # ------------------------------------------------------------------
+    #: Query offsets probed per ``CompactJumpIndex.get_batch`` call when
+    #: the adaptive streamer is in the short-stride regime.
+    _BATCH_PROBE_BLOCK = 2048
+
+    #: EWMA factor stride at or below which batch probing wins.  A batched
+    #: probe costs ~150 ns against ~1.5 us for a scalar memoryview probe,
+    #: but batching probes *every* offset while a factor of length L skips
+    #: L - 1 of them — so it only pays off in the short-factor regime.
+    _BATCH_STRIDE_CUTOFF = 8.0
+
+    @property
+    def vectorize(self) -> Optional[bool]:
+        """Vectorized-engine toggle: ``True``, ``False`` or ``None`` (auto)."""
+        return self._vectorize
+
+    @vectorize.setter
+    def vectorize(self, value: Optional[bool]) -> None:
+        self._vectorize = None if value is None else bool(value)
+
+    def _vectorize_enabled(self) -> bool:
+        """Resolve the engine toggle: attribute, then environment, then auto.
+
+        Auto enables the engine exactly where it wins: large texts, whose
+        acceleration state keeps only the numpy machinery
+        (``_level_key_lists`` is None).  Small texts keep the scalar loop,
+        whose bounded C-level bisects are already faster there.
+        ``REPRO_VECTORIZE=1``/``0`` overrides auto (but not an explicit
+        ``vectorize`` attribute) for A/B runs.
+        """
+        value = self._vectorize
+        if value is not None:
+            return value
+        env = os.environ.get("REPRO_VECTORIZE", "").strip().lower()
+        if env in ("1", "true", "on", "always"):
+            return True
+        if env in ("0", "false", "off", "never"):
+            return False
+        if not self._accelerated or self._n == 0:
+            return False
+        self._ensure_keys()
+        return self._level_key_lists is None
+
+    def _ensure_match_arrays(self) -> None:
+        """Build the scalar-array state the match engine indexes.
+
+        ``array('Q')``/``array('q')`` copies of the per-position keys and
+        the suffix array: indexing them yields plain Python ints with none
+        of the numpy scalar-boxing overhead the engine's inner loops would
+        otherwise pay on every key read.
+        """
+        if self._pk_scalar is not None:
+            return
+        self._ensure_keys()
+        self._pk_scalar = array("Q", self._position_keys.tobytes())
+        sa = self._sa
+        if sa.dtype != np.int64:
+            sa = sa.astype(np.int64)
+        self._sa_scalar = array("q", sa.tobytes())
+
+    @staticmethod
+    def _query_keys(query: bytes, start: int = 0, stop: Optional[int] = None) -> array:
+        """Big-endian 8-byte keys of every position of ``query[start:stop]``.
+
+        One vectorized shift-or pass over the zero-padded window, returned
+        as an ``array('Q')`` indexed by ``position - start``.  The zero
+        padding past ``stop`` mirrors the padding of the text-side keys;
+        the engine's compare limits guarantee it never influences a result.
+        """
+        if stop is None:
+            stop = len(query)
+        span = stop - start
+        padded = np.zeros(span + _KEY_WIDTH, dtype=np.uint8)
+        if span:
+            padded[:span] = np.frombuffer(
+                query, dtype=np.uint8, count=span, offset=start
+            )
+        keys = np.zeros(span, dtype=np.uint64)
+        for j in range(_KEY_WIDTH):
+            keys = (keys << np.uint64(8)) | padded[j : j + span].astype(np.uint64)
+        return array("Q", keys.tobytes())
+
+    def match_stream(self, query: bytes) -> Iterator[Tuple[int, int]]:
+        """Yield the greedy parse of ``query`` one factor at a time.
+
+        Produces exactly the pairs :meth:`factorize_stream` emits —
+        ``(position, length)`` copies and ``(byte_value, 0)`` literals —
+        but as a generator, so streaming consumers (``iter_factors``)
+        share the vectorized engine without materializing both streams.
+
+        The per-document query keys are built once in a vectorized pass;
+        each factor is then resolved by a single lcp-aware binary search
+        over its jump-start interval (:meth:`_match_factor`).  When the
+        jump index is compact and recent factors are short — the
+        literal-heavy regime where probe cost dominates the parse —
+        upcoming offsets are probed in vectorized ``get_batch`` blocks
+        instead of one scalar probe per factor; the EWMA of recent factor
+        strides switches the mode.
+        """
+        if not isinstance(query, (bytes, bytearray)):
+            raise TypeError("match_stream requires a bytes-like query")
+        query = bytes(query)
+        query_length = len(query)
+        if query_length == 0:
+            return
+        if not self._accelerated or self._n == 0 or not self._vectorize_enabled():
+            # Scalar reference loop: also the fast path for small texts,
+            # where the dict jump index beats the batched engine.
+            cursor = 0
+            while cursor < query_length:
+                position, length = self.longest_match(query, cursor)
+                if length == 0:
+                    yield (query[cursor], 0)
+                    cursor += 1
+                else:
+                    yield (position, length)
+                    cursor += length
+            return
+        self._ensure_match_arrays()
+        qk = self._query_keys(query)
+        match_factor = self._match_factor
+        jump_index = self._jump_index
+        batch_get = (
+            jump_index.get_batch
+            if isinstance(jump_index, CompactJumpIndex)
+            else None
+        )
+        qk_np: Optional[np.ndarray] = None
+        batch_lbs: Optional[array] = None
+        batch_rbs: Optional[array] = None
+        batch_base = batch_stop = 0
+        block = self._BATCH_PROBE_BLOCK
+        cutoff = self._BATCH_STRIDE_CUTOFF
+        stride_ewma = 4.0 * cutoff  # start in the scalar-probe regime
+        # First offset without a full 8-byte window: never worth probing.
+        last_probe = query_length - _KEY_WIDTH + 1
+        cursor = 0
+        while cursor < query_length:
+            jump_hit = None
+            jump_checked = False
+            if batch_get is not None and cursor < last_probe:
+                if batch_lbs is not None and batch_base <= cursor < batch_stop:
+                    lb = batch_lbs[cursor - batch_base]
+                    jump_checked = True
+                    if lb >= 0:
+                        jump_hit = (lb, batch_rbs[cursor - batch_base])
+                elif stride_ewma <= cutoff:
+                    stop = cursor + block
+                    if stop > last_probe:
+                        stop = last_probe
+                    if qk_np is None:
+                        qk_np = np.frombuffer(qk, dtype=np.uint64)
+                    lbs, rbs = batch_get(qk_np[cursor:stop])
+                    batch_lbs = array("q", lbs.tobytes())
+                    batch_rbs = array("q", rbs.tobytes())
+                    batch_base, batch_stop = cursor, stop
+                    lb = batch_lbs[0]
+                    jump_checked = True
+                    if lb >= 0:
+                        jump_hit = (lb, batch_rbs[0])
+            position, length = match_factor(
+                query, cursor, query_length - cursor, qk, 0, jump_hit, jump_checked
+            )
+            if length == 0:
+                yield (query[cursor], 0)
+                cursor += 1
+                stride_ewma += 0.125 * (1.0 - stride_ewma)
+            else:
+                yield (position, length)
+                cursor += length
+                stride_ewma += 0.125 * (length - stride_ewma)
+
+    def _match_factor(
+        self,
+        query: bytes,
+        cursor: int,
+        max_len: int,
+        qk: array,
+        qk_off: int,
+        jump_hit: Optional[Tuple[int, int]] = None,
+        jump_checked: bool = False,
+    ) -> Tuple[int, int]:
+        """Resolve one greedy factor with a single lcp-aware binary search.
+
+        The jump-start interval ``[lb, rb]`` already holds every suffix
+        sharing the first 8 query bytes, in sorted order — so the longest
+        match is achieved at a neighbour of the query's insertion point,
+        and the classic llcp/rlcp bookkeeping (each comparison resumes at
+        the bytes the bisection has already certified) finds it in one
+        O(log interval + factor length / 8) descent instead of one level
+        per 8 bytes.  The leftmost rank achieving the maximum — the scalar
+        paths' tie-break — is recovered by galloping left over the run of
+        ranks with the same lcp.
+
+        ``qk`` holds the query keys (``array('Q')``, indexed by
+        ``position - qk_off``).  ``jump_checked``/``jump_hit`` let
+        :meth:`match_stream` hand in a batched probe result; otherwise the
+        index is probed here.  Cold cases — short tails, zero bytes in the
+        window, jump misses — are delegated to the exact scalar paths, so
+        the parse stays byte-identical by construction.
+        """
+        if max_len < _KEY_WIDTH:
+            return self._longest_match_accelerated(query, cursor, max_len)
+        qbase = cursor - qk_off
+        qk0 = qk[qbase]
+        if (qk0 - 0x0101010101010101) & ~qk0 & 0x8080808080808080:
+            # A zero byte in the window is ambiguous against key padding;
+            # the per-character path has no such ambiguity.
+            return self._longest_match_accelerated(query, cursor, max_len)
+        if not jump_checked:
+            jump_index = self._jump_index
+            if jump_index is None:
+                return self._longest_match_accelerated(query, cursor, max_len)
+            jump_hit = jump_index.get(qk0)
+        n = self._n
+        if jump_hit is None:
+            # The full 8 bytes occur nowhere: per-character refinement over
+            # the full interval finds the shorter best match (the same
+            # branch the scalar paths take on a jump miss).
+            return self._longest_match_refine(query, cursor, max_len, 0, n - 1, 0)
+        pk = self._pk_scalar
+        sa_arr = self._sa_scalar
+        lb = jump_hit[0]
+        if pk[sa_arr[lb]] != qk0:
+            # Zero-padding artefact near the end of the text.
+            return self._longest_match_refine(query, cursor, max_len, 0, n - 1, 0)
+        rb = jump_hit[1]
+        budget = max_len
+        # ---- lcp-aware bisect for the query's insertion point ----------
+        lo = lb
+        hi = rb + 1
+        llcp = rlcp = _KEY_WIDTH
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            f = llcp if llcp < rlcp else rlcp
+            p = sa_arr[mid]
+            limit = n - p
+            if budget < limit:
+                limit = budget
+            cmp = 0
+            while limit - f >= _KEY_WIDTH:
+                a = qk[qbase + f]
+                b = pk[p + f]
+                if a == b:
+                    f += _KEY_WIDTH
+                    continue
+                f += (64 - (a ^ b).bit_length()) >> 3
+                cmp = 1 if b > a else -1
+                break
+            else:
+                t = limit - f
+                if t > 0:
+                    sb = (8 - t) << 3
+                    xq = qk[qbase + f] >> sb
+                    xp = pk[p + f] >> sb
+                    if xq != xp:
+                        f += t - (((xq ^ xp).bit_length() + 7) >> 3)
+                        cmp = 1 if xp > xq else -1
+            if cmp == 0:
+                # Ran to the limit: the shorter side sorts first.
+                f = limit
+                cmp = -1 if limit < budget else 1
+            if cmp < 0:
+                lo = mid + 1
+                llcp = f
+            else:
+                hi = mid
+                rlcp = f
+        ip = lo
+        # ---- exact lcp of the two neighbours (resumed, inline) ---------
+        left_lcp = 0
+        if ip > lb:
+            p = sa_arr[ip - 1]
+            f = llcp
+            limit = n - p
+            if budget < limit:
+                limit = budget
+            while limit - f >= _KEY_WIDTH:
+                a = qk[qbase + f]
+                b = pk[p + f]
+                if a == b:
+                    f += _KEY_WIDTH
+                    continue
+                f += (64 - (a ^ b).bit_length()) >> 3
+                break
+            else:
+                t = limit - f
+                if t > 0:
+                    sb = (8 - t) << 3
+                    x = (qk[qbase + f] >> sb) ^ (pk[p + f] >> sb)
+                    if x:
+                        f += t - ((x.bit_length() + 7) >> 3)
+                    else:
+                        f = limit
+                else:
+                    f = limit
+            left_lcp = f
+        right_lcp = 0
+        if ip <= rb:
+            p = sa_arr[ip]
+            f = rlcp
+            limit = n - p
+            if budget < limit:
+                limit = budget
+            while limit - f >= _KEY_WIDTH:
+                a = qk[qbase + f]
+                b = pk[p + f]
+                if a == b:
+                    f += _KEY_WIDTH
+                    continue
+                f += (64 - (a ^ b).bit_length()) >> 3
+                break
+            else:
+                t = limit - f
+                if t > 0:
+                    sb = (8 - t) << 3
+                    x = (qk[qbase + f] >> sb) ^ (pk[p + f] >> sb)
+                    if x:
+                        f += t - ((x.bit_length() + 7) >> 3)
+                    else:
+                        f = limit
+                else:
+                    f = limit
+            right_lcp = f
+        # ---- leftmost rank achieving the maximum -----------------------
+        if left_lcp >= right_lcp:
+            length = left_lcp
+            if length == _KEY_WIDTH:
+                # Every rank in the interval shares exactly these 8 bytes:
+                # the leftmost is lb itself.
+                return (sa_arr[lb], _KEY_WIDTH)
+            # Gallop left from ip - 1: the run of ranks with lcp >= length
+            # ends at ip - 1 and is typically short.
+            lo2 = ip - 1
+            step = 1
+            while True:
+                probe = (ip - 1) - step
+                if probe < lb:
+                    low_bound = lb - 1
+                    break
+                p = sa_arr[probe]
+                f = _KEY_WIDTH
+                limit = n - p
+                if length < limit:
+                    limit = length
+                while limit - f >= _KEY_WIDTH:
+                    a = qk[qbase + f]
+                    b = pk[p + f]
+                    if a == b:
+                        f += _KEY_WIDTH
+                        continue
+                    f += (64 - (a ^ b).bit_length()) >> 3
+                    break
+                else:
+                    t = limit - f
+                    if t > 0:
+                        sb = (8 - t) << 3
+                        x = (qk[qbase + f] >> sb) ^ (pk[p + f] >> sb)
+                        if x:
+                            f += t - ((x.bit_length() + 7) >> 3)
+                        else:
+                            f = limit
+                    else:
+                        f = limit
+                if f >= length and limit == length:
+                    lo2 = probe
+                    step <<= 1
+                else:
+                    low_bound = probe
+                    break
+            # Bisect (low_bound, lo2] for the edge of the lcp-run; lo2 is
+            # the leftmost rank already verified to achieve the maximum.
+            while low_bound + 1 < lo2:
+                mid = (low_bound + lo2 + 1) >> 1
+                p = sa_arr[mid]
+                f = _KEY_WIDTH
+                limit = n - p
+                if length < limit:
+                    limit = length
+                while limit - f >= _KEY_WIDTH:
+                    a = qk[qbase + f]
+                    b = pk[p + f]
+                    if a == b:
+                        f += _KEY_WIDTH
+                        continue
+                    f += (64 - (a ^ b).bit_length()) >> 3
+                    break
+                else:
+                    t = limit - f
+                    if t > 0:
+                        sb = (8 - t) << 3
+                        x = (qk[qbase + f] >> sb) ^ (pk[p + f] >> sb)
+                        if x:
+                            f += t - ((x.bit_length() + 7) >> 3)
+                        else:
+                            f = limit
+                    else:
+                        f = limit
+                if f >= length and limit == length:
+                    lo2 = mid
+                else:
+                    low_bound = mid
+            return (sa_arr[lo2], length)
+        length = right_lcp
+        if length == _KEY_WIDTH:
+            return (sa_arr[lb], _KEY_WIDTH)
+        return (sa_arr[ip], length)
 
     # ------------------------------------------------------------------
     # Pattern queries (used by tests and the dictionary statistics)

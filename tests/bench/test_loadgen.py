@@ -1,0 +1,59 @@
+"""Tests for the open-loop load harness."""
+
+import json
+
+import pytest
+
+from repro.bench.loadgen import LOAD_SCALES, LoadScale, load_benchmark, load_scale
+from repro.corpus import generate_gov_collection
+
+
+def test_load_scale_lookup():
+    assert load_scale("tiny").name == "tiny"
+    assert load_scale("small").corpus_bytes >= 100 * 1000 * 1000
+    assert load_scale("medium").corpus_bytes >= 1000 * 1000 * 1000
+    with pytest.raises(ValueError, match="unknown load scale"):
+        load_scale("galactic")
+
+
+def test_scales_are_ordered():
+    assert (
+        LOAD_SCALES["tiny"].corpus_bytes
+        < LOAD_SCALES["small"].corpus_bytes
+        < LOAD_SCALES["medium"].corpus_bytes
+    )
+
+
+def test_load_benchmark_short_run(tmp_path):
+    """A short open-loop run completes every request, verifies every byte,
+    and appends a well-formed record."""
+    scale = LoadScale("test", 12, 4 * 1024, 64 * 1024, 512, 250.0, 50)
+    collection = generate_gov_collection(
+        num_documents=scale.num_documents,
+        target_document_size=scale.document_bytes,
+        seed=11,
+    )
+    output = tmp_path / "load.json"
+    table = load_benchmark(scale=scale, collection=collection, output_json=output)
+
+    record = table.record
+    assert record["benchmark"] == "load"
+    assert record["scale"] == "test"
+    assert record["errors"] == 0
+    assert record["completed"] == record["requests"] == 50
+    assert record["offered_rps"] == 250.0
+    assert record["achieved_rps"] > 0
+    assert record["bytes_served"] > 0
+    latency = record["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p99"] <= latency["p999"] <= latency["max"]
+    assert record["server"]["server_requests"] == 50
+
+    history = json.loads(output.read_text())
+    assert history[-1] == record
+
+
+def test_load_benchmark_rejects_bad_parameters():
+    with pytest.raises(ValueError, match="rate must be positive"):
+        load_benchmark(scale="tiny", rate=0)
+    with pytest.raises(ValueError, match="requests must be positive"):
+        load_benchmark(scale="tiny", requests=-1)

@@ -149,12 +149,64 @@ def test_spawn_shared_memory_matches_serial_and_attaches(dictionary, documents):
 
 @spawn_available
 def test_spawn_shared_memory_segments_released_on_shutdown(dictionary, documents):
+    """Without the persistent pool, a run unlinks its segments on the way out."""
     from multiprocessing import shared_memory
 
-    pipeline = ParallelCompressor(dictionary, workers=2, start_method="spawn")
+    pipeline = ParallelCompressor(
+        dictionary, workers=2, start_method="spawn", persistent_segments=False
+    )
     pipeline.encode_documents(documents)
     names = pipeline.last_segment_names
     assert names  # the shared path was taken
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@spawn_available
+def test_persistent_segment_pool_reuses_publication(documents):
+    """Back-to-back runs against one dictionary attach to the same pooled
+    segments (one publish total), and clear() unlinks them."""
+    from multiprocessing import shared_memory
+
+    from repro.core.parallel import _SEGMENT_POOL, segment_pool_stats
+
+    dictionary = RlzDictionary(b"persistent segment pool corpus " * 64)
+    before = segment_pool_stats()
+    pipeline = ParallelCompressor(dictionary, workers=2, start_method="spawn")
+    assert pipeline.persistent_segments
+    pipeline.encode_documents(documents)
+    first_names = pipeline.last_segment_names
+    assert first_names
+    # The segments survive the run ...
+    segment = shared_memory.SharedMemory(name=first_names[0])
+    segment.close()
+    # ... and the second run reuses them instead of republishing.
+    pipeline.encode_documents(documents)
+    assert pipeline.last_segment_names == first_names
+    stats = segment_pool_stats()
+    assert stats["misses"] == before["misses"] + 1
+    assert stats["hits"] >= before["hits"] + 1
+    _SEGMENT_POOL.clear()
+    for name in first_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_segment_pool_evicts_on_dictionary_collection():
+    """A garbage-collected dictionary must drop its pooled segments."""
+    import gc
+
+    from multiprocessing import shared_memory
+
+    from repro.core.parallel import _SEGMENT_POOL
+
+    dictionary = RlzDictionary(b"short lived dictionary " * 32)
+    shared = _SEGMENT_POOL.acquire(dictionary)
+    names = shared.segment_names
+    assert _SEGMENT_POOL.acquire(dictionary) is shared  # pooled, not republished
+    del dictionary, shared
+    gc.collect()
     for name in names:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
@@ -176,7 +228,9 @@ def test_spawn_shared_memory_segments_released_when_pool_fails(
     monkeypatch.setattr(
         parallel_module.multiprocessing, "get_context", lambda method: _BrokenContext()
     )
-    pipeline = ParallelCompressor(dictionary, workers=2, start_method="spawn")
+    pipeline = ParallelCompressor(
+        dictionary, workers=2, start_method="spawn", persistent_segments=False
+    )
     with pytest.raises(RuntimeError, match="pool start failed"):
         pipeline.encode_documents(documents)
     names = pipeline.last_segment_names

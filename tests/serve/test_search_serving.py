@@ -241,3 +241,72 @@ def test_async_sharded_search_parity(search_fleet, reference, gov_small):
         expected = reference.search(query, top_k=10)
         assert [hit.doc_id for hit in hits] == [r.doc_id for r in expected]
         assert [hit.score for hit in hits] == [r.score for r in expected]
+
+
+# ----------------------------------------------------------------------
+# Stats-exchange leg cached per shard-map epoch
+# ----------------------------------------------------------------------
+def test_search_stats_leg_cached_per_epoch(search_fleet, reference, gov_small):
+    """Repeating a query reuses the global statistics (one stats fan-out
+    per epoch); adopting a newer epoch invalidates the cache."""
+    query = _queries(gov_small)[0]
+    with ClusterClient(search_fleet, retries=0, retry_delay=0.01) as client:
+        first = client.search(query, top_k=10)
+        stats = client.stats()
+        assert stats["cluster_search_stats_cache_misses"] == 1
+        assert stats["cluster_search_stats_cache_hits"] == 0
+
+        second = client.search(query, top_k=10)
+        stats = client.stats()
+        assert stats["cluster_search_stats_cache_misses"] == 1
+        assert stats["cluster_search_stats_cache_hits"] == 1
+        # Cached statistics must not change the ranking.
+        assert [hit.doc_id for hit in second] == [hit.doc_id for hit in first]
+        assert [hit.score for hit in second] == [hit.score for hit in first]
+        expected = reference.search(query, top_k=10)
+        assert [hit.doc_id for hit in second] == [r.doc_id for r in expected]
+
+        # A newer epoch moves documents between shards: the cache clears
+        # and the next search pays a fresh stats fan-out.
+        adopted = client._adopt(
+            client.epoch + 1,
+            client.endpoints,
+            client.shard_map.virtual_nodes,
+        )
+        assert adopted
+        assert len(client._stats_cache) == 0
+        client.search(query, top_k=10)
+        stats = client.stats()
+        assert stats["cluster_search_stats_cache_misses"] == 2
+
+
+def test_search_stats_cache_is_bounded(search_fleet, gov_small):
+    queries = _queries(gov_small)
+    with ClusterClient(search_fleet, retries=0, retry_delay=0.01) as client:
+        client._STATS_CACHE_CAP = 1
+        for query in queries[:2]:
+            client.search(query, top_k=3)
+        assert len(client._stats_cache) == 1
+        # The most recent query is the one retained.
+        assert list(client._stats_cache) == [queries[1]]
+
+
+def test_async_search_stats_leg_cached(search_fleet, reference, gov_small):
+    query = _queries(gov_small)[0]
+
+    async def main():
+        async with AsyncClusterClient(
+            search_fleet, retries=0, retry_delay=0.01
+        ) as client:
+            first = await client.search(query, top_k=10)
+            second = await client.search(query, top_k=10)
+            stats = await client.stats()
+            return first, second, stats
+
+    first, second, stats = asyncio.run(main())
+    assert stats["cluster_search_stats_cache_misses"] == 1
+    assert stats["cluster_search_stats_cache_hits"] == 1
+    assert [hit.doc_id for hit in second] == [hit.doc_id for hit in first]
+    assert [hit.score for hit in second] == [hit.score for hit in first]
+    expected = reference.search(query, top_k=10)
+    assert [hit.doc_id for hit in second] == [r.doc_id for r in expected]

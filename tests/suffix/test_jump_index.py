@@ -113,6 +113,7 @@ def test_probe_cache_counts_hits_and_misses():
     index = _small_index()
     assert index.probe_cache_info() == {
         "hits": 0, "misses": 0, "size": 0, "capacity": 16,
+        "batch_hits": 0, "batch_misses": 0,
     }
     first = index.get(5)
     assert first == (3, 5)
@@ -121,7 +122,10 @@ def test_probe_cache_counts_hits_and_misses():
     # The repeat answers from the cache, byte-identical.
     assert index.get(5) == first
     info = index.probe_cache_info()
-    assert info == {"hits": 1, "misses": 1, "size": 1, "capacity": 16}
+    assert info == {
+        "hits": 1, "misses": 1, "size": 1, "capacity": 16,
+        "batch_hits": 0, "batch_misses": 0,
+    }
 
 
 def test_probe_cache_remembers_absent_keys():
@@ -154,6 +158,7 @@ def test_probe_cache_disabled_keeps_counters_at_zero():
         assert index.get(5) == (3, 5)
     assert index.probe_cache_info() == {
         "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+        "batch_hits": 0, "batch_misses": 0,
     }
     with pytest.raises(ValueError):
         _small_index(probe_cache=-1)

@@ -1,0 +1,218 @@
+"""Byte-identity battery for the vectorized single-bisect match engine.
+
+The engine (``SuffixArray.match_stream`` / ``_match_factor``) resolves each
+factor with one lcp-aware binary search over its jump-start interval and
+batches cold jump probes; the scalar accelerated loop refines key level by
+key level.  Both are exact, so every entry point must produce the identical
+parse under every configuration.  These tests force ``vectorize`` on and
+off explicitly (small texts route to the scalar loop by default) and sweep
+the adversarial shapes from the PR-2 audit: empty documents, all-literal
+streams, trailing-zero boundary keys, and every jump-index mode.
+"""
+
+import random
+
+import pytest
+
+from repro.core import RlzDictionary, RlzFactorizer
+from repro.suffix import SuffixArray
+
+MODES = ("auto", "dict", "compact", "off")
+
+
+def reference_streams(suffix_array, query):
+    """The faithful per-factor parse via ``longest_match``."""
+    positions, lengths = [], []
+    cursor = 0
+    while cursor < len(query):
+        position, length = suffix_array.longest_match(query, cursor)
+        if length == 0:
+            positions.append(query[cursor])
+            lengths.append(0)
+            cursor += 1
+        else:
+            positions.append(position)
+            lengths.append(length)
+            cursor += length
+    return positions, lengths
+
+
+def engine_streams(suffix_array, query):
+    """The parse with the vectorized engine forced on."""
+    suffix_array.vectorize = True
+    try:
+        return suffix_array.factorize_stream(query)
+    finally:
+        suffix_array.vectorize = None
+
+
+def scalar_streams(suffix_array, query):
+    """The parse with the engine forced off (scalar accelerated loop)."""
+    suffix_array.vectorize = False
+    try:
+        return suffix_array.factorize_stream(query)
+    finally:
+        suffix_array.vectorize = None
+
+
+def assert_engine_identical(text, query):
+    """Engine output equals the scalar parse and the faithful reference,
+    under every jump-index mode."""
+    faithful = SuffixArray(text, accelerated=False)
+    expected = reference_streams(faithful, query)
+    for mode in MODES:
+        suffix_array = SuffixArray(text, jump_start=mode)
+        assert scalar_streams(suffix_array, query) == expected, mode
+        assert engine_streams(suffix_array, query) == expected, mode
+
+
+# ----------------------------------------------------------------------
+# Degenerate documents
+# ----------------------------------------------------------------------
+def test_empty_document():
+    suffix_array = SuffixArray(b"abracadabra")
+    suffix_array.vectorize = True
+    assert suffix_array.factorize_stream(b"") == ([], [])
+    assert list(suffix_array.match_stream(b"")) == []
+
+
+def test_all_literal_stream():
+    """Every query byte absent from the dictionary: pure literal output."""
+    text = b"abcdefgh" * 8
+    query = b"XYZ" * 20 + b"\x01\x02"
+    assert_engine_identical(text, query)
+    suffix_array = SuffixArray(text)
+    positions, lengths = engine_streams(suffix_array, query)
+    assert lengths == [0] * len(query)
+    assert positions == list(query)
+
+
+def test_single_byte_documents():
+    for text in (b"a", b"ab", b"abcdefg"):
+        for query in (b"a", b"z", b"ab", text):
+            assert_engine_identical(text, query)
+
+
+# ----------------------------------------------------------------------
+# Trailing-zero boundary keys (the PR-2 regression shapes)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("zeros", [1, 2, 3, 4, 7, 8, 9])
+def test_trailing_zeros_in_dictionary(zeros):
+    text = b"abcdefgh" + b"\x00" * zeros
+    for query in (b"abcdefgh", b"abcd", b"abc\x00", b"h" + b"\x00" * 4, b"\x00" * 3):
+        assert_engine_identical(text, query)
+
+
+@pytest.mark.parametrize("zeros", [1, 2, 3, 4, 7, 8, 9])
+def test_trailing_zeros_in_query(zeros):
+    text = b"the quick brown fox\x00jumps"
+    for stem in (b"quick", b"fox", b"the quick brown fox"):
+        assert_engine_identical(text, stem + b"\x00" * zeros)
+
+
+def test_zero_windows_route_to_fallback_identically():
+    """Windows containing a real zero byte take the scalar fallback inside
+    the engine; the parse must not change."""
+    text = b"ab\x00cd\x00\x00ef" * 6
+    for query in (b"ab\x00cd", b"\x00\x00ef", b"ab\x00cd\x00\x00efab", text):
+        assert_engine_identical(text, query)
+
+
+# ----------------------------------------------------------------------
+# Jump-mode sweep with adversarial random streams
+# ----------------------------------------------------------------------
+def test_randomized_equivalence_across_modes():
+    rng = random.Random(20260808)
+    alphabet = b"abcdef <html>XY\x00"
+    for trial in range(25):
+        text = bytes(rng.choices(alphabet, k=rng.randint(1, 300)))
+        query = bytes(rng.choices(alphabet, k=rng.randint(0, 120)))
+        assert_engine_identical(text, query)
+
+
+def test_forced_large_text_configuration():
+    """The numpy + compact-index configuration auto-enables the engine."""
+    rng = random.Random(7)
+    text = bytes(rng.choices(b"abcdef <html>", k=600))
+    suffix_array = SuffixArray(text)
+    suffix_array._SMALL_TEXT_MAX = 0
+    reference = SuffixArray(text, accelerated=False)
+    assert suffix_array._vectorize_enabled()
+    for _ in range(10):
+        query = bytes(rng.choices(b"abcdef <html>XY\x00", k=rng.randint(0, 90)))
+        assert suffix_array.factorize_stream(query) == reference_streams(
+            reference, query
+        )
+
+
+def test_longest_match_parity_at_every_cursor():
+    rng = random.Random(99)
+    text = bytes(rng.choices(b"abcdefgh", k=250))
+    query = bytes(rng.choices(b"abcdefghXY", k=120))
+    suffix_array = SuffixArray(text)
+    for cursor in range(len(query)):
+        suffix_array.vectorize = False
+        expected = suffix_array.longest_match(query, cursor)
+        suffix_array.vectorize = True
+        assert suffix_array.longest_match(query, cursor) == expected, cursor
+    suffix_array.vectorize = None
+
+
+# ----------------------------------------------------------------------
+# Entry-point equivalence
+# ----------------------------------------------------------------------
+def test_match_stream_equals_factorize_stream():
+    rng = random.Random(3)
+    text = bytes(rng.choices(b"lorem ipsum dolor", k=400))
+    query = bytes(rng.choices(b"lorem ipsum dolor sitXZ", k=200))
+    suffix_array = SuffixArray(text)
+    suffix_array.vectorize = True
+    positions, lengths = suffix_array.factorize_stream(query)
+    assert list(suffix_array.match_stream(query)) == list(zip(positions, lengths))
+    suffix_array.vectorize = None
+
+
+def test_iter_factors_matches_factorize_streams():
+    dictionary = RlzDictionary(b"the quick brown fox jumps over the lazy dog " * 20)
+    factorizer = RlzFactorizer(dictionary)
+    document = b"the lazy fox jumps QUICKLY over the brown dog \x00\x00 end"
+    positions, lengths = factorizer.factorize_streams(document)
+    factors = list(factorizer.iter_factors(document))
+    assert [f.position for f in factors] == positions
+    assert [f.length for f in factors] == lengths
+
+
+# ----------------------------------------------------------------------
+# Batch probing (compact index, literal-heavy regime)
+# ----------------------------------------------------------------------
+def test_batch_probing_engages_and_stays_identical():
+    """A long literal-heavy stream drives the stride EWMA under the cutoff,
+    so cold probes go through ``get_batch`` — and the parse is unchanged."""
+    text = b"abcdefgh" * 40
+    suffix_array = SuffixArray(text, jump_start="compact")
+    query = bytes(random.Random(5).choices(b"XYZW", k=400)) + b"abcdefgh"
+    expected = scalar_streams(suffix_array, query)
+    before = suffix_array.probe_cache_info()
+    assert engine_streams(suffix_array, query) == expected
+    after = suffix_array.probe_cache_info()
+    batched = (after["batch_hits"] + after["batch_misses"]) - (
+        before["batch_hits"] + before["batch_misses"]
+    )
+    assert batched > 0
+
+
+# ----------------------------------------------------------------------
+# Routing: explicit attribute and environment override
+# ----------------------------------------------------------------------
+def test_env_var_overrides_auto_routing(monkeypatch):
+    text = b"small text, dict-index regime " * 4
+    suffix_array = SuffixArray(text)
+    assert not suffix_array._vectorize_enabled()  # small text: scalar default
+    monkeypatch.setenv("REPRO_VECTORIZE", "1")
+    assert suffix_array._vectorize_enabled()
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    assert not suffix_array._vectorize_enabled()
+    # The explicit attribute wins over the environment.
+    suffix_array.vectorize = True
+    assert suffix_array._vectorize_enabled()
+    suffix_array.vectorize = None
